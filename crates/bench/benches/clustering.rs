@@ -1,0 +1,83 @@
+//! Clustering ablations (DESIGN.md §5): naive O(n³) vs NN-chain O(n²)
+//! engines, linkage criteria, and distance-matrix thread scaling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use towerlens_cluster::agglomerative::{agglomerative, Engine, Linkage};
+use towerlens_cluster::distance::DistanceMatrix;
+
+/// Deterministic pseudo-random points: `n` towers in a 16-dim shape
+/// space (clustering cost depends on n² once the matrix is built, so
+/// a reduced dimensionality keeps the matrix-build share realistic
+/// without dominating).
+fn points(n: usize, dim: usize) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|i| {
+            (0..dim)
+                .map(|d| {
+                    let x = (i * 2_654_435_761 + d * 40_503) % 10_000;
+                    (x as f64 / 10_000.0) * 10.0 + ((i % 5) * 40) as f64
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("agglomerative_engine");
+    group.sample_size(10);
+    for &n in &[100usize, 300] {
+        let pts = points(n, 16);
+        for (name, engine) in [("naive", Engine::Naive), ("nn_chain", Engine::NnChain)] {
+            group.bench_with_input(BenchmarkId::new(name, n), &pts, |b, pts| {
+                b.iter(|| {
+                    let dist = DistanceMatrix::build(pts, 1).expect("matrix");
+                    black_box(agglomerative(dist, Linkage::Average, engine).expect("tree"))
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_linkages(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linkage");
+    group.sample_size(10);
+    let pts = points(200, 16);
+    for (name, linkage) in [
+        ("single", Linkage::Single),
+        ("complete", Linkage::Complete),
+        ("average", Linkage::Average),
+        ("ward", Linkage::Ward),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let dist = DistanceMatrix::build(&pts, 1).expect("matrix");
+                black_box(agglomerative(dist, linkage, Engine::NnChain).expect("tree"))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_distance_matrix_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distance_matrix_threads");
+    group.sample_size(10);
+    // High-dimensional, as in the real pipeline (z-scored vectors).
+    let pts = points(400, 1_008);
+    for &threads in &[1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &pts, |b, pts| {
+            b.iter(|| black_box(DistanceMatrix::build(pts, threads).expect("matrix")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_engines,
+    bench_linkages,
+    bench_distance_matrix_threads
+);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! QP-solver ablation (DESIGN.md §5): exact active-set enumeration vs
+//! projected gradient for the §5.3 convex decomposition, plus the raw
+//! simplex projection.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use towerlens_opt::simplex::{
+    project_to_simplex, simplex_least_squares, SimplexLsOptions, Solver,
+};
+
+fn vertices() -> Vec<Vec<f64>> {
+    // A realistic polygon in the (A_day, P_day, A_half) space.
+    vec![
+        vec![0.55, 0.90, 0.33],
+        vec![0.33, 2.62, 0.35],
+        vec![0.62, 2.93, 0.22],
+        vec![0.61, 2.02, 0.14],
+    ]
+}
+
+fn targets() -> Vec<[f64; 3]> {
+    (0..64u64)
+        .map(|s| {
+            [
+                0.3 + ((s * 48_271) % 1_000) as f64 / 2_500.0,
+                0.8 + ((s * 16_807) % 1_000) as f64 / 400.0,
+                0.1 + ((s * 9_176) % 1_000) as f64 / 3_000.0,
+            ]
+        })
+        .collect()
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let verts = vertices();
+    let tgts = targets();
+    let mut group = c.benchmark_group("simplex_ls");
+    for (name, solver) in [
+        ("active_set", Solver::ActiveSet),
+        ("projected_gradient", Solver::ProjectedGradient),
+    ] {
+        let options = SimplexLsOptions {
+            solver,
+            // PG convergence is asymptotic and can crawl along a
+            // constraint face; give it the budget the accuracy tests
+            // use so the benchmark measures realistic cost.
+            tolerance: 1e-8,
+            max_iters: 300_000,
+            ..SimplexLsOptions::default()
+        };
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                for t in &tgts {
+                    black_box(
+                        simplex_least_squares(black_box(&verts), black_box(t), options)
+                            .expect("solution"),
+                    );
+                }
+            });
+        });
+    }
+    group.finish();
+
+    c.bench_function("simplex_projection/dim16", |b| {
+        let v: Vec<f64> = (0..16).map(|i| (i as f64 * 0.7).sin() * 3.0).collect();
+        b.iter(|| black_box(project_to_simplex(black_box(&v)).expect("projection")));
+    });
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Feature-space ablation (DESIGN.md §5): clustering cost in the raw
+//! 1008/4032-dimensional traffic space vs the 3-dimensional spectral
+//! feature space — the efficiency argument for the paper's
+//! frequency-domain representation. Also prices the feature
+//! extraction itself (FFT per tower).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use towerlens_city::config::CityConfig;
+use towerlens_city::generate::generate;
+use towerlens_cluster::agglomerative::{agglomerative_points, Engine, Linkage};
+use towerlens_core::freq::{features_of, features_of_goertzel};
+use towerlens_mobility::config::SynthConfig;
+use towerlens_mobility::synth::synthesize_city;
+use towerlens_pipeline::normalize::normalize_matrix;
+use towerlens_trace::time::TraceWindow;
+
+struct Setup {
+    vectors: Vec<Vec<f64>>,
+    features3: Vec<Vec<f64>>,
+}
+
+fn setup() -> Setup {
+    let city = generate(&CityConfig::tiny(9)).expect("city");
+    let window = TraceWindow::days(7);
+    let raw = synthesize_city(&city, &window, &SynthConfig::default());
+    let normalized = normalize_matrix(&raw).expect("normalize");
+    let features = features_of(&normalized.vectors, &window).expect("features");
+    Setup {
+        features3: features.iter().map(|f| f.f3().to_vec()).collect(),
+        vectors: normalized.vectors,
+    }
+}
+
+fn bench_feature_spaces(c: &mut Criterion) {
+    let s = setup();
+    let mut group = c.benchmark_group("cluster_feature_space");
+    group.sample_size(10);
+    group.bench_with_input(
+        BenchmarkId::new("raw_time_domain", s.vectors[0].len()),
+        &s.vectors,
+        |b, v| {
+            b.iter(|| {
+                black_box(
+                    agglomerative_points(v, Linkage::Average, Engine::NnChain, 1)
+                        .expect("tree"),
+                )
+            });
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("spectral_f3", 3usize),
+        &s.features3,
+        |b, v| {
+            b.iter(|| {
+                black_box(
+                    agglomerative_points(v, Linkage::Average, Engine::NnChain, 1)
+                        .expect("tree"),
+                )
+            });
+        },
+    );
+    group.finish();
+
+    let window = TraceWindow::days(7);
+    c.bench_function("feature_extraction_fft/120_towers", |b| {
+        b.iter(|| black_box(features_of(black_box(&s.vectors), &window).expect("features")));
+    });
+    c.bench_function("feature_extraction_goertzel/120_towers", |b| {
+        b.iter(|| {
+            black_box(features_of_goertzel(black_box(&s.vectors), &window).expect("features"))
+        });
+    });
+}
+
+criterion_group!(benches, bench_feature_spaces);
+criterion_main!(benches);

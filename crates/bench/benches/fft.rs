@@ -1,0 +1,43 @@
+//! FFT ablation (DESIGN.md §5): mixed-radix FFT vs direct O(N²) DFT
+//! at the paper's vector length, and the value of plan reuse.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use towerlens_dsp::dft::dft_direct_real;
+use towerlens_dsp::fft::{fft_real, FftPlan};
+
+fn signal(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let t = std::f64::consts::TAU * i as f64 / n as f64;
+            3.0 + (4.0 * t).cos() + 0.5 * (28.0 * t).cos() + 0.25 * (56.0 * t).sin()
+        })
+        .collect()
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft");
+    // N = 4032 is the paper's length; 1008 is the one-week variant.
+    for &n in &[1_008usize, 4_032] {
+        let x = signal(n);
+        group.bench_with_input(BenchmarkId::new("mixed_radix_oneshot", n), &x, |b, x| {
+            b.iter(|| black_box(fft_real(black_box(x))));
+        });
+        let plan = FftPlan::new(n);
+        group.bench_with_input(BenchmarkId::new("mixed_radix_planned", n), &x, |b, x| {
+            b.iter(|| black_box(plan.forward_real(black_box(x))));
+        });
+    }
+    // Direct DFT only at the short length (4032² is ~30 ms+, fine, but
+    // keep the suite fast).
+    let x = signal(1_008);
+    group.sample_size(20);
+    group.bench_function("direct_dft/1008", |b| {
+        b.iter(|| black_box(dft_direct_real(black_box(&x))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fft);
+criterion_main!(benches);

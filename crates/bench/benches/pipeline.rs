@@ -1,0 +1,52 @@
+//! Vectorizer thread-scaling ablation (DESIGN.md §5): the parallel
+//! log-to-vector aggregation at 1–8 workers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use towerlens_pipeline::vectorizer::Vectorizer;
+use towerlens_trace::record::LogRecord;
+use towerlens_trace::time::TraceWindow;
+
+fn synth_records(n: usize, n_towers: u32, window: &TraceWindow) -> Vec<LogRecord> {
+    let span = window.end_s() - window.start_s;
+    (0..n as u64)
+        .map(|i| {
+            let start = window.start_s + (i * 48_271) % span;
+            LogRecord {
+                user_id: i % 10_000,
+                start_s: start,
+                end_s: start + (i * 131) % 3_600,
+                cell_id: (i % n_towers as u64) as u32,
+                address: String::new(),
+                bytes: 1 + (i * 2_654_435_761) % 1_000_000,
+            }
+        })
+        .collect()
+}
+
+fn bench_vectorizer(c: &mut Criterion) {
+    let window = TraceWindow::days(7);
+    let n_towers = 400u32;
+    let records = synth_records(200_000, n_towers, &window);
+    let mut group = c.benchmark_group("vectorizer_threads");
+    group.sample_size(10);
+    for &threads in &[1usize, 2, 4, 8] {
+        let v = Vectorizer::new(window, threads);
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &records, |b, recs| {
+            b.iter(|| black_box(v.aggregate(recs, n_towers as usize).expect("aggregate")));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("vectorizer_full_run");
+    group.sample_size(10);
+    let v = Vectorizer::new(window, 0);
+    group.bench_function("aggregate_plus_normalize", |b| {
+        b.iter(|| black_box(v.run(&records, n_towers as usize).expect("run")));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_vectorizer);
+criterion_main!(benches);

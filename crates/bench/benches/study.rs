@@ -1,0 +1,37 @@
+//! End-to-end pipeline cost: the whole study (city → traffic →
+//! vectorize → cluster → label → frequency analysis → decomposition)
+//! at test scale, plus its dominant stages in isolation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use towerlens_city::config::CityConfig;
+use towerlens_city::generate::generate;
+use towerlens_core::{Study, StudyConfig};
+use towerlens_mobility::config::SynthConfig;
+use towerlens_mobility::synth::synthesize_city;
+use towerlens_trace::time::TraceWindow;
+
+fn bench_study(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    group.bench_function("study_tiny", |b| {
+        b.iter(|| black_box(Study::new(StudyConfig::tiny(3)).run().expect("study")));
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("stages");
+    group.sample_size(10);
+    group.bench_function("city_generation_tiny", |b| {
+        b.iter(|| black_box(generate(&CityConfig::tiny(3)).expect("city")));
+    });
+    let city = generate(&CityConfig::tiny(3)).expect("city");
+    let window = TraceWindow::days(7);
+    group.bench_function("traffic_synthesis_tiny_week", |b| {
+        b.iter(|| black_box(synthesize_city(&city, &window, &SynthConfig::default())));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_study);
+criterion_main!(benches);

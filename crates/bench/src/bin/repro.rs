@@ -1,0 +1,145 @@
+//! Reproduction harness: regenerates the paper's tables and figures.
+//!
+//! ```text
+//! repro [--scale tiny|small|medium|paper] [--seed N] [--out FILE] <exp>... | all | list
+//! ```
+//!
+//! Experiments are the paper's artefact ids (`fig1`, `table4`, …);
+//! `all` runs every artefact in paper order. Output goes to stdout
+//! and, with `--out`, to a file (the committed `EXPERIMENTS.md` is
+//! generated this way).
+
+use std::io::Write as _;
+
+use towerlens_bench::ablations::{self, ALL_ABLATIONS};
+use towerlens_bench::experiments::{run, ALL_EXPERIMENTS};
+use towerlens_bench::{run_study, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Medium;
+    let mut seed = 42u64;
+    let mut out_file: Option<String> = None;
+    let mut experiments: Vec<String> = Vec::new();
+
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = it.next().unwrap_or_default();
+                match Scale::parse(&v) {
+                    Some(s) => scale = s,
+                    None => {
+                        eprintln!("unknown scale `{v}` (tiny|small|medium|paper)");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--seed" => {
+                let v = it.next().unwrap_or_default();
+                match v.parse() {
+                    Ok(s) => seed = s,
+                    Err(_) => {
+                        eprintln!("bad seed `{v}`");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--out" => out_file = it.next(),
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [--scale tiny|small|medium|paper] [--seed N] [--out FILE] \
+                     <experiment>... | all | list"
+                );
+                return;
+            }
+            other => experiments.push(other.to_string()),
+        }
+    }
+
+    if experiments.iter().any(|e| e == "list") {
+        for id in ALL_EXPERIMENTS {
+            println!("{id}");
+        }
+        for id in ALL_ABLATIONS {
+            println!("{id}");
+        }
+        return;
+    }
+    if experiments.iter().any(|e| e == "ablations") {
+        experiments = ALL_ABLATIONS.iter().map(|s| s.to_string()).collect();
+    }
+    if experiments.is_empty() {
+        experiments = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+    } else if experiments.iter().any(|e| e == "all") {
+        // Expand `all` in place, preserving any extra ids (e.g.
+        // ablations) listed alongside it.
+        let mut expanded = Vec::new();
+        for e in &experiments {
+            if e == "all" {
+                expanded.extend(ALL_EXPERIMENTS.iter().map(|s| s.to_string()));
+            } else {
+                expanded.push(e.clone());
+            }
+        }
+        experiments = expanded;
+    }
+
+    eprintln!("running study at scale {scale:?}, seed {seed}…");
+    let started = std::time::Instant::now();
+    let report = match run_study(scale, seed) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("study failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "study done in {:.1}s: {} towers, {} analysed, {} patterns, labels {:?}",
+        started.elapsed().as_secs_f64(),
+        report.raw.len(),
+        report.vectors.len(),
+        report.patterns.k,
+        report.geo.labels
+    );
+
+    let mut failures = 0usize;
+    let mut output = String::new();
+    output.push_str(&format!(
+        "# towerlens reproduction — scale {scale:?}, seed {seed}\n\n"
+    ));
+    for id in &experiments {
+        let result = if id.starts_with("ablate-") {
+            ablations::run(id, &report)
+        } else {
+            run(id, &report)
+        };
+        match result {
+            Ok(text) => {
+                output.push_str(&text);
+                output.push('\n');
+            }
+            Err(e) => {
+                failures += 1;
+                eprintln!("{id} failed: {e}");
+                output.push_str(&format!("## {id}\nFAILED: {e}\n\n"));
+            }
+        }
+    }
+    print!("{output}");
+    if failures > 0 {
+        eprintln!("{failures} experiment(s) failed");
+    }
+    if let Some(path) = out_file {
+        match std::fs::File::create(&path).and_then(|mut f| f.write_all(output.as_bytes())) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

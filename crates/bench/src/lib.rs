@@ -1,0 +1,82 @@
+//! # towerlens-bench
+//!
+//! The reproduction harness: regenerates every table and figure of the
+//! paper's evaluation as text artefacts, plus the Criterion benchmark
+//! suite for the performance ablations listed in DESIGN.md.
+//!
+//! The `repro` binary (`cargo run -p towerlens-bench --bin repro --release`)
+//! drives [`experiments`]; each experiment is a pure function from a
+//! [`towerlens_core::StudyReport`] to a `String`, so the library can be
+//! tested without capturing stdout.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod experiments;
+pub mod table;
+
+use towerlens_core::{Study, StudyConfig, StudyReport};
+
+/// The scales the harness can run at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// 120 towers, 1 week — smoke test.
+    Tiny,
+    /// 600 towers, 2 weeks.
+    Small,
+    /// 2,400 towers, 4 weeks (default).
+    Medium,
+    /// 9,600 towers, 4 weeks — the paper's scale.
+    Paper,
+}
+
+impl Scale {
+    /// Parses a scale name.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "tiny" => Some(Scale::Tiny),
+            "small" => Some(Scale::Small),
+            "medium" => Some(Scale::Medium),
+            "paper" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+
+    /// The study configuration for this scale.
+    pub fn config(self, seed: u64) -> StudyConfig {
+        match self {
+            Scale::Tiny => StudyConfig::tiny(seed),
+            Scale::Small => StudyConfig::small(seed),
+            Scale::Medium => StudyConfig::medium(seed),
+            Scale::Paper => StudyConfig::paper_scale(seed),
+        }
+    }
+}
+
+/// Runs the study once for a scale/seed (the repro binary shares one
+/// report across all requested experiments).
+///
+/// # Errors
+/// Propagates the study's [`towerlens_core::CoreError`].
+pub fn run_study(scale: Scale, seed: u64) -> Result<StudyReport, towerlens_core::CoreError> {
+    Study::new(scale.config(seed)).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(Scale::parse("tiny"), Some(Scale::Tiny));
+        assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("galactic"), None);
+    }
+
+    #[test]
+    fn configs_scale_tower_counts() {
+        assert_eq!(Scale::Tiny.config(1).city.n_towers, 120);
+        assert_eq!(Scale::Paper.config(1).city.n_towers, 9_600);
+    }
+}

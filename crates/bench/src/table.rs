@@ -1,0 +1,172 @@
+//! Minimal fixed-width text-table rendering for the repro artefacts.
+
+/// A simple text table: a header row plus data rows, rendered with
+/// column widths fitted to content.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given header.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (padded/truncated to the header width).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let mut cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        cells.resize(self.header.len(), String::new());
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when no data rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, (cell, w)) in cells.iter().zip(widths).enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(cell);
+                for _ in cell.chars().count()..*w {
+                    line.push(' ');
+                }
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float with 3 significant-ish decimals, scientific for
+/// very large/small magnitudes.
+pub fn num(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.is_infinite() {
+        "inf".to_string()
+    } else if v.abs() >= 1e6 || v.abs() < 1e-3 {
+        format!("{v:.3e}")
+    } else if v.abs() >= 100.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Formats an `(hour, minute)` pair as `HH:MM`.
+pub fn hhmm(t: (u32, u32)) -> String {
+    format!("{:02}:{:02}", t.0, t.1)
+}
+
+/// Renders a vector as a one-line ASCII sparkline strip (resampled to
+/// `width` columns, scaled to its own max).
+pub fn strip(values: &[f64], width: usize) -> String {
+    const GLYPHS: [char; 9] = [' ', '.', ':', '-', '=', '+', '*', '#', '@'];
+    if values.is_empty() || width == 0 {
+        return String::new();
+    }
+    let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let span = (max - min).max(1e-300);
+    (0..width)
+        .map(|c| {
+            let lo = c * values.len() / width;
+            let hi = (((c + 1) * values.len()) / width).max(lo + 1);
+            let avg: f64 =
+                values[lo..hi.min(values.len())].iter().sum::<f64>() / (hi - lo) as f64;
+            let idx = (((avg - min) / span) * (GLYPHS.len() - 1) as f64).round() as usize;
+            GLYPHS[idx.min(GLYPHS.len() - 1)]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["name", "value"]);
+        t.row(vec!["alpha", "1"]);
+        t.row(vec!["b", "100000"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("alpha"));
+        // All data lines align the second column.
+        let col = lines[2].find('1').unwrap();
+        assert_eq!(lines[3].find('1').unwrap(), col);
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = TextTable::new(vec!["a", "b", "c"]);
+        t.row(vec!["x"]);
+        assert!(t.render().contains('x'));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn num_formatting() {
+        assert_eq!(num(0.0), "0");
+        assert_eq!(num(1.5), "1.500");
+        assert_eq!(num(123.456), "123.5");
+        assert!(num(7.7e8).contains('e'));
+        assert_eq!(num(f64::INFINITY), "inf");
+    }
+
+    #[test]
+    fn hhmm_formatting() {
+        assert_eq!(hhmm((8, 5)), "08:05");
+        assert_eq!(hhmm((21, 30)), "21:30");
+    }
+
+    #[test]
+    fn strip_shape_and_extremes() {
+        let values: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let s = strip(&values, 20);
+        assert_eq!(s.chars().count(), 20);
+        assert_eq!(s.chars().next(), Some(' '));
+        assert_eq!(s.chars().last(), Some('@'));
+        assert_eq!(strip(&[], 10), "");
+        assert_eq!(strip(&[1.0], 0), "");
+        // Constant input doesn't panic or divide by zero.
+        let flat = strip(&[5.0; 10], 5);
+        assert_eq!(flat.chars().count(), 5);
+    }
+}

@@ -1,0 +1,48 @@
+//! Error types for the synthetic-city substrate.
+
+/// Errors produced when generating or querying the synthetic city.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CityError {
+    /// Configuration requested zero towers.
+    NoTowers,
+    /// Configuration requested a non-positive city extent.
+    BadExtent,
+    /// A share vector did not sum to (approximately) one.
+    BadShares,
+    /// A query referenced a tower index that doesn't exist.
+    UnknownTower {
+        /// The offending index.
+        index: usize,
+        /// Number of towers in the city.
+        count: usize,
+    },
+}
+
+impl std::fmt::Display for CityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CityError::NoTowers => write!(f, "configuration requests zero towers"),
+            CityError::BadExtent => write!(f, "city extent must be positive"),
+            CityError::BadShares => write!(f, "region shares must sum to 1"),
+            CityError::UnknownTower { index, count } => {
+                write!(f, "tower index {index} out of range ({count} towers)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CityError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CityError::UnknownTower {
+            index: 10_000,
+            count: 9_600,
+        };
+        assert!(e.to_string().contains("10000"));
+    }
+}

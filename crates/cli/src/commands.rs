@@ -1,0 +1,304 @@
+//! The `gen` and `analyze` subcommands as library functions.
+
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+use towerlens_city::city::City;
+use towerlens_city::config::CityConfig;
+use towerlens_city::generate::generate;
+use towerlens_city::geo::BoundingBox;
+use towerlens_city::poi::PoiIndex;
+use towerlens_city::zone::RegionKind;
+use towerlens_cluster::compare::adjusted_rand_index;
+use towerlens_cluster::dendrogram::Clustering;
+use towerlens_core::identifier::{IdentifierConfig, PatternIdentifier};
+use towerlens_core::labeling::label_clusters_parts;
+use towerlens_mobility::agents::{AgentConfig, AgentPopulation};
+use towerlens_pipeline::vectorizer::Vectorizer;
+use towerlens_trace::clean::clean_records;
+use towerlens_trace::record::RecordReader;
+use towerlens_trace::time::TraceWindow;
+
+use crate::files::{
+    read_pois, read_towers, read_truth, write_pois, write_towers, write_truth, FileError,
+    TowerRow,
+};
+
+/// Options for dataset generation.
+#[derive(Debug, Clone)]
+pub struct GenOptions {
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of towers.
+    pub towers: usize,
+    /// Number of subscribers.
+    pub agents: usize,
+    /// Days of logs (day 0 is a Monday).
+    pub days: usize,
+}
+
+impl Default for GenOptions {
+    fn default() -> Self {
+        GenOptions {
+            seed: 42,
+            towers: 120,
+            agents: 800,
+            days: 14,
+        }
+    }
+}
+
+/// Generates a dataset directory (`logs.tsv`, `towers.tsv`,
+/// `pois.tsv`, `truth.tsv`). Returns the number of log records
+/// written.
+///
+/// # Errors
+/// Generation and I/O failures.
+pub fn generate_dataset(dir: &Path, options: &GenOptions) -> Result<usize, Box<dyn std::error::Error>> {
+    std::fs::create_dir_all(dir)?;
+    let mut city_cfg = CityConfig::tiny(options.seed);
+    city_cfg.n_towers = options.towers;
+    let city = generate(&city_cfg)?;
+    let window = TraceWindow::days(options.days);
+    let population = AgentPopulation::generate(
+        &city,
+        AgentConfig {
+            seed: options.seed,
+            n_agents: options.agents,
+            sessions_per_hour: 2.4,
+            ..AgentConfig::default()
+        },
+    );
+    let records = population.emit_logs(&city, &window);
+
+    // logs.tsv — streamed, operator exports are large.
+    let mut w = BufWriter::new(std::fs::File::create(dir.join("logs.tsv"))?);
+    for r in &records {
+        writeln!(w, "{}", r.to_line())?;
+    }
+    w.flush()?;
+
+    let towers: Vec<TowerRow> = city
+        .towers()
+        .iter()
+        .map(|t| TowerRow {
+            id: t.id,
+            position: t.position,
+            address: t.address.clone(),
+        })
+        .collect();
+    write_towers(&dir.join("towers.tsv"), &towers)?;
+    write_pois(&dir.join("pois.tsv"), city.pois().pois())?;
+    let truth: Vec<(usize, RegionKind)> = city
+        .towers()
+        .iter()
+        .map(|t| (t.id, t.kind_truth))
+        .collect();
+    write_truth(&dir.join("truth.tsv"), &truth)?;
+    Ok(records.len())
+}
+
+/// Options for analysis.
+#[derive(Debug, Clone)]
+pub struct AnalyzeOptions {
+    /// Days covered by the logs (the binning window).
+    pub days: usize,
+    /// Worker threads for the vectorizer (0 = auto).
+    pub threads: usize,
+}
+
+impl Default for AnalyzeOptions {
+    fn default() -> Self {
+        AnalyzeOptions {
+            days: 14,
+            threads: 0,
+        }
+    }
+}
+
+/// What `analyze` found.
+#[derive(Debug)]
+pub struct AnalyzeSummary {
+    /// Records parsed from `logs.tsv`.
+    pub records: usize,
+    /// Records surviving cleaning.
+    pub kept: usize,
+    /// Number of patterns found.
+    pub k: usize,
+    /// Per-cluster labels (canonical kinds).
+    pub labels: Vec<RegionKind>,
+    /// Per-cluster shares.
+    pub shares: Vec<f64>,
+    /// Adjusted Rand index vs `truth.tsv`, when present.
+    pub ari_vs_truth: Option<f64>,
+}
+
+/// Analyzes a dataset directory: parse → clean → vectorize → cluster
+/// → label; scores against `truth.tsv` when present.
+///
+/// # Errors
+/// I/O, parse, and analysis failures.
+pub fn analyze(dir: &Path, options: &AnalyzeOptions) -> Result<AnalyzeSummary, Box<dyn std::error::Error>> {
+    // Stream the log file: operator exports don't fit in memory.
+    let log_file = std::io::BufReader::new(std::fs::File::open(dir.join("logs.tsv"))?);
+    let mut records = Vec::new();
+    let mut parse_errors = 0usize;
+    for item in RecordReader::new(log_file) {
+        match item? {
+            Ok(r) => records.push(r),
+            Err(_) => parse_errors += 1,
+        }
+    }
+    if records.is_empty() {
+        return Err(Box::new(FileError::Malformed {
+            file: "logs.tsv",
+            lines: parse_errors,
+        }));
+    }
+    let (towers, _) = read_towers(&dir.join("towers.tsv"))?;
+    let (pois, _) = read_pois(&dir.join("pois.tsv"))?;
+
+    let (clean, _report) = clean_records(&records);
+    let n_towers = towers.iter().map(|t| t.id + 1).max().unwrap_or(0);
+    let window = TraceWindow::days(options.days);
+    // Guard the classic footgun: a window longer than the data pads
+    // zero bins, which silently wrecks the z-scored clustering.
+    let last_end = records.iter().map(|r| r.end_s).max().unwrap_or(0);
+    if last_end < window.start_s + (window.end_s() - window.start_s) * 4 / 5 {
+        eprintln!(
+            "warning: logs end at {}s but the --days {} window runs to {}s; \
+             trailing bins will be zero — pass a --days matching the data",
+            last_end,
+            options.days,
+            window.end_s()
+        );
+    }
+    let vectorizer = Vectorizer::new(window, options.threads);
+    let output = vectorizer.run(&clean, n_towers)?;
+
+    let identifier = PatternIdentifier::new(IdentifierConfig::default());
+    let found = identifier.identify(&output.normalized.vectors)?;
+
+    // Geographic labelling from files (no synthetic City needed).
+    let mut positions = vec![towerlens_city::geo::GeoPoint::new(0.0, 0.0); n_towers];
+    let mut bounds = BoundingBox::empty();
+    for t in &towers {
+        positions[t.id] = t.position;
+        bounds.include(&t.position);
+    }
+    let poi_index = PoiIndex::build(pois);
+    let geo = label_clusters_parts(
+        &positions,
+        &bounds,
+        &poi_index,
+        &found.clustering,
+        &output.normalized.kept_ids,
+    )?;
+
+    // Optional truth comparison.
+    let truth_path = dir.join("truth.tsv");
+    let ari_vs_truth = if truth_path.exists() {
+        let (truth_rows, _) = read_truth(&truth_path)?;
+        let mut by_id = vec![None; n_towers];
+        for (id, kind) in truth_rows {
+            if id < n_towers {
+                by_id[id] = Some(kind);
+            }
+        }
+        let truth_labels: Option<Vec<usize>> = output
+            .normalized
+            .kept_ids
+            .iter()
+            .map(|&id| by_id[id].map(|k| k.index()))
+            .collect();
+        match truth_labels {
+            Some(labels) => {
+                // Compact to consecutive labels for the comparison.
+                let mut map = std::collections::HashMap::new();
+                let mut next = 0usize;
+                let compact: Vec<usize> = labels
+                    .into_iter()
+                    .map(|l| {
+                        *map.entry(l).or_insert_with(|| {
+                            let v = next;
+                            next += 1;
+                            v
+                        })
+                    })
+                    .collect();
+                let truth_clustering = Clustering::from_labels(compact)?;
+                Some(adjusted_rand_index(&found.clustering, &truth_clustering)?)
+            }
+            None => None,
+        }
+    } else {
+        None
+    };
+
+    Ok(AnalyzeSummary {
+        records: records.len(),
+        kept: clean.len(),
+        k: found.k,
+        labels: geo.labels,
+        shares: found.clustering.shares(),
+        ari_vs_truth,
+    })
+}
+
+/// Convenience for tests: generate then analyze in one temp dir.
+#[doc(hidden)]
+pub fn roundtrip_in(dir: &Path) -> Result<AnalyzeSummary, Box<dyn std::error::Error>> {
+    generate_dataset(dir, &GenOptions::default())?;
+    analyze(dir, &AnalyzeOptions::default())
+}
+
+// City is used only via towers/POIs here, but keep the import local to
+// the signature users expect.
+#[allow(unused)]
+fn _assert_city_unused(_: &City) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gen_then_analyze_roundtrip() {
+        let dir = std::env::temp_dir().join("towerlens-cli-roundtrip");
+        let _ = std::fs::remove_dir_all(&dir);
+        let options = GenOptions {
+            seed: 5,
+            towers: 80,
+            agents: 500,
+            days: 7,
+        };
+        let written = generate_dataset(&dir, &options).expect("gen");
+        assert!(written > 1_000, "only {written} records");
+        for f in ["logs.tsv", "towers.tsv", "pois.tsv", "truth.tsv"] {
+            assert!(dir.join(f).exists(), "{f} missing");
+        }
+        let summary = analyze(
+            &dir,
+            &AnalyzeOptions {
+                days: 7,
+                threads: 2,
+            },
+        )
+        .expect("analyze");
+        assert_eq!(summary.records, written);
+        assert!(summary.kept <= summary.records);
+        assert!(summary.k >= 2, "k = {}", summary.k);
+        assert_eq!(summary.labels.len(), summary.k);
+        let ari = summary.ari_vs_truth.expect("truth present");
+        assert!(ari > 0.1, "ari {ari}");
+        let share_sum: f64 = summary.shares.iter().sum();
+        assert!((share_sum - 1.0).abs() < 1e-9);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn analyze_missing_dir_errors() {
+        let dir = std::env::temp_dir().join("towerlens-cli-missing");
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(analyze(&dir, &AnalyzeOptions::default()).is_err());
+    }
+}

@@ -1,0 +1,332 @@
+//! The on-disk dataset format.
+//!
+//! A dataset directory holds four tab-separated files:
+//!
+//! | file | columns | meaning |
+//! |---|---|---|
+//! | `logs.tsv` | user, start_s, end_s, cell_id, bytes, address | connection records (the `towerlens-trace` line format) |
+//! | `towers.tsv` | id, lon, lat, address | base stations |
+//! | `pois.tsv` | lon, lat, kind | points of interest (`kind` ∈ resident/transport/office/entertainment) |
+//! | `truth.tsv` | id, kind | *optional* ground-truth region per tower (synthetic data only) |
+//!
+//! All parsers collect per-line errors instead of failing wholesale,
+//! like the log parser — operator exports contain garbage.
+
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+
+use towerlens_city::geo::GeoPoint;
+use towerlens_city::poi::Poi;
+use towerlens_city::zone::{PoiKind, RegionKind};
+
+/// A parsed tower row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TowerRow {
+    /// Tower id (must match `cell_id`s in the logs).
+    pub id: usize,
+    /// Position.
+    pub position: GeoPoint,
+    /// Street address.
+    pub address: String,
+}
+
+/// I/O + parse errors for dataset files.
+#[derive(Debug)]
+pub enum FileError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line failed to parse (count reported; analysis proceeds with
+    /// the good lines).
+    Malformed {
+        /// Which file.
+        file: &'static str,
+        /// Number of bad lines.
+        lines: usize,
+    },
+}
+
+impl std::fmt::Display for FileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FileError::Io(e) => write!(f, "io: {e}"),
+            FileError::Malformed { file, lines } => {
+                write!(f, "{file}: {lines} malformed lines")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FileError {}
+
+impl From<std::io::Error> for FileError {
+    fn from(e: std::io::Error) -> Self {
+        FileError::Io(e)
+    }
+}
+
+fn kind_name(kind: PoiKind) -> &'static str {
+    match kind {
+        PoiKind::Resident => "resident",
+        PoiKind::Transport => "transport",
+        PoiKind::Office => "office",
+        PoiKind::Entertainment => "entertainment",
+    }
+}
+
+fn parse_poi_kind(s: &str) -> Option<PoiKind> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "resident" => Some(PoiKind::Resident),
+        "transport" => Some(PoiKind::Transport),
+        "office" => Some(PoiKind::Office),
+        "entertainment" | "entertain" => Some(PoiKind::Entertainment),
+        _ => None,
+    }
+}
+
+fn region_name(kind: RegionKind) -> &'static str {
+    match kind {
+        RegionKind::Resident => "resident",
+        RegionKind::Transport => "transport",
+        RegionKind::Office => "office",
+        RegionKind::Entertainment => "entertainment",
+        RegionKind::Comprehensive => "comprehensive",
+    }
+}
+
+fn parse_region(s: &str) -> Option<RegionKind> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "resident" => Some(RegionKind::Resident),
+        "transport" => Some(RegionKind::Transport),
+        "office" => Some(RegionKind::Office),
+        "entertainment" | "entertain" => Some(RegionKind::Entertainment),
+        "comprehensive" => Some(RegionKind::Comprehensive),
+        _ => None,
+    }
+}
+
+/// Writes `towers.tsv`.
+///
+/// # Errors
+/// I/O failures.
+pub fn write_towers(path: &Path, towers: &[TowerRow]) -> Result<(), FileError> {
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    for t in towers {
+        writeln!(
+            w,
+            "{}\t{:.6}\t{:.6}\t{}",
+            t.id,
+            t.position.lon,
+            t.position.lat,
+            t.address.replace('\t', " ")
+        )?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads `towers.tsv`, returning rows plus the count of bad lines.
+///
+/// # Errors
+/// I/O failures.
+pub fn read_towers(path: &Path) -> Result<(Vec<TowerRow>, usize), FileError> {
+    let reader = std::io::BufReader::new(std::fs::File::open(path)?);
+    let mut rows = Vec::new();
+    let mut bad = 0usize;
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.splitn(4, '\t').collect();
+        let parsed = (|| -> Option<TowerRow> {
+            Some(TowerRow {
+                id: fields.first()?.trim().parse().ok()?,
+                position: GeoPoint::new(
+                    fields.get(1)?.trim().parse().ok()?,
+                    fields.get(2)?.trim().parse().ok()?,
+                ),
+                address: fields.get(3)?.to_string(),
+            })
+        })();
+        match parsed {
+            Some(r) => rows.push(r),
+            None => bad += 1,
+        }
+    }
+    Ok((rows, bad))
+}
+
+/// Writes `pois.tsv`.
+///
+/// # Errors
+/// I/O failures.
+pub fn write_pois(path: &Path, pois: &[Poi]) -> Result<(), FileError> {
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    for p in pois {
+        writeln!(
+            w,
+            "{:.6}\t{:.6}\t{}",
+            p.position.lon,
+            p.position.lat,
+            kind_name(p.kind)
+        )?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads `pois.tsv`.
+///
+/// # Errors
+/// I/O failures.
+pub fn read_pois(path: &Path) -> Result<(Vec<Poi>, usize), FileError> {
+    let reader = std::io::BufReader::new(std::fs::File::open(path)?);
+    let mut pois = Vec::new();
+    let mut bad = 0usize;
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.splitn(3, '\t').collect();
+        let parsed = (|| -> Option<Poi> {
+            Some(Poi {
+                position: GeoPoint::new(
+                    fields.first()?.trim().parse().ok()?,
+                    fields.get(1)?.trim().parse().ok()?,
+                ),
+                kind: parse_poi_kind(fields.get(2)?)?,
+                zone_id: 0,
+            })
+        })();
+        match parsed {
+            Some(p) => pois.push(p),
+            None => bad += 1,
+        }
+    }
+    Ok((pois, bad))
+}
+
+/// Writes `truth.tsv` (tower id → ground-truth region).
+///
+/// # Errors
+/// I/O failures.
+pub fn write_truth(path: &Path, truth: &[(usize, RegionKind)]) -> Result<(), FileError> {
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    for (id, kind) in truth {
+        writeln!(w, "{id}\t{}", region_name(*kind))?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads `truth.tsv`.
+///
+/// # Errors
+/// I/O failures.
+pub fn read_truth(path: &Path) -> Result<(Vec<(usize, RegionKind)>, usize), FileError> {
+    let reader = std::io::BufReader::new(std::fs::File::open(path)?);
+    let mut rows = Vec::new();
+    let mut bad = 0usize;
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.splitn(2, '\t').collect();
+        let parsed = (|| -> Option<(usize, RegionKind)> {
+            Some((
+                fields.first()?.trim().parse().ok()?,
+                parse_region(fields.get(1)?)?,
+            ))
+        })();
+        match parsed {
+            Some(r) => rows.push(r),
+            None => bad += 1,
+        }
+    }
+    Ok((rows, bad))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("towerlens-cli-tests");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        dir.join(name)
+    }
+
+    #[test]
+    fn towers_roundtrip() {
+        let rows = vec![
+            TowerRow {
+                id: 0,
+                position: GeoPoint::new(121.47, 31.23),
+                address: "BLK-121470-31230 Nanjing Rd".into(),
+            },
+            TowerRow {
+                id: 1,
+                position: GeoPoint::new(121.50, 31.25),
+                address: "BLK-121500-31250 Century Ave".into(),
+            },
+        ];
+        let path = tmp("towers_roundtrip.tsv");
+        write_towers(&path, &rows).unwrap();
+        let (back, bad) = read_towers(&path).unwrap();
+        assert_eq!(bad, 0);
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].id, 0);
+        assert!((back[1].position.lat - 31.25).abs() < 1e-6);
+        assert_eq!(back[0].address, rows[0].address);
+    }
+
+    #[test]
+    fn pois_roundtrip_and_garbage() {
+        let pois = vec![Poi {
+            position: GeoPoint::new(121.4, 31.2),
+            kind: PoiKind::Entertainment,
+            zone_id: 7,
+        }];
+        let path = tmp("pois_roundtrip.tsv");
+        write_pois(&path, &pois).unwrap();
+        // Append garbage.
+        let mut content = std::fs::read_to_string(&path).unwrap();
+        content.push_str("not\ta\tpoi\n121.0\t31.0\tcathedral\n");
+        std::fs::write(&path, content).unwrap();
+        let (back, bad) = read_pois(&path).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].kind, PoiKind::Entertainment);
+        assert_eq!(bad, 2);
+    }
+
+    #[test]
+    fn truth_roundtrip() {
+        let rows = vec![(0, RegionKind::Office), (5, RegionKind::Comprehensive)];
+        let path = tmp("truth_roundtrip.tsv");
+        write_truth(&path, &rows).unwrap();
+        let (back, bad) = read_truth(&path).unwrap();
+        assert_eq!(bad, 0);
+        assert_eq!(back, rows);
+    }
+
+    #[test]
+    fn kind_names_roundtrip() {
+        for kind in PoiKind::ALL {
+            assert_eq!(parse_poi_kind(kind_name(kind)), Some(kind));
+        }
+        for kind in RegionKind::ALL {
+            assert_eq!(parse_region(region_name(kind)), Some(kind));
+        }
+        assert_eq!(parse_poi_kind("castle"), None);
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        assert!(matches!(
+            read_towers(Path::new("/nonexistent/towers.tsv")),
+            Err(FileError::Io(_))
+        ));
+    }
+}

@@ -1,0 +1,19 @@
+//! # towerlens-cli
+//!
+//! File-based operation: everything the in-process pipeline does, but
+//! over tab-separated trace files on disk — the workflow an operator
+//! would actually run against exported logs.
+//!
+//! * [`files`] — the on-disk dataset format (`logs.tsv`,
+//!   `towers.tsv`, `pois.tsv`, `truth.tsv`) with writers and parsers,
+//! * [`commands`] — the `gen` and `analyze` subcommands as library
+//!   functions (the binary is a thin wrapper, so everything is
+//!   testable without spawning processes).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod commands;
+pub mod files;
+
+pub use commands::{analyze, generate_dataset, AnalyzeOptions, AnalyzeSummary, GenOptions};

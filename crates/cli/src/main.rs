@@ -1,0 +1,105 @@
+//! `towerlens-cli` — file-based CLI.
+//!
+//! ```text
+//! towerlens-cli gen     --out DIR [--seed N] [--towers N] [--agents N] [--days N]
+//! towerlens-cli analyze --dir DIR [--days N] [--threads N]
+//! ```
+
+use std::path::PathBuf;
+
+use towerlens_cli::{analyze, generate_dataset, AnalyzeOptions, GenOptions};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  towerlens-cli gen     --out DIR [--seed N] [--towers N] [--agents N] [--days N]\n  \
+         towerlens-cli analyze --dir DIR [--days N] [--threads N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else { usage() };
+    let mut flags = std::collections::HashMap::new();
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        let Some(name) = flag.strip_prefix("--") else {
+            eprintln!("unexpected argument `{flag}`");
+            usage()
+        };
+        let Some(value) = it.next() else {
+            eprintln!("flag --{name} needs a value");
+            usage()
+        };
+        flags.insert(name.to_string(), value.clone());
+    }
+    let num = |flags: &std::collections::HashMap<String, String>, key: &str, default: u64| -> u64 {
+        flags
+            .get(key)
+            .map(|v| {
+                v.parse().unwrap_or_else(|_| {
+                    eprintln!("--{key} expects a number, got `{v}`");
+                    std::process::exit(2);
+                })
+            })
+            .unwrap_or(default)
+    };
+
+    match command.as_str() {
+        "gen" => {
+            let Some(out) = flags.get("out") else {
+                eprintln!("gen requires --out DIR");
+                usage()
+            };
+            let options = GenOptions {
+                seed: num(&flags, "seed", 42),
+                towers: num(&flags, "towers", 120) as usize,
+                agents: num(&flags, "agents", 800) as usize,
+                days: num(&flags, "days", 14) as usize,
+            };
+            match generate_dataset(&PathBuf::from(out), &options) {
+                Ok(n) => println!(
+                    "wrote {n} records for {} towers / {} agents / {} days to {out}",
+                    options.towers, options.agents, options.days
+                ),
+                Err(e) => {
+                    eprintln!("gen failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        "analyze" => {
+            let Some(dir) = flags.get("dir") else {
+                eprintln!("analyze requires --dir DIR");
+                usage()
+            };
+            let options = AnalyzeOptions {
+                days: num(&flags, "days", 14) as usize,
+                threads: num(&flags, "threads", 0) as usize,
+            };
+            match analyze(&PathBuf::from(dir), &options) {
+                Ok(s) => {
+                    println!(
+                        "{} records ({} after cleaning); {} patterns:",
+                        s.records, s.kept, s.k
+                    );
+                    for (c, (kind, share)) in s.labels.iter().zip(&s.shares).enumerate() {
+                        println!("  cluster {c}: {kind:<13} {:5.1}%", share * 100.0);
+                    }
+                    if let Some(ari) = s.ari_vs_truth {
+                        println!("adjusted Rand index vs truth.tsv: {ari:.3}");
+                    }
+                }
+                Err(e) => {
+                    eprintln!("analyze failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        "--help" | "-h" | "help" => usage(),
+        other => {
+            eprintln!("unknown command `{other}`");
+            usage()
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Comparing two clusterings: Rand index, adjusted Rand index, and
+//! purity.
+//!
+//! The paper validates its clusters against POI ground truth
+//! qualitatively; the reproduction can do better because the synthetic
+//! city *has* labels. These indices quantify how close a discovered
+//! partition is to the ground truth (or to another algorithm's output
+//! in the ablations).
+
+use crate::dendrogram::Clustering;
+use crate::error::ClusterError;
+
+/// Contingency table between two clusterings over the same points.
+fn contingency(a: &Clustering, b: &Clustering) -> Result<Vec<Vec<usize>>, ClusterError> {
+    if a.labels.len() != b.labels.len() {
+        return Err(ClusterError::Internal(
+            "clusterings cover different point counts",
+        ));
+    }
+    let mut table = vec![vec![0usize; b.k]; a.k];
+    for (&la, &lb) in a.labels.iter().zip(&b.labels) {
+        table[la][lb] += 1;
+    }
+    Ok(table)
+}
+
+fn choose2(n: usize) -> f64 {
+    (n as f64) * (n as f64 - 1.0) / 2.0
+}
+
+/// Rand index ∈ [0, 1]: the fraction of point pairs on which the two
+/// clusterings agree (same-cluster vs different-cluster).
+///
+/// # Errors
+/// [`ClusterError::Internal`] if the clusterings cover different
+/// numbers of points.
+pub fn rand_index(a: &Clustering, b: &Clustering) -> Result<f64, ClusterError> {
+    let table = contingency(a, b)?;
+    let n = a.labels.len();
+    if n < 2 {
+        return Ok(1.0);
+    }
+    let sum_nij: f64 = table
+        .iter()
+        .flat_map(|row| row.iter())
+        .map(|&v| choose2(v))
+        .sum();
+    let sum_ai: f64 = table.iter().map(|row| choose2(row.iter().sum())).sum();
+    let sum_bj: f64 = (0..b.k)
+        .map(|j| choose2(table.iter().map(|row| row[j]).sum()))
+        .sum();
+    let total = choose2(n);
+    // Agreements = pairs together in both + pairs apart in both.
+    let agree = sum_nij + (total - sum_ai - sum_bj + sum_nij);
+    Ok(agree / total)
+}
+
+/// Adjusted Rand index (Hubert & Arabie): chance-corrected agreement,
+/// 1 for identical partitions, ≈0 for independent ones (can be
+/// negative).
+///
+/// # Errors
+/// As for [`rand_index`].
+pub fn adjusted_rand_index(a: &Clustering, b: &Clustering) -> Result<f64, ClusterError> {
+    let table = contingency(a, b)?;
+    let n = a.labels.len();
+    if n < 2 {
+        return Ok(1.0);
+    }
+    let sum_nij: f64 = table
+        .iter()
+        .flat_map(|row| row.iter())
+        .map(|&v| choose2(v))
+        .sum();
+    let sum_ai: f64 = table.iter().map(|row| choose2(row.iter().sum())).sum();
+    let sum_bj: f64 = (0..b.k)
+        .map(|j| choose2(table.iter().map(|row| row[j]).sum()))
+        .sum();
+    let total = choose2(n);
+    let expected = sum_ai * sum_bj / total;
+    let max_index = (sum_ai + sum_bj) / 2.0;
+    if (max_index - expected).abs() < 1e-12 {
+        // Degenerate (e.g. both single-cluster): identical ⇒ 1.
+        return Ok(if sum_nij == max_index { 1.0 } else { 0.0 });
+    }
+    Ok((sum_nij - expected) / (max_index - expected))
+}
+
+/// Purity of `a` with respect to reference `b`: each cluster of `a`
+/// votes for its majority reference class; purity is the fraction of
+/// points covered by those majorities.
+///
+/// # Errors
+/// As for [`rand_index`].
+pub fn purity(a: &Clustering, b: &Clustering) -> Result<f64, ClusterError> {
+    let table = contingency(a, b)?;
+    let n = a.labels.len();
+    if n == 0 {
+        return Ok(1.0);
+    }
+    let majority: usize = table
+        .iter()
+        .map(|row| row.iter().copied().max().unwrap_or(0))
+        .sum();
+    Ok(majority as f64 / n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(labels: Vec<usize>) -> Clustering {
+        Clustering::from_labels(labels).unwrap()
+    }
+
+    #[test]
+    fn identical_partitions_score_one() {
+        let a = c(vec![0, 0, 1, 1, 2]);
+        assert_eq!(rand_index(&a, &a).unwrap(), 1.0);
+        assert_eq!(adjusted_rand_index(&a, &a).unwrap(), 1.0);
+        assert_eq!(purity(&a, &a).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn permuted_labels_still_score_one() {
+        let a = c(vec![0, 0, 1, 1, 2, 2]);
+        let b = c([0, 0, 1, 1, 2, 2].iter().map(|&l| (l + 1) % 3).collect());
+        assert_eq!(rand_index(&a, &b).unwrap(), 1.0);
+        assert_eq!(adjusted_rand_index(&a, &b).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn disjoint_partitions_score_low() {
+        // a puts everything together, b splits into singletons.
+        let a = c(vec![0, 0, 0, 0]);
+        let b = c(vec![0, 1, 2, 3]);
+        let ri = rand_index(&a, &b).unwrap();
+        assert!(ri < 0.2, "ri {ri}");
+        let ari = adjusted_rand_index(&a, &b).unwrap();
+        assert!(ari.abs() < 1e-9, "ari {ari}");
+    }
+
+    #[test]
+    fn ari_is_chance_corrected() {
+        // A random-ish split of two balanced clusters: RI is ~0.5 but
+        // ARI ~0.
+        let truth = c(vec![0, 0, 0, 0, 1, 1, 1, 1]);
+        let random = c(vec![0, 1, 0, 1, 0, 1, 0, 1]);
+        let ri = rand_index(&truth, &random).unwrap();
+        let ari = adjusted_rand_index(&truth, &random).unwrap();
+        assert!(ri > 0.3);
+        assert!(ari < 0.1, "ari {ari}");
+    }
+
+    #[test]
+    fn purity_is_directional() {
+        // Singletons are perfectly pure against anything.
+        let a = c(vec![0, 1, 2, 3]);
+        let b = c(vec![0, 0, 1, 1]);
+        assert_eq!(purity(&a, &b).unwrap(), 1.0);
+        assert_eq!(purity(&b, &a).unwrap(), 0.5);
+    }
+
+    #[test]
+    fn partial_overlap_scores_between() {
+        let truth = c(vec![0, 0, 0, 1, 1, 1]);
+        let close = c(vec![0, 0, 1, 1, 1, 1]); // one point moved
+        let ri = rand_index(&truth, &close).unwrap();
+        let ari = adjusted_rand_index(&truth, &close).unwrap();
+        assert!(ri > 0.6 && ri < 1.0, "ri {ri}");
+        assert!(ari > 0.2 && ari < 1.0, "ari {ari}");
+    }
+
+    #[test]
+    fn length_mismatch_is_error() {
+        let a = c(vec![0, 1]);
+        let b = c(vec![0, 1, 0]);
+        assert!(rand_index(&a, &b).is_err());
+        assert!(adjusted_rand_index(&a, &b).is_err());
+        assert!(purity(&a, &b).is_err());
+    }
+
+    #[test]
+    fn single_point_partitions() {
+        let a = c(vec![0]);
+        assert_eq!(rand_index(&a, &a).unwrap(), 1.0);
+        assert_eq!(adjusted_rand_index(&a, &a).unwrap(), 1.0);
+    }
+}

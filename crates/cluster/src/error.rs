@@ -1,0 +1,109 @@
+//! Error types for the clustering substrate.
+
+/// Errors produced by clustering operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// No data points were supplied.
+    EmptyInput,
+    /// Points have inconsistent dimensionality.
+    DimensionMismatch {
+        /// Dimensionality of the first point.
+        expected: usize,
+        /// Dimensionality of the offending point.
+        actual: usize,
+        /// Index of the offending point.
+        index: usize,
+    },
+    /// A point contained NaN/∞.
+    NonFinite {
+        /// Index of the offending point.
+        index: usize,
+    },
+    /// Requested more clusters than there are points.
+    TooManyClusters {
+        /// Requested cluster count.
+        requested: usize,
+        /// Available points.
+        available: usize,
+    },
+    /// `k = 0` requested.
+    ZeroClusters,
+    /// An internal invariant failed (a bug; included so library users
+    /// get an error, never a panic).
+    Internal(&'static str),
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::EmptyInput => write!(f, "no data points supplied"),
+            ClusterError::DimensionMismatch {
+                expected,
+                actual,
+                index,
+            } => write!(
+                f,
+                "point {index} has dimension {actual}, expected {expected}"
+            ),
+            ClusterError::NonFinite { index } => {
+                write!(f, "point {index} contains a non-finite coordinate")
+            }
+            ClusterError::TooManyClusters {
+                requested,
+                available,
+            } => write!(f, "requested {requested} clusters from {available} points"),
+            ClusterError::ZeroClusters => write!(f, "requested zero clusters"),
+            ClusterError::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// Validates a point set: non-empty, consistent dimension, finite.
+pub(crate) fn validate_points(points: &[Vec<f64>]) -> Result<usize, ClusterError> {
+    let first = points.first().ok_or(ClusterError::EmptyInput)?;
+    let dim = first.len();
+    for (index, p) in points.iter().enumerate() {
+        if p.len() != dim {
+            return Err(ClusterError::DimensionMismatch {
+                expected: dim,
+                actual: p.len(),
+                index,
+            });
+        }
+        if p.iter().any(|v| !v.is_finite()) {
+            return Err(ClusterError::NonFinite { index });
+        }
+    }
+    Ok(dim)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_catches_all_failure_modes() {
+        assert_eq!(validate_points(&[]), Err(ClusterError::EmptyInput));
+        assert_eq!(
+            validate_points(&[vec![1.0], vec![1.0, 2.0]]),
+            Err(ClusterError::DimensionMismatch {
+                expected: 1,
+                actual: 2,
+                index: 1
+            })
+        );
+        assert_eq!(
+            validate_points(&[vec![1.0], vec![f64::NAN]]),
+            Err(ClusterError::NonFinite { index: 1 })
+        );
+        assert_eq!(validate_points(&[vec![1.0, 2.0], vec![3.0, 4.0]]), Ok(2));
+    }
+
+    #[test]
+    fn display_mentions_indices() {
+        let e = ClusterError::NonFinite { index: 42 };
+        assert!(e.to_string().contains("42"));
+    }
+}

@@ -1,0 +1,290 @@
+//! K-means(++) baseline.
+//!
+//! The paper uses hierarchical clustering because the number of
+//! patterns is unknown a priori; k-means is the natural baseline an
+//! evaluation should compare against (and our benchmark ablation
+//! does). Lloyd iterations with k-means++ seeding, deterministic given
+//! the seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dendrogram::Clustering;
+use crate::distance::sq_euclidean;
+use crate::error::{validate_points, ClusterError};
+
+/// Result of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KmeansResult {
+    /// Flat assignment of points to clusters.
+    pub clustering: Clustering,
+    /// Final centroids.
+    pub centroids: Vec<Vec<f64>>,
+    /// Sum of squared member→centroid distances (inertia).
+    pub inertia: f64,
+    /// Lloyd iterations executed.
+    pub iterations: usize,
+    /// Whether the assignment reached a fixed point before
+    /// `max_iters`.
+    pub converged: bool,
+}
+
+/// Runs k-means++ / Lloyd.
+///
+/// * `k` — number of clusters (1 ≤ k ≤ n),
+/// * `max_iters` — Lloyd iteration cap,
+/// * `seed` — RNG seed for the ++ initialisation (runs are fully
+///   deterministic given the same inputs and seed).
+///
+/// Empty clusters are re-seeded with the point farthest from its
+/// centroid, so the result always has exactly `k` non-empty clusters
+/// when `k ≤ n`.
+///
+/// # Errors
+/// Input validation failures, [`ClusterError::ZeroClusters`], or
+/// [`ClusterError::TooManyClusters`].
+pub fn kmeans(
+    points: &[Vec<f64>],
+    k: usize,
+    max_iters: usize,
+    seed: u64,
+) -> Result<KmeansResult, ClusterError> {
+    let dim = validate_points(points)?;
+    let n = points.len();
+    if k == 0 {
+        return Err(ClusterError::ZeroClusters);
+    }
+    if k > n {
+        return Err(ClusterError::TooManyClusters {
+            requested: k,
+            available: n,
+        });
+    }
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut centroids = plus_plus_init(points, k, &mut rng);
+    let mut labels = vec![0usize; n];
+    let mut converged = false;
+    let mut iterations = 0;
+
+    for _ in 0..max_iters {
+        iterations += 1;
+        // Assignment step.
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let best = nearest(p, &centroids);
+            if labels[i] != best {
+                labels[i] = best;
+                changed = true;
+            }
+        }
+        // Update step.
+        let mut sums = vec![vec![0.0; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (p, &l) in points.iter().zip(&labels) {
+            counts[l] += 1;
+            for (s, v) in sums[l].iter_mut().zip(p) {
+                *s += v;
+            }
+        }
+        let mut reseeded: Vec<usize> = Vec::new();
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Re-seed an empty cluster with the point farthest
+                // from its currently assigned centroid, skipping points
+                // already used to re-seed another empty cluster this
+                // round (otherwise two empty clusters would grab the
+                // same point and stay duplicated).
+                let far = points
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| !reseeded.contains(i))
+                    .map(|(i, p)| (i, sq_euclidean(p, &centroids[labels[i]])))
+                    .max_by(|(_, a), (_, b)| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
+                    .map(|(i, _)| i)
+                    .expect("non-empty points");
+                reseeded.push(far);
+                centroids[c] = points[far].clone();
+                changed = true;
+            } else {
+                for (cv, s) in centroids[c].iter_mut().zip(&sums[c]) {
+                    *cv = s / counts[c] as f64;
+                }
+            }
+        }
+        if !changed {
+            converged = true;
+            break;
+        }
+    }
+
+    let inertia = points
+        .iter()
+        .zip(&labels)
+        .map(|(p, &l)| sq_euclidean(p, &centroids[l]))
+        .sum();
+
+    // Labels may not be consecutive if a cluster ended empty on the
+    // final assignment; compact them.
+    let clustering = compact(labels)?;
+    Ok(KmeansResult {
+        clustering,
+        centroids,
+        inertia,
+        iterations,
+        converged,
+    })
+}
+
+/// k-means++ seeding: first centroid uniform, subsequent ones sampled
+/// with probability proportional to squared distance to the nearest
+/// chosen centroid.
+fn plus_plus_init(points: &[Vec<f64>], k: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
+    let n = points.len();
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(points[rng.gen_range(0..n)].clone());
+    let mut d2: Vec<f64> = points
+        .iter()
+        .map(|p| sq_euclidean(p, &centroids[0]))
+        .collect();
+    while centroids.len() < k {
+        let total: f64 = d2.iter().sum();
+        let chosen = if total <= 0.0 {
+            // All remaining points coincide with a centroid; pick any.
+            rng.gen_range(0..n)
+        } else {
+            let mut target = rng.gen_range(0.0..total);
+            let mut idx = n - 1;
+            for (i, &w) in d2.iter().enumerate() {
+                if target < w {
+                    idx = i;
+                    break;
+                }
+                target -= w;
+            }
+            idx
+        };
+        centroids.push(points[chosen].clone());
+        for (i, p) in points.iter().enumerate() {
+            let d = sq_euclidean(p, centroids.last().expect("just pushed"));
+            if d < d2[i] {
+                d2[i] = d;
+            }
+        }
+    }
+    centroids
+}
+
+#[inline]
+fn nearest(p: &[f64], centroids: &[Vec<f64>]) -> usize {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (c, cent) in centroids.iter().enumerate() {
+        let d = sq_euclidean(p, cent);
+        if d < best_d {
+            best_d = d;
+            best = c;
+        }
+    }
+    best
+}
+
+/// Compacts arbitrary labels into consecutive-from-zero form.
+fn compact(labels: Vec<usize>) -> Result<Clustering, ClusterError> {
+    let mut map = std::collections::HashMap::new();
+    let mut next = 0usize;
+    let compacted: Vec<usize> = labels
+        .into_iter()
+        .map(|l| {
+            *map.entry(l).or_insert_with(|| {
+                let v = next;
+                next += 1;
+                v
+            })
+        })
+        .collect();
+    Clustering::from_labels(compacted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for center in [0.0, 50.0, 100.0] {
+            for i in 0..7 {
+                pts.push(vec![center + 0.5 * (i as f64 - 3.0), center * 0.1]);
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn recovers_blobs() {
+        let r = kmeans(&blobs(), 3, 100, 7).unwrap();
+        assert!(r.converged);
+        assert_eq!(r.clustering.k, 3);
+        let sizes = r.clustering.sizes();
+        assert_eq!(sizes, vec![7, 7, 7].into_iter().collect::<Vec<_>>());
+        // All points of one blob share a label.
+        for blob in 0..3 {
+            let l = r.clustering.labels[blob * 7];
+            for i in 0..7 {
+                assert_eq!(r.clustering.labels[blob * 7 + i], l);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = kmeans(&blobs(), 3, 100, 42).unwrap();
+        let b = kmeans(&blobs(), 3, 100, 42).unwrap();
+        assert_eq!(a.clustering, b.clustering);
+        assert_eq!(a.inertia, b.inertia);
+    }
+
+    #[test]
+    fn inertia_decreases_with_k() {
+        let pts = blobs();
+        let i2 = kmeans(&pts, 2, 100, 1).unwrap().inertia;
+        let i3 = kmeans(&pts, 3, 100, 1).unwrap().inertia;
+        let i6 = kmeans(&pts, 6, 100, 1).unwrap().inertia;
+        assert!(i3 < i2);
+        assert!(i6 <= i3);
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let pts = vec![vec![1.0], vec![2.0], vec![5.0]];
+        let r = kmeans(&pts, 3, 100, 3).unwrap();
+        assert!(r.inertia < 1e-12);
+    }
+
+    #[test]
+    fn k_one_centroid_is_mean() {
+        let pts = vec![vec![0.0], vec![2.0], vec![4.0]];
+        let r = kmeans(&pts, 1, 10, 0).unwrap();
+        assert!((r.centroids[0][0] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_k_rejected() {
+        let pts = vec![vec![1.0], vec![2.0]];
+        assert!(matches!(
+            kmeans(&pts, 0, 10, 0),
+            Err(ClusterError::ZeroClusters)
+        ));
+        assert!(matches!(
+            kmeans(&pts, 3, 10, 0),
+            Err(ClusterError::TooManyClusters { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_points_dont_crash_plus_plus() {
+        let pts = vec![vec![1.0]; 10];
+        let r = kmeans(&pts, 3, 10, 0).unwrap();
+        assert!(r.inertia < 1e-12);
+    }
+}

@@ -1,0 +1,39 @@
+//! # towerlens-cluster
+//!
+//! Unsupervised-learning substrate: the machinery behind the paper's
+//! *pattern identifier* and *metric tuner* (§3.2).
+//!
+//! * [`mod@agglomerative`] — bottom-up hierarchical clustering with
+//!   single/complete/average/Ward linkage. Two engines produce
+//!   identical dendrograms: a naive O(n³) reference and an O(n²)
+//!   nearest-neighbour-chain implementation (the one the benchmarks
+//!   ablate).
+//! * [`dendrogram`] — the merge tree; cut it at a distance threshold
+//!   (the paper stops "when the distance between two clusters is above
+//!   the threshold value", 16.33 in their data) or at a target cluster
+//!   count.
+//! * [`validity`] — Davies–Bouldin index (the paper's stop-condition
+//!   tuner) and silhouette score as a second opinion.
+//! * [`kmeans`] — a k-means(++) baseline for comparison benches.
+//! * [`distance`] — Euclidean metrics and a parallel pairwise-distance
+//!   matrix builder (std scoped threads; no runtime dependency).
+//!
+//! All APIs are fallible ([`ClusterError`]) rather than panicking, and
+//! deterministic given their inputs (k-means takes an explicit seed).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agglomerative;
+pub mod compare;
+pub mod dendrogram;
+pub mod distance;
+pub mod error;
+pub mod kmeans;
+pub mod validity;
+
+pub use agglomerative::{agglomerative, Engine, Linkage};
+pub use compare::{adjusted_rand_index, purity, rand_index};
+pub use dendrogram::{Clustering, Dendrogram, Merge};
+pub use distance::DistanceMatrix;
+pub use error::ClusterError;

@@ -1,0 +1,106 @@
+//! Unified error type for the core model.
+
+use towerlens_city::CityError;
+use towerlens_cluster::ClusterError;
+use towerlens_dsp::DspError;
+use towerlens_opt::OptError;
+use towerlens_trace::TraceError;
+
+/// Errors surfaced by the core analyses; substrate errors are wrapped
+/// so callers keep their detail.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Signal-processing failure.
+    Dsp(DspError),
+    /// Clustering failure.
+    Cluster(ClusterError),
+    /// Optimisation failure.
+    Opt(OptError),
+    /// City/ground-truth failure.
+    City(CityError),
+    /// Trace/aggregation failure.
+    Trace(TraceError),
+    /// The analysis needs at least this many towers/clusters and the
+    /// input has fewer.
+    NotEnoughData {
+        /// What was being counted.
+        what: &'static str,
+        /// Required minimum.
+        needed: usize,
+        /// What was available.
+        got: usize,
+    },
+    /// An analysis that requires the four pure patterns couldn't find
+    /// a cluster for each.
+    MissingPattern {
+        /// Label of the missing pattern.
+        pattern: &'static str,
+    },
+    /// A harness was asked for an experiment id it doesn't know.
+    UnknownExperiment {
+        /// The requested id.
+        id: String,
+    },
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::Dsp(e) => write!(f, "dsp: {e}"),
+            CoreError::Cluster(e) => write!(f, "cluster: {e}"),
+            CoreError::Opt(e) => write!(f, "opt: {e}"),
+            CoreError::City(e) => write!(f, "city: {e}"),
+            CoreError::Trace(e) => write!(f, "trace: {e}"),
+            CoreError::NotEnoughData { what, needed, got } => {
+                write!(f, "not enough {what}: need {needed}, got {got}")
+            }
+            CoreError::MissingPattern { pattern } => {
+                write!(f, "no cluster was labelled `{pattern}`")
+            }
+            CoreError::UnknownExperiment { id } => {
+                write!(f, "unknown experiment id `{id}` (see `repro list`)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<DspError> for CoreError {
+    fn from(e: DspError) -> Self {
+        CoreError::Dsp(e)
+    }
+}
+impl From<ClusterError> for CoreError {
+    fn from(e: ClusterError) -> Self {
+        CoreError::Cluster(e)
+    }
+}
+impl From<OptError> for CoreError {
+    fn from(e: OptError) -> Self {
+        CoreError::Opt(e)
+    }
+}
+impl From<CityError> for CoreError {
+    fn from(e: CityError) -> Self {
+        CoreError::City(e)
+    }
+}
+impl From<TraceError> for CoreError {
+    fn from(e: TraceError) -> Self {
+        CoreError::Trace(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrapping_preserves_detail() {
+        let e: CoreError = DspError::ZeroVariance.into();
+        assert!(e.to_string().contains("variance"));
+        let e: CoreError = ClusterError::EmptyInput.into();
+        assert!(e.to_string().contains("cluster"));
+    }
+}

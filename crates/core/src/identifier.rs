@@ -1,0 +1,230 @@
+//! The pattern identifier and metric tuner (§3.2).
+//!
+//! Takes the z-scored traffic vectors produced by the vectorizer, runs
+//! bottom-up hierarchical clustering (Euclidean distance, average
+//! linkage — the paper's choices), and selects the cut by minimising
+//! the Davies–Bouldin index over a candidate range of cluster counts.
+//! The selected cut's threshold is reported the way the paper quotes
+//! its 16.33.
+
+use towerlens_cluster::agglomerative::{agglomerative_points, Engine, Linkage};
+use towerlens_cluster::dendrogram::{Clustering, Dendrogram};
+use towerlens_cluster::validity::{best_by_dbi, dbi_sweep, DbiPoint};
+
+use crate::error::CoreError;
+
+/// Configuration of the identifier.
+#[derive(Debug, Clone, Copy)]
+pub struct IdentifierConfig {
+    /// Linkage criterion (the paper uses average linkage).
+    pub linkage: Linkage,
+    /// Clustering engine.
+    pub engine: Engine,
+    /// Smallest cluster count the metric tuner considers.
+    pub k_min: usize,
+    /// Largest cluster count the metric tuner considers.
+    pub k_max: usize,
+    /// Worker threads for the distance matrix (0 = auto).
+    pub threads: usize,
+}
+
+impl Default for IdentifierConfig {
+    fn default() -> Self {
+        IdentifierConfig {
+            linkage: Linkage::Average,
+            engine: Engine::NnChain,
+            k_min: 2,
+            k_max: 12,
+            threads: 0,
+        }
+    }
+}
+
+/// The identifier's output: the chosen flat clustering plus everything
+/// needed to reproduce Fig 6 and Table 1.
+#[derive(Debug, Clone)]
+pub struct IdentifiedPatterns {
+    /// The DBI-optimal flat clustering (labels index the *input
+    /// vectors*, i.e. kept towers).
+    pub clustering: Clustering,
+    /// Number of patterns found (`clustering.k`).
+    pub k: usize,
+    /// The stop threshold that yields this clustering (the paper's
+    /// "16.33").
+    pub threshold: f64,
+    /// The DBI-vs-k curve the tuner minimised (Fig 6(a)).
+    pub dbi_curve: Vec<DbiPoint>,
+    /// Cluster centroids in the traffic-vector space (the pattern
+    /// profiles of Fig 6(c–g)).
+    pub centroids: Vec<Vec<f64>>,
+    /// Per-cluster member→centroid distances (Fig 6(b) CDFs).
+    pub member_distances: Vec<Vec<f64>>,
+    /// The full dendrogram, for callers that want other cuts.
+    pub dendrogram: Dendrogram,
+}
+
+/// The pattern identifier.
+#[derive(Debug, Clone, Default)]
+pub struct PatternIdentifier {
+    config: IdentifierConfig,
+}
+
+impl PatternIdentifier {
+    /// Creates an identifier with the given configuration.
+    pub fn new(config: IdentifierConfig) -> Self {
+        PatternIdentifier { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &IdentifierConfig {
+        &self.config
+    }
+
+    /// Runs clustering + metric tuning over z-scored traffic vectors.
+    ///
+    /// # Errors
+    /// * [`CoreError::NotEnoughData`] if fewer than `k_min + 1`
+    ///   vectors are supplied,
+    /// * wrapped [`towerlens_cluster::ClusterError`] for validation
+    ///   failures.
+    pub fn identify(&self, vectors: &[Vec<f64>]) -> Result<IdentifiedPatterns, CoreError> {
+        let cfg = &self.config;
+        if vectors.len() <= cfg.k_min {
+            return Err(CoreError::NotEnoughData {
+                what: "traffic vectors",
+                needed: cfg.k_min + 1,
+                got: vectors.len(),
+            });
+        }
+        let dendrogram =
+            agglomerative_points(vectors, cfg.linkage, cfg.engine, cfg.threads)?;
+        let k_max = cfg.k_max.min(vectors.len());
+        let dbi_curve = dbi_sweep(vectors, &dendrogram, cfg.k_min, k_max)?;
+        let best = best_by_dbi(&dbi_curve).ok_or(CoreError::NotEnoughData {
+            what: "DBI sweep points",
+            needed: 1,
+            got: 0,
+        })?;
+        let clustering = dendrogram.cut_k(best.k)?;
+        let centroids = clustering.centroids(vectors)?;
+        let member_distances = clustering.member_centroid_distances(vectors)?;
+        Ok(IdentifiedPatterns {
+            k: best.k,
+            threshold: best.threshold,
+            clustering,
+            dbi_curve,
+            centroids,
+            member_distances,
+            dendrogram,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use towerlens_city::zone::PoiKind;
+    use towerlens_mobility::config::SynthConfig;
+    use towerlens_mobility::profiles::pure_mix;
+    use towerlens_mobility::synth::tower_vector;
+    use towerlens_pipeline::normalize::normalize_matrix;
+    use towerlens_trace::time::TraceWindow;
+
+    /// Synthesises towers of the four pure kinds (noisy) and checks the
+    /// identifier recovers the structure.
+    fn pure_kind_vectors(per_kind: usize, window: &TraceWindow) -> (Vec<Vec<f64>>, Vec<usize>) {
+        let cfg = SynthConfig {
+            bin_noise_sigma: 0.15,
+            day_noise_sigma: 0.05,
+            ..SynthConfig::default()
+        };
+        let mut raw = Vec::new();
+        let mut truth = Vec::new();
+        for (g, kind) in PoiKind::ALL.iter().enumerate() {
+            let mix = pure_mix(*kind);
+            for i in 0..per_kind {
+                raw.push(tower_vector(&mix, window, &cfg, g * per_kind + i));
+                truth.push(g);
+            }
+        }
+        let normalized = normalize_matrix(&raw).unwrap();
+        assert_eq!(normalized.len(), raw.len());
+        (normalized.vectors, truth)
+    }
+
+    #[test]
+    fn recovers_four_pure_patterns() {
+        let window = TraceWindow::days(7);
+        let (vectors, truth) = pure_kind_vectors(12, &window);
+        let id = PatternIdentifier::new(IdentifierConfig {
+            k_max: 8,
+            ..IdentifierConfig::default()
+        });
+        let found = id.identify(&vectors).unwrap();
+        assert_eq!(found.k, 4, "dbi curve: {:?}", found.dbi_curve);
+        // Clusters must align with ground truth (pairwise agreement).
+        for i in 0..truth.len() {
+            for j in 0..truth.len() {
+                assert_eq!(
+                    truth[i] == truth[j],
+                    found.clustering.labels[i] == found.clustering.labels[j],
+                    "towers {i},{j}"
+                );
+            }
+        }
+        assert!(found.threshold > 0.0);
+        assert_eq!(found.centroids.len(), 4);
+        assert_eq!(found.member_distances.len(), 4);
+    }
+
+    #[test]
+    fn dbi_curve_covers_requested_range() {
+        let window = TraceWindow::days(7);
+        let (vectors, _) = pure_kind_vectors(8, &window);
+        let id = PatternIdentifier::new(IdentifierConfig {
+            k_min: 2,
+            k_max: 6,
+            ..IdentifierConfig::default()
+        });
+        let found = id.identify(&vectors).unwrap();
+        let ks: Vec<usize> = found.dbi_curve.iter().map(|p| p.k).collect();
+        assert_eq!(ks, vec![2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn too_few_vectors_is_an_error() {
+        let id = PatternIdentifier::default();
+        let vectors = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        assert!(matches!(
+            id.identify(&vectors),
+            Err(CoreError::NotEnoughData { .. })
+        ));
+    }
+
+    #[test]
+    fn naive_and_nnchain_agree() {
+        let window = TraceWindow::days(3);
+        let (vectors, _) = pure_kind_vectors(6, &window);
+        let a = PatternIdentifier::new(IdentifierConfig {
+            engine: Engine::Naive,
+            ..IdentifierConfig::default()
+        })
+        .identify(&vectors)
+        .unwrap();
+        let b = PatternIdentifier::new(IdentifierConfig {
+            engine: Engine::NnChain,
+            ..IdentifierConfig::default()
+        })
+        .identify(&vectors)
+        .unwrap();
+        assert_eq!(a.k, b.k);
+        for i in 0..vectors.len() {
+            for j in 0..vectors.len() {
+                assert_eq!(
+                    a.clustering.labels[i] == a.clustering.labels[j],
+                    b.clustering.labels[i] == b.clustering.labels[j]
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! End-to-end study driver: city → traffic → vectorizer → patterns →
+//! labels → time & frequency analyses → decomposition.
+//!
+//! This is the programmatic equivalent of "run the whole paper once".
+//! The repro harness (`towerlens-bench`) and the examples consume the
+//! [`StudyReport`] it produces.
+
+use towerlens_city::city::City;
+use towerlens_city::config::CityConfig;
+use towerlens_city::generate::generate;
+use towerlens_city::zone::RegionKind;
+use towerlens_mobility::config::SynthConfig;
+use towerlens_mobility::synth::synthesize_city;
+use towerlens_opt::simplex::Solver;
+use towerlens_pipeline::normalize::normalize_matrix;
+use towerlens_trace::time::TraceWindow;
+
+use crate::decompose::{Decomposer, Decomposition};
+use crate::error::CoreError;
+use crate::freq::{
+    cluster_feature_stats, features_of, representative_towers, ClusterFeatureStats,
+    TowerFeatures,
+};
+use crate::identifier::{IdentifiedPatterns, IdentifierConfig, PatternIdentifier};
+use crate::labeling::{cluster_of_kind, label_clusters, GeoLabels};
+use crate::timedomain::{cluster_series, cluster_time_stats, ClusterTimeStats};
+
+/// Configuration of a full study run.
+#[derive(Debug, Clone)]
+pub struct StudyConfig {
+    /// City generation parameters.
+    pub city: CityConfig,
+    /// Traffic synthesis parameters.
+    pub synth: SynthConfig,
+    /// Binning window.
+    pub window: TraceWindow,
+    /// Pattern-identifier parameters.
+    pub identifier: IdentifierConfig,
+    /// How many comprehensive-cluster towers to decompose in §5.3.
+    pub decompose_sample: usize,
+}
+
+impl StudyConfig {
+    /// Paper scale: 9,600 towers, 4 weeks. Minutes of compute.
+    pub fn paper_scale(seed: u64) -> Self {
+        StudyConfig {
+            city: CityConfig::paper_scale(seed),
+            synth: SynthConfig {
+                seed: seed ^ 0x5EED,
+                ..SynthConfig::default()
+            },
+            window: TraceWindow::paper(),
+            identifier: IdentifierConfig::default(),
+            decompose_sample: 32,
+        }
+    }
+
+    /// Medium scale (repro default): 2,400 towers, 4 weeks. Seconds.
+    pub fn medium(seed: u64) -> Self {
+        StudyConfig {
+            city: CityConfig::medium(seed),
+            ..StudyConfig::paper_scale(seed)
+        }
+    }
+
+    /// Small scale: 600 towers, 2 weeks.
+    pub fn small(seed: u64) -> Self {
+        StudyConfig {
+            city: CityConfig::small(seed),
+            window: TraceWindow::days(14),
+            ..StudyConfig::paper_scale(seed)
+        }
+    }
+
+    /// Tiny scale for tests: 120 towers, 1 week.
+    pub fn tiny(seed: u64) -> Self {
+        StudyConfig {
+            city: CityConfig::tiny(seed),
+            window: TraceWindow::days(7),
+            decompose_sample: 8,
+            ..StudyConfig::paper_scale(seed)
+        }
+    }
+}
+
+/// Everything a study run produces.
+#[derive(Debug)]
+pub struct StudyReport {
+    /// The generated city (ground truth included).
+    pub city: City,
+    /// The binning window used.
+    pub window: TraceWindow,
+    /// Raw per-tower traffic (tower id × bin, bytes).
+    pub raw: Vec<Vec<f64>>,
+    /// Tower id of each analysed (kept) vector.
+    pub kept_ids: Vec<usize>,
+    /// Z-scored traffic vectors (kept-index aligned).
+    pub vectors: Vec<Vec<f64>>,
+    /// The identified patterns (clustering, DBI curve, centroids).
+    pub patterns: IdentifiedPatterns,
+    /// Geographic labels and POI validation.
+    pub geo: GeoLabels,
+    /// Per-cluster aggregate raw series.
+    pub cluster_series: Vec<Vec<f64>>,
+    /// Per-cluster time-domain statistics (§4).
+    pub time_stats: Vec<ClusterTimeStats>,
+    /// Per-tower frequency features (kept-index aligned).
+    pub features: Vec<TowerFeatures>,
+    /// Per-cluster frequency-feature statistics (Fig 16).
+    pub feature_stats: Vec<[ClusterFeatureStats; 3]>,
+    /// Vector indices of the four representative towers (pure-pattern
+    /// order), when all four pure patterns were labelled.
+    pub representatives: Option<[usize; 4]>,
+    /// §5.3 decompositions of sampled comprehensive towers (plus the
+    /// four representatives themselves as the `F1..F4` sanity rows).
+    pub decompositions: Vec<Decomposition>,
+}
+
+impl StudyReport {
+    /// The cluster index labelled with `kind`, if any.
+    pub fn cluster_of(&self, kind: RegionKind) -> Option<usize> {
+        cluster_of_kind(&self.geo.labels, kind)
+    }
+
+    /// City-wide aggregate traffic series.
+    pub fn total_series(&self) -> Vec<f64> {
+        let n_bins = self.window.n_bins;
+        let mut total = vec![0.0; n_bins];
+        for row in &self.raw {
+            for (t, v) in total.iter_mut().zip(row) {
+                *t += v;
+            }
+        }
+        total
+    }
+
+    /// The z-scored vector of a representative tower (by pure-pattern
+    /// index 0..4), if representatives were found.
+    pub fn representative_vector(&self, pure_idx: usize) -> Option<&[f64]> {
+        let reps = self.representatives?;
+        self.vectors.get(*reps.get(pure_idx)?).map(|v| v.as_slice())
+    }
+}
+
+/// The study driver.
+#[derive(Debug, Clone)]
+pub struct Study {
+    config: StudyConfig,
+}
+
+impl Study {
+    /// Creates a study from a configuration.
+    pub fn new(config: StudyConfig) -> Self {
+        Study { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &StudyConfig {
+        &self.config
+    }
+
+    /// Runs the full pipeline.
+    ///
+    /// # Errors
+    /// Propagates every stage's failure as [`CoreError`].
+    pub fn run(&self) -> Result<StudyReport, CoreError> {
+        let cfg = &self.config;
+        // 1. Ground truth.
+        let city = generate(&cfg.city)?;
+        // 2. Traffic (fast synthesis path).
+        let raw = synthesize_city(&city, &cfg.window, &cfg.synth);
+        // 3. Vectorize (phase 2: z-score; phase 1 happened in synth —
+        //    the log path exercises the full vectorizer; see the
+        //    integration tests).
+        let normalized = normalize_matrix(&raw)?;
+        let kept_ids = normalized.kept_ids.clone();
+        let vectors = normalized.vectors;
+        // 4. Identify patterns.
+        let identifier = PatternIdentifier::new(cfg.identifier);
+        let patterns = identifier.identify(&vectors)?;
+        // 5. Geographic labels.
+        let geo = label_clusters(&city, &patterns.clustering, &kept_ids)?;
+        // 6. Time-domain statistics over the kept towers' raw rows.
+        let kept_raw: Vec<Vec<f64>> = kept_ids.iter().map(|&id| raw[id].clone()).collect();
+        let series = cluster_series(&kept_raw, &patterns.clustering)?;
+        let time_stats: Vec<ClusterTimeStats> = series
+            .iter()
+            .map(|s| cluster_time_stats(s, &cfg.window))
+            .collect::<Result<_, _>>()?;
+        // 7. Frequency features.
+        let features = features_of(&vectors, &cfg.window)?;
+        let feature_stats = cluster_feature_stats(&features, &patterns.clustering)?;
+        // 8. Representatives + decomposition.
+        let pure_clusters: Option<Vec<usize>> = RegionKind::PURE
+            .iter()
+            .map(|&k| cluster_of_kind(&geo.labels, k))
+            .collect();
+        let (representatives, decompositions) = match pure_clusters {
+            Some(pure) if pure.len() == 4 => {
+                let reps = representative_towers(&features, &patterns.clustering, &pure)?;
+                let reps4: [usize; 4] = [reps[0], reps[1], reps[2], reps[3]];
+                let rep_features: [TowerFeatures; 4] = [
+                    features[reps4[0]],
+                    features[reps4[1]],
+                    features[reps4[2]],
+                    features[reps4[3]],
+                ];
+                let decomposer =
+                    Decomposer::new(&rep_features, &city, &kept_ids, Solver::ActiveSet)?;
+                // Rows F1..F4: the representatives themselves.
+                let mut targets: Vec<usize> = reps4.to_vec();
+                // Rows P1..Pn: sampled comprehensive towers.
+                if let Some(comp) = cluster_of_kind(&geo.labels, RegionKind::Comprehensive) {
+                    let members = patterns.clustering.members(comp);
+                    let step = (members.len() / cfg.decompose_sample.max(1)).max(1);
+                    targets.extend(members.iter().step_by(step).take(cfg.decompose_sample));
+                }
+                let rows = decomposer.decompose_all(&targets, &features)?;
+                (Some(reps4), rows)
+            }
+            _ => (None, Vec::new()),
+        };
+
+        Ok(StudyReport {
+            city,
+            window: cfg.window,
+            raw,
+            kept_ids,
+            vectors,
+            patterns,
+            geo,
+            cluster_series: series,
+            time_stats,
+            features,
+            feature_stats,
+            representatives,
+            decompositions,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_study_runs_end_to_end() {
+        let report = Study::new(StudyConfig::tiny(7)).run().unwrap();
+        assert_eq!(report.raw.len(), 120);
+        assert!(!report.vectors.is_empty());
+        assert!(report.patterns.k >= 2);
+        assert_eq!(report.geo.labels.len(), report.patterns.k);
+        assert_eq!(report.time_stats.len(), report.patterns.k);
+        assert_eq!(report.features.len(), report.vectors.len());
+        let total = report.total_series();
+        assert_eq!(total.len(), report.window.n_bins);
+        assert!(total.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn study_is_deterministic() {
+        let a = Study::new(StudyConfig::tiny(3)).run().unwrap();
+        let b = Study::new(StudyConfig::tiny(3)).run().unwrap();
+        assert_eq!(a.patterns.k, b.patterns.k);
+        assert_eq!(a.patterns.clustering.labels, b.patterns.clustering.labels);
+        assert_eq!(a.geo.labels, b.geo.labels);
+    }
+}

@@ -1,0 +1,132 @@
+//! Circular statistics for phase angles.
+//!
+//! DFT phases live on the circle `(−π, π]`; an arithmetic mean of
+//! phases near ±π is meaningless (e.g. mean of `{+3.1, −3.1}` should be
+//! ≈π, not 0). Fig 16 reports means and standard deviations of phases
+//! per cluster, so we provide proper circular versions, plus the
+//! angular distance used when reasoning about the paper's "π apart"
+//! observation (office vs resident at k = 4).
+
+/// Circular mean of a set of angles (radians), computed as the argument
+/// of the resultant vector. `None` for an empty slice or when the
+/// resultant is (numerically) zero — i.e. the angles are uniformly
+/// spread and no direction is meaningful.
+pub fn circular_mean(angles: &[f64]) -> Option<f64> {
+    if angles.is_empty() {
+        return None;
+    }
+    let (s, c) = angles
+        .iter()
+        .fold((0.0, 0.0), |(s, c), &a| (s + a.sin(), c + a.cos()));
+    let r = (s * s + c * c).sqrt() / angles.len() as f64;
+    if r < 1e-12 {
+        return None;
+    }
+    Some(s.atan2(c))
+}
+
+/// Mean resultant length `R ∈ [0, 1]`: 1 means all angles coincide,
+/// 0 means they cancel out. `None` for empty input.
+pub fn resultant_length(angles: &[f64]) -> Option<f64> {
+    if angles.is_empty() {
+        return None;
+    }
+    let (s, c) = angles
+        .iter()
+        .fold((0.0, 0.0), |(s, c), &a| (s + a.sin(), c + a.cos()));
+    Some((s * s + c * c).sqrt() / angles.len() as f64)
+}
+
+/// Circular standard deviation `sqrt(−2·ln R)`; `None` for empty input.
+/// Returns `+∞` when `R = 0`.
+pub fn circular_stddev(angles: &[f64]) -> Option<f64> {
+    let r = resultant_length(angles)?;
+    if r == 0.0 {
+        return Some(f64::INFINITY);
+    }
+    Some((-2.0 * r.ln()).sqrt())
+}
+
+/// Shortest angular distance between two angles, in `[0, π]`.
+pub fn angular_distance(a: f64, b: f64) -> f64 {
+    let mut d = (a - b).rem_euclid(std::f64::consts::TAU);
+    if d > std::f64::consts::PI {
+        d = std::f64::consts::TAU - d;
+    }
+    d
+}
+
+/// Wraps an angle into `(−π, π]`.
+pub fn wrap_angle(a: f64) -> f64 {
+    let mut w = a.rem_euclid(std::f64::consts::TAU);
+    if w > std::f64::consts::PI {
+        w -= std::f64::consts::TAU;
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI, TAU};
+
+    #[test]
+    fn mean_near_wraparound() {
+        // Angles straddling ±π must average to ≈π, not 0.
+        let m = circular_mean(&[PI - 0.05, -PI + 0.05]).unwrap();
+        assert!(angular_distance(m, PI) < 1e-9, "got {m}");
+    }
+
+    #[test]
+    fn mean_of_identical_angles() {
+        let m = circular_mean(&[0.7, 0.7, 0.7]).unwrap();
+        assert!((m - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_spread_has_no_mean() {
+        let angles: Vec<f64> = (0..4).map(|k| k as f64 * TAU / 4.0).collect();
+        assert_eq!(circular_mean(&angles), None);
+    }
+
+    #[test]
+    fn resultant_length_extremes() {
+        assert!((resultant_length(&[1.0, 1.0]).unwrap() - 1.0).abs() < 1e-12);
+        let spread: Vec<f64> = vec![0.0, PI];
+        assert!(resultant_length(&spread).unwrap() < 1e-12);
+        assert_eq!(resultant_length(&[]), None);
+    }
+
+    #[test]
+    fn stddev_grows_with_spread() {
+        let tight = circular_stddev(&[0.0, 0.1, -0.1]).unwrap();
+        let loose = circular_stddev(&[0.0, 1.0, -1.0]).unwrap();
+        assert!(tight < loose);
+    }
+
+    #[test]
+    fn angular_distance_symmetric_and_bounded() {
+        assert!((angular_distance(0.0, PI) - PI).abs() < 1e-12);
+        assert!((angular_distance(PI - 0.1, -PI + 0.1) - 0.2).abs() < 1e-9);
+        assert_eq!(angular_distance(1.0, 1.0), 0.0);
+        assert!((angular_distance(FRAC_PI_2, -FRAC_PI_2) - PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wrap_into_range() {
+        assert!((wrap_angle(TAU + 0.3) - 0.3).abs() < 1e-12);
+        assert!((wrap_angle(-TAU - 0.3) + 0.3).abs() < 1e-12);
+        assert!((wrap_angle(3.0 * PI) - PI).abs() < 1e-9);
+        let w = wrap_angle(-PI);
+        assert!((w - PI).abs() < 1e-12 || (w + PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_phase_opposition_detectable() {
+        // Office phases ≈ 1.35, resident/entertainment ≈ −1.65: the
+        // paper calls these "about π away"; angular_distance agrees.
+        let d = angular_distance(1.35, -1.65);
+        assert!((d - 3.0).abs() < 1e-12);
+        assert!((d - PI).abs() < 0.2);
+    }
+}

@@ -1,0 +1,148 @@
+//! Direct O(N²) discrete Fourier transform.
+//!
+//! This is the reference implementation the FFT is validated against
+//! (and the fallback used for prime-length sub-transforms inside the
+//! mixed-radix FFT). The definition matches the paper:
+//!
+//! ```text
+//! X[k] = Σ_{n=0}^{N-1} x[n] · e^{-2πikn/N}
+//! ```
+//!
+//! (The paper indexes from 1; we index from 0, which only shifts a
+//! global phase convention and none of the amplitude/phase *relations*
+//! the analysis relies on.)
+
+use crate::complex::Complex;
+
+/// Computes the forward DFT of a complex signal by direct summation.
+///
+/// O(N²); intended for reference testing, short signals, and prime-size
+/// base cases. Returns an empty vector for empty input.
+pub fn dft_direct(x: &[Complex]) -> Vec<Complex> {
+    let n = x.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let step = -std::f64::consts::TAU / n as f64;
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex::ZERO;
+            for (j, &xj) in x.iter().enumerate() {
+                // Reduce k*j modulo n before the float multiply so the
+                // phase argument stays small and accurate for large N.
+                let idx = (k * j) % n;
+                acc += xj * Complex::cis(step * idx as f64);
+            }
+            acc
+        })
+        .collect()
+}
+
+/// Computes the inverse DFT by direct summation (includes the 1/N
+/// factor).
+pub fn idft_direct(x: &[Complex]) -> Vec<Complex> {
+    let n = x.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let step = std::f64::consts::TAU / n as f64;
+    let scale = 1.0 / n as f64;
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex::ZERO;
+            for (j, &xj) in x.iter().enumerate() {
+                let idx = (k * j) % n;
+                acc += xj * Complex::cis(step * idx as f64);
+            }
+            acc.scale(scale)
+        })
+        .collect()
+}
+
+/// Convenience: forward DFT of a real signal.
+pub fn dft_direct_real(x: &[f64]) -> Vec<Complex> {
+    let buf: Vec<Complex> = x.iter().map(|&v| Complex::real(v)).collect();
+    dft_direct(&buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: Complex, b: Complex, eps: f64) {
+        assert!(
+            (a - b).abs() < eps,
+            "expected {b} got {a} (|diff|={})",
+            (a - b).abs()
+        );
+    }
+
+    #[test]
+    fn empty_input_gives_empty_output() {
+        assert!(dft_direct(&[]).is_empty());
+        assert!(idft_direct(&[]).is_empty());
+    }
+
+    #[test]
+    fn dc_signal_concentrates_in_bin_zero() {
+        let x = vec![Complex::real(1.0); 8];
+        let spec = dft_direct(&x);
+        assert_close(spec[0], Complex::real(8.0), 1e-12);
+        for (k, c) in spec.iter().enumerate().skip(1) {
+            assert!(c.abs() < 1e-12, "bin {k} leaked {}", c.abs());
+        }
+    }
+
+    #[test]
+    fn single_tone_lands_in_its_bin() {
+        // x[n] = cos(2π·3n/32) has energy only at k = 3 and k = 29.
+        let n = 32;
+        let x: Vec<f64> = (0..n)
+            .map(|i| (std::f64::consts::TAU * 3.0 * i as f64 / n as f64).cos())
+            .collect();
+        let spec = dft_direct_real(&x);
+        assert!((spec[3].abs() - n as f64 / 2.0).abs() < 1e-9);
+        assert!((spec[29].abs() - n as f64 / 2.0).abs() < 1e-9);
+        for (k, c) in spec.iter().enumerate() {
+            if k != 3 && k != 29 {
+                assert!(c.abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_identity() {
+        let x: Vec<Complex> = (0..13)
+            .map(|i| Complex::new((i as f64).sin(), (i as f64 * 0.7).cos()))
+            .collect();
+        let back = idft_direct(&dft_direct(&x));
+        for (a, b) in back.iter().zip(&x) {
+            assert_close(*a, *b, 1e-10);
+        }
+    }
+
+    #[test]
+    fn real_signal_spectrum_has_conjugate_symmetry() {
+        let x: Vec<f64> = (0..21).map(|i| (i as f64 * 0.31).sin() + 0.2).collect();
+        let spec = dft_direct_real(&x);
+        let n = spec.len();
+        for k in 1..n {
+            let a = spec[k];
+            let b = spec[n - k].conj();
+            assert_close(a, b, 1e-9);
+        }
+    }
+
+    #[test]
+    fn linearity() {
+        let a: Vec<Complex> = (0..16).map(|i| Complex::real(i as f64)).collect();
+        let b: Vec<Complex> = (0..16).map(|i| Complex::real((i as f64).cos())).collect();
+        let sum: Vec<Complex> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
+        let fa = dft_direct(&a);
+        let fb = dft_direct(&b);
+        let fsum = dft_direct(&sum);
+        for k in 0..16 {
+            assert_close(fsum[k], fa[k] + fb[k], 1e-9);
+        }
+    }
+}

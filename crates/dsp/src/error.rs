@@ -1,0 +1,91 @@
+//! Error types for the DSP crate.
+//!
+//! Library code never panics on user input; every fallible public API
+//! returns `Result<_, DspError>`.
+
+/// Errors produced by the DSP substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DspError {
+    /// The input signal was empty where a non-empty one is required.
+    EmptyInput,
+    /// Two inputs that must have the same length did not.
+    LengthMismatch {
+        /// Length of the first operand.
+        expected: usize,
+        /// Length of the offending operand.
+        actual: usize,
+    },
+    /// A frequency-bin index was out of range for the transform length.
+    BinOutOfRange {
+        /// The requested bin.
+        bin: usize,
+        /// The transform length.
+        len: usize,
+    },
+    /// The signal has zero variance, so z-score normalisation is
+    /// undefined (a dead tower that never carried traffic).
+    ZeroVariance,
+    /// The signal contained a NaN or infinite sample.
+    NonFinite {
+        /// Index of the first non-finite sample.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for DspError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DspError::EmptyInput => write!(f, "input signal is empty"),
+            DspError::LengthMismatch { expected, actual } => {
+                write!(f, "length mismatch: expected {expected}, got {actual}")
+            }
+            DspError::BinOutOfRange { bin, len } => {
+                write!(f, "frequency bin {bin} out of range for length-{len} transform")
+            }
+            DspError::ZeroVariance => {
+                write!(f, "signal has zero variance; z-score normalisation undefined")
+            }
+            DspError::NonFinite { index } => {
+                write!(f, "non-finite sample at index {index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DspError {}
+
+/// Validates that every sample is finite.
+///
+/// Shared guard used by the public entry points of this crate.
+pub(crate) fn check_finite(signal: &[f64]) -> Result<(), DspError> {
+    for (i, &x) in signal.iter().enumerate() {
+        if !x.is_finite() {
+            return Err(DspError::NonFinite { index: i });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = DspError::LengthMismatch {
+            expected: 4032,
+            actual: 4031,
+        };
+        assert!(e.to_string().contains("4032"));
+        assert!(e.to_string().contains("4031"));
+    }
+
+    #[test]
+    fn check_finite_flags_first_bad_index() {
+        assert_eq!(
+            check_finite(&[1.0, f64::NAN, f64::INFINITY]),
+            Err(DspError::NonFinite { index: 1 })
+        );
+        assert_eq!(check_finite(&[0.0, -1.0, 1e300]), Ok(()));
+    }
+}

@@ -1,0 +1,153 @@
+//! Goertzel algorithm: single-bin DFT evaluation.
+//!
+//! The frequency-domain features of §5 need only *three* bins per
+//! tower (week, day, half-day). A full FFT computes all `N` bins in
+//! O(N log N); Goertzel computes one bin in O(N) with two
+//! multiply-adds per sample — ~3·O(N) for the three features, with no
+//! twiddle table and no allocation. The benchmark suite ablates the
+//! two approaches; the pipeline exposes both.
+//!
+//! Recurrence for bin `k` (ω = 2πk/N):
+//!
+//! ```text
+//! s[n] = x[n] + 2·cos(ω)·s[n−1] − s[n−2]
+//! X[k] = (s[N−1] − e^{−iω}·s[N−2]) · e^{iω}
+//! ```
+
+use crate::complex::Complex;
+use crate::error::{check_finite, DspError};
+
+/// Evaluates a single DFT bin of a real signal.
+///
+/// Matches `fft_real(x)[k]` up to floating-point error.
+///
+/// # Errors
+/// * [`DspError::EmptyInput`] for an empty signal,
+/// * [`DspError::BinOutOfRange`] for `k ≥ N`,
+/// * [`DspError::NonFinite`] for NaN/∞ samples.
+pub fn goertzel(x: &[f64], k: usize) -> Result<Complex, DspError> {
+    let n = x.len();
+    if n == 0 {
+        return Err(DspError::EmptyInput);
+    }
+    if k >= n {
+        return Err(DspError::BinOutOfRange { bin: k, len: n });
+    }
+    check_finite(x)?;
+    let omega = std::f64::consts::TAU * k as f64 / n as f64;
+    let coeff = 2.0 * omega.cos();
+    let mut s_prev = 0.0f64;
+    let mut s_prev2 = 0.0f64;
+    for &sample in x {
+        let s = sample + coeff * s_prev - s_prev2;
+        s_prev2 = s_prev;
+        s_prev = s;
+    }
+    // y[N−1] = s[N−1] − e^{−iω}·s[N−2] equals e^{iω(N−1)}·X[k], and
+    // e^{iωN} = 1, so X[k] = y·e^{iω}.
+    let y = Complex::new(s_prev, 0.0) - Complex::cis(-omega) * s_prev2;
+    Ok(y * Complex::cis(omega))
+}
+
+/// Evaluates several bins at once (still O(N) per bin but in one pass
+/// over the bin list; the signal is traversed once per bin).
+///
+/// # Errors
+/// As for [`goertzel`]; the first failing bin aborts.
+pub fn goertzel_bins(x: &[f64], bins: &[usize]) -> Result<Vec<Complex>, DspError> {
+    bins.iter().map(|&k| goertzel(x, k)).collect()
+}
+
+/// Amplitude and phase of one bin via Goertzel — the §5 feature pair
+/// `(A_k, P_k)` without a full transform.
+///
+/// # Errors
+/// As for [`goertzel`].
+pub fn goertzel_feature(x: &[f64], k: usize) -> Result<(f64, f64), DspError> {
+    let c = goertzel(x, k)?;
+    Ok((c.abs(), c.arg()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fft::fft_real;
+
+    fn paper_like(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let t = std::f64::consts::TAU * i as f64 / n as f64;
+                2.0 + (4.0 * t).cos() + 0.6 * (28.0 * t + 0.8).cos() + 0.3 * (56.0 * t).sin()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_fft_on_paper_bins() {
+        let x = paper_like(4_032);
+        let spec = fft_real(&x);
+        for k in [0usize, 1, 4, 28, 56, 100, 2_016, 4_031] {
+            let g = goertzel(&x, k).unwrap();
+            assert!(
+                (g - spec[k]).abs() < 1e-6 * (spec[k].abs() + 1.0),
+                "bin {k}: goertzel {g} vs fft {}",
+                spec[k]
+            );
+        }
+    }
+
+    #[test]
+    fn matches_fft_on_awkward_lengths() {
+        for n in [7usize, 97, 144, 1_008] {
+            let x = paper_like(n);
+            let spec = fft_real(&x);
+            for (k, &expected) in spec.iter().enumerate().take(n.min(12)) {
+                let g = goertzel(&x, k).unwrap();
+                assert!(
+                    (g - expected).abs() < 1e-7 * (expected.abs() + n as f64),
+                    "n={n} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dc_bin_is_sum() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let g = goertzel(&x, 0).unwrap();
+        assert!((g.re - 10.0).abs() < 1e-12);
+        assert!(g.im.abs() < 1e-12);
+    }
+
+    #[test]
+    fn feature_pair_matches_spectrum() {
+        let x = paper_like(1_008);
+        let (amp, phase) = goertzel_feature(&x, 28).unwrap();
+        // cos(28t + 0.8)·0.6 ⇒ |X| = 0.6·N/2, arg = 0.8.
+        assert!((amp - 0.6 * 1_008.0 / 2.0).abs() < 1e-6);
+        assert!((phase - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batch_matches_singles() {
+        let x = paper_like(252);
+        let batch = goertzel_bins(&x, &[1, 4, 28]).unwrap();
+        for (i, &k) in [1usize, 4, 28].iter().enumerate() {
+            let single = goertzel(&x, k).unwrap();
+            assert_eq!(batch[i], single);
+        }
+    }
+
+    #[test]
+    fn errors_are_typed() {
+        assert_eq!(goertzel(&[], 0).unwrap_err(), DspError::EmptyInput);
+        assert_eq!(
+            goertzel(&[1.0, 2.0], 2).unwrap_err(),
+            DspError::BinOutOfRange { bin: 2, len: 2 }
+        );
+        assert!(matches!(
+            goertzel(&[f64::NAN], 0).unwrap_err(),
+            DspError::NonFinite { .. }
+        ));
+    }
+}

@@ -1,0 +1,152 @@
+//! Normalisation primitives.
+//!
+//! The traffic vectorizer z-scores every tower's vector ("to eliminate
+//! their differences in amplitude", §3.2); the POI validation min-max
+//! normalises each POI type before averaging (§3.3.2). Both live here.
+
+use crate::error::{check_finite, DspError};
+
+/// Z-score (standard-score) normalisation: `(x − μ)/σ`.
+///
+/// Uses the population standard deviation (divide by `N`), matching the
+/// usual "zero-score normalisation" of the paper.
+///
+/// # Errors
+/// * [`DspError::EmptyInput`] for an empty slice,
+/// * [`DspError::NonFinite`] if a sample is NaN/∞,
+/// * [`DspError::ZeroVariance`] if all samples are equal (a tower that
+///   never carried traffic cannot be z-scored; callers drop such
+///   towers, as the paper's cleaning step drops degenerate logs).
+pub fn zscore(x: &[f64]) -> Result<Vec<f64>, DspError> {
+    if x.is_empty() {
+        return Err(DspError::EmptyInput);
+    }
+    check_finite(x)?;
+    let n = x.len() as f64;
+    let mean = x.iter().sum::<f64>() / n;
+    let var = x.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    if var == 0.0 {
+        return Err(DspError::ZeroVariance);
+    }
+    let sd = var.sqrt();
+    Ok(x.iter().map(|v| (v - mean) / sd).collect())
+}
+
+/// Min-max normalisation onto `[0, 1]`.
+///
+/// A constant slice maps to all zeros (there is no spread to express),
+/// which matches how the POI table treats a type that never occurs.
+///
+/// # Errors
+/// * [`DspError::EmptyInput`] / [`DspError::NonFinite`] as for
+///   [`zscore`].
+pub fn minmax(x: &[f64]) -> Result<Vec<f64>, DspError> {
+    if x.is_empty() {
+        return Err(DspError::EmptyInput);
+    }
+    check_finite(x)?;
+    let lo = x.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = x.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if hi == lo {
+        return Ok(vec![0.0; x.len()]);
+    }
+    let span = hi - lo;
+    Ok(x.iter().map(|v| (v - lo) / span).collect())
+}
+
+/// Normalises by the maximum value (used for the per-tower profiles of
+/// Figs 3–5, which "normalize traffic measured on each cellular tower
+/// by its maximum"). A non-positive maximum yields all zeros.
+pub fn by_max(x: &[f64]) -> Result<Vec<f64>, DspError> {
+    if x.is_empty() {
+        return Err(DspError::EmptyInput);
+    }
+    check_finite(x)?;
+    let hi = x.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if hi <= 0.0 {
+        return Ok(vec![0.0; x.len()]);
+    }
+    Ok(x.iter().map(|v| v / hi).collect())
+}
+
+/// Scales a vector so it sums to one (probability simplex); an all-zero
+/// vector is returned unchanged. Used for POI share pie charts (Fig 9)
+/// and NTF-IDF.
+pub fn to_shares(x: &[f64]) -> Vec<f64> {
+    let total: f64 = x.iter().sum();
+    if total == 0.0 {
+        return x.to_vec();
+    }
+    x.iter().map(|v| v / total).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zscore_has_zero_mean_unit_variance() {
+        let x = [3.0, 7.0, 1.0, 9.0, 4.0, 4.0];
+        let z = zscore(&x).unwrap();
+        let n = z.len() as f64;
+        let mean = z.iter().sum::<f64>() / n;
+        let var = z.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        assert!(mean.abs() < 1e-12);
+        assert!((var - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zscore_is_shift_and_scale_invariant() {
+        let x = [3.0, 7.0, 1.0, 9.0];
+        let y: Vec<f64> = x.iter().map(|v| 5.0 * v + 100.0).collect();
+        let zx = zscore(&x).unwrap();
+        let zy = zscore(&y).unwrap();
+        for (a, b) in zx.iter().zip(&zy) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zscore_rejects_constant() {
+        assert_eq!(zscore(&[2.0; 5]).unwrap_err(), DspError::ZeroVariance);
+    }
+
+    #[test]
+    fn minmax_bounds_and_endpoints() {
+        let x = [5.0, -1.0, 3.0];
+        let m = minmax(&x).unwrap();
+        assert_eq!(m[0], 1.0);
+        assert_eq!(m[1], 0.0);
+        assert!((m[2] - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn minmax_constant_is_zero() {
+        assert_eq!(minmax(&[4.0; 3]).unwrap(), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn by_max_peaks_at_one() {
+        let m = by_max(&[2.0, 8.0, 4.0]).unwrap();
+        assert_eq!(m, vec![0.25, 1.0, 0.5]);
+    }
+
+    #[test]
+    fn by_max_of_dead_tower_is_zero() {
+        assert_eq!(by_max(&[0.0, 0.0]).unwrap(), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let s = to_shares(&[1.0, 3.0]);
+        assert_eq!(s, vec![0.25, 0.75]);
+        assert_eq!(to_shares(&[0.0, 0.0]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn empty_inputs_are_rejected() {
+        assert!(zscore(&[]).is_err());
+        assert!(minmax(&[]).is_err());
+        assert!(by_max(&[]).is_err());
+    }
+}

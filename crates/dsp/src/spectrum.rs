@@ -1,0 +1,353 @@
+//! Frequency-spectrum analysis of real-valued traffic signals.
+//!
+//! Wraps a forward DFT of a *real* signal and provides the operations
+//! Section 5 of the paper performs on it:
+//!
+//! * amplitude `A_k = |X[k]|` and phase `P_k = arg X[k]` per bin,
+//! * sparse reconstruction keeping a chosen set of bins (and, because
+//!   the time signal is real, their conjugate mirrors `N−k`),
+//! * energy accounting — total energy, per-bin energy and the *lost
+//!   energy fraction* of a reconstruction (the paper reports <6% when
+//!   keeping k ∈ {0, 4, 28, 56}),
+//! * dominant-bin search over the first half of the spectrum.
+
+use crate::complex::Complex;
+use crate::error::{check_finite, DspError};
+use crate::fft::FftPlan;
+
+/// The DFT of a real signal, together with the signal it came from.
+#[derive(Debug, Clone)]
+pub struct Spectrum {
+    /// The original time-domain samples.
+    signal: Vec<f64>,
+    /// Full complex spectrum, length `N`.
+    bins: Vec<Complex>,
+}
+
+impl Spectrum {
+    /// Computes the spectrum of a real signal.
+    ///
+    /// ```
+    /// use towerlens_dsp::Spectrum;
+    ///
+    /// // A pure daily tone over one "week" of 10-minute bins.
+    /// let n = 1008;
+    /// let signal: Vec<f64> = (0..n)
+    ///     .map(|i| (std::f64::consts::TAU * 7.0 * i as f64 / n as f64).cos())
+    ///     .collect();
+    /// let spectrum = Spectrum::of(&signal)?;
+    /// assert_eq!(spectrum.dominant_bins(1), vec![7]);
+    /// # Ok::<(), towerlens_dsp::DspError>(())
+    /// ```
+    ///
+    /// # Errors
+    /// * [`DspError::EmptyInput`] if `signal` is empty.
+    /// * [`DspError::NonFinite`] if any sample is NaN/∞.
+    pub fn of(signal: &[f64]) -> Result<Self, DspError> {
+        Self::of_with_plan(signal, &FftPlan::new(signal.len()))
+    }
+
+    /// Computes the spectrum using a caller-provided plan (the pipeline
+    /// transforms 9,600 equal-length vectors, so the plan is shared).
+    pub fn of_with_plan(signal: &[f64], plan: &FftPlan) -> Result<Self, DspError> {
+        if signal.is_empty() {
+            return Err(DspError::EmptyInput);
+        }
+        check_finite(signal)?;
+        let bins = plan.forward_real(signal);
+        Ok(Spectrum {
+            signal: signal.to_vec(),
+            bins,
+        })
+    }
+
+    /// Transform length `N`.
+    pub fn len(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Always `false` (construction rejects empty signals); provided for
+    /// API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.bins.is_empty()
+    }
+
+    /// The raw complex bins.
+    pub fn bins(&self) -> &[Complex] {
+        &self.bins
+    }
+
+    /// The original time-domain signal.
+    pub fn signal(&self) -> &[f64] {
+        &self.signal
+    }
+
+    /// Amplitude `|X[k]|` of one bin.
+    pub fn amplitude(&self, k: usize) -> Result<f64, DspError> {
+        self.bin(k).map(Complex::abs)
+    }
+
+    /// Phase `arg X[k] ∈ (−π, π]` of one bin.
+    pub fn phase(&self, k: usize) -> Result<f64, DspError> {
+        self.bin(k).map(Complex::arg)
+    }
+
+    /// The complex value of one bin.
+    pub fn bin(&self, k: usize) -> Result<Complex, DspError> {
+        self.bins.get(k).copied().ok_or(DspError::BinOutOfRange {
+            bin: k,
+            len: self.bins.len(),
+        })
+    }
+
+    /// All amplitudes, `|X[0]| … |X[N−1]|`.
+    pub fn amplitudes(&self) -> Vec<f64> {
+        self.bins.iter().map(|c| c.abs()).collect()
+    }
+
+    /// Amplitudes normalised by `N`, which makes a unit-amplitude
+    /// cosine read ~0.5 in its bin regardless of length. The paper's
+    /// Fig 15 axes ("amplitude of one day" ∈ [0, 1]) use z-scored
+    /// signals, for which this scaling gives comparable magnitudes
+    /// across towers.
+    pub fn normalized_amplitude(&self, k: usize) -> Result<f64, DspError> {
+        Ok(self.amplitude(k)? / self.bins.len() as f64)
+    }
+
+    /// Time-domain energy `Σ x[n]²`.
+    pub fn signal_energy(&self) -> f64 {
+        self.signal.iter().map(|x| x * x).sum()
+    }
+
+    /// Reconstructs the time-domain signal keeping only the listed bins
+    /// *and their conjugate mirrors* (`N − k`), zeroing everything else
+    /// — exactly the paper's `X̂r[k]` construction.
+    ///
+    /// Bin 0 (DC) has no distinct mirror; listing it keeps it once.
+    ///
+    /// # Errors
+    /// [`DspError::BinOutOfRange`] if any bin ≥ `N`.
+    pub fn reconstruct_from_bins(&self, keep: &[usize]) -> Result<Vec<f64>, DspError> {
+        self.reconstruct_from_bins_with_plan(keep, &FftPlan::new(self.bins.len()))
+    }
+
+    /// [`Spectrum::reconstruct_from_bins`] with a caller-provided plan,
+    /// so batch callers (one reconstruction per tower) don't rebuild
+    /// the twiddle table every time.
+    pub fn reconstruct_from_bins_with_plan(
+        &self,
+        keep: &[usize],
+        plan: &FftPlan,
+    ) -> Result<Vec<f64>, DspError> {
+        let n = self.bins.len();
+        let mut sparse = vec![Complex::ZERO; n];
+        for &k in keep {
+            if k >= n {
+                return Err(DspError::BinOutOfRange { bin: k, len: n });
+            }
+            sparse[k] = self.bins[k];
+            let mirror = (n - k) % n;
+            sparse[mirror] = self.bins[mirror];
+        }
+        Ok(plan.inverse(&sparse).iter().map(|c| c.re).collect())
+    }
+
+    /// The fraction of signal energy lost by a sparse reconstruction,
+    /// `(Σx² − Σxr²)/Σx²` as defined in §5.1. Returns 0 for an
+    /// all-zero signal.
+    pub fn lost_energy_fraction(&self, keep: &[usize]) -> Result<f64, DspError> {
+        let total = self.signal_energy();
+        if total == 0.0 {
+            return Ok(0.0);
+        }
+        let recon = self.reconstruct_from_bins(keep)?;
+        let kept: f64 = recon.iter().map(|x| x * x).sum();
+        Ok((total - kept) / total)
+    }
+
+    /// Finds the `count` bins with the largest amplitude among
+    /// `1 ..= N/2` (DC excluded; mirrors excluded), descending by
+    /// amplitude. This is how Fig 12(a)'s "three peaks" are located
+    /// programmatically.
+    pub fn dominant_bins(&self, count: usize) -> Vec<usize> {
+        let half = self.bins.len() / 2;
+        let mut idx: Vec<usize> = (1..=half.min(self.bins.len().saturating_sub(1))).collect();
+        idx.sort_by(|&a, &b| {
+            self.bins[b]
+                .abs()
+                .partial_cmp(&self.bins[a].abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        idx.truncate(count);
+        idx
+    }
+}
+
+/// Computes, for a set of equal-length spectra, the per-bin variance of
+/// *normalised* amplitude across the set (Fig 13: which frequencies
+/// vary most across towers — i.e. carry discriminating information).
+///
+/// # Errors
+/// * [`DspError::EmptyInput`] if `spectra` is empty.
+/// * [`DspError::LengthMismatch`] if lengths differ.
+pub fn amplitude_variance_across(spectra: &[Spectrum]) -> Result<Vec<f64>, DspError> {
+    let first = spectra.first().ok_or(DspError::EmptyInput)?;
+    let n = first.len();
+    for s in spectra {
+        if s.len() != n {
+            return Err(DspError::LengthMismatch {
+                expected: n,
+                actual: s.len(),
+            });
+        }
+    }
+    let m = spectra.len() as f64;
+    let mut variance = vec![0.0; n];
+    for (k, var) in variance.iter_mut().enumerate() {
+        let mean: f64 = spectra
+            .iter()
+            .map(|s| s.bins[k].abs() / n as f64)
+            .sum::<f64>()
+            / m;
+        *var = spectra
+            .iter()
+            .map(|s| {
+                let a = s.bins[k].abs() / n as f64;
+                (a - mean) * (a - mean)
+            })
+            .sum::<f64>()
+            / m;
+    }
+    Ok(variance)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Signal with exactly the paper's structure: weekly (k=4), daily
+    /// (k=28) and half-daily (k=56) tones over N=4032 plus DC.
+    fn paper_like_signal(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let t = std::f64::consts::TAU * i as f64 / n as f64;
+                3.0 + 0.4 * (4.0 * t).cos() + 1.0 * (28.0 * t + 1.0).cos()
+                    + 0.5 * (56.0 * t - 0.5).cos()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rejects_empty_and_nonfinite() {
+        assert_eq!(Spectrum::of(&[]).unwrap_err(), DspError::EmptyInput);
+        assert_eq!(
+            Spectrum::of(&[1.0, f64::NAN]).unwrap_err(),
+            DspError::NonFinite { index: 1 }
+        );
+    }
+
+    #[test]
+    fn dominant_bins_find_paper_peaks() {
+        let x = paper_like_signal(4032);
+        let spec = Spectrum::of(&x).unwrap();
+        let mut top = spec.dominant_bins(3);
+        top.sort_unstable();
+        assert_eq!(top, vec![4, 28, 56]);
+    }
+
+    #[test]
+    fn sparse_reconstruction_of_pure_structure_is_exact() {
+        let x = paper_like_signal(1008);
+        let spec = Spectrum::of(&x).unwrap();
+        // At N=1008 the tones still sit at integer bins 4/28/56.
+        let recon = spec.reconstruct_from_bins(&[0, 4, 28, 56]).unwrap();
+        for (a, b) in recon.iter().zip(&x) {
+            assert!((a - b).abs() < 1e-8, "{a} vs {b}");
+        }
+        let lost = spec.lost_energy_fraction(&[0, 4, 28, 56]).unwrap();
+        assert!(lost.abs() < 1e-12);
+    }
+
+    #[test]
+    fn lost_energy_with_noise_is_small_but_positive() {
+        let n = 1008;
+        let mut x = paper_like_signal(n);
+        // Deterministic pseudo-noise.
+        for (i, v) in x.iter_mut().enumerate() {
+            *v += 0.05 * ((i * 2654435761) % 1000) as f64 / 1000.0;
+        }
+        let spec = Spectrum::of(&x).unwrap();
+        let lost = spec.lost_energy_fraction(&[0, 4, 28, 56]).unwrap();
+        assert!(lost > 0.0, "noise must cost energy");
+        assert!(lost < 0.06, "structure dominates: lost={lost}");
+    }
+
+    #[test]
+    fn amplitude_and_phase_match_construction() {
+        let n = 1008;
+        let x = paper_like_signal(n);
+        let spec = Spectrum::of(&x).unwrap();
+        // cos(28t + 1.0) ⇒ X[28] = (N/2)·e^{+i·1.0}
+        assert!((spec.amplitude(28).unwrap() - n as f64 / 2.0).abs() < 1e-6);
+        assert!((spec.phase(28).unwrap() - 1.0).abs() < 1e-9);
+        assert!((spec.phase(56).unwrap() + 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bin_out_of_range_is_error() {
+        let spec = Spectrum::of(&[1.0, 2.0, 3.0]).unwrap();
+        assert!(matches!(
+            spec.amplitude(3),
+            Err(DspError::BinOutOfRange { bin: 3, len: 3 })
+        ));
+        assert!(spec.reconstruct_from_bins(&[7]).is_err());
+    }
+
+    #[test]
+    fn dc_only_reconstruction_is_the_mean() {
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        let spec = Spectrum::of(&x).unwrap();
+        let recon = spec.reconstruct_from_bins(&[0]).unwrap();
+        for v in recon {
+            assert!((v - 2.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn variance_across_highlights_differing_bins() {
+        // Two signals that differ only in their k=2 component.
+        let n = 64;
+        let mk = |amp: f64| -> Vec<f64> {
+            (0..n)
+                .map(|i| {
+                    let t = std::f64::consts::TAU * i as f64 / n as f64;
+                    (1.0 * t).cos() + amp * (2.0 * t).cos()
+                })
+                .collect()
+        };
+        let spectra = vec![
+            Spectrum::of(&mk(0.1)).unwrap(),
+            Spectrum::of(&mk(0.9)).unwrap(),
+        ];
+        let var = amplitude_variance_across(&spectra).unwrap();
+        let argmax = (1..n / 2)
+            .max_by(|&a, &b| var[a].partial_cmp(&var[b]).unwrap())
+            .unwrap();
+        assert_eq!(argmax, 2);
+        assert!(var[1] < 1e-12, "shared component has no variance");
+    }
+
+    #[test]
+    fn variance_across_checks_lengths() {
+        let a = Spectrum::of(&[1.0; 8]).unwrap();
+        let b = Spectrum::of(&[1.0; 9]).unwrap();
+        assert!(matches!(
+            amplitude_variance_across(&[a, b]),
+            Err(DspError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            amplitude_variance_across(&[]),
+            Err(DspError::EmptyInput)
+        ));
+    }
+}

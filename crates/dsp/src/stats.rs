@@ -1,0 +1,217 @@
+//! Summary statistics and empirical distributions.
+//!
+//! Small, dependency-free helpers used throughout the analysis: means,
+//! variances, extrema with argmax/argmin (peak/valley detection in §4),
+//! and the empirical CDF used for Fig 6(b).
+
+/// Arithmetic mean; `None` for an empty slice.
+pub fn mean(x: &[f64]) -> Option<f64> {
+    if x.is_empty() {
+        None
+    } else {
+        Some(x.iter().sum::<f64>() / x.len() as f64)
+    }
+}
+
+/// Population variance; `None` for an empty slice.
+pub fn variance(x: &[f64]) -> Option<f64> {
+    let m = mean(x)?;
+    Some(x.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / x.len() as f64)
+}
+
+/// Population standard deviation; `None` for an empty slice.
+pub fn stddev(x: &[f64]) -> Option<f64> {
+    variance(x).map(f64::sqrt)
+}
+
+/// Index and value of the maximum; `None` for empty input. Ties return
+/// the first occurrence. NaN samples are skipped.
+pub fn argmax(x: &[f64]) -> Option<(usize, f64)> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &v) in x.iter().enumerate() {
+        if v.is_nan() {
+            continue;
+        }
+        match best {
+            Some((_, bv)) if bv >= v => {}
+            _ => best = Some((i, v)),
+        }
+    }
+    best
+}
+
+/// Index and value of the minimum; `None` for empty input. Ties return
+/// the first occurrence. NaN samples are skipped.
+pub fn argmin(x: &[f64]) -> Option<(usize, f64)> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &v) in x.iter().enumerate() {
+        if v.is_nan() {
+            continue;
+        }
+        match best {
+            Some((_, bv)) if bv <= v => {}
+            _ => best = Some((i, v)),
+        }
+    }
+    best
+}
+
+/// The `q`-quantile (0 ≤ q ≤ 1) by linear interpolation of the sorted
+/// sample; `None` for empty input or out-of-range `q`.
+pub fn quantile(x: &[f64], q: f64) -> Option<f64> {
+    if x.is_empty() || !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let mut sorted: Vec<f64> = x.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        Some(sorted[lo])
+    } else {
+        let w = pos - lo as f64;
+        Some(sorted[lo] * (1.0 - w) + sorted[hi] * w)
+    }
+}
+
+/// An empirical cumulative distribution function over a sample.
+///
+/// Fig 6(b) plots, for each cluster, the CDF of member-to-centroid
+/// distances; this type evaluates `F(t) = P(X ≤ t)` and exposes the
+/// sorted support for plotting.
+#[derive(Debug, Clone)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds the ECDF of a sample (NaNs are dropped).
+    pub fn new(sample: &[f64]) -> Self {
+        let mut sorted: Vec<f64> = sample.iter().cloned().filter(|v| !v.is_nan()).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        Ecdf { sorted }
+    }
+
+    /// Number of retained samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// `true` when no samples were retained.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Evaluates `F(t) = (#samples ≤ t)/n`; 0 for an empty sample.
+    pub fn eval(&self, t: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let count = self.sorted.partition_point(|&v| v <= t);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// The smallest `t` with `F(t) ≥ p` (generalised inverse);
+    /// `None` if empty or `p` outside `(0, 1]`.
+    pub fn inverse(&self, p: f64) -> Option<f64> {
+        if self.sorted.is_empty() || !(0.0..=1.0).contains(&p) || p == 0.0 {
+            return None;
+        }
+        let idx = ((p * self.sorted.len() as f64).ceil() as usize).saturating_sub(1);
+        self.sorted.get(idx).copied()
+    }
+
+    /// The sorted support values (for serialising the curve).
+    pub fn support(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+/// Pearson correlation of two equal-length samples; `None` if lengths
+/// differ, inputs are shorter than 2, or either side is constant.
+pub fn pearson(x: &[f64], y: &[f64]) -> Option<f64> {
+    if x.len() != y.len() || x.len() < 2 {
+        return None;
+    }
+    let mx = mean(x)?;
+    let my = mean(y)?;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (a, b) in x.iter().zip(y) {
+        sxy += (a - mx) * (b - my);
+        sxx += (a - mx) * (a - mx);
+        syy += (b - my) * (b - my);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx * syy).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_basics() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(mean(&[2.0, 4.0]), Some(3.0));
+        assert_eq!(variance(&[2.0, 4.0]), Some(1.0));
+        assert_eq!(stddev(&[2.0, 4.0]), Some(1.0));
+    }
+
+    #[test]
+    fn argmax_argmin_first_tie_wins() {
+        let x = [1.0, 5.0, 5.0, 0.0, 0.0];
+        assert_eq!(argmax(&x), Some((1, 5.0)));
+        assert_eq!(argmin(&x), Some((3, 0.0)));
+        assert_eq!(argmax(&[]), None);
+    }
+
+    #[test]
+    fn argmax_skips_nan() {
+        let x = [f64::NAN, 2.0, 1.0];
+        assert_eq!(argmax(&x), Some((1, 2.0)));
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&x, 0.0), Some(1.0));
+        assert_eq!(quantile(&x, 1.0), Some(4.0));
+        assert_eq!(quantile(&x, 0.5), Some(2.5));
+        assert_eq!(quantile(&x, 2.0), None);
+        assert_eq!(quantile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn ecdf_step_function() {
+        let e = Ecdf::new(&[3.0, 1.0, 2.0, 2.0]);
+        assert_eq!(e.eval(0.5), 0.0);
+        assert_eq!(e.eval(1.0), 0.25);
+        assert_eq!(e.eval(2.0), 0.75);
+        assert_eq!(e.eval(10.0), 1.0);
+        assert_eq!(e.inverse(0.75), Some(2.0));
+        assert_eq!(e.inverse(1.0), Some(3.0));
+        assert_eq!(e.inverse(0.0), None);
+    }
+
+    #[test]
+    fn ecdf_drops_nans() {
+        let e = Ecdf::new(&[1.0, f64::NAN, 2.0]);
+        assert_eq!(e.len(), 2);
+    }
+
+    #[test]
+    fn pearson_perfect_and_inverse() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [2.0, 4.0, 6.0];
+        let z = [3.0, 2.0, 1.0];
+        assert!((pearson(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        assert!((pearson(&x, &z).unwrap() + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&x, &[1.0, 1.0, 1.0]), None);
+        assert_eq!(pearson(&x, &[1.0]), None);
+    }
+}

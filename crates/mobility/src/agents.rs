@@ -1,0 +1,481 @@
+//! Agent-based connection-log generation (the "log path").
+//!
+//! A population of subscribers with home/work anchors executes daily
+//! schedules — sleep at home, commute through a transport hub, work at
+//! the office, optional evening/weekend leisure — and every data
+//! session becomes a [`LogRecord`] at the tower serving the current
+//! activity. A configurable fraction of records is emitted twice
+//! (redundant logs) or re-emitted with a corrupted byte count
+//! (conflict logs), reproducing the dirtiness the paper's
+//! preprocessing handles.
+//!
+//! This path is slower than [`crate::synth`] but exercises the whole
+//! ingest pipeline: cleaning → geocoding → binning.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use towerlens_city::city::City;
+use towerlens_city::zone::RegionKind;
+use towerlens_trace::record::LogRecord;
+use towerlens_trace::time::{TraceWindow, DAY_SECS};
+
+/// Parameters of the agent population.
+#[derive(Debug, Clone, Copy)]
+pub struct AgentConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of subscribers.
+    pub n_agents: usize,
+    /// Fraction of agents that commute to work on weekdays.
+    pub worker_fraction: f64,
+    /// Mean data sessions per active hour.
+    pub sessions_per_hour: f64,
+    /// Mean session duration in seconds (exponential).
+    pub mean_session_secs: f64,
+    /// Mean bytes per session (log-normal around this median).
+    pub mean_session_bytes: f64,
+    /// Probability a record is duplicated verbatim.
+    pub duplicate_rate: f64,
+    /// Probability a record is re-emitted with a conflicting byte
+    /// count.
+    pub conflict_rate: f64,
+}
+
+impl Default for AgentConfig {
+    fn default() -> Self {
+        AgentConfig {
+            seed: 42,
+            n_agents: 1_000,
+            worker_fraction: 0.62,
+            sessions_per_hour: 1.2,
+            mean_session_secs: 420.0,
+            mean_session_bytes: 2.0e6,
+            duplicate_rate: 0.01,
+            conflict_rate: 0.005,
+        }
+    }
+}
+
+/// One subscriber's anchors.
+#[derive(Debug, Clone, Copy)]
+struct Agent {
+    home: usize,
+    work: usize,
+    hub: usize,
+    leisure: usize,
+    is_worker: bool,
+}
+
+/// A generated population bound to a city.
+#[derive(Debug)]
+pub struct AgentPopulation {
+    agents: Vec<Agent>,
+    config: AgentConfig,
+}
+
+/// One block of an agent's day: where they are and how chatty their
+/// device is (activity factor scales the session rate).
+struct Block {
+    tower: usize,
+    start_s: u64,
+    end_s: u64,
+    activity: f64,
+}
+
+impl AgentPopulation {
+    /// Samples a population over the city's towers. Home anchors come
+    /// from resident/comprehensive towers, work anchors from
+    /// office/comprehensive, commute hubs from transport towers,
+    /// leisure anchors from entertainment towers; kinds missing from
+    /// the city fall back to any tower.
+    pub fn generate(city: &City, config: AgentConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let pick_pool = |kinds: &[RegionKind]| -> Vec<usize> {
+            let mut pool: Vec<usize> = kinds
+                .iter()
+                .flat_map(|&k| city.towers_of_kind(k))
+                .collect();
+            if pool.is_empty() {
+                pool = (0..city.towers().len()).collect();
+            }
+            pool
+        };
+        let homes = pick_pool(&[RegionKind::Resident, RegionKind::Comprehensive]);
+        let works = pick_pool(&[RegionKind::Office, RegionKind::Comprehensive]);
+        let hubs = pick_pool(&[RegionKind::Transport]);
+        let leisures = pick_pool(&[RegionKind::Entertainment, RegionKind::Comprehensive]);
+
+        let agents = (0..config.n_agents)
+            .map(|_| Agent {
+                home: homes[rng.gen_range(0..homes.len())],
+                work: works[rng.gen_range(0..works.len())],
+                hub: hubs[rng.gen_range(0..hubs.len())],
+                leisure: leisures[rng.gen_range(0..leisures.len())],
+                is_worker: rng.gen_range(0.0..1.0) < config.worker_fraction,
+            })
+            .collect();
+        AgentPopulation { agents, config }
+    }
+
+    /// Number of agents.
+    pub fn len(&self) -> usize {
+        self.agents.len()
+    }
+
+    /// `true` when the population is empty.
+    pub fn is_empty(&self) -> bool {
+        self.agents.is_empty()
+    }
+
+    /// Emits the connection logs of the whole population over the
+    /// window (records are unsorted, as operator logs are).
+    pub fn emit_logs(&self, city: &City, window: &TraceWindow) -> Vec<LogRecord> {
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0xA5A5_5A5A_DEAD_BEEF);
+        let mut out = Vec::new();
+        let first_day = (window.start_s / DAY_SECS) as usize;
+        let days = window.n_bins * window.bin_secs as usize / DAY_SECS as usize;
+        for (agent_id, agent) in self.agents.iter().enumerate() {
+            for day in 0..days {
+                // Window day 0 is a Monday (see `TraceWindow`).
+                let weekend = day % 7 >= 5;
+                let day_start = (first_day + day) as u64 * DAY_SECS;
+                for block in self.day_blocks(agent, day_start, weekend, &mut rng) {
+                    self.emit_block_sessions(
+                        agent_id as u64,
+                        &block,
+                        city,
+                        &mut rng,
+                        &mut out,
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// Builds one agent-day of schedule blocks.
+    fn day_blocks(
+        &self,
+        agent: &Agent,
+        day_start: u64,
+        weekend: bool,
+        rng: &mut StdRng,
+    ) -> Vec<Block> {
+        let h = |hours: f64| -> u64 { day_start + (hours * 3_600.0) as u64 };
+        let jitter = |rng: &mut StdRng| rng.gen_range(-600i64..600);
+        let j = |rng: &mut StdRng, hours: f64| -> u64 {
+            (h(hours) as i64 + jitter(rng)).max(day_start as i64) as u64
+        };
+        let mut blocks = Vec::new();
+        if agent.is_worker && !weekend {
+            let leave = j(rng, 7.7);
+            let arrive_work = j(rng, 8.6);
+            let leave_work = j(rng, 17.7);
+            let arrive_home = j(rng, 18.6);
+            blocks.push(Block {
+                tower: agent.home,
+                start_s: day_start,
+                end_s: leave,
+                activity: 0.7,
+            });
+            blocks.push(Block {
+                tower: agent.hub,
+                start_s: leave,
+                end_s: arrive_work,
+                activity: 2.5, // people stare at phones while commuting
+            });
+            blocks.push(Block {
+                tower: agent.work,
+                start_s: arrive_work,
+                end_s: leave_work,
+                activity: 1.0,
+            });
+            blocks.push(Block {
+                tower: agent.hub,
+                start_s: leave_work,
+                end_s: arrive_home,
+                activity: 2.5,
+            });
+            if rng.gen_range(0.0..1.0) < 0.3 {
+                let leisure_end = j(rng, 20.5);
+                blocks.push(Block {
+                    tower: agent.leisure,
+                    start_s: arrive_home,
+                    end_s: leisure_end,
+                    activity: 1.8,
+                });
+                blocks.push(Block {
+                    tower: agent.home,
+                    start_s: leisure_end,
+                    end_s: day_start + DAY_SECS,
+                    activity: 1.6, // evening peak at home
+                });
+            } else {
+                blocks.push(Block {
+                    tower: agent.home,
+                    start_s: arrive_home,
+                    end_s: day_start + DAY_SECS,
+                    activity: 1.6,
+                });
+            }
+        } else {
+            // Weekend / non-worker: mostly home, midday leisure trip.
+            let go_out = rng.gen_range(0.0..1.0) < 0.55;
+            if go_out {
+                let leave = j(rng, 11.0);
+                let back = j(rng, 14.5);
+                blocks.push(Block {
+                    tower: agent.home,
+                    start_s: day_start,
+                    end_s: leave,
+                    activity: 0.9,
+                });
+                blocks.push(Block {
+                    tower: agent.leisure,
+                    start_s: leave,
+                    end_s: back,
+                    activity: 2.0,
+                });
+                blocks.push(Block {
+                    tower: agent.home,
+                    start_s: back,
+                    end_s: day_start + DAY_SECS,
+                    activity: 1.3,
+                });
+            } else {
+                blocks.push(Block {
+                    tower: agent.home,
+                    start_s: day_start,
+                    end_s: day_start + DAY_SECS,
+                    activity: 1.1,
+                });
+            }
+        }
+        blocks
+    }
+
+    /// Poisson-samples the sessions of one block and appends records
+    /// (plus injected duplicates/conflicts).
+    fn emit_block_sessions(
+        &self,
+        user_id: u64,
+        block: &Block,
+        city: &City,
+        rng: &mut StdRng,
+        out: &mut Vec<LogRecord>,
+    ) {
+        if block.end_s <= block.start_s {
+            return;
+        }
+        let hours = (block.end_s - block.start_s) as f64 / 3_600.0;
+        let mean = self.config.sessions_per_hour * block.activity * hours;
+        let count = poisson(rng, mean);
+        let tower = &city.towers()[block.tower];
+        for _ in 0..count {
+            let start_s = rng.gen_range(block.start_s..block.end_s);
+            let dur = exponential(rng, self.config.mean_session_secs) as u64;
+            let end_s = (start_s + dur).min(block.end_s);
+            let bytes = (self.config.mean_session_bytes
+                * lognormal_unit(rng, 1.0))
+            .max(1.0) as u64;
+            let record = LogRecord {
+                user_id,
+                start_s,
+                end_s,
+                cell_id: tower.id as u32,
+                address: tower.address.clone(),
+                bytes,
+            };
+            if rng.gen_range(0.0..1.0) < self.config.duplicate_rate {
+                out.push(record.clone());
+            }
+            if rng.gen_range(0.0..1.0) < self.config.conflict_rate {
+                let mut conflicting = record.clone();
+                conflicting.bytes = conflicting.bytes / 2 + 1;
+                out.push(conflicting);
+            }
+            out.push(record);
+        }
+    }
+}
+
+fn poisson(rng: &mut StdRng, mean: f64) -> usize {
+    if mean <= 0.0 {
+        return 0;
+    }
+    if mean > 30.0 {
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        return (mean + mean.sqrt() * z).round().max(0.0) as usize;
+    }
+    let l = (-mean).exp();
+    let mut k = 0usize;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen_range(0.0..1.0f64);
+        if p <= l {
+            return k;
+        }
+        k += 1;
+        if k > 10_000 {
+            return k;
+        }
+    }
+}
+
+fn exponential(rng: &mut StdRng, mean: f64) -> f64 {
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    -mean * u.ln()
+}
+
+/// Log-normal with median 1 and shape σ.
+fn lognormal_unit(rng: &mut StdRng, sigma: f64) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    (sigma * z).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use towerlens_city::config::CityConfig;
+    use towerlens_city::generate::generate;
+    use towerlens_trace::clean::clean_records;
+
+    fn small_setup() -> (City, AgentPopulation) {
+        let city = generate(&CityConfig::tiny(9)).unwrap();
+        let pop = AgentPopulation::generate(
+            &city,
+            AgentConfig {
+                n_agents: 60,
+                ..AgentConfig::default()
+            },
+        );
+        (city, pop)
+    }
+
+    #[test]
+    fn deterministic() {
+        let (city, pop) = small_setup();
+        let w = TraceWindow::days(2);
+        let a = pop.emit_logs(&city, &w);
+        let b = pop.emit_logs(&city, &w);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn records_reference_valid_towers_and_times() {
+        let (city, pop) = small_setup();
+        let w = TraceWindow::days(3);
+        let logs = pop.emit_logs(&city, &w);
+        for r in &logs {
+            assert!((r.cell_id as usize) < city.towers().len());
+            assert!(r.end_s >= r.start_s);
+            assert!(r.bytes >= 1);
+            assert!(!r.address.is_empty());
+        }
+    }
+
+    #[test]
+    fn injects_duplicates_and_conflicts() {
+        let city = generate(&CityConfig::tiny(9)).unwrap();
+        let pop = AgentPopulation::generate(
+            &city,
+            AgentConfig {
+                n_agents: 80,
+                duplicate_rate: 0.2,
+                conflict_rate: 0.2,
+                ..AgentConfig::default()
+            },
+        );
+        let logs = pop.emit_logs(&city, &TraceWindow::days(2));
+        let (_, report) = clean_records(&logs);
+        assert!(report.duplicates_removed > 0, "{report:?}");
+        assert!(report.conflicts_resolved > 0, "{report:?}");
+    }
+
+    #[test]
+    fn clean_rates_are_zero_when_disabled() {
+        let city = generate(&CityConfig::tiny(9)).unwrap();
+        let pop = AgentPopulation::generate(
+            &city,
+            AgentConfig {
+                n_agents: 60,
+                duplicate_rate: 0.0,
+                conflict_rate: 0.0,
+                ..AgentConfig::default()
+            },
+        );
+        let logs = pop.emit_logs(&city, &TraceWindow::days(2));
+        let (kept, report) = clean_records(&logs);
+        // Exact duplicates can still arise by coincidence (same user,
+        // tower, second) but must be very rare.
+        assert!(report.duplicates_removed + report.conflicts_resolved < logs.len() / 100);
+        assert_eq!(kept.len(), report.kept);
+    }
+
+    #[test]
+    fn workers_visit_transport_hubs_on_weekdays() {
+        let (city, pop) = small_setup();
+        // Monday only.
+        let logs = pop.emit_logs(&city, &TraceWindow::days(1));
+        let hub_ids: std::collections::HashSet<usize> = city
+            .towers_of_kind(RegionKind::Transport)
+            .into_iter()
+            .collect();
+        let hub_traffic = logs
+            .iter()
+            .filter(|r| hub_ids.contains(&(r.cell_id as usize)))
+            .count();
+        assert!(hub_traffic > 0, "no commute traffic on a Monday");
+    }
+
+    #[test]
+    fn weekend_hub_traffic_lower_than_weekday() {
+        let (city, pop) = small_setup();
+        let logs = pop.emit_logs(&city, &TraceWindow::days(7));
+        let hub_ids: std::collections::HashSet<usize> = city
+            .towers_of_kind(RegionKind::Transport)
+            .into_iter()
+            .collect();
+        let w = TraceWindow::days(7);
+        let mut weekday = 0usize;
+        let mut weekend = 0usize;
+        for r in &logs {
+            if !hub_ids.contains(&(r.cell_id as usize)) {
+                continue;
+            }
+            if let Some(bin) = w.bin_of(r.start_s) {
+                if w.is_weekend_bin(bin) {
+                    weekend += 1;
+                } else {
+                    weekday += 1;
+                }
+            }
+        }
+        // 5 weekdays vs 2 weekend days, and weekday days are busier
+        // per-day at hubs.
+        assert!(
+            weekday as f64 / 5.0 > weekend as f64 / 2.0,
+            "weekday {weekday} weekend {weekend}"
+        );
+    }
+
+    #[test]
+    fn empty_population() {
+        let city = generate(&CityConfig::tiny(9)).unwrap();
+        let pop = AgentPopulation::generate(
+            &city,
+            AgentConfig {
+                n_agents: 0,
+                ..AgentConfig::default()
+            },
+        );
+        assert!(pop.is_empty());
+        assert!(pop.emit_logs(&city, &TraceWindow::days(1)).is_empty());
+    }
+}

@@ -1,0 +1,311 @@
+//! Canonical activity-demand profiles for the four pure urban
+//! functions.
+//!
+//! Each profile maps *(minute of day, weekend?)* to a demand intensity
+//! in `[0, ~1.1]`, built from circular Gaussian bumps over the
+//! 24-hour clock plus a floor. The calibration constants target the
+//! paper's measured time-domain characteristics (§4, Tables 4–5,
+//! Fig 10):
+//!
+//! | function      | weekday peak | weekend peak | valley | P/V ratio | wd/we amount |
+//! |---------------|--------------|--------------|--------|-----------|--------------|
+//! | resident      | 21:30        | 21:30        | ~4:30  | ≈9        | ≈1.0         |
+//! | transport     | 8:00 & 18:00 | 18:00        | ~4:00  | ≈130      | ≈1.5         |
+//! | office        | 10:30        | 12:00        | ~4:30  | ≈23       | ≈1.8         |
+//! | entertainment | 18:00        | 12:30        | ~4:30  | ≈32       | ≈1.0         |
+//!
+//! These are *inputs* borrowed from common urban rhythm (commute
+//! times, office hours), not the paper's outputs: the five clusters,
+//! the three spectral lines, their amplitude/phase geometry and the
+//! convex hull structure are all downstream discoveries.
+
+use towerlens_city::zone::PoiKind;
+use towerlens_trace::time::TraceWindow;
+
+/// Minutes per day.
+pub const DAY_MIN: f64 = 1_440.0;
+
+/// A circular Gaussian bump on the 24-hour clock: peak height `amp`
+/// at `center_h` (hours), width `sigma_h` (hours).
+#[inline]
+fn bump(minute: f64, amp: f64, center_h: f64, sigma_h: f64) -> f64 {
+    let center = center_h * 60.0;
+    let sigma = sigma_h * 60.0;
+    let mut d = (minute - center).abs() % DAY_MIN;
+    if d > DAY_MIN / 2.0 {
+        d = DAY_MIN - d;
+    }
+    amp * (-(d * d) / (2.0 * sigma * sigma)).exp()
+}
+
+/// Demand intensity of one pure urban function at a minute of day.
+///
+/// `minute` is wrapped into `[0, 1440)`; `weekend` selects the
+/// weekend variant of the schedule.
+pub fn intensity(kind: PoiKind, minute: f64, weekend: bool) -> f64 {
+    let m = minute.rem_euclid(DAY_MIN);
+    match kind {
+        PoiKind::Resident => {
+            // High overnight floor, morning shoulder, broad evening
+            // peak. The widths matter: residential demand is smooth,
+            // which keeps its half-day (k = 2/day) harmonic modest —
+            // transport's double rush must own that component
+            // (Fig 16(c)).
+            let day = 0.10
+                + bump(m, 0.32, 7.5, 1.4)
+                + bump(m, 0.95, 21.5, 2.6)
+                + bump(m, 0.22, 15.5, 2.0)
+                + bump(m, 0.30, 0.5, 1.6);
+            if weekend {
+                day + bump(m, 0.34, 13.0, 3.5)
+            } else {
+                day + bump(m, 0.25, 13.0, 3.5)
+            }
+        }
+        PoiKind::Transport => {
+            // The small 23:00 bump is the post-midnight wind-down of
+            // late travellers; it pushes the valley to ~4 AM, where
+            // the paper finds it.
+            // The midday saddle is kept broad and low: a narrow midday
+            // bump sits in anti-phase with the two rushes at the
+            // half-day harmonic and would erode the double-hump
+            // signature.
+            if weekend {
+                0.006
+                    + bump(m, 0.25, 9.5, 1.3)
+                    + bump(m, 0.50, 18.0, 1.5)
+                    + bump(m, 0.20, 13.5, 3.2)
+                    + bump(m, 0.035, 23.0, 2.0)
+            } else {
+                0.006
+                    + bump(m, 1.00, 8.0, 0.8)
+                    + bump(m, 0.92, 18.0, 1.0)
+                    + bump(m, 0.22, 13.0, 3.2)
+                    + bump(m, 0.035, 23.0, 2.0)
+            }
+        }
+        PoiKind::Office => {
+            if weekend {
+                0.040 + bump(m, 0.64, 12.0, 2.6) + bump(m, 0.030, 22.0, 2.2)
+            } else {
+                0.042
+                    + bump(m, 0.85, 10.5, 1.6)
+                    + bump(m, 0.78, 14.5, 2.0)
+                    + bump(m, 0.25, 18.0, 1.2)
+                    + bump(m, 0.020, 22.5, 1.8)
+            }
+        }
+        PoiKind::Entertainment => {
+            if weekend {
+                0.028 + bump(m, 0.95, 12.5, 1.8) + bump(m, 0.55, 18.0, 2.0)
+            } else {
+                0.030 + bump(m, 0.35, 12.5, 1.5) + bump(m, 1.00, 18.0, 2.2)
+            }
+        }
+    }
+}
+
+/// Demand intensity for a *mixture* of the four pure functions.
+pub fn mixture_intensity(mix: &[f64; 4], minute: f64, weekend: bool) -> f64 {
+    PoiKind::ALL
+        .iter()
+        .map(|&k| mix[k.index()] * intensity(k, minute, weekend))
+        .sum()
+}
+
+/// The canonical noise-free profile vector of a pure function over a
+/// binning window (one intensity sample per bin, taken at the bin
+/// midpoint).
+pub fn profile_vector(kind: PoiKind, window: &TraceWindow) -> Vec<f64> {
+    mixture_profile_vector(&pure_mix(kind), window)
+}
+
+/// The canonical noise-free profile vector of a mixture over a
+/// window.
+pub fn mixture_profile_vector(mix: &[f64; 4], window: &TraceWindow) -> Vec<f64> {
+    (0..window.n_bins)
+        .map(|bin| {
+            let (h, m) = window.time_of_day(bin);
+            let minute = h as f64 * 60.0 + m as f64 + window.bin_secs as f64 / 120.0;
+            mixture_intensity(mix, minute, window.is_weekend_bin(bin))
+        })
+        .collect()
+}
+
+/// The unit mixture putting all weight on one pure function.
+pub fn pure_mix(kind: PoiKind) -> [f64; 4] {
+    let mut mix = [0.0; 4];
+    mix[kind.index()] = 1.0;
+    mix
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Argmax minute of a profile sampled per minute.
+    fn peak_minute(kind: PoiKind, weekend: bool) -> f64 {
+        (0..1440)
+            .map(|m| (m as f64, intensity(kind, m as f64, weekend)))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap()
+            .0
+    }
+
+    fn valley_minute(kind: PoiKind, weekend: bool) -> f64 {
+        (0..1440)
+            .map(|m| (m as f64, intensity(kind, m as f64, weekend)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap()
+            .0
+    }
+
+    fn daily_amount(kind: PoiKind, weekend: bool) -> f64 {
+        (0..1440)
+            .map(|m| intensity(kind, m as f64, weekend))
+            .sum::<f64>()
+    }
+
+    fn peak_valley_ratio(kind: PoiKind, weekend: bool) -> f64 {
+        let peak = intensity(kind, peak_minute(kind, weekend), weekend);
+        let valley = intensity(kind, valley_minute(kind, weekend), weekend);
+        peak / valley
+    }
+
+    #[test]
+    fn peak_times_match_paper_table5() {
+        // Resident: 21:30 both.
+        for weekend in [false, true] {
+            let p = peak_minute(PoiKind::Resident, weekend) / 60.0;
+            assert!((20.8..=22.2).contains(&p), "resident peak {p}h");
+        }
+        // Transport weekday morning rush dominates; weekend 18:00.
+        let p = peak_minute(PoiKind::Transport, false) / 60.0;
+        assert!((7.5..=8.5).contains(&p), "transport wd peak {p}h");
+        let p = peak_minute(PoiKind::Transport, true) / 60.0;
+        assert!((17.3..=18.7).contains(&p), "transport we peak {p}h");
+        // Office: 10:30 weekday, 12:00 weekend.
+        let p = peak_minute(PoiKind::Office, false) / 60.0;
+        assert!((10.0..=11.2).contains(&p), "office wd peak {p}h");
+        let p = peak_minute(PoiKind::Office, true) / 60.0;
+        assert!((11.5..=12.5).contains(&p), "office we peak {p}h");
+        // Entertainment: 18:00 weekday, 12:30 weekend.
+        let p = peak_minute(PoiKind::Entertainment, false) / 60.0;
+        assert!((17.3..=18.7).contains(&p), "entertainment wd peak {p}h");
+        let p = peak_minute(PoiKind::Entertainment, true) / 60.0;
+        assert!((12.0..=13.0).contains(&p), "entertainment we peak {p}h");
+    }
+
+    #[test]
+    fn transport_has_double_hump_on_weekdays() {
+        // Both rush peaks must be local maxima well above midday.
+        let at = |h: f64| intensity(PoiKind::Transport, h * 60.0, false);
+        assert!(at(8.0) > at(13.0) * 2.0);
+        assert!(at(18.0) > at(13.0) * 2.0);
+        assert!(at(13.0) > at(4.0) * 5.0, "midday saddle above valley");
+    }
+
+    #[test]
+    fn valleys_in_early_morning() {
+        for kind in PoiKind::ALL {
+            for weekend in [false, true] {
+                let v = valley_minute(kind, weekend) / 60.0;
+                assert!(
+                    (2.0..=6.0).contains(&v),
+                    "{kind:?} weekend={weekend} valley at {v}h"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn peak_valley_ratios_match_paper_order() {
+        // Paper Fig 10(b)/Table 4: transport ≈130 ≫ entertainment ≈32
+        // > office ≈23 > resident ≈9.
+        let r_res = peak_valley_ratio(PoiKind::Resident, false);
+        let r_tra = peak_valley_ratio(PoiKind::Transport, false);
+        let r_off = peak_valley_ratio(PoiKind::Office, false);
+        let r_ent = peak_valley_ratio(PoiKind::Entertainment, false);
+        assert!((6.0..=13.0).contains(&r_res), "resident {r_res}");
+        assert!((90.0..=180.0).contains(&r_tra), "transport {r_tra}");
+        assert!((16.0..=32.0).contains(&r_off), "office {r_off}");
+        assert!((24.0..=45.0).contains(&r_ent), "entertainment {r_ent}");
+        assert!(r_tra > r_ent && r_ent > r_off && r_off > r_res);
+    }
+
+    #[test]
+    fn weekday_weekend_amount_ratios_match_fig10a() {
+        let ratio = |kind| daily_amount(kind, false) / daily_amount(kind, true);
+        let r_res = ratio(PoiKind::Resident);
+        let r_tra = ratio(PoiKind::Transport);
+        let r_off = ratio(PoiKind::Office);
+        let r_ent = ratio(PoiKind::Entertainment);
+        assert!((0.85..=1.15).contains(&r_res), "resident {r_res}");
+        assert!((1.30..=1.70).contains(&r_tra), "transport {r_tra}");
+        assert!((1.55..=2.05).contains(&r_off), "office {r_off}");
+        assert!((0.85..=1.15).contains(&r_ent), "entertainment {r_ent}");
+    }
+
+    #[test]
+    fn resident_stays_high_overnight() {
+        // Fig 3: residential towers "remain high across night" relative
+        // to business towers, which "get close to zero".
+        let res_night = intensity(PoiKind::Resident, 23.5 * 60.0, false);
+        let off_night = intensity(PoiKind::Office, 23.5 * 60.0, false);
+        assert!(res_night > 5.0 * off_night, "{res_night} vs {off_night}");
+    }
+
+    #[test]
+    fn mixture_is_linear() {
+        let mix = [0.25, 0.25, 0.25, 0.25];
+        for m in (0..1440).step_by(97) {
+            let direct = mixture_intensity(&mix, m as f64, false);
+            let manual: f64 = PoiKind::ALL
+                .iter()
+                .map(|&k| 0.25 * intensity(k, m as f64, false))
+                .sum();
+            assert!((direct - manual).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn profile_vector_length_and_periodicity() {
+        let w = TraceWindow::paper();
+        let v = profile_vector(PoiKind::Office, &w);
+        assert_eq!(v.len(), 4_032);
+        // Monday (day 0) and Tuesday (day 1) are identical weekdays.
+        for b in 0..144 {
+            assert!((v[b] - v[144 + b]).abs() < 1e-12);
+        }
+        // Saturday (day 5) differs from Monday.
+        let diff: f64 = (0..144).map(|b| (v[b] - v[5 * 144 + b]).abs()).sum();
+        assert!(diff > 1.0);
+        // Week 1 equals week 2 exactly (the k=28·j harmonics come from
+        // this periodicity).
+        for b in 0..1_008 {
+            assert!((v[b] - v[1_008 + b]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn intensity_wraps_minutes() {
+        let a = intensity(PoiKind::Resident, 10.0, false);
+        let b = intensity(PoiKind::Resident, 10.0 + DAY_MIN, false);
+        let c = intensity(PoiKind::Resident, 10.0 - DAY_MIN, false);
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn intensities_are_positive_and_bounded() {
+        for kind in PoiKind::ALL {
+            for weekend in [false, true] {
+                for m in 0..1440 {
+                    let v = intensity(kind, m as f64, weekend);
+                    assert!(v > 0.0, "{kind:?} {m} {weekend}: {v}");
+                    assert!(v < 1.5, "{kind:?} {m} {weekend}: {v}");
+                }
+            }
+        }
+    }
+}

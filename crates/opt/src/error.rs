@@ -1,0 +1,65 @@
+//! Error types for the optimisation substrate.
+
+/// Errors produced by the optimisation routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptError {
+    /// No vertices / empty problem supplied.
+    EmptyInput,
+    /// Inconsistent dimensions between vertices or vertex/target.
+    DimensionMismatch {
+        /// Expected dimension.
+        expected: usize,
+        /// Offending dimension.
+        actual: usize,
+    },
+    /// An input contained NaN/∞.
+    NonFinite,
+    /// The linear system was singular beyond rescue (should not occur
+    /// for well-posed inputs; surfaced instead of panicking).
+    Singular,
+    /// Solver failed to converge within the iteration budget.
+    DidNotConverge {
+        /// Iterations executed.
+        iterations: usize,
+        /// Residual gradient norm at stop.
+        residual: f64,
+    },
+}
+
+impl std::fmt::Display for OptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OptError::EmptyInput => write!(f, "empty input"),
+            OptError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            OptError::NonFinite => write!(f, "input contains a non-finite value"),
+            OptError::Singular => write!(f, "linear system is singular"),
+            OptError::DidNotConverge {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "did not converge after {iterations} iterations (residual {residual:.3e})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for OptError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_strings() {
+        assert!(OptError::Singular.to_string().contains("singular"));
+        assert!(OptError::DimensionMismatch {
+            expected: 3,
+            actual: 4
+        }
+        .to_string()
+        .contains("3"));
+    }
+}

@@ -1,0 +1,31 @@
+//! # towerlens-opt
+//!
+//! Small optimisation substrate for the paper's §5.3 component
+//! analysis:
+//!
+//! * [`simplex`] — projection onto the probability simplex and the
+//!   simplex-constrained least-squares problem
+//!   `min ‖F − Σᵢ xᵢ·F⁰ᵢ‖²  s.t.  Σᵢ xᵢ = 1, xᵢ ≥ 0`
+//!   (the paper's quadratic program recovering the convex-combination
+//!   coefficients of a tower over the four primary components). Two
+//!   solvers: an exact active-set enumeration for small vertex counts
+//!   and a projected-gradient method for the general case; the
+//!   benchmarks ablate them.
+//! * [`linalg`] — the dense Gaussian-elimination solver the active-set
+//!   method needs.
+//! * [`tfidf`] — TF-IDF and normalised TF-IDF over POI counts, the
+//!   ground-truth side of Table 6.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod linalg;
+pub mod simplex;
+pub mod tfidf;
+
+pub use error::OptError;
+pub use simplex::{
+    project_to_simplex, simplex_least_squares, SimplexLsOptions, SimplexLsSolution, Solver,
+};
+pub use tfidf::{ntf_idf, tf_idf, TfIdfModel};

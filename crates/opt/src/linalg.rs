@@ -1,0 +1,152 @@
+//! Minimal dense linear algebra: just enough for the active-set QP.
+//!
+//! Gaussian elimination with partial pivoting on small systems (the
+//! KKT systems of §5.3 are at most 5×5). No clever blocking — the
+//! sizes don't warrant it and simplicity wins.
+
+use crate::error::OptError;
+
+/// Solves `A·x = b` in place via Gaussian elimination with partial
+/// pivoting. `a` is row-major `n × n`.
+///
+/// # Errors
+/// * [`OptError::DimensionMismatch`] if shapes disagree,
+/// * [`OptError::Singular`] if a pivot underflows `1e-12` times the
+///   largest initial entry (the matrix is rank-deficient),
+/// * [`OptError::NonFinite`] on NaN/∞ inputs.
+pub fn solve(a: &[f64], b: &[f64], n: usize) -> Result<Vec<f64>, OptError> {
+    if a.len() != n * n || b.len() != n {
+        return Err(OptError::DimensionMismatch {
+            expected: n * n,
+            actual: a.len(),
+        });
+    }
+    if a.iter().chain(b.iter()).any(|v| !v.is_finite()) {
+        return Err(OptError::NonFinite);
+    }
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let mut m = a.to_vec();
+    let mut rhs = b.to_vec();
+    let scale = m.iter().fold(0.0f64, |acc, v| acc.max(v.abs())).max(1e-300);
+    let tol = 1e-12 * scale;
+
+    for col in 0..n {
+        // Partial pivot.
+        let pivot_row = (col..n)
+            .max_by(|&r1, &r2| {
+                m[r1 * n + col]
+                    .abs()
+                    .partial_cmp(&m[r2 * n + col].abs())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("non-empty range");
+        if m[pivot_row * n + col].abs() < tol {
+            return Err(OptError::Singular);
+        }
+        if pivot_row != col {
+            for k in 0..n {
+                m.swap(col * n + k, pivot_row * n + k);
+            }
+            rhs.swap(col, pivot_row);
+        }
+        let pivot = m[col * n + col];
+        for row in (col + 1)..n {
+            let factor = m[row * n + col] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                m[row * n + k] -= factor * m[col * n + k];
+            }
+            rhs[row] -= factor * rhs[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = rhs[row];
+        for k in (row + 1)..n {
+            acc -= m[row * n + k] * x[k];
+        }
+        x[row] = acc / m[row * n + row];
+    }
+    Ok(x)
+}
+
+/// Dot product of two equal-length slices.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Squared Euclidean norm.
+#[inline]
+pub fn norm_sqr(a: &[f64]) -> f64 {
+    dot(a, a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity() {
+        let a = vec![1.0, 0.0, 0.0, 1.0];
+        let x = solve(&a, &[3.0, -2.0], 2).unwrap();
+        assert_eq!(x, vec![3.0, -2.0]);
+    }
+
+    #[test]
+    fn solves_general_3x3() {
+        // A·x = b with known x = (1, -2, 3).
+        let a = vec![2.0, 1.0, -1.0, -3.0, -1.0, 2.0, -2.0, 1.0, 2.0];
+        let x_true = [1.0, -2.0, 3.0];
+        let b: Vec<f64> = (0..3)
+            .map(|r| dot(&a[r * 3..(r + 1) * 3], &x_true))
+            .collect();
+        let x = solve(&a, &b, 3).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        // First pivot position is zero; requires a row swap.
+        let a = vec![0.0, 1.0, 1.0, 0.0];
+        let x = solve(&a, &[5.0, 7.0], 2).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-12);
+        assert!((x[1] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = vec![1.0, 2.0, 2.0, 4.0];
+        assert_eq!(solve(&a, &[1.0, 2.0], 2), Err(OptError::Singular));
+    }
+
+    #[test]
+    fn shape_and_finite_validation() {
+        assert!(matches!(
+            solve(&[1.0, 2.0], &[1.0], 2),
+            Err(OptError::DimensionMismatch { .. })
+        ));
+        assert_eq!(
+            solve(&[f64::NAN], &[1.0], 1),
+            Err(OptError::NonFinite)
+        );
+    }
+
+    #[test]
+    fn zero_size_ok() {
+        assert_eq!(solve(&[], &[], 0).unwrap(), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert_eq!(norm_sqr(&[3.0, 4.0]), 25.0);
+    }
+}

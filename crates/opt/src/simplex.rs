@@ -1,0 +1,489 @@
+//! Simplex-constrained least squares — the paper's §5.3 quadratic
+//! program.
+//!
+//! Given the features `F⁰₁ … F⁰ₘ` of the most representative towers
+//! (polygon vertices) and the feature `F` of an arbitrary tower, find
+//! the convex-combination coefficients:
+//!
+//! ```text
+//! minimize  ‖F − Σᵢ xᵢ·F⁰ᵢ‖²
+//! subject to Σᵢ xᵢ = 1,  xᵢ ≥ 0
+//! ```
+//!
+//! Geometrically this projects `F` onto the convex hull of the
+//! vertices: a point inside the polygon recovers its exact convex
+//! combination; a point outside maps to the nearest hull point — the
+//! paper's "good approximation" for noisy towers.
+//!
+//! Two solvers:
+//!
+//! * [`Solver::ActiveSet`] — exact: enumerates supports (non-empty
+//!   subsets of vertices), solves each equality-constrained KKT
+//!   system, and keeps the best feasible candidate. Exponential in the
+//!   vertex count but exact and fast for the paper's m = 4.
+//! * [`Solver::ProjectedGradient`] — iterative: gradient steps with
+//!   Duchi et al. Euclidean projection onto the simplex. Scales to
+//!   many vertices; used as the cross-check and in the ablation bench.
+
+use crate::error::OptError;
+use crate::linalg::{dot, norm_sqr, solve};
+
+/// Euclidean projection of `v` onto the probability simplex
+/// `{x : Σxᵢ = 1, xᵢ ≥ 0}` (Duchi, Shalev-Shwartz, Singer, Chandra,
+/// ICML'08).
+///
+/// # Errors
+/// [`OptError::EmptyInput`] for an empty vector,
+/// [`OptError::NonFinite`] for NaN/∞ entries.
+pub fn project_to_simplex(v: &[f64]) -> Result<Vec<f64>, OptError> {
+    if v.is_empty() {
+        return Err(OptError::EmptyInput);
+    }
+    if v.iter().any(|x| !x.is_finite()) {
+        return Err(OptError::NonFinite);
+    }
+    let mut sorted = v.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+    let mut cumsum = 0.0;
+    let mut rho = 0;
+    let mut theta = 0.0;
+    for (i, &u) in sorted.iter().enumerate() {
+        cumsum += u;
+        let t = (cumsum - 1.0) / (i + 1) as f64;
+        if u - t > 0.0 {
+            rho = i;
+            theta = t;
+        }
+    }
+    let _ = rho;
+    Ok(v.iter().map(|&x| (x - theta).max(0.0)).collect())
+}
+
+/// Which algorithm [`simplex_least_squares`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Solver {
+    /// Exact support enumeration (vertex counts ≤ ~16).
+    ActiveSet,
+    /// Projected gradient descent.
+    ProjectedGradient,
+}
+
+/// Options for [`simplex_least_squares`].
+#[derive(Debug, Clone, Copy)]
+pub struct SimplexLsOptions {
+    /// Algorithm choice.
+    pub solver: Solver,
+    /// Iteration cap (projected gradient only).
+    pub max_iters: usize,
+    /// Convergence tolerance on the coefficient change per iteration
+    /// (projected gradient only).
+    pub tolerance: f64,
+}
+
+impl Default for SimplexLsOptions {
+    fn default() -> Self {
+        SimplexLsOptions {
+            solver: Solver::ActiveSet,
+            max_iters: 10_000,
+            tolerance: 1e-12,
+        }
+    }
+}
+
+/// Solution of the simplex-constrained least-squares problem.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimplexLsSolution {
+    /// Convex-combination coefficients, one per vertex; non-negative,
+    /// summing to 1 (up to numerical tolerance).
+    pub coefficients: Vec<f64>,
+    /// The projected point `Σᵢ xᵢ·F⁰ᵢ` (the paper's `F^r`).
+    pub projection: Vec<f64>,
+    /// Squared residual `‖F − F^r‖²`.
+    pub residual_sqr: f64,
+}
+
+/// Solves `min ‖target − Σᵢ xᵢ·vertexᵢ‖²` over the probability
+/// simplex. See module docs.
+///
+/// ```
+/// use towerlens_opt::{simplex_least_squares, SimplexLsOptions};
+///
+/// // The midpoint of two vertices decomposes 50/50.
+/// let vertices = vec![vec![0.0, 0.0], vec![2.0, 0.0]];
+/// let solution = simplex_least_squares(&vertices, &[1.0, 0.0], SimplexLsOptions::default())?;
+/// assert!((solution.coefficients[0] - 0.5).abs() < 1e-9);
+/// assert!(solution.residual_sqr < 1e-12);
+/// # Ok::<(), towerlens_opt::OptError>(())
+/// ```
+///
+/// # Errors
+/// * [`OptError::EmptyInput`] — no vertices,
+/// * [`OptError::DimensionMismatch`] — inconsistent dimensions,
+/// * [`OptError::NonFinite`] — NaN/∞ anywhere,
+/// * [`OptError::DidNotConverge`] — projected gradient exceeded its
+///   budget (the active-set path never returns this).
+pub fn simplex_least_squares(
+    vertices: &[Vec<f64>],
+    target: &[f64],
+    options: SimplexLsOptions,
+) -> Result<SimplexLsSolution, OptError> {
+    let m = vertices.len();
+    if m == 0 {
+        return Err(OptError::EmptyInput);
+    }
+    let dim = vertices[0].len();
+    for v in vertices {
+        if v.len() != dim {
+            return Err(OptError::DimensionMismatch {
+                expected: dim,
+                actual: v.len(),
+            });
+        }
+        if v.iter().any(|x| !x.is_finite()) {
+            return Err(OptError::NonFinite);
+        }
+    }
+    if target.len() != dim {
+        return Err(OptError::DimensionMismatch {
+            expected: dim,
+            actual: target.len(),
+        });
+    }
+    if target.iter().any(|x| !x.is_finite()) {
+        return Err(OptError::NonFinite);
+    }
+
+    let coefficients = match options.solver {
+        Solver::ActiveSet => active_set(vertices, target)?,
+        Solver::ProjectedGradient => projected_gradient(vertices, target, options)?,
+    };
+    Ok(assemble(vertices, target, coefficients))
+}
+
+fn assemble(vertices: &[Vec<f64>], target: &[f64], coefficients: Vec<f64>) -> SimplexLsSolution {
+    let dim = target.len();
+    let mut projection = vec![0.0; dim];
+    for (x, v) in coefficients.iter().zip(vertices) {
+        for (p, c) in projection.iter_mut().zip(v) {
+            *p += x * c;
+        }
+    }
+    let residual_sqr = projection
+        .iter()
+        .zip(target)
+        .map(|(p, t)| (p - t) * (p - t))
+        .sum();
+    SimplexLsSolution {
+        coefficients,
+        projection,
+        residual_sqr,
+    }
+}
+
+/// Exact solver: for every non-empty support `S ⊆ {1..m}`, solve the
+/// equality-constrained problem restricted to `S` via its KKT system,
+/// keep feasible candidates, return the one with least residual.
+fn active_set(vertices: &[Vec<f64>], target: &[f64]) -> Result<Vec<f64>, OptError> {
+    let m = vertices.len();
+    // Support enumeration is 2^m; beyond ~20 vertices it is both
+    // intractable and would overflow the u32 mask below. Fall back to
+    // the iterative solver rather than panicking or mis-reporting
+    // `Singular`.
+    if m > 20 {
+        return projected_gradient(vertices, target, SimplexLsOptions::default());
+    }
+    // Gram matrix G[i][j] = ⟨vᵢ, vⱼ⟩ and linear term c[i] = ⟨vᵢ, t⟩.
+    let gram: Vec<f64> = (0..m)
+        .flat_map(|i| (0..m).map(move |j| (i, j)))
+        .map(|(i, j)| dot(&vertices[i], &vertices[j]))
+        .collect();
+    let lin: Vec<f64> = (0..m).map(|i| dot(&vertices[i], target)).collect();
+
+    let mut best: Option<(f64, Vec<f64>)> = None;
+    let t_norm = norm_sqr(target);
+
+    for mask in 1u32..(1 << m) {
+        let support: Vec<usize> = (0..m).filter(|&i| mask & (1 << i) != 0).collect();
+        let s = support.len();
+        // KKT system for min ½xᵀGx − cᵀx s.t. 1ᵀx = 1 on the support:
+        // [ G_S  1 ] [x]   [c_S]
+        // [ 1ᵀ   0 ] [λ] = [ 1 ]
+        let n = s + 1;
+        let mut a = vec![0.0; n * n];
+        let mut b = vec![0.0; n];
+        for (r, &i) in support.iter().enumerate() {
+            for (c, &j) in support.iter().enumerate() {
+                a[r * n + c] = gram[i * m + j];
+            }
+            a[r * n + s] = 1.0;
+            a[s * n + r] = 1.0;
+            b[r] = lin[i];
+        }
+        b[s] = 1.0;
+        let sol = match solve(&a, &b, n) {
+            Ok(sol) => sol,
+            Err(OptError::Singular) => continue, // degenerate support; skip
+            Err(e) => return Err(e),
+        };
+        // Feasibility: all coefficients ≥ −ε.
+        if sol[..s].iter().any(|&x| x < -1e-9) {
+            continue;
+        }
+        let mut x = vec![0.0; m];
+        for (r, &i) in support.iter().enumerate() {
+            x[i] = sol[r].max(0.0);
+        }
+        // Renormalise tiny clamping drift.
+        let total: f64 = x.iter().sum();
+        if total > 0.0 {
+            for xi in x.iter_mut() {
+                *xi /= total;
+            }
+        }
+        // Objective ‖t‖² − 2cᵀx + xᵀGx.
+        let mut quad = 0.0;
+        for i in 0..m {
+            if x[i] == 0.0 {
+                continue;
+            }
+            for j in 0..m {
+                quad += x[i] * x[j] * gram[i * m + j];
+            }
+        }
+        let obj = t_norm - 2.0 * dot(&lin, &x) + quad;
+        match &best {
+            Some((bo, _)) if *bo <= obj => {}
+            _ => best = Some((obj, x)),
+        }
+    }
+    best.map(|(_, x)| x).ok_or(OptError::Singular)
+}
+
+/// Projected-gradient solver with a Lipschitz step size derived from
+/// the Gram matrix trace (a safe upper bound on its spectral norm).
+fn projected_gradient(
+    vertices: &[Vec<f64>],
+    target: &[f64],
+    options: SimplexLsOptions,
+) -> Result<Vec<f64>, OptError> {
+    let m = vertices.len();
+    let gram: Vec<f64> = (0..m)
+        .flat_map(|i| (0..m).map(move |j| (i, j)))
+        .map(|(i, j)| dot(&vertices[i], &vertices[j]))
+        .collect();
+    let lin: Vec<f64> = (0..m).map(|i| dot(&vertices[i], target)).collect();
+    // L ≤ trace(G); step = 1/L. Guard a zero trace (all-zero vertices).
+    let trace: f64 = (0..m).map(|i| gram[i * m + i]).sum();
+    let step = if trace > 0.0 { 1.0 / trace } else { 1.0 };
+
+    let mut x = vec![1.0 / m as f64; m];
+    for iter in 0..options.max_iters {
+        // ∇ = Gx − c
+        let mut grad = vec![0.0; m];
+        for i in 0..m {
+            grad[i] = (0..m).map(|j| gram[i * m + j] * x[j]).sum::<f64>() - lin[i];
+        }
+        let proposal: Vec<f64> = x.iter().zip(&grad).map(|(xi, g)| xi - step * g).collect();
+        let next = project_to_simplex(&proposal)?;
+        let delta: f64 = next
+            .iter()
+            .zip(&x)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        x = next;
+        if delta < options.tolerance {
+            return Ok(x);
+        }
+        if iter == options.max_iters - 1 {
+            return Err(OptError::DidNotConverge {
+                iterations: options.max_iters,
+                residual: delta,
+            });
+        }
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(solver: Solver) -> SimplexLsOptions {
+        SimplexLsOptions {
+            solver,
+            max_iters: 200_000,
+            tolerance: 1e-13,
+        }
+    }
+
+    /// A unit square in 2D: vertices of the hull.
+    fn square() -> Vec<Vec<f64>> {
+        vec![
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 1.0],
+        ]
+    }
+
+    #[test]
+    fn projection_basics() {
+        let p = project_to_simplex(&[0.5, 0.5]).unwrap();
+        assert!((p[0] - 0.5).abs() < 1e-12 && (p[1] - 0.5).abs() < 1e-12);
+
+        let p = project_to_simplex(&[2.0, 0.0]).unwrap();
+        assert!((p[0] - 1.0).abs() < 1e-12 && p[1].abs() < 1e-12);
+
+        let p = project_to_simplex(&[-1.0, -1.0, -1.0]).unwrap();
+        let sum: f64 = p.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        for v in &p {
+            assert!((*v - 1.0 / 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn projection_is_feasible_for_arbitrary_input() {
+        for v in [
+            vec![10.0, -3.0, 0.2, 0.2],
+            vec![0.0, 0.0],
+            vec![1e6, 1e-6, -1e6],
+        ] {
+            let p = project_to_simplex(&v).unwrap();
+            let sum: f64 = p.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "sum={sum}");
+            assert!(p.iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn projection_rejects_bad_input() {
+        assert_eq!(project_to_simplex(&[]), Err(OptError::EmptyInput));
+        assert_eq!(project_to_simplex(&[f64::NAN]), Err(OptError::NonFinite));
+    }
+
+    #[test]
+    fn interior_point_recovers_exact_combination() {
+        // Equal mix of the square's vertices is its centre.
+        let target = [0.5, 0.5];
+        for solver in [Solver::ActiveSet, Solver::ProjectedGradient] {
+            let sol = simplex_least_squares(&square(), &target, opts(solver)).unwrap();
+            assert!(sol.residual_sqr < 1e-10, "{solver:?}: {}", sol.residual_sqr);
+            let sum: f64 = sol.coefficients.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+            // Reconstruction must hit the target even though the
+            // coefficient vector itself is not unique for 4 vertices
+            // in 2D.
+            assert!((sol.projection[0] - 0.5).abs() < 1e-6);
+            assert!((sol.projection[1] - 0.5).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn vertex_target_gets_unit_coefficient() {
+        let verts = vec![vec![0.0, 0.0], vec![2.0, 0.0], vec![0.0, 2.0]];
+        let sol =
+            simplex_least_squares(&verts, &[0.0, 2.0], opts(Solver::ActiveSet)).unwrap();
+        assert!((sol.coefficients[2] - 1.0).abs() < 1e-9);
+        assert!(sol.coefficients[0].abs() < 1e-9);
+        assert!(sol.coefficients[1].abs() < 1e-9);
+        assert!(sol.residual_sqr < 1e-12);
+    }
+
+    #[test]
+    fn outside_point_projects_onto_hull() {
+        let verts = vec![vec![0.0, 0.0], vec![1.0, 0.0], vec![0.0, 1.0]];
+        // Point beyond the hypotenuse projects onto it.
+        let target = [1.0, 1.0];
+        for solver in [Solver::ActiveSet, Solver::ProjectedGradient] {
+            let sol = simplex_least_squares(&verts, &target, opts(solver)).unwrap();
+            assert!((sol.projection[0] - 0.5).abs() < 1e-6, "{solver:?}");
+            assert!((sol.projection[1] - 0.5).abs() < 1e-6, "{solver:?}");
+            assert!((sol.residual_sqr - 0.5).abs() < 1e-6, "{solver:?}");
+            assert!(sol.coefficients[0].abs() < 1e-6, "{solver:?}");
+        }
+    }
+
+    #[test]
+    fn solvers_agree_on_random_instances() {
+        // Deterministic pseudo-random targets around a tetrahedron in
+        // 3D — the paper's exact setting (4 vertices, 3 features).
+        let verts = vec![
+            vec![0.0, 0.0, 0.0],
+            vec![1.0, 0.1, 0.0],
+            vec![0.2, 1.0, 0.1],
+            vec![0.1, 0.2, 1.0],
+        ];
+        for s in 0..24u64 {
+            let t = [
+                ((s * 2654435761) % 1000) as f64 / 500.0 - 0.5,
+                ((s * 40503) % 1000) as f64 / 500.0 - 0.5,
+                ((s * 9176) % 1000) as f64 / 500.0 - 0.5,
+            ];
+            let exact = simplex_least_squares(&verts, &t, opts(Solver::ActiveSet)).unwrap();
+            let pg =
+                simplex_least_squares(&verts, &t, opts(Solver::ProjectedGradient)).unwrap();
+            assert!(
+                (exact.residual_sqr - pg.residual_sqr).abs() < 1e-5,
+                "seed {s}: exact {} vs pg {}",
+                exact.residual_sqr,
+                pg.residual_sqr
+            );
+            for (a, b) in exact.projection.iter().zip(&pg.projection) {
+                assert!((a - b).abs() < 1e-3, "seed {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_vertex_problem() {
+        let sol = simplex_least_squares(
+            &[vec![3.0, 4.0]],
+            &[0.0, 0.0],
+            opts(Solver::ActiveSet),
+        )
+        .unwrap();
+        assert_eq!(sol.coefficients, vec![1.0]);
+        assert!((sol.residual_sqr - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(matches!(
+            simplex_least_squares(&[], &[1.0], SimplexLsOptions::default()),
+            Err(OptError::EmptyInput)
+        ));
+        assert!(matches!(
+            simplex_least_squares(
+                &[vec![1.0], vec![1.0, 2.0]],
+                &[1.0],
+                SimplexLsOptions::default()
+            ),
+            Err(OptError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            simplex_least_squares(&[vec![1.0]], &[1.0, 2.0], SimplexLsOptions::default()),
+            Err(OptError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            simplex_least_squares(&[vec![f64::NAN]], &[1.0], SimplexLsOptions::default()),
+            Err(OptError::NonFinite)
+        ));
+    }
+
+    #[test]
+    fn coefficients_always_feasible() {
+        let verts = square();
+        for s in 0..16u64 {
+            let t = [
+                ((s * 48271) % 997) as f64 / 300.0 - 1.0,
+                ((s * 16807) % 997) as f64 / 300.0 - 1.0,
+            ];
+            let sol = simplex_least_squares(&verts, &t, opts(Solver::ActiveSet)).unwrap();
+            let sum: f64 = sol.coefficients.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+            assert!(sol.coefficients.iter().all(|&x| x >= 0.0));
+        }
+    }
+}

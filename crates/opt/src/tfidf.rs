@@ -1,0 +1,206 @@
+//! TF-IDF over POI counts (§5.3, validating the convex coefficients).
+//!
+//! The paper treats each tower as a "document" and each POI type as a
+//! "term":
+//!
+//! ```text
+//! IDF_i      = log(M / M_i)
+//! TF-IDF_i^m = IDF_i · log(1 + POI_i^m)
+//! NTF-IDF_i^m = TF-IDF_i^m / Σ_j TF-IDF_j^m
+//! ```
+//!
+//! where `M` is the total number of towers and `M_i` the number of
+//! towers with at least one type-`i` POI nearby.
+
+use crate::error::OptError;
+
+/// A fitted TF-IDF model: the per-type IDF weights learned from a
+/// corpus of per-tower POI counts.
+#[derive(Debug, Clone)]
+pub struct TfIdfModel {
+    idf: Vec<f64>,
+}
+
+impl TfIdfModel {
+    /// Fits IDF weights from per-tower POI counts.
+    ///
+    /// `counts[m][i]` is the number of type-`i` POIs near tower `m`.
+    /// A type that appears near *no* tower receives IDF
+    /// `log(M / 1) = log M` (we clamp `M_i ≥ 1` to avoid division by
+    /// zero; such a type then always has TF = 0 anyway).
+    ///
+    /// # Errors
+    /// [`OptError::EmptyInput`] for no towers or zero types;
+    /// [`OptError::DimensionMismatch`] for ragged rows.
+    pub fn fit(counts: &[Vec<f64>]) -> Result<Self, OptError> {
+        let m_total = counts.len();
+        let first = counts.first().ok_or(OptError::EmptyInput)?;
+        let types = first.len();
+        if types == 0 {
+            return Err(OptError::EmptyInput);
+        }
+        for row in counts {
+            if row.len() != types {
+                return Err(OptError::DimensionMismatch {
+                    expected: types,
+                    actual: row.len(),
+                });
+            }
+            if row.iter().any(|v| !v.is_finite()) {
+                return Err(OptError::NonFinite);
+            }
+        }
+        let idf = (0..types)
+            .map(|i| {
+                let m_i = counts.iter().filter(|row| row[i] > 0.0).count().max(1);
+                (m_total as f64 / m_i as f64).ln()
+            })
+            .collect();
+        Ok(TfIdfModel { idf })
+    }
+
+    /// Number of POI types.
+    pub fn types(&self) -> usize {
+        self.idf.len()
+    }
+
+    /// The per-type IDF weights.
+    pub fn idf(&self) -> &[f64] {
+        &self.idf
+    }
+
+    /// TF-IDF vector of one tower's POI counts.
+    ///
+    /// # Errors
+    /// [`OptError::DimensionMismatch`] if the count of types differs
+    /// from the fitted model.
+    pub fn tf_idf(&self, poi_counts: &[f64]) -> Result<Vec<f64>, OptError> {
+        if poi_counts.len() != self.idf.len() {
+            return Err(OptError::DimensionMismatch {
+                expected: self.idf.len(),
+                actual: poi_counts.len(),
+            });
+        }
+        Ok(poi_counts
+            .iter()
+            .zip(&self.idf)
+            .map(|(&c, &w)| w * (1.0 + c.max(0.0)).ln())
+            .collect())
+    }
+
+    /// Normalised TF-IDF (rows sum to 1; an all-zero row stays zero).
+    ///
+    /// # Errors
+    /// As for [`TfIdfModel::tf_idf`].
+    pub fn ntf_idf(&self, poi_counts: &[f64]) -> Result<Vec<f64>, OptError> {
+        let t = self.tf_idf(poi_counts)?;
+        let total: f64 = t.iter().sum();
+        if total <= 0.0 {
+            return Ok(vec![0.0; t.len()]);
+        }
+        Ok(t.into_iter().map(|v| v / total).collect())
+    }
+}
+
+/// One-shot TF-IDF for a whole corpus: fits the model and transforms
+/// every row.
+///
+/// # Errors
+/// As for [`TfIdfModel::fit`].
+pub fn tf_idf(counts: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, OptError> {
+    let model = TfIdfModel::fit(counts)?;
+    counts.iter().map(|row| model.tf_idf(row)).collect()
+}
+
+/// One-shot normalised TF-IDF for a whole corpus.
+///
+/// # Errors
+/// As for [`TfIdfModel::fit`].
+pub fn ntf_idf(counts: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, OptError> {
+    let model = TfIdfModel::fit(counts)?;
+    counts.iter().map(|row| model.ntf_idf(row)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 4 towers × 3 POI types. Type 0 is ubiquitous (low IDF), type 2
+    /// rare (high IDF).
+    fn corpus() -> Vec<Vec<f64>> {
+        vec![
+            vec![10.0, 5.0, 0.0],
+            vec![8.0, 0.0, 0.0],
+            vec![12.0, 3.0, 7.0],
+            vec![9.0, 0.0, 0.0],
+        ]
+    }
+
+    #[test]
+    fn idf_orders_by_rarity() {
+        let model = TfIdfModel::fit(&corpus()).unwrap();
+        let idf = model.idf();
+        assert!(idf[0] < idf[1], "ubiquitous type has lowest idf");
+        assert!(idf[1] < idf[2], "rare type has highest idf");
+        assert_eq!(idf[0], 0.0, "appears everywhere ⇒ idf = ln(1) = 0");
+        assert!((idf[2] - (4.0f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tf_idf_zero_count_is_zero() {
+        let model = TfIdfModel::fit(&corpus()).unwrap();
+        let t = model.tf_idf(&[0.0, 0.0, 0.0]).unwrap();
+        assert_eq!(t, vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn ntf_idf_rows_sum_to_one() {
+        let rows = ntf_idf(&corpus()).unwrap();
+        for row in &rows {
+            let sum: f64 = row.iter().sum();
+            assert!(sum == 0.0 || (sum - 1.0).abs() < 1e-12, "sum={sum}");
+        }
+        // Tower 1 has only the zero-IDF type ⇒ all-zero NTF-IDF row.
+        assert_eq!(rows[1], vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn dominant_type_gets_dominant_share() {
+        // Tower 2 is the only one with type-2 POIs: its NTF-IDF for
+        // type 2 should dominate.
+        let rows = ntf_idf(&corpus()).unwrap();
+        let row = &rows[2];
+        assert!(row[2] > row[0] && row[2] > row[1], "{row:?}");
+    }
+
+    #[test]
+    fn unseen_type_does_not_panic() {
+        let counts = vec![vec![1.0, 0.0], vec![2.0, 0.0]];
+        let model = TfIdfModel::fit(&counts).unwrap();
+        assert!((model.idf()[1] - (2.0f64).ln()).abs() < 1e-12);
+        let t = model.tf_idf(&[0.0, 5.0]).unwrap();
+        assert!(t[1] > 0.0);
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(matches!(TfIdfModel::fit(&[]), Err(OptError::EmptyInput)));
+        assert!(matches!(
+            TfIdfModel::fit(&[vec![]]),
+            Err(OptError::EmptyInput)
+        ));
+        assert!(matches!(
+            TfIdfModel::fit(&[vec![1.0], vec![1.0, 2.0]]),
+            Err(OptError::DimensionMismatch { .. })
+        ));
+        let model = TfIdfModel::fit(&corpus()).unwrap();
+        assert!(model.tf_idf(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn negative_counts_clamped() {
+        let model = TfIdfModel::fit(&corpus()).unwrap();
+        let t = model.tf_idf(&[-5.0, 1.0, 1.0]).unwrap();
+        assert_eq!(t[0], 0.0);
+    }
+}

@@ -1,0 +1,288 @@
+//! The parallel aggregation phase.
+//!
+//! Towers are partitioned into shards; a cheap serial pass buckets
+//! record indices by shard; crossbeam workers then aggregate each
+//! shard independently (no shared mutable state, so no locks on the
+//! hot path and bit-identical output for any worker count).
+
+use towerlens_trace::error::TraceError;
+use towerlens_trace::record::LogRecord;
+use towerlens_trace::time::TraceWindow;
+
+use crate::normalize::{normalize_matrix, NormalizedMatrix};
+
+/// Statistics of a vectorizer run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct VectorizerReport {
+    /// Records ingested.
+    pub records: usize,
+    /// Total bytes across all records (before window clipping).
+    pub bytes: f64,
+    /// Towers with at least one record.
+    pub active_towers: usize,
+    /// Towers dropped at normalisation (zero variance).
+    pub dead_towers: usize,
+}
+
+/// The vectorizer's full output.
+#[derive(Debug, Clone)]
+pub struct VectorizerOutput {
+    /// Raw per-tower binned traffic (tower id × bin), bytes.
+    pub raw: Vec<Vec<f64>>,
+    /// Z-scored vectors with provenance.
+    pub normalized: NormalizedMatrix,
+    /// Run statistics.
+    pub report: VectorizerReport,
+}
+
+/// The parallel traffic vectorizer.
+#[derive(Debug, Clone)]
+pub struct Vectorizer {
+    window: TraceWindow,
+    threads: usize,
+}
+
+impl Vectorizer {
+    /// Creates a vectorizer over a binning window using `threads`
+    /// workers (`0` = available parallelism).
+    pub fn new(window: TraceWindow, threads: usize) -> Self {
+        Vectorizer { window, threads }
+    }
+
+    /// The binning window.
+    pub fn window(&self) -> &TraceWindow {
+        &self.window
+    }
+
+    /// Runs both phases over a record batch.
+    ///
+    /// ```
+    /// use towerlens_pipeline::Vectorizer;
+    /// use towerlens_trace::{LogRecord, TraceWindow};
+    ///
+    /// let window = TraceWindow::days(1);
+    /// let records = vec![LogRecord {
+    ///     user_id: 1,
+    ///     start_s: window.start_s,
+    ///     end_s: window.start_s + 600,
+    ///     cell_id: 0,
+    ///     address: "BLK-1-1 Rd".into(),
+    ///     bytes: 1_000,
+    /// }];
+    /// let out = Vectorizer::new(window, 2).run(&records, 2)?;
+    /// assert_eq!(out.raw[0].iter().sum::<f64>(), 1_000.0);
+    /// assert_eq!(out.normalized.dropped, vec![1]); // silent tower dropped
+    /// # Ok::<(), towerlens_trace::TraceError>(())
+    /// ```
+    ///
+    /// # Errors
+    /// * [`TraceError::EmptyWindow`] for a degenerate window,
+    /// * [`TraceError::UnknownCell`] if any record references a tower
+    ///   id ≥ `n_towers`.
+    pub fn run(
+        &self,
+        records: &[LogRecord],
+        n_towers: usize,
+    ) -> Result<VectorizerOutput, TraceError> {
+        let raw = self.aggregate(records, n_towers)?;
+        let normalized = normalize_matrix(&raw).map_err(|_| TraceError::Corrupt)?;
+        let active_towers = raw
+            .iter()
+            .filter(|row| row.iter().any(|&v| v > 0.0))
+            .count();
+        let report = VectorizerReport {
+            records: records.len(),
+            bytes: records.iter().map(|r| r.bytes as f64).sum(),
+            active_towers,
+            dead_towers: normalized.dropped.len(),
+        };
+        Ok(VectorizerOutput {
+            raw,
+            normalized,
+            report,
+        })
+    }
+
+    /// Phase one only: the parallel aggregation.
+    ///
+    /// # Errors
+    /// As for [`Vectorizer::run`].
+    pub fn aggregate(
+        &self,
+        records: &[LogRecord],
+        n_towers: usize,
+    ) -> Result<Vec<Vec<f64>>, TraceError> {
+        if self.window.n_bins == 0 || self.window.bin_secs == 0 {
+            return Err(TraceError::EmptyWindow);
+        }
+        // Validate cell ids up front so workers can't fail mid-flight.
+        for r in records {
+            if r.cell_id as usize >= n_towers {
+                return Err(TraceError::UnknownCell {
+                    cell_id: r.cell_id,
+                    count: n_towers,
+                });
+            }
+        }
+
+        let threads = if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
+        };
+        let shards = threads.min(n_towers.max(1));
+
+        let mut matrix = vec![vec![0.0f64; self.window.n_bins]; n_towers];
+        if shards <= 1 {
+            for r in records {
+                let row = &mut matrix[r.cell_id as usize];
+                self.window.for_each_overlap(r.start_s, r.end_s, |bin, frac| {
+                    row[bin] += r.bytes as f64 * frac;
+                });
+            }
+            return Ok(matrix);
+        }
+
+        // Bucket record indices by shard (shard = contiguous tower
+        // range, so the output matrix can be split into disjoint
+        // mutable chunks).
+        let shard_size = n_towers.div_ceil(shards);
+        let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); shards];
+        for (i, r) in records.iter().enumerate() {
+            buckets[r.cell_id as usize / shard_size].push(i);
+        }
+
+        let window = &self.window;
+        crossbeam::thread::scope(|scope| {
+            for (shard, (bucket, rows)) in buckets
+                .iter()
+                .zip(matrix.chunks_mut(shard_size))
+                .enumerate()
+            {
+                scope.spawn(move |_| {
+                    let base = shard * shard_size;
+                    for &idx in bucket {
+                        let r = &records[idx];
+                        let row = &mut rows[r.cell_id as usize - base];
+                        window.for_each_overlap(r.start_s, r.end_s, |bin, frac| {
+                            row[bin] += r.bytes as f64 * frac;
+                        });
+                    }
+                });
+            }
+        })
+        .expect("vectorizer worker panicked");
+        Ok(matrix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use towerlens_trace::binning::aggregate as reference_aggregate;
+
+    fn synth_records(n: usize, n_towers: u32, window: &TraceWindow) -> Vec<LogRecord> {
+        (0..n as u64)
+            .map(|i| {
+                let span = window.end_s() - window.start_s;
+                let start = window.start_s + (i * 48_271) % span;
+                LogRecord {
+                    user_id: i % 500,
+                    start_s: start,
+                    end_s: start + (i * 131) % 3_600,
+                    cell_id: (i % n_towers as u64) as u32,
+                    address: format!("BLK-{i}-0 Rd"),
+                    bytes: 1 + (i * 2_654_435_761) % 1_000_000,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_reference_exactly() {
+        let w = TraceWindow::days(3);
+        let records = synth_records(5_000, 37, &w);
+        let reference = reference_aggregate(&records, 37, &w).unwrap();
+        for threads in [1, 2, 4, 8] {
+            let v = Vectorizer::new(w, threads);
+            let parallel = v.aggregate(&records, 37).unwrap();
+            assert_eq!(parallel.len(), reference.len());
+            for (tower, (a, b)) in parallel.iter().zip(&reference).enumerate() {
+                for (bin, (x, y)) in a.iter().zip(b).enumerate() {
+                    assert!(
+                        (x - y).abs() < 1e-9,
+                        "threads={threads} tower={tower} bin={bin}: {x} vs {y}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn run_produces_normalized_output() {
+        let w = TraceWindow::days(2);
+        let records = synth_records(2_000, 10, &w);
+        let out = Vectorizer::new(w, 4).run(&records, 12).unwrap();
+        assert_eq!(out.raw.len(), 12);
+        // Towers 10, 11 got no records → zero variance → dropped.
+        assert_eq!(out.normalized.dropped, vec![10, 11]);
+        assert_eq!(out.normalized.len(), 10);
+        assert_eq!(out.report.records, 2_000);
+        assert_eq!(out.report.active_towers, 10);
+        assert_eq!(out.report.dead_towers, 2);
+        for v in &out.normalized.vectors {
+            let mean: f64 = v.iter().sum::<f64>() / v.len() as f64;
+            assert!(mean.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn unknown_cell_rejected_before_spawning() {
+        let w = TraceWindow::days(1);
+        let mut records = synth_records(10, 4, &w);
+        records[3].cell_id = 99;
+        let v = Vectorizer::new(w, 4);
+        assert_eq!(
+            v.aggregate(&records, 4),
+            Err(TraceError::UnknownCell {
+                cell_id: 99,
+                count: 4
+            })
+        );
+    }
+
+    #[test]
+    fn empty_records_and_towers() {
+        let w = TraceWindow::days(1);
+        let v = Vectorizer::new(w, 2);
+        let m = v.aggregate(&[], 3).unwrap();
+        assert_eq!(m.len(), 3);
+        assert!(m.iter().all(|row| row.iter().all(|&x| x == 0.0)));
+        let m = v.aggregate(&[], 0).unwrap();
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn degenerate_window_rejected() {
+        let w = TraceWindow {
+            start_s: 0,
+            bin_secs: 0,
+            n_bins: 10,
+        };
+        assert_eq!(
+            Vectorizer::new(w, 1).aggregate(&[], 1),
+            Err(TraceError::EmptyWindow)
+        );
+    }
+
+    #[test]
+    fn more_threads_than_towers_is_fine() {
+        let w = TraceWindow::days(1);
+        let records = synth_records(100, 2, &w);
+        let out = Vectorizer::new(w, 16).aggregate(&records, 2).unwrap();
+        let reference = reference_aggregate(&records, 2, &w).unwrap();
+        assert_eq!(out, reference);
+    }
+}

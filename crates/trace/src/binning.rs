@@ -1,0 +1,158 @@
+//! Reference log-to-vector aggregation.
+//!
+//! Converts a batch of connection records into per-tower traffic
+//! vectors over a [`TraceWindow`]: each record's bytes are spread
+//! across the bins its connection overlaps, proportional to overlap
+//! duration. This single-threaded implementation defines the
+//! semantics; `towerlens-pipeline` reimplements it in parallel and is
+//! tested for bit-equality against this one.
+
+use crate::error::TraceError;
+use crate::record::LogRecord;
+use crate::time::TraceWindow;
+
+/// Aggregates records into an `n_towers × window.n_bins` matrix of
+/// bytes (`f64` because proportional allocation splits bytes
+/// fractionally).
+///
+/// Records referencing unknown cells are rejected — a corrupted cell
+/// id silently mis-attributing traffic would poison the analysis.
+///
+/// # Errors
+/// * [`TraceError::EmptyWindow`] for a zero-bin window,
+/// * [`TraceError::UnknownCell`] for an out-of-range `cell_id`.
+pub fn aggregate(
+    records: &[LogRecord],
+    n_towers: usize,
+    window: &TraceWindow,
+) -> Result<Vec<Vec<f64>>, TraceError> {
+    if window.n_bins == 0 || window.bin_secs == 0 {
+        return Err(TraceError::EmptyWindow);
+    }
+    let mut matrix = vec![vec![0.0f64; window.n_bins]; n_towers];
+    for r in records {
+        let row = matrix
+            .get_mut(r.cell_id as usize)
+            .ok_or(TraceError::UnknownCell {
+                cell_id: r.cell_id,
+                count: n_towers,
+            })?;
+        window.for_each_overlap(r.start_s, r.end_s, |bin, frac| {
+            row[bin] += r.bytes as f64 * frac;
+        });
+    }
+    Ok(matrix)
+}
+
+/// Sums a per-tower matrix into the city-wide aggregate vector
+/// (Fig 1 / Fig 12 operate on this).
+pub fn aggregate_total(matrix: &[Vec<f64>]) -> Vec<f64> {
+    let n_bins = matrix.first().map(|r| r.len()).unwrap_or(0);
+    let mut total = vec![0.0; n_bins];
+    for row in matrix {
+        for (t, v) in total.iter_mut().zip(row) {
+            *t += v;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::{BIN_SECS, WINDOW_START_S};
+
+    fn rec(cell: u32, start: u64, end: u64, bytes: u64) -> LogRecord {
+        LogRecord {
+            user_id: 1,
+            start_s: start,
+            end_s: end,
+            cell_id: cell,
+            address: "BLK-1-1 Rd".into(),
+            bytes,
+        }
+    }
+
+    #[test]
+    fn bytes_conserved_inside_window() {
+        let w = TraceWindow::paper();
+        let records = vec![
+            rec(0, w.start_s, w.start_s + 1_800, 3_000),
+            rec(1, w.start_s + 50, w.start_s + 650, 600),
+        ];
+        let m = aggregate(&records, 2, &w).unwrap();
+        let sum0: f64 = m[0].iter().sum();
+        let sum1: f64 = m[1].iter().sum();
+        assert!((sum0 - 3_000.0).abs() < 1e-9);
+        assert!((sum1 - 600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn proportional_split_across_bins() {
+        let w = TraceWindow::paper();
+        // 30 minutes evenly covering bins 0..3.
+        let r = rec(0, w.start_s, w.start_s + 3 * BIN_SECS, 900);
+        let m = aggregate(&[r], 1, &w).unwrap();
+        assert!((m[0][0] - 300.0).abs() < 1e-9);
+        assert!((m[0][1] - 300.0).abs() < 1e-9);
+        assert!((m[0][2] - 300.0).abs() < 1e-9);
+        assert_eq!(m[0][3], 0.0);
+    }
+
+    #[test]
+    fn traffic_outside_window_dropped() {
+        let w = TraceWindow::paper();
+        // Entirely before the window (the 3 trimmed days).
+        let r = rec(0, 0, WINDOW_START_S - 600, 5_000);
+        let m = aggregate(&[r], 1, &w).unwrap();
+        assert_eq!(m[0].iter().sum::<f64>(), 0.0);
+        // Straddling the start: only the inside half counts.
+        let r = rec(0, WINDOW_START_S - 600, WINDOW_START_S + 600, 1_000);
+        let m = aggregate(&[r], 1, &w).unwrap();
+        assert!((m[0].iter().sum::<f64>() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_cell_rejected() {
+        let w = TraceWindow::paper();
+        let r = rec(5, w.start_s, w.start_s + 60, 10);
+        assert_eq!(
+            aggregate(&[r], 2, &w),
+            Err(TraceError::UnknownCell {
+                cell_id: 5,
+                count: 2
+            })
+        );
+    }
+
+    #[test]
+    fn empty_window_rejected() {
+        let w = TraceWindow {
+            start_s: 0,
+            bin_secs: 600,
+            n_bins: 0,
+        };
+        assert_eq!(aggregate(&[], 1, &w), Err(TraceError::EmptyWindow));
+    }
+
+    #[test]
+    fn total_aggregation() {
+        let w = TraceWindow::days(1);
+        let records = vec![
+            rec(0, w.start_s, w.start_s + 600, 100),
+            rec(1, w.start_s, w.start_s + 600, 250),
+        ];
+        let m = aggregate(&records, 2, &w).unwrap();
+        let total = aggregate_total(&m);
+        assert!((total[0] - 350.0).abs() < 1e-9);
+        assert_eq!(aggregate_total(&[]).len(), 0);
+    }
+
+    #[test]
+    fn zero_duration_connection_counts_fully() {
+        let w = TraceWindow::paper();
+        let r = rec(0, w.start_s + 100, w.start_s + 100, 77);
+        let m = aggregate(&[r], 1, &w).unwrap();
+        assert!((m[0][0] - 77.0).abs() < 1e-9);
+    }
+}

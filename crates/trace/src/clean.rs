@@ -1,0 +1,153 @@
+//! Redundant/conflicting-log elimination (§2.2, first preprocessing
+//! step).
+//!
+//! Operator traces contain two classes of bad entries the paper calls
+//! out:
+//!
+//! * **redundant logs** — byte-identical duplicates introduced by
+//!   collection-side retries; we keep one copy;
+//! * **conflict logs** — entries identical in *(user, cell, start,
+//!   end)* but disagreeing on the byte count (double-counted sessions
+//!   reported by different collectors); we keep the entry with the
+//!   largest byte count, on the grounds that partial collector flushes
+//!   undercount.
+//!
+//! The cleaner reports what it removed so the preprocessing is
+//! auditable.
+
+use std::collections::HashMap;
+
+use crate::record::LogRecord;
+
+/// Audit report of a cleaning pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CleanReport {
+    /// Records examined.
+    pub total: usize,
+    /// Byte-identical duplicates dropped.
+    pub duplicates_removed: usize,
+    /// Conflicting entries dropped (same session key, different
+    /// bytes).
+    pub conflicts_resolved: usize,
+    /// Records kept.
+    pub kept: usize,
+}
+
+/// Session identity: the fields that define "the same connection".
+type SessionKey = (u64, u32, u64, u64);
+
+fn key(r: &LogRecord) -> SessionKey {
+    (r.user_id, r.cell_id, r.start_s, r.end_s)
+}
+
+/// Cleans a batch of records, returning the survivors (in first-seen
+/// order) and the audit report.
+pub fn clean_records(records: &[LogRecord]) -> (Vec<LogRecord>, CleanReport) {
+    let mut report = CleanReport {
+        total: records.len(),
+        ..CleanReport::default()
+    };
+    // Map session key → index into `kept`.
+    let mut by_key: HashMap<SessionKey, usize> = HashMap::with_capacity(records.len());
+    let mut kept: Vec<LogRecord> = Vec::with_capacity(records.len());
+    for r in records {
+        match by_key.entry(key(r)) {
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(kept.len());
+                kept.push(r.clone());
+            }
+            std::collections::hash_map::Entry::Occupied(o) => {
+                let existing = &mut kept[*o.get()];
+                if existing.bytes == r.bytes {
+                    report.duplicates_removed += 1;
+                } else {
+                    report.conflicts_resolved += 1;
+                    if r.bytes > existing.bytes {
+                        *existing = r.clone();
+                    }
+                }
+            }
+        }
+    }
+    report.kept = kept.len();
+    (kept, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(user: u64, cell: u32, start: u64, bytes: u64) -> LogRecord {
+        LogRecord {
+            user_id: user,
+            start_s: start,
+            end_s: start + 600,
+            cell_id: cell,
+            address: "BLK-1-2 Rd".into(),
+            bytes,
+        }
+    }
+
+    #[test]
+    fn exact_duplicates_are_dropped() {
+        let records = vec![rec(1, 1, 0, 100), rec(1, 1, 0, 100), rec(1, 1, 0, 100)];
+        let (kept, report) = clean_records(&records);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(report.duplicates_removed, 2);
+        assert_eq!(report.conflicts_resolved, 0);
+        assert_eq!(report.kept, 1);
+    }
+
+    #[test]
+    fn conflicts_keep_largest_bytes() {
+        let records = vec![rec(1, 1, 0, 100), rec(1, 1, 0, 900), rec(1, 1, 0, 300)];
+        let (kept, report) = clean_records(&records);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].bytes, 900);
+        assert_eq!(report.conflicts_resolved, 2);
+    }
+
+    #[test]
+    fn distinct_sessions_survive() {
+        let records = vec![
+            rec(1, 1, 0, 100),
+            rec(1, 1, 600, 100),  // later start: distinct
+            rec(2, 1, 0, 100),   // other user: distinct
+            rec(1, 2, 0, 100),   // other cell: distinct
+        ];
+        let (kept, report) = clean_records(&records);
+        assert_eq!(kept.len(), 4);
+        assert_eq!(report.duplicates_removed, 0);
+        assert_eq!(report.conflicts_resolved, 0);
+    }
+
+    #[test]
+    fn order_of_first_appearance_preserved() {
+        let records = vec![rec(3, 1, 0, 10), rec(1, 1, 0, 10), rec(3, 1, 0, 10)];
+        let (kept, _) = clean_records(&records);
+        assert_eq!(kept[0].user_id, 3);
+        assert_eq!(kept[1].user_id, 1);
+    }
+
+    #[test]
+    fn empty_input() {
+        let (kept, report) = clean_records(&[]);
+        assert!(kept.is_empty());
+        assert_eq!(report.total, 0);
+        assert_eq!(report.kept, 0);
+    }
+
+    #[test]
+    fn totals_balance() {
+        let records = vec![
+            rec(1, 1, 0, 100),
+            rec(1, 1, 0, 100),
+            rec(1, 1, 0, 200),
+            rec(2, 2, 0, 5),
+        ];
+        let (kept, r) = clean_records(&records);
+        assert_eq!(r.total, 4);
+        assert_eq!(r.kept, kept.len());
+        assert_eq!(r.total, r.kept + r.duplicates_removed + r.conflicts_resolved);
+    }
+}

@@ -1,0 +1,75 @@
+//! Error types for the trace substrate.
+
+/// Errors produced by trace parsing and aggregation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// A serialized record line had the wrong number of fields.
+    BadFieldCount {
+        /// Fields found.
+        found: usize,
+        /// 1-based line number, when known.
+        line: usize,
+    },
+    /// A numeric field failed to parse.
+    BadNumber {
+        /// Field name.
+        field: &'static str,
+        /// 1-based line number, when known.
+        line: usize,
+    },
+    /// A record's end time precedes its start time.
+    NegativeDuration {
+        /// 1-based line number, when known.
+        line: usize,
+    },
+    /// A record referenced a tower id outside the known range.
+    UnknownCell {
+        /// The offending cell id.
+        cell_id: u32,
+        /// Number of towers.
+        count: usize,
+    },
+    /// The binning window is degenerate (zero bins or zero bin width).
+    EmptyWindow,
+    /// Aggregated traffic contained non-finite values (corrupted
+    /// input).
+    Corrupt,
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::BadFieldCount { found, line } => {
+                write!(f, "line {line}: expected 6 fields, found {found}")
+            }
+            TraceError::BadNumber { field, line } => {
+                write!(f, "line {line}: field `{field}` is not a valid number")
+            }
+            TraceError::NegativeDuration { line } => {
+                write!(f, "line {line}: connection ends before it starts")
+            }
+            TraceError::UnknownCell { cell_id, count } => {
+                write!(f, "cell id {cell_id} out of range ({count} towers)")
+            }
+            TraceError::EmptyWindow => write!(f, "binning window has zero bins"),
+            TraceError::Corrupt => write!(f, "aggregated traffic contains non-finite values"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_context() {
+        let e = TraceError::BadNumber {
+            field: "bytes",
+            line: 17,
+        };
+        assert!(e.to_string().contains("bytes"));
+        assert!(e.to_string().contains("17"));
+    }
+}

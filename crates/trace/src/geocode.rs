@@ -1,0 +1,157 @@
+//! The synthetic geocoder — the Baidu-Map API substitute (§2.2,
+//! second preprocessing step).
+//!
+//! The paper converts base-station street addresses to coordinates
+//! through an online map API. Our addresses follow the `BLK-<i>-<j>
+//! <street>` convention produced by `towerlens-city`; the geocoder
+//! resolves them to the block centre (introducing the same kind of
+//! quantisation error a real geocoder has), caches results, and can
+//! simulate resolution failures so the downstream handles incomplete
+//! information.
+
+use std::collections::HashMap;
+
+use towerlens_city::geo::GeoPoint;
+
+/// Statistics of a geocoding run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GeocodeReport {
+    /// Lookups attempted.
+    pub lookups: usize,
+    /// Served from the cache.
+    pub cache_hits: usize,
+    /// Addresses that could not be parsed.
+    pub unresolved: usize,
+    /// Lookups dropped by the simulated failure injector.
+    pub injected_failures: usize,
+}
+
+/// A caching, failure-injecting address resolver.
+#[derive(Debug, Clone)]
+pub struct Geocoder {
+    cache: HashMap<String, Option<GeoPoint>>,
+    report: GeocodeReport,
+    /// Deterministic failure injection: every `failure_period`-th
+    /// *new* address fails to resolve (0 = never).
+    failure_period: usize,
+    fresh_lookups: usize,
+}
+
+impl Geocoder {
+    /// A geocoder that resolves every well-formed address.
+    pub fn new() -> Self {
+        Geocoder {
+            cache: HashMap::new(),
+            report: GeocodeReport::default(),
+            failure_period: 0,
+            fresh_lookups: 0,
+        }
+    }
+
+    /// A geocoder where every `period`-th fresh address fails (for
+    /// testing incomplete-information handling). `period = 0` never
+    /// fails.
+    pub fn with_failures(period: usize) -> Self {
+        Geocoder {
+            failure_period: period,
+            ..Geocoder::new()
+        }
+    }
+
+    /// Resolves an address to coordinates. `None` means the address is
+    /// malformed or the (simulated) service failed; callers are
+    /// expected to drop such towers, as the paper drops stations with
+    /// incomplete information.
+    pub fn resolve(&mut self, address: &str) -> Option<GeoPoint> {
+        self.report.lookups += 1;
+        if let Some(cached) = self.cache.get(address) {
+            self.report.cache_hits += 1;
+            return *cached;
+        }
+        self.fresh_lookups += 1;
+        let result = if self.failure_period > 0 && self.fresh_lookups.is_multiple_of(self.failure_period) {
+            self.report.injected_failures += 1;
+            None
+        } else {
+            let parsed = GeoPoint::from_block_address(address);
+            if parsed.is_none() {
+                self.report.unresolved += 1;
+            }
+            parsed
+        };
+        self.cache.insert(address.to_string(), result);
+        result
+    }
+
+    /// Resolves a batch, returning per-address results.
+    pub fn resolve_all(&mut self, addresses: &[&str]) -> Vec<Option<GeoPoint>> {
+        addresses.iter().map(|a| self.resolve(a)).collect()
+    }
+
+    /// The cumulative run report.
+    pub fn report(&self) -> GeocodeReport {
+        self.report
+    }
+}
+
+impl Default for Geocoder {
+    fn default() -> Self {
+        Geocoder::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolves_block_addresses() {
+        let mut g = Geocoder::new();
+        let p = g.resolve("BLK-121470-31230 Nanjing Rd").unwrap();
+        assert!((p.lon - 121.4705).abs() < 1e-9);
+        assert!((p.lat - 31.2305).abs() < 1e-9);
+    }
+
+    #[test]
+    fn caches_repeat_lookups() {
+        let mut g = Geocoder::new();
+        let a = "BLK-10-20 Century Ave";
+        let first = g.resolve(a);
+        let second = g.resolve(a);
+        assert_eq!(first, second);
+        let r = g.report();
+        assert_eq!(r.lookups, 2);
+        assert_eq!(r.cache_hits, 1);
+    }
+
+    #[test]
+    fn malformed_addresses_unresolved() {
+        let mut g = Geocoder::new();
+        assert_eq!(g.resolve("People's Square"), None);
+        assert_eq!(g.resolve(""), None);
+        assert_eq!(g.report().unresolved, 2);
+    }
+
+    #[test]
+    fn failure_injection_is_deterministic() {
+        let mut g = Geocoder::with_failures(3);
+        let addrs: Vec<String> = (0..9).map(|i| format!("BLK-{i}-0 Rd")).collect();
+        let refs: Vec<&str> = addrs.iter().map(|s| s.as_str()).collect();
+        let results = g.resolve_all(&refs);
+        let failures = results.iter().filter(|r| r.is_none()).count();
+        assert_eq!(failures, 3); // every 3rd fresh lookup
+        assert_eq!(g.report().injected_failures, 3);
+        // Failed addresses stay failed (cached).
+        assert_eq!(g.resolve(&addrs[2]), None);
+    }
+
+    #[test]
+    fn batch_matches_singles() {
+        let mut g1 = Geocoder::new();
+        let mut g2 = Geocoder::new();
+        let addrs = ["BLK-1-1 A", "BLK-2-2 B", "junk"];
+        let batch = g1.resolve_all(&addrs);
+        let singles: Vec<_> = addrs.iter().map(|a| g2.resolve(a)).collect();
+        assert_eq!(batch, singles);
+    }
+}

@@ -1,0 +1,41 @@
+//! # towerlens-trace
+//!
+//! The cellular traffic trace substrate: everything between "raw
+//! operator logs" and "clean per-tower time series".
+//!
+//! The paper's dataset is a month of per-connection logs — tuples of
+//! *(anonymised device id, start/end time of the data connection, base
+//! station id, base station address, bytes used)* — that must be
+//! deduplicated, geocoded, and aggregated before any analysis (§2.2).
+//! This crate reproduces that layer:
+//!
+//! * [`record`] — the log-record schema and a line-oriented
+//!   serialisation (tab-separated, one record per line),
+//! * [`clean`] — redundant/conflicting-log elimination with an audit
+//!   report (the paper's first preprocessing step),
+//! * [`geocode`] — the Baidu-Map substitute: resolves the synthetic
+//!   `BLK-i-j <street>` addresses back to coordinates, with an
+//!   injectable failure rate to exercise incomplete-information
+//!   handling,
+//! * [`time`] — the 10-minute binning calendar: a 28-day window of
+//!   4,032 bins ("we remove 3 days from the month to make the duration
+//!   consist of four entire weeks"), weekday/weekend arithmetic,
+//! * [`binning`] — the reference (single-threaded) log-to-vector
+//!   aggregator; `towerlens-pipeline` provides the parallel version
+//!   and cross-checks against this one.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod binning;
+pub mod clean;
+pub mod error;
+pub mod geocode;
+pub mod record;
+pub mod time;
+
+pub use clean::{clean_records, CleanReport};
+pub use error::TraceError;
+pub use geocode::{GeocodeReport, Geocoder};
+pub use record::LogRecord;
+pub use time::{TraceWindow, BINS_PER_DAY, BIN_SECS, N_BINS, WINDOW_DAYS};

@@ -1,0 +1,116 @@
+//! Load forecasting: the ISP application the paper motivates — "mobile
+//! users can choose towers with predicted lower traffic", ISPs can
+//! customise per-tower strategies.
+//!
+//! ```text
+//! cargo run --release --example load_forecast
+//! ```
+//!
+//! The frequency-domain model says a tower's traffic is DC + three
+//! spectral lines. That makes a forecaster: fit the sparse spectral
+//! model on weeks 1–3, predict week 4, and compare against two
+//! baselines (previous-week copy, and a flat mean). Errors are
+//! normalised RMSE per tower.
+
+use towerlens::core::{Study, StudyConfig};
+use towerlens::dsp::spectrum::Spectrum;
+use towerlens::trace::time::BINS_PER_DAY;
+
+/// Sparse spectral forecast: DFT the training series, keep DC and the
+/// per-week harmonics of the day/half-day/week lines, extrapolate one
+/// period.
+fn spectral_forecast(train: &[f64], horizon: usize) -> Vec<f64> {
+    let weeks = train.len() / (7 * BINS_PER_DAY);
+    let spectrum = Spectrum::of(train).expect("finite traffic");
+    let keep = [0, weeks, 7 * weeks, 14 * weeks];
+    let fitted = spectrum
+        .reconstruct_from_bins(&keep)
+        .expect("bins in range");
+    // The reconstruction is periodic with the training length; the
+    // forecast continues it (indices wrap).
+    (0..horizon).map(|i| fitted[i % fitted.len()].max(0.0)).collect()
+}
+
+fn rmse(pred: &[f64], truth: &[f64]) -> f64 {
+    let n = pred.len().min(truth.len());
+    (pred[..n]
+        .iter()
+        .zip(&truth[..n])
+        .map(|(p, t)| (p - t) * (p - t))
+        .sum::<f64>()
+        / n as f64)
+        .sqrt()
+}
+
+fn main() {
+    // 4 weeks of traffic: train on 3, test on week 4.
+    let report = match Study::new(StudyConfig::small(5)).run() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("study failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let week = 7 * BINS_PER_DAY;
+    let train_len = report.window.n_bins - week;
+    if train_len < week {
+        eprintln!("window too short for a train/test split");
+        std::process::exit(1);
+    }
+
+    let mut wins_spectral = 0usize;
+    let mut total = 0usize;
+    let mut sum_spectral = 0.0;
+    let mut sum_lastweek = 0.0;
+    let mut sum_flat = 0.0;
+    for row in &report.raw {
+        let (train, test) = row.split_at(train_len);
+        let mean_level = train.iter().sum::<f64>() / train.len() as f64;
+        if mean_level <= 0.0 {
+            continue;
+        }
+        let spectral = spectral_forecast(train, week);
+        let lastweek = &train[train_len - week..];
+        let flat = vec![mean_level; week];
+
+        // Normalise by the tower's mean so errors are comparable.
+        let e_spec = rmse(&spectral, test) / mean_level;
+        let e_last = rmse(lastweek, test) / mean_level;
+        let e_flat = rmse(&flat, test) / mean_level;
+        sum_spectral += e_spec;
+        sum_lastweek += e_last;
+        sum_flat += e_flat;
+        if e_spec < e_last {
+            wins_spectral += 1;
+        }
+        total += 1;
+    }
+
+    println!("week-4 forecast over {total} towers (normalised RMSE, lower is better):");
+    println!(
+        "  sparse spectral model (DC + week/day/half-day lines): {:.4}",
+        sum_spectral / total as f64
+    );
+    println!(
+        "  previous-week copy:                                   {:.4}",
+        sum_lastweek / total as f64
+    );
+    println!(
+        "  flat mean:                                            {:.4}",
+        sum_flat / total as f64
+    );
+    println!(
+        "  spectral model beats previous-week copy on {:.1}% of towers",
+        100.0 * wins_spectral as f64 / total as f64
+    );
+    println!(
+        "\nreading: on this strongly periodic synthetic workload the previous-week \
+         copy is near-optimal, so the interesting comparison is state: the spectral \
+         model gets within {:.1}× of it using 7 numbers per tower instead of {} \
+         ({:.0}× less state), and beats the flat-mean strawman by {:.1}×.",
+        (sum_spectral / total as f64) / (sum_lastweek / total as f64),
+        week,
+        week as f64 / 7.0,
+        (sum_flat / total as f64) / (sum_spectral / total as f64)
+    );
+}

@@ -1,0 +1,118 @@
+//! End-to-end integration: the full study pipeline across all crates.
+
+use towerlens::city::zone::RegionKind;
+use towerlens::core::{Study, StudyConfig, StudyReport};
+
+fn tiny_report(seed: u64) -> StudyReport {
+    Study::new(StudyConfig::tiny(seed)).run().expect("study")
+}
+
+#[test]
+fn tiny_study_produces_consistent_artifacts() {
+    let report = tiny_report(7);
+    // Every analysed vector maps to a tower and a cluster.
+    assert_eq!(report.kept_ids.len(), report.vectors.len());
+    assert_eq!(
+        report.patterns.clustering.labels.len(),
+        report.vectors.len()
+    );
+    assert_eq!(report.geo.labels.len(), report.patterns.k);
+    assert_eq!(report.time_stats.len(), report.patterns.k);
+    assert_eq!(report.feature_stats.len(), report.patterns.k);
+    assert_eq!(report.features.len(), report.vectors.len());
+    // Cluster series sum to the kept towers' raw totals.
+    let series_total: f64 = report
+        .cluster_series
+        .iter()
+        .map(|s| s.iter().sum::<f64>())
+        .sum();
+    let raw_total: f64 = report
+        .kept_ids
+        .iter()
+        .map(|&id| report.raw[id].iter().sum::<f64>())
+        .sum();
+    assert!((series_total - raw_total).abs() < 1e-6 * raw_total);
+}
+
+#[test]
+fn study_finds_plausible_pattern_count_and_labels() {
+    let report = tiny_report(7);
+    assert!(
+        (3..=8).contains(&report.patterns.k),
+        "k = {}",
+        report.patterns.k
+    );
+    // Office and resident are the two dominant urban functions; any
+    // sane run labels a cluster with each.
+    assert!(report.geo.labels.contains(&RegionKind::Office));
+    assert!(report.geo.labels.contains(&RegionKind::Resident));
+    // Ground-truth agreement must beat a majority-class guesser.
+    assert!(
+        report.geo.ground_truth_agreement > 0.6,
+        "agreement {}",
+        report.geo.ground_truth_agreement
+    );
+}
+
+#[test]
+fn studies_are_reproducible_and_seed_sensitive() {
+    let a = tiny_report(3);
+    let b = tiny_report(3);
+    assert_eq!(a.patterns.clustering.labels, b.patterns.clustering.labels);
+    assert_eq!(a.geo.labels, b.geo.labels);
+    assert_eq!(a.kept_ids, b.kept_ids);
+    let c = tiny_report(4);
+    // A different seed gives a different city, hence different raw
+    // traffic (labels may coincide).
+    assert_ne!(
+        a.raw[0], c.raw[0],
+        "different seeds must give different traffic"
+    );
+}
+
+#[test]
+fn representative_towers_come_from_their_clusters() {
+    let report = tiny_report(7);
+    let Some(reps) = report.representatives else {
+        // Not all pure patterns found at this scale/seed; nothing to
+        // verify.
+        return;
+    };
+    for (i, kind) in RegionKind::PURE.iter().enumerate() {
+        let cluster = report.patterns.clustering.labels[reps[i]];
+        assert_eq!(
+            report.geo.labels[cluster],
+            *kind,
+            "representative {i} not in the {kind:?} cluster"
+        );
+    }
+    // The F1..F4 decompositions (first four rows) put ≥ 0.95 weight on
+    // themselves by construction.
+    for (i, row) in report.decompositions.iter().take(4).enumerate() {
+        assert!(
+            row.coefficients[i] > 0.95,
+            "F{} self-coefficient {:?}",
+            i + 1,
+            row.coefficients
+        );
+        assert!(row.residual_sqr < 1e-9);
+    }
+}
+
+#[test]
+fn decomposition_coefficients_are_convex() {
+    let report = tiny_report(7);
+    for row in &report.decompositions {
+        let sum: f64 = row.coefficients.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6, "{:?}", row.coefficients);
+        assert!(row.coefficients.iter().all(|&c| c >= -1e-9));
+    }
+}
+
+#[test]
+fn total_series_is_sum_of_rows() {
+    let report = tiny_report(3);
+    let total = report.total_series();
+    let bin0: f64 = report.raw.iter().map(|r| r[0]).sum();
+    assert!((total[0] - bin0).abs() < 1e-9 * bin0.max(1.0));
+}

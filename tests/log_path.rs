@@ -1,0 +1,128 @@
+//! Integration of the log path: agents → records → serialisation →
+//! cleaning → geocoding → parallel vectorizer, cross-checked against
+//! the single-threaded reference aggregation.
+
+use towerlens::city::{config::CityConfig, generate::generate};
+use towerlens::mobility::agents::{AgentConfig, AgentPopulation};
+use towerlens::pipeline::vectorizer::Vectorizer;
+use towerlens::trace::binning::aggregate;
+use towerlens::trace::clean::clean_records;
+use towerlens::trace::geocode::Geocoder;
+use towerlens::trace::record::{parse_lines, to_lines};
+use towerlens::trace::time::TraceWindow;
+
+fn setup() -> (towerlens::city::City, Vec<towerlens::trace::LogRecord>, TraceWindow) {
+    let city = generate(&CityConfig::tiny(11)).expect("city");
+    let population = AgentPopulation::generate(
+        &city,
+        AgentConfig {
+            n_agents: 150,
+            duplicate_rate: 0.05,
+            conflict_rate: 0.02,
+            ..AgentConfig::default()
+        },
+    );
+    let window = TraceWindow::days(3);
+    let records = population.emit_logs(&city, &window);
+    (city, records, window)
+}
+
+#[test]
+fn serialisation_roundtrip_preserves_all_records() {
+    let (_, records, _) = setup();
+    let dump = to_lines(&records);
+    let (parsed, errors) = parse_lines(&dump);
+    assert!(errors.is_empty(), "{errors:?}");
+    assert_eq!(parsed, records);
+}
+
+#[test]
+fn cleaning_is_idempotent() {
+    let (_, records, _) = setup();
+    let (once, first) = clean_records(&records);
+    assert!(first.duplicates_removed > 0, "{first:?}");
+    assert!(first.conflicts_resolved > 0, "{first:?}");
+    let (twice, second) = clean_records(&once);
+    assert_eq!(once, twice);
+    assert_eq!(second.duplicates_removed, 0);
+    assert_eq!(second.conflicts_resolved, 0);
+}
+
+#[test]
+fn parallel_vectorizer_matches_reference_on_agent_logs() {
+    let (city, records, window) = setup();
+    let (clean, _) = clean_records(&records);
+    let n = city.towers().len();
+    let reference = aggregate(&clean, n, &window).expect("reference");
+    for threads in [1, 3, 8] {
+        let out = Vectorizer::new(window, threads)
+            .aggregate(&clean, n)
+            .expect("parallel");
+        assert_eq!(out.len(), reference.len());
+        for (tower, (a, b)) in out.iter().zip(&reference).enumerate() {
+            for (bin, (x, y)) in a.iter().zip(b).enumerate() {
+                assert!(
+                    (x - y).abs() <= 1e-9 * x.abs().max(1.0),
+                    "threads={threads} tower={tower} bin={bin}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn cleaning_never_loses_bytes_beyond_removed_records() {
+    let (_, records, _) = setup();
+    let (clean, report) = clean_records(&records);
+    // Conflicts keep the max-bytes copy, so total kept bytes can only
+    // shrink by exactly the dropped records' bytes or less.
+    let before: u64 = records.iter().map(|r| r.bytes).sum();
+    let after: u64 = clean.iter().map(|r| r.bytes).sum();
+    assert!(after <= before);
+    assert_eq!(clean.len(), report.kept);
+}
+
+#[test]
+fn all_tower_addresses_geocode_within_a_block() {
+    let (city, _, _) = setup();
+    let mut geocoder = Geocoder::new();
+    for tower in city.towers() {
+        let p = geocoder
+            .resolve(&tower.address)
+            .unwrap_or_else(|| panic!("unresolvable address {:?}", tower.address));
+        assert!(
+            tower.position.distance_m(&p) < 160.0,
+            "geocoding error too large for {:?}",
+            tower.address
+        );
+    }
+    assert_eq!(geocoder.report().unresolved, 0);
+}
+
+#[test]
+fn vectorized_log_traffic_lands_in_working_hours() {
+    // Sanity on the agent model through the whole pipeline: office
+    // towers accumulate traffic mostly inside 08:00–18:00.
+    let (city, records, window) = setup();
+    let (clean, _) = clean_records(&records);
+    let out = Vectorizer::new(window, 0)
+        .run(&clean, city.towers().len())
+        .expect("vectorizer");
+    let office_ids = city.towers_of_kind(towerlens::city::zone::RegionKind::Office);
+    let mut inside = 0.0;
+    let mut total = 0.0;
+    for &id in &office_ids {
+        for (bin, &v) in out.raw[id].iter().enumerate() {
+            let (h, _) = window.time_of_day(bin);
+            if !window.is_weekend_bin(bin) && (8..18).contains(&h) {
+                inside += v;
+            }
+            total += v;
+        }
+    }
+    assert!(
+        inside / total.max(1.0) > 0.7,
+        "only {:.1}% of office traffic in working hours",
+        100.0 * inside / total.max(1.0)
+    );
+}
