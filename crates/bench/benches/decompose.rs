@@ -5,9 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use towerlens_opt::simplex::{
-    project_to_simplex, simplex_least_squares, SimplexLsOptions, Solver,
-};
+use towerlens_opt::simplex::{project_to_simplex, simplex_least_squares, SimplexLsOptions, Solver};
 
 fn vertices() -> Vec<Vec<f64>> {
     // A realistic polygon in the (A_day, P_day, A_half) space.
@@ -46,7 +44,6 @@ fn bench_solvers(c: &mut Criterion) {
             // use so the benchmark measures realistic cost.
             tolerance: 1e-8,
             max_iters: 300_000,
-            ..SimplexLsOptions::default()
         };
         group.bench_function(name, |b| {
             b.iter(|| {

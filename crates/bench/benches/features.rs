@@ -43,8 +43,7 @@ fn bench_feature_spaces(c: &mut Criterion) {
         |b, v| {
             b.iter(|| {
                 black_box(
-                    agglomerative_points(v, Linkage::Average, Engine::NnChain, 1)
-                        .expect("tree"),
+                    agglomerative_points(v, Linkage::Average, Engine::NnChain, 1).expect("tree"),
                 )
             });
         },
@@ -55,8 +54,7 @@ fn bench_feature_spaces(c: &mut Criterion) {
         |b, v| {
             b.iter(|| {
                 black_box(
-                    agglomerative_points(v, Linkage::Average, Engine::NnChain, 1)
-                        .expect("tree"),
+                    agglomerative_points(v, Linkage::Average, Engine::NnChain, 1).expect("tree"),
                 )
             });
         },

@@ -36,9 +36,7 @@ pub fn run(id: &str, report: &StudyReport) -> Result<String, CoreError> {
         "ablate-tuner" => tuner(report),
         "ablate-noise" => noise(report),
         "ablate-features" => feature_space(report),
-        _ => Err(CoreError::UnknownExperiment {
-            id: id.to_string(),
-        }),
+        _ => Err(CoreError::UnknownExperiment { id: id.to_string() }),
     }
 }
 
@@ -91,7 +89,11 @@ pub fn linkage(report: &StudyReport) -> Result<String, CoreError> {
          DBI-chosen k):\n\n",
     );
     let mut t = TextTable::new(vec![
-        "linkage", "ARI@5 vs truth", "purity@5", "DBI-chosen k", "time (s)",
+        "linkage",
+        "ARI@5 vs truth",
+        "purity@5",
+        "DBI-chosen k",
+        "time (s)",
     ]);
     for (name, linkage) in [
         ("average", Linkage::Average),
@@ -103,8 +105,7 @@ pub fn linkage(report: &StudyReport) -> Result<String, CoreError> {
         let dendro = agglomerative_points(&report.vectors, linkage, Engine::NnChain, 0)?;
         let elapsed = start.elapsed().as_secs_f64();
         let (ari, pur) = score_cut(&dendro, &report.vectors, &truth, 5)?;
-        let sweep =
-            towerlens_cluster::validity::dbi_sweep(&report.vectors, &dendro, 2, 12)?;
+        let sweep = towerlens_cluster::validity::dbi_sweep(&report.vectors, &dendro, 2, 12)?;
         let chosen = towerlens_cluster::validity::best_by_dbi(&sweep)
             .map(|p| p.k)
             .unwrap_or(0);
@@ -175,7 +176,11 @@ pub fn tuner(report: &StudyReport) -> Result<String, CoreError> {
 }
 
 /// Subsamples points + labels for the O(n²) silhouette.
-fn subsample(points: &[Vec<f64>], clustering: &Clustering, cap: usize) -> (Vec<Vec<f64>>, Clustering) {
+fn subsample(
+    points: &[Vec<f64>],
+    clustering: &Clustering,
+    cap: usize,
+) -> (Vec<Vec<f64>>, Clustering) {
     if points.len() <= cap {
         return (points.to_vec(), clustering.clone());
     }
@@ -210,9 +215,7 @@ pub fn noise(report: &StudyReport) -> Result<String, CoreError> {
          Re-synthesising the same city at increasing per-bin log-normal noise and\n\
          re-running the identifier:\n\n",
     );
-    let mut t = TextTable::new(vec![
-        "bin noise σ", "chosen k", "ARI vs truth", "purity",
-    ]);
+    let mut t = TextTable::new(vec!["bin noise σ", "chosen k", "ARI vs truth", "purity"]);
     for &sigma in &[0.03f64, 0.06, 0.12, 0.25, 0.5] {
         let synth = SynthConfig {
             bin_noise_sigma: sigma,
@@ -244,12 +247,7 @@ pub fn noise(report: &StudyReport) -> Result<String, CoreError> {
         let truth = Clustering::from_labels(compact)?;
         let ari = adjusted_rand_index(&found.clustering, &truth)?;
         let pur = purity(&found.clustering, &truth)?;
-        t.row(vec![
-            num(sigma),
-            found.k.to_string(),
-            num(ari),
-            num(pur),
-        ]);
+        t.row(vec![num(sigma), found.k.to_string(), num(ari), num(pur)]);
     }
     out.push_str(&t.render());
     Ok(out)
@@ -269,12 +267,13 @@ pub fn feature_space(report: &StudyReport) -> Result<String, CoreError> {
     let f3: Vec<Vec<f64>> = features.iter().map(|f| f.f3().to_vec()).collect();
 
     let mut t = TextTable::new(vec![
-        "space", "dims", "cluster time (s)", "ARI@5 vs truth", "purity@5",
+        "space",
+        "dims",
+        "cluster time (s)",
+        "ARI@5 vs truth",
+        "purity@5",
     ]);
-    for (name, pts) in [
-        ("raw time-domain", &report.vectors),
-        ("spectral f3", &f3),
-    ] {
+    for (name, pts) in [("raw time-domain", &report.vectors), ("spectral f3", &f3)] {
         let start = Instant::now();
         let dendro = agglomerative_points(pts, Linkage::Average, Engine::NnChain, 0)?;
         let elapsed = start.elapsed().as_secs_f64();

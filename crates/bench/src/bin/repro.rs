@@ -1,7 +1,8 @@
 //! Reproduction harness: regenerates the paper's tables and figures.
 //!
 //! ```text
-//! repro [--scale tiny|small|medium|paper] [--seed N] [--out FILE] <exp>... | all | list
+//! repro [--scale tiny|small|medium|paper] [--seed N] [--out FILE]
+//!       [--resume DIR] [--timings] <exp>... | all | list
 //! ```
 //!
 //! Experiments are the paper's artefact ids (`fig1`, `table4`, …);
@@ -13,13 +14,15 @@ use std::io::Write as _;
 
 use towerlens_bench::ablations::{self, ALL_ABLATIONS};
 use towerlens_bench::experiments::{run, ALL_EXPERIMENTS};
-use towerlens_bench::{run_study, Scale};
+use towerlens_bench::{run_study_instrumented, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Medium;
     let mut seed = 42u64;
     let mut out_file: Option<String> = None;
+    let mut resume: Option<String> = None;
+    let mut timings = false;
     let mut experiments: Vec<String> = Vec::new();
 
     let mut it = args.into_iter();
@@ -46,10 +49,18 @@ fn main() {
                 }
             }
             "--out" => out_file = it.next(),
+            "--resume" => {
+                resume = it.next();
+                if resume.is_none() {
+                    eprintln!("flag --resume needs a directory");
+                    std::process::exit(2);
+                }
+            }
+            "--timings" => timings = true,
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--scale tiny|small|medium|paper] [--seed N] [--out FILE] \
-                     <experiment>... | all | list"
+                     [--resume DIR] [--timings] <experiment>... | all | list"
                 );
                 return;
             }
@@ -87,7 +98,8 @@ fn main() {
 
     eprintln!("running study at scale {scale:?}, seed {seed}…");
     let started = std::time::Instant::now();
-    let report = match run_study(scale, seed) {
+    let resume_path = resume.as_deref().map(std::path::Path::new);
+    let (report, run_report) = match run_study_instrumented(scale, seed, resume_path) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("study failed: {e}");
@@ -102,6 +114,10 @@ fn main() {
         report.patterns.k,
         report.geo.labels
     );
+    // Stage table goes to stderr: stdout (and --out) carry artefacts.
+    if timings {
+        eprint!("{}", run_report.render_table());
+    }
 
     let mut failures = 0usize;
     let mut output = String::new();

@@ -19,9 +19,9 @@ use crate::table::{hhmm, num, strip, TextTable};
 
 /// All experiment ids, in paper order.
 pub const ALL_EXPERIMENTS: [&str; 22] = [
-    "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "table1", "fig7", "table2", "fig8",
-    "table3", "fig10", "table4", "table5", "fig11", "fig12", "fig13", "fig14", "fig15",
-    "fig16", "fig17", "table6",
+    "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "table1", "fig7", "table2", "fig8", "table3",
+    "fig10", "table4", "table5", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
+    "table6",
 ];
 
 /// Dispatches one experiment by id (`fig18_19` is an alias for
@@ -54,22 +54,15 @@ pub fn run(id: &str, report: &StudyReport) -> Result<String, CoreError> {
         "fig16" => fig16(report),
         "fig17" => fig17(report),
         "table6" | "fig18_19" | "fig18" | "fig19" => table6(report),
-        _ => Err(CoreError::UnknownExperiment {
-            id: id.to_string(),
-        }),
+        _ => Err(CoreError::UnknownExperiment { id: id.to_string() }),
     }
 }
 
 /// Clusters ordered for display: pure patterns in canonical order,
 /// then comprehensive, then anything else.
 fn display_order(report: &StudyReport) -> Vec<(usize, RegionKind)> {
-    let mut order: Vec<(usize, RegionKind)> = report
-        .geo
-        .labels
-        .iter()
-        .copied()
-        .enumerate()
-        .collect();
+    let mut order: Vec<(usize, RegionKind)> =
+        report.geo.labels.iter().copied().enumerate().collect();
     order.sort_by_key(|&(c, kind)| (kind.index(), c));
     order
 }
@@ -241,7 +234,11 @@ pub fn fig4(report: &StudyReport) -> Result<String, CoreError> {
         let profile = tower_day_profile(report, id)?;
         let (peak_bin, _) = towerlens_dsp::stats::argmax(&profile).expect("non-empty");
         peak_hours.push(peak_bin as f64 / 6.0);
-        out.push_str(&format!("  {:8.4}  {}\n", report.city.towers()[id].position.lat, strip(&profile, 72)));
+        out.push_str(&format!(
+            "  {:8.4}  {}\n",
+            report.city.towers()[id].position.lat,
+            strip(&profile, 72)
+        ));
     }
     let var = variance(&peak_hours).unwrap_or(0.0);
     out.push_str(&format!(
@@ -298,7 +295,11 @@ pub fn fig6(report: &StudyReport) -> Result<String, CoreError> {
     );
     let mut t = TextTable::new(vec!["k", "threshold", "DBI"]);
     for p in &report.patterns.dbi_curve {
-        let marker = if p.k == report.patterns.k { " <- min" } else { "" };
+        let marker = if p.k == report.patterns.k {
+            " <- min"
+        } else {
+            ""
+        };
         t.row(vec![
             format!("{}{}", p.k, marker),
             num(p.threshold),
@@ -373,10 +374,7 @@ pub fn fig7(report: &StudyReport) -> Result<String, CoreError> {
         let mut grid = DensityGrid::new(*report.city.bounds(), 56, 20);
         for (i, &label) in report.patterns.clustering.labels.iter().enumerate() {
             if label == c {
-                grid.add(
-                    &report.city.towers()[report.kept_ids[i]].position,
-                    1.0,
-                );
+                grid.add(&report.city.towers()[report.kept_ids[i]].position, 1.0);
             }
         }
         let hotspot = report.geo.hotspots[c];
@@ -424,7 +422,12 @@ pub fn table2(report: &StudyReport) -> Result<String, CoreError> {
     );
     let names = ["A", "B", "C", "D", "E"];
     let mut t = TextTable::new(vec![
-        "point", "cluster", "Resident", "Transport", "Office", "Entertain",
+        "point",
+        "cluster",
+        "Resident",
+        "Transport",
+        "Office",
+        "Entertain",
     ]);
     for (display_idx, (c, kind)) in display_order(report).into_iter().enumerate() {
         let poi = report.geo.hotspot_poi[c];
@@ -535,26 +538,32 @@ fn case_study_map(
         let t = &report.city.towers()[report.kept_ids[i]];
         let dx_m = {
             let east = towerlens_city::geo::GeoPoint::new(t.position.lon, center.lat);
-            let sign = if t.position.lon >= center.lon { 1.0 } else { -1.0 };
+            let sign = if t.position.lon >= center.lon {
+                1.0
+            } else {
+                -1.0
+            };
             sign * east.distance_m(&towerlens_city::geo::GeoPoint::new(center.lon, center.lat))
         };
         let dy_m = {
             let north = towerlens_city::geo::GeoPoint::new(center.lon, t.position.lat);
-            let sign = if t.position.lat >= center.lat { 1.0 } else { -1.0 };
+            let sign = if t.position.lat >= center.lat {
+                1.0
+            } else {
+                -1.0
+            };
             sign * north.distance_m(&towerlens_city::geo::GeoPoint::new(center.lon, center.lat))
         };
         if dx_m.abs() > half_extent_m || dy_m.abs() > half_extent_m {
             continue;
         }
         let col = (((dx_m / half_extent_m) + 1.0) / 2.0 * (COLS - 1) as f64).round() as usize;
-        let row = ((1.0 - ((dy_m / half_extent_m) + 1.0) / 2.0) * (ROWS - 1) as f64).round()
-            as usize;
+        let row =
+            ((1.0 - ((dy_m / half_extent_m) + 1.0) / 2.0) * (ROWS - 1) as f64).round() as usize;
         let c = kind_char(report.geo.labels[label]).to_ascii_uppercase();
         grid[row.min(ROWS - 1)][col.min(COLS - 1)] = c;
     }
-    let mut out = String::from(
-        "  map: lowercase = ground-truth zones, UPPERCASE = tower labels\n",
-    );
+    let mut out = String::from("  map: lowercase = ground-truth zones, UPPERCASE = tower labels\n");
     for row in grid {
         out.push_str("  ");
         out.extend(row);
@@ -571,7 +580,13 @@ pub fn table3(report: &StudyReport) -> Result<String, CoreError> {
          POI share, entertainment 39%); comprehensive has no dominant type",
     );
     let mut t = TextTable::new(vec![
-        "cluster", "label", "Resident", "Transport", "Office", "Entertain", "dominant",
+        "cluster",
+        "label",
+        "Resident",
+        "Transport",
+        "Office",
+        "Entertain",
+        "dominant",
     ]);
     for (c, kind) in display_order(report) {
         let profile = report.geo.poi_profiles[c];
@@ -657,7 +672,12 @@ pub fn table5(report: &StudyReport) -> Result<String, CoreError> {
          office 10:30 wd / 12:00 we; entertainment 18:00 wd / 12:30 we",
     );
     let mut t = TextTable::new(vec![
-        "cluster", "label", "wd peak", "we peak", "wd valley", "we valley",
+        "cluster",
+        "label",
+        "wd peak",
+        "we peak",
+        "wd valley",
+        "we valley",
     ]);
     for (c, kind) in display_order(report) {
         let st = &report.time_stats[c];
@@ -673,8 +693,7 @@ pub fn table5(report: &StudyReport) -> Result<String, CoreError> {
     out.push_str(&t.render());
     // Transport's double peaks.
     if let Some(c) = report.cluster_of(RegionKind::Transport) {
-        if let Some((m, e)) = double_peaks(&report.time_stats[c].weekday_profile, &report.window)
-        {
+        if let Some((m, e)) = double_peaks(&report.time_stats[c].weekday_profile, &report.window) {
             out.push_str(&format!(
                 "transport weekday double peaks: {} and {}\n",
                 hhmm(m),
@@ -741,11 +760,7 @@ pub fn fig12(report: &StudyReport) -> Result<String, CoreError> {
     let spectrum = Spectrum::of(&total)?;
     let mut t = TextTable::new(vec!["k", "interpretation", "|X[k]|"]);
     let [kw, kd, kh] = summary.bins;
-    for (k, what) in [
-        (kw, "one week"),
-        (kd, "one day"),
-        (kh, "half a day"),
-    ] {
+    for (k, what) in [(kw, "one week"), (kd, "one day"), (kh, "half a day")] {
         t.row(vec![
             k.to_string(),
             what.to_string(),
@@ -779,7 +794,11 @@ pub fn fig13(report: &StudyReport) -> Result<String, CoreError> {
     let [kw, kd, kh] = principal_bins(&report.window)?;
     let half = var.len() / 2;
     let mut idx: Vec<usize> = (1..=half).collect();
-    idx.sort_by(|&a, &b| var[b].partial_cmp(&var[a]).unwrap_or(std::cmp::Ordering::Equal));
+    idx.sort_by(|&a, &b| {
+        var[b]
+            .partial_cmp(&var[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut t = TextTable::new(vec!["rank", "k", "variance", "principal?"]);
     for (rank, &k) in idx.iter().take(8).enumerate() {
         let mark = if k == kw {
@@ -843,7 +862,12 @@ pub fn fig15(report: &StudyReport) -> Result<String, CoreError> {
     for (name, get) in comps {
         out.push_str(&format!("component: {name}\n"));
         let mut t = TextTable::new(vec![
-            "cluster", "label", "amp p10", "amp p90", "phase p10", "phase p90",
+            "cluster",
+            "label",
+            "amp p10",
+            "amp p90",
+            "phase p10",
+            "phase p90",
         ]);
         for (c, kind) in display_order(report) {
             let members: Vec<(f64, f64)> = report
@@ -881,7 +905,12 @@ pub fn fig16(report: &StudyReport) -> Result<String, CoreError> {
     for (ci, name) in [(0usize, "one week"), (1, "one day"), (2, "half a day")] {
         out.push_str(&format!("component: {name}\n"));
         let mut t = TextTable::new(vec![
-            "cluster", "label", "amp mean", "amp std", "phase mean", "phase std",
+            "cluster",
+            "label",
+            "amp mean",
+            "amp std",
+            "phase mean",
+            "phase std",
         ]);
         for (c, kind) in display_order(report) {
             let s = report.feature_stats[c][ci];
@@ -947,15 +976,11 @@ pub fn fig17(report: &StudyReport) -> Result<String, CoreError> {
         for j in (i + 1)..4 {
             let a = rep_features[i].f3();
             let b = rep_features[j].f3();
-            let d = ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2) + (a[2] - b[2]).powi(2))
-                .sqrt();
+            let d = ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2) + (a[2] - b[2]).powi(2)).sqrt();
             diam = diam.max(d);
         }
     }
-    let inside = residuals
-        .iter()
-        .filter(|&&r| r < 0.05 * diam)
-        .count() as f64
+    let inside = residuals.iter().filter(|&&r| r < 0.05 * diam).count() as f64
         / residuals.len().max(1) as f64;
     out.push_str(&format!(
         "distance-to-polygon over {} sampled towers (polygon diameter {}):\n\
@@ -1016,8 +1041,7 @@ pub fn table6(report: &StudyReport) -> Result<String, CoreError> {
     ));
     out.push_str(&format!(
         "min-rank consistency (small NTF-IDF ↔ small coefficient) over P rows: {:.1}%\n",
-        min_rank_consistency(&report.decompositions[4.min(report.decompositions.len())..])
-            * 100.0
+        min_rank_consistency(&report.decompositions[4.min(report.decompositions.len())..]) * 100.0
     ));
     // Fig 19: time-domain combination of the first comprehensive tower.
     if report.decompositions.len() > 4 {
@@ -1036,8 +1060,14 @@ pub fn table6(report: &StudyReport) -> Result<String, CoreError> {
                 "Fig 19: corr(time-domain convex combination, actual tower P1) = {}\n",
                 num(r)
             ));
-            out.push_str(&format!("  actual   {}\n", strip(&actual[..BINS_PER_DAY * 7], 72)));
-            out.push_str(&format!("  combined {}\n", strip(&combo[..BINS_PER_DAY * 7], 72)));
+            out.push_str(&format!(
+                "  actual   {}\n",
+                strip(&actual[..BINS_PER_DAY * 7], 72)
+            ));
+            out.push_str(&format!(
+                "  combined {}\n",
+                strip(&combo[..BINS_PER_DAY * 7], 72)
+            ));
         }
     }
     Ok(out)

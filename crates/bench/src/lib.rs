@@ -16,7 +16,9 @@ pub mod ablations;
 pub mod experiments;
 pub mod table;
 
-use towerlens_core::{Study, StudyConfig, StudyReport};
+use std::path::Path;
+
+use towerlens_core::{CheckpointStore, RunReport, Study, StudyConfig, StudyReport};
 
 /// The scales the harness can run at.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,6 +63,28 @@ impl Scale {
 /// Propagates the study's [`towerlens_core::CoreError`].
 pub fn run_study(scale: Scale, seed: u64) -> Result<StudyReport, towerlens_core::CoreError> {
     Study::new(scale.config(seed)).run()
+}
+
+/// As [`run_study`], but returns the per-stage instrumentation and,
+/// with `resume`, persists/reloads the expensive stages (generation,
+/// synthesis, vectorization, clustering) in that directory.
+///
+/// # Errors
+/// Study and checkpoint failures as [`towerlens_core::CoreError`].
+pub fn run_study_instrumented(
+    scale: Scale,
+    seed: u64,
+    resume: Option<&Path>,
+) -> Result<(StudyReport, RunReport), towerlens_core::CoreError> {
+    let study = Study::new(scale.config(seed));
+    let store = match resume {
+        Some(dir) => Some(
+            CheckpointStore::open(dir, study.checkpoint_fingerprint())
+                .map_err(towerlens_core::EngineError::from)?,
+        ),
+        None => None,
+    };
+    study.run_instrumented(store.as_ref())
 }
 
 #[cfg(test)]

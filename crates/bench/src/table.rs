@@ -106,8 +106,7 @@ pub fn strip(values: &[f64], width: usize) -> String {
         .map(|c| {
             let lo = c * values.len() / width;
             let hi = (((c + 1) * values.len()) / width).max(lo + 1);
-            let avg: f64 =
-                values[lo..hi.min(values.len())].iter().sum::<f64>() / (hi - lo) as f64;
+            let avg: f64 = values[lo..hi.min(values.len())].iter().sum::<f64>() / (hi - lo) as f64;
             let idx = (((avg - min) / span) * (GLYPHS.len() - 1) as f64).round() as usize;
             GLYPHS[idx.min(GLYPHS.len() - 1)]
         })

@@ -38,6 +38,35 @@ pub struct City {
 }
 
 impl City {
+    /// Reassembles a city from its parts — the inverse of the
+    /// accessors, used by checkpoint codecs that persist a generated
+    /// city and reload it bit-identically. `bounds` is recomputed from
+    /// towers and zones (same rule as generation) so a caller cannot
+    /// introduce an inconsistent box.
+    pub fn from_parts(
+        zones: Vec<Zone>,
+        towers: Vec<Tower>,
+        poi_index: PoiIndex,
+        center: GeoPoint,
+        comprehensive_blend: [f64; 4],
+    ) -> Self {
+        let mut bounds = BoundingBox::empty();
+        for t in &towers {
+            bounds.include(&t.position);
+        }
+        for z in &zones {
+            bounds.include(&z.center);
+        }
+        City {
+            zones,
+            towers,
+            poi_index,
+            bounds,
+            center,
+            comprehensive_blend,
+        }
+    }
+
     /// The functional zones.
     pub fn zones(&self) -> &[Zone] {
         &self.zones
@@ -61,6 +90,12 @@ impl City {
     /// The configured city centre.
     pub fn center(&self) -> GeoPoint {
         self.center
+    }
+
+    /// The configured comprehensive-zone function blend (canonical
+    /// [`crate::zone::PoiKind`] order).
+    pub fn comprehensive_blend(&self) -> [f64; 4] {
+        self.comprehensive_blend
     }
 
     /// A tower by id.
@@ -167,8 +202,12 @@ impl City {
             .towers
             .iter()
             .filter(|t| {
-                let north_south = t.position.distance_m(&GeoPoint::new(t.position.lon, center.lat));
-                let east_west = t.position.distance_m(&GeoPoint::new(center.lon, t.position.lat));
+                let north_south = t
+                    .position
+                    .distance_m(&GeoPoint::new(t.position.lon, center.lat));
+                let east_west = t
+                    .position
+                    .distance_m(&GeoPoint::new(center.lon, t.position.lat));
                 north_south <= half_extent_m && east_west <= half_extent_m
             })
             .collect();
@@ -235,6 +274,31 @@ mod tests {
             "only {dominant}/{} office towers office-dominant",
             ids.len()
         );
+    }
+
+    #[test]
+    fn from_parts_reproduces_the_generated_city() {
+        let c = city();
+        let rebuilt = City::from_parts(
+            c.zones().to_vec(),
+            c.towers().to_vec(),
+            PoiIndex::build(c.pois().pois().to_vec()),
+            c.center(),
+            c.comprehensive_blend(),
+        );
+        assert_eq!(rebuilt.bounds().min_lon, c.bounds().min_lon);
+        assert_eq!(rebuilt.bounds().max_lat, c.bounds().max_lat);
+        assert_eq!(rebuilt.towers().len(), c.towers().len());
+        for t in c.towers().iter().take(10) {
+            assert_eq!(
+                rebuilt.function_mix(&t.position),
+                c.function_mix(&t.position)
+            );
+            assert_eq!(
+                rebuilt.poi_index.counts_within(&t.position, 200.0),
+                c.poi_index.counts_within(&t.position, 200.0)
+            );
+        }
     }
 
     #[test]

@@ -199,10 +199,7 @@ mod tests {
             // Transport is the exception: its absolute counts are small
             // by design; dominance there is *relative* (min-max).
             if kind != RegionKind::Transport {
-                let max = row
-                    .iter()
-                    .cloned()
-                    .fold(f64::NEG_INFINITY, f64::max);
+                let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
                 assert_eq!(row[native], max, "{kind:?}: {row:?}");
             }
         }

@@ -169,10 +169,14 @@ fn apportion(total: usize, shares: &[f64; 5]) -> [usize; 5] {
 fn place_zone(rng: &mut StdRng, kind: RegionKind, config: &CityConfig) -> GeoPoint {
     let r_max = config.radius_m;
     let (radius, angle) = match kind {
-        RegionKind::Office => ((normal(rng) * 0.18 * r_max).abs().min(r_max), uniform_angle(rng)),
-        RegionKind::Entertainment => {
-            ((normal(rng) * 0.30 * r_max).abs().min(r_max), uniform_angle(rng))
-        }
+        RegionKind::Office => (
+            (normal(rng) * 0.18 * r_max).abs().min(r_max),
+            uniform_angle(rng),
+        ),
+        RegionKind::Entertainment => (
+            (normal(rng) * 0.30 * r_max).abs().min(r_max),
+            uniform_angle(rng),
+        ),
         RegionKind::Resident => {
             let r = 0.55 * r_max + normal(rng) * 0.15 * r_max;
             (r.clamp(0.05 * r_max, r_max), uniform_angle(rng))
@@ -327,7 +331,11 @@ mod tests {
         // Aggregate POI counts near towers of each pure kind; the
         // native type should dominate for office/entertainment/
         // resident (transport is rare in absolute terms by design).
-        for kind in [RegionKind::Office, RegionKind::Entertainment, RegionKind::Resident] {
+        for kind in [
+            RegionKind::Office,
+            RegionKind::Entertainment,
+            RegionKind::Resident,
+        ] {
             let native = kind.native_poi().unwrap().index();
             let mut totals = [0usize; 4];
             for id in city.towers_of_kind(kind) {

@@ -32,8 +32,8 @@ impl GeoPoint {
         let phi2 = other.lat.to_radians();
         let dphi = (other.lat - self.lat).to_radians();
         let dlambda = (other.lon - self.lon).to_radians();
-        let a = (dphi / 2.0).sin().powi(2)
-            + phi1.cos() * phi2.cos() * (dlambda / 2.0).sin().powi(2);
+        let a =
+            (dphi / 2.0).sin().powi(2) + phi1.cos() * phi2.cos() * (dlambda / 2.0).sin().powi(2);
         2.0 * EARTH_RADIUS_M * a.sqrt().asin()
     }
 

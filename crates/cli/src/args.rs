@@ -1,0 +1,196 @@
+//! Uniform flag parsing for every subcommand.
+//!
+//! Each subcommand declares its flags as a [`FlagDef`] table; parsing
+//! reports unknown flags, missing values, stray positionals, and
+//! non-numeric values as a single-line error — the binary prints it
+//! and exits with status 2, uniformly across subcommands.
+
+use std::collections::{HashMap, HashSet};
+
+/// Whether a flag carries a value (`--seed 7`) or is a bare switch
+/// (`--timings`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlagKind {
+    /// Takes exactly one value.
+    Value,
+    /// Takes no value.
+    Switch,
+}
+
+/// One accepted flag of a subcommand.
+#[derive(Debug, Clone, Copy)]
+pub struct FlagDef {
+    /// Name without the `--` prefix.
+    pub name: &'static str,
+    /// Value or switch.
+    pub kind: FlagKind,
+}
+
+/// Shorthand for a value-carrying flag.
+pub const fn value(name: &'static str) -> FlagDef {
+    FlagDef {
+        name,
+        kind: FlagKind::Value,
+    }
+}
+
+/// Shorthand for a bare switch.
+pub const fn switch(name: &'static str) -> FlagDef {
+    FlagDef {
+        name,
+        kind: FlagKind::Switch,
+    }
+}
+
+/// Parsed flags of one subcommand invocation.
+#[derive(Debug, Default)]
+pub struct Flags {
+    values: HashMap<&'static str, String>,
+    switches: HashSet<&'static str>,
+}
+
+impl Flags {
+    /// The raw value of `--name`, when given.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// Whether the switch `--name` was given.
+    pub fn has(&self, name: &str) -> bool {
+        self.switches.contains(name)
+    }
+
+    /// The value of a mandatory flag.
+    ///
+    /// # Errors
+    /// A usage line when the flag is absent.
+    pub fn require(&self, command: &str, name: &str) -> Result<&str, String> {
+        self.get(name)
+            .ok_or_else(|| format!("`{command}` requires --{name}"))
+    }
+
+    /// The numeric value of `--name`, or `default` when absent.
+    ///
+    /// # Errors
+    /// A usage line when the value is not a non-negative integer.
+    pub fn num(&self, name: &str, default: u64) -> Result<u64, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name} expects a number, got `{v}`")),
+        }
+    }
+}
+
+/// Parses the arguments after the subcommand word against a flag
+/// table. `--help` and `-h` are accepted by every subcommand and
+/// reported via the `Help` variant.
+///
+/// # Errors
+/// A single-line usage error (unknown flag, missing value, stray
+/// positional argument, duplicate flag).
+pub fn parse(command: &str, args: &[String], defs: &[FlagDef]) -> Result<Parsed, String> {
+    let mut flags = Flags::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--help" || arg == "-h" {
+            return Ok(Parsed::Help);
+        }
+        let Some(name) = arg.strip_prefix("--") else {
+            return Err(format!("unexpected argument `{arg}` for `{command}`"));
+        };
+        let Some(def) = defs.iter().find(|d| d.name == name) else {
+            return Err(format!("unknown flag `--{name}` for `{command}`"));
+        };
+        match def.kind {
+            FlagKind::Switch => {
+                flags.switches.insert(def.name);
+            }
+            FlagKind::Value => {
+                let Some(value) = it.next() else {
+                    return Err(format!("flag --{name} needs a value"));
+                };
+                if flags.values.insert(def.name, value.clone()).is_some() {
+                    return Err(format!("flag --{name} given twice"));
+                }
+            }
+        }
+    }
+    Ok(Parsed::Flags(flags))
+}
+
+/// Outcome of [`parse`]: either the parsed flags or a help request.
+#[derive(Debug)]
+pub enum Parsed {
+    /// Flags parsed successfully.
+    Flags(Flags),
+    /// The user asked for `--help`.
+    Help,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DEFS: &[FlagDef] = &[value("seed"), value("out"), switch("timings")];
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn ok(list: &[&str]) -> Flags {
+        match parse("test", &args(list), DEFS).unwrap() {
+            Parsed::Flags(f) => f,
+            Parsed::Help => panic!("unexpected help"),
+        }
+    }
+
+    #[test]
+    fn parses_values_switches_and_defaults() {
+        let f = ok(&["--seed", "7", "--timings"]);
+        assert_eq!(f.num("seed", 42).unwrap(), 7);
+        assert!(f.has("timings"));
+        assert_eq!(f.num("days", 14).unwrap(), 14);
+        assert_eq!(f.get("out"), None);
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_positionals() {
+        let e = parse("test", &args(&["--bogus", "1"]), DEFS).unwrap_err();
+        assert_eq!(e, "unknown flag `--bogus` for `test`");
+        let e = parse("test", &args(&["stray"]), DEFS).unwrap_err();
+        assert_eq!(e, "unexpected argument `stray` for `test`");
+    }
+
+    #[test]
+    fn rejects_missing_values_duplicates_and_non_numbers() {
+        let e = parse("test", &args(&["--seed"]), DEFS).unwrap_err();
+        assert_eq!(e, "flag --seed needs a value");
+        let e = parse("test", &args(&["--seed", "1", "--seed", "2"]), DEFS).unwrap_err();
+        assert_eq!(e, "flag --seed given twice");
+        let f = ok(&["--seed", "abc"]);
+        assert_eq!(
+            f.num("seed", 42).unwrap_err(),
+            "--seed expects a number, got `abc`"
+        );
+    }
+
+    #[test]
+    fn help_is_accepted_everywhere() {
+        assert!(matches!(
+            parse("test", &args(&["--seed", "1", "--help"]), DEFS).unwrap(),
+            Parsed::Help
+        ));
+        assert!(matches!(
+            parse("test", &args(&["-h"]), DEFS).unwrap(),
+            Parsed::Help
+        ));
+    }
+
+    #[test]
+    fn mandatory_flags_report_the_command() {
+        let f = ok(&[]);
+        assert_eq!(f.require("gen", "out").unwrap_err(), "`gen` requires --out");
+    }
+}

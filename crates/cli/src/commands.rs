@@ -1,27 +1,47 @@
-//! The `gen` and `analyze` subcommands as library functions.
+//! The `gen`, `analyze`, and `study` subcommands as library functions.
+//!
+//! `analyze` is expressed as a stage graph on the
+//! [`towerlens_core::engine`] runtime:
+//!
+//! ```text
+//! wave 0   ingest-logs | ingest-geo       — concurrent
+//! wave 1   clean          (ingest-logs)
+//! wave 2   vectorize      (clean)                [checkpointed]
+//! wave 3   cluster        (vectorize)            [checkpointed]
+//! wave 4   label | score  (ingest-geo, vectorize, cluster)
+//! ```
+//!
+//! With `--resume DIR` the vectorize and cluster stages reload from
+//! checkpoints, which also prunes the log ingestion and cleaning
+//! stages entirely (their artifacts are no longer demanded).
 
 use std::io::{BufWriter, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
-use towerlens_city::city::City;
 use towerlens_city::config::CityConfig;
 use towerlens_city::generate::generate;
-use towerlens_city::geo::BoundingBox;
-use towerlens_city::poi::PoiIndex;
+use towerlens_city::geo::{BoundingBox, GeoPoint};
+use towerlens_city::poi::{Poi, PoiIndex};
 use towerlens_city::zone::RegionKind;
 use towerlens_cluster::compare::adjusted_rand_index;
 use towerlens_cluster::dendrogram::Clustering;
-use towerlens_core::identifier::{IdentifierConfig, PatternIdentifier};
-use towerlens_core::labeling::label_clusters_parts;
+use towerlens_core::engine::checkpoint::{decode_usize, fnv1a64, BodyReader};
+use towerlens_core::engine::{
+    decode_normalized, decode_patterns, encode_normalized, encode_patterns, CheckpointStore,
+    EngineError, Graph, RunReport, Stage, StageCodec, StageContext, StageOutput,
+};
+use towerlens_core::identifier::{IdentifiedPatterns, IdentifierConfig, PatternIdentifier};
+use towerlens_core::labeling::{label_clusters_parts, GeoLabels};
+use towerlens_core::{Study, StudyConfig, StudyReport};
 use towerlens_mobility::agents::{AgentConfig, AgentPopulation};
+use towerlens_pipeline::normalize::NormalizedMatrix;
 use towerlens_pipeline::vectorizer::Vectorizer;
 use towerlens_trace::clean::clean_records;
-use towerlens_trace::record::RecordReader;
+use towerlens_trace::record::{LogRecord, RecordReader};
 use towerlens_trace::time::TraceWindow;
 
 use crate::files::{
-    read_pois, read_towers, read_truth, write_pois, write_towers, write_truth, FileError,
-    TowerRow,
+    read_pois, read_towers, read_truth, write_pois, write_towers, write_truth, FileError, TowerRow,
 };
 
 /// Options for dataset generation.
@@ -54,7 +74,10 @@ impl Default for GenOptions {
 ///
 /// # Errors
 /// Generation and I/O failures.
-pub fn generate_dataset(dir: &Path, options: &GenOptions) -> Result<usize, Box<dyn std::error::Error>> {
+pub fn generate_dataset(
+    dir: &Path,
+    options: &GenOptions,
+) -> Result<usize, Box<dyn std::error::Error>> {
     std::fs::create_dir_all(dir)?;
     let mut city_cfg = CityConfig::tiny(options.seed);
     city_cfg.n_towers = options.towers;
@@ -89,11 +112,8 @@ pub fn generate_dataset(dir: &Path, options: &GenOptions) -> Result<usize, Box<d
         .collect();
     write_towers(&dir.join("towers.tsv"), &towers)?;
     write_pois(&dir.join("pois.tsv"), city.pois().pois())?;
-    let truth: Vec<(usize, RegionKind)> = city
-        .towers()
-        .iter()
-        .map(|t| (t.id, t.kind_truth))
-        .collect();
+    let truth: Vec<(usize, RegionKind)> =
+        city.towers().iter().map(|t| (t.id, t.kind_truth)).collect();
     write_truth(&dir.join("truth.tsv"), &truth)?;
     Ok(records.len())
 }
@@ -133,85 +153,308 @@ pub struct AnalyzeSummary {
     pub ari_vs_truth: Option<f64>,
 }
 
-/// Analyzes a dataset directory: parse → clean → vectorize → cluster
-/// → label; scores against `truth.tsv` when present.
-///
-/// # Errors
-/// I/O, parse, and analysis failures.
-pub fn analyze(dir: &Path, options: &AnalyzeOptions) -> Result<AnalyzeSummary, Box<dyn std::error::Error>> {
-    // Stream the log file: operator exports don't fit in memory.
-    let log_file = std::io::BufReader::new(std::fs::File::open(dir.join("logs.tsv"))?);
-    let mut records = Vec::new();
-    let mut parse_errors = 0usize;
-    for item in RecordReader::new(log_file) {
-        match item? {
-            Ok(r) => records.push(r),
-            Err(_) => parse_errors += 1,
+/// Everything the analyze stages exchange: one variant per stage.
+#[derive(Debug)]
+enum CliArtifact {
+    /// `ingest-logs` — parsed log records (malformed-line counts are
+    /// reported as a card, not carried forward).
+    Logs(Vec<LogRecord>),
+    /// `ingest-geo` — tower rows and POIs from disk.
+    Geo {
+        towers: Vec<TowerRow>,
+        pois: Vec<Poi>,
+    },
+    /// `clean` — records surviving cleaning, plus the parsed total
+    /// (the counts must survive a resume, so they travel forward).
+    Clean {
+        records: Vec<LogRecord>,
+        parsed: usize,
+    },
+    /// `vectorize` — z-scored vectors plus record counts.
+    Vectors {
+        normalized: NormalizedMatrix,
+        parsed: usize,
+        cleaned: usize,
+    },
+    /// `cluster` — the identified patterns.
+    Patterns(IdentifiedPatterns),
+    /// `label` — geographic labels.
+    Labels(GeoLabels),
+    /// `score` — adjusted Rand index vs `truth.tsv`, when present.
+    Score(Option<f64>),
+}
+
+// ---- typed artifact fetch helpers -------------------------------
+
+fn geo_parts<'a>(
+    ctx: &StageContext<'a, CliArtifact>,
+) -> Result<(&'a Vec<TowerRow>, &'a Vec<Poi>), EngineError> {
+    match ctx.artifact("ingest-geo")? {
+        CliArtifact::Geo { towers, pois } => Ok((towers, pois)),
+        _ => Err(ctx.fail("artifact `ingest-geo` has unexpected type")),
+    }
+}
+
+fn vectors_parts<'a>(
+    ctx: &StageContext<'a, CliArtifact>,
+) -> Result<&'a NormalizedMatrix, EngineError> {
+    match ctx.artifact("vectorize")? {
+        CliArtifact::Vectors { normalized, .. } => Ok(normalized),
+        _ => Err(ctx.fail("artifact `vectorize` has unexpected type")),
+    }
+}
+
+fn patterns_part<'a>(
+    ctx: &StageContext<'a, CliArtifact>,
+) -> Result<&'a IdentifiedPatterns, EngineError> {
+    match ctx.artifact("cluster")? {
+        CliArtifact::Patterns(p) => Ok(p),
+        _ => Err(ctx.fail("artifact `cluster` has unexpected type")),
+    }
+}
+
+// ---- stages -----------------------------------------------------
+
+struct IngestLogsStage {
+    dir: PathBuf,
+}
+
+impl Stage<CliArtifact> for IngestLogsStage {
+    fn name(&self) -> &'static str {
+        "ingest-logs"
+    }
+    fn run(
+        &self,
+        ctx: &StageContext<'_, CliArtifact>,
+    ) -> Result<StageOutput<CliArtifact>, EngineError> {
+        // Stream the log file: operator exports don't fit in memory.
+        let file = std::fs::File::open(self.dir.join("logs.tsv")).map_err(|e| ctx.fail(e))?;
+        let mut records = Vec::new();
+        let mut parse_errors = 0usize;
+        for item in RecordReader::new(std::io::BufReader::new(file)) {
+            match item.map_err(|e| ctx.fail(e))? {
+                Ok(r) => records.push(r),
+                Err(_) => parse_errors += 1,
+            }
         }
+        if records.is_empty() {
+            return Err(ctx.fail(FileError::Malformed {
+                file: "logs.tsv",
+                lines: parse_errors,
+            }));
+        }
+        let n = records.len() as u64;
+        Ok(StageOutput::new(CliArtifact::Logs(records))
+            .with_card("records", n)
+            .with_card("parse-errors", parse_errors as u64))
     }
-    if records.is_empty() {
-        return Err(Box::new(FileError::Malformed {
-            file: "logs.tsv",
-            lines: parse_errors,
-        }));
+}
+
+struct IngestGeoStage {
+    dir: PathBuf,
+}
+
+impl Stage<CliArtifact> for IngestGeoStage {
+    fn name(&self) -> &'static str {
+        "ingest-geo"
     }
-    let (towers, _) = read_towers(&dir.join("towers.tsv"))?;
-    let (pois, _) = read_pois(&dir.join("pois.tsv"))?;
-
-    let (clean, _report) = clean_records(&records);
-    let n_towers = towers.iter().map(|t| t.id + 1).max().unwrap_or(0);
-    let window = TraceWindow::days(options.days);
-    // Guard the classic footgun: a window longer than the data pads
-    // zero bins, which silently wrecks the z-scored clustering.
-    let last_end = records.iter().map(|r| r.end_s).max().unwrap_or(0);
-    if last_end < window.start_s + (window.end_s() - window.start_s) * 4 / 5 {
-        eprintln!(
-            "warning: logs end at {}s but the --days {} window runs to {}s; \
-             trailing bins will be zero — pass a --days matching the data",
-            last_end,
-            options.days,
-            window.end_s()
-        );
+    fn run(
+        &self,
+        ctx: &StageContext<'_, CliArtifact>,
+    ) -> Result<StageOutput<CliArtifact>, EngineError> {
+        let (towers, _) = read_towers(&self.dir.join("towers.tsv")).map_err(|e| ctx.fail(e))?;
+        let (pois, _) = read_pois(&self.dir.join("pois.tsv")).map_err(|e| ctx.fail(e))?;
+        let (nt, np) = (towers.len() as u64, pois.len() as u64);
+        Ok(StageOutput::new(CliArtifact::Geo { towers, pois })
+            .with_card("towers", nt)
+            .with_card("pois", np))
     }
-    let vectorizer = Vectorizer::new(window, options.threads);
-    let output = vectorizer.run(&clean, n_towers)?;
+}
 
-    let identifier = PatternIdentifier::new(IdentifierConfig::default());
-    let found = identifier.identify(&output.normalized.vectors)?;
+struct CleanStage {
+    days: usize,
+}
 
-    // Geographic labelling from files (no synthetic City needed).
-    let mut positions = vec![towerlens_city::geo::GeoPoint::new(0.0, 0.0); n_towers];
-    let mut bounds = BoundingBox::empty();
-    for t in &towers {
-        positions[t.id] = t.position;
-        bounds.include(&t.position);
+impl Stage<CliArtifact> for CleanStage {
+    fn name(&self) -> &'static str {
+        "clean"
     }
-    let poi_index = PoiIndex::build(pois);
-    let geo = label_clusters_parts(
-        &positions,
-        &bounds,
-        &poi_index,
-        &found.clustering,
-        &output.normalized.kept_ids,
-    )?;
+    fn deps(&self) -> &'static [&'static str] {
+        &["ingest-logs"]
+    }
+    fn run(
+        &self,
+        ctx: &StageContext<'_, CliArtifact>,
+    ) -> Result<StageOutput<CliArtifact>, EngineError> {
+        let CliArtifact::Logs(records) = ctx.artifact("ingest-logs")? else {
+            return Err(ctx.fail("artifact `ingest-logs` has unexpected type"));
+        };
+        let window = TraceWindow::days(self.days);
+        // Guard the classic footgun: a window longer than the data pads
+        // zero bins, which silently wrecks the z-scored clustering.
+        let last_end = records.iter().map(|r| r.end_s).max().unwrap_or(0);
+        if last_end < window.start_s + (window.end_s() - window.start_s) * 4 / 5 {
+            eprintln!(
+                "warning: logs end at {}s but the --days {} window runs to {}s; \
+                 trailing bins will be zero — pass a --days matching the data",
+                last_end,
+                self.days,
+                window.end_s()
+            );
+        }
+        let (clean, _report) = clean_records(records);
+        let (parsed, kept) = (records.len(), clean.len());
+        Ok(StageOutput::new(CliArtifact::Clean {
+            records: clean,
+            parsed,
+        })
+        .with_card("kept", kept as u64)
+        .with_card("dropped", (parsed - kept) as u64))
+    }
+}
 
-    // Optional truth comparison.
-    let truth_path = dir.join("truth.tsv");
-    let ari_vs_truth = if truth_path.exists() {
-        let (truth_rows, _) = read_truth(&truth_path)?;
+struct CliVectorizeStage {
+    days: usize,
+    threads: usize,
+}
+
+impl Stage<CliArtifact> for CliVectorizeStage {
+    fn name(&self) -> &'static str {
+        "vectorize"
+    }
+    fn deps(&self) -> &'static [&'static str] {
+        &["clean"]
+    }
+    fn run(
+        &self,
+        ctx: &StageContext<'_, CliArtifact>,
+    ) -> Result<StageOutput<CliArtifact>, EngineError> {
+        let CliArtifact::Clean { records, parsed } = ctx.artifact("clean")? else {
+            return Err(ctx.fail("artifact `clean` has unexpected type"));
+        };
+        let n_towers = records
+            .iter()
+            .map(|r| r.cell_id as usize + 1)
+            .max()
+            .unwrap_or(0);
+        let vectorizer = Vectorizer::new(TraceWindow::days(self.days), self.threads);
+        let output = vectorizer.run(records, n_towers).map_err(|e| ctx.fail(e))?;
+        let kept = output.normalized.kept_ids.len() as u64;
+        Ok(StageOutput::new(CliArtifact::Vectors {
+            normalized: output.normalized,
+            parsed: *parsed,
+            cleaned: records.len(),
+        })
+        .with_card("kept", kept)
+        .with_card("records", records.len() as u64))
+    }
+    fn codec(&self) -> Option<&dyn StageCodec<CliArtifact>> {
+        Some(&CliVectorsCodec)
+    }
+}
+
+struct CliClusterStage;
+
+impl Stage<CliArtifact> for CliClusterStage {
+    fn name(&self) -> &'static str {
+        "cluster"
+    }
+    fn deps(&self) -> &'static [&'static str] {
+        &["vectorize"]
+    }
+    fn run(
+        &self,
+        ctx: &StageContext<'_, CliArtifact>,
+    ) -> Result<StageOutput<CliArtifact>, EngineError> {
+        let normalized = vectors_parts(ctx)?;
+        let identifier = PatternIdentifier::new(IdentifierConfig::default());
+        let patterns = identifier
+            .identify(&normalized.vectors)
+            .map_err(|e| ctx.fail(e))?;
+        let (n, k) = (normalized.vectors.len() as u64, patterns.k as u64);
+        Ok(StageOutput::new(CliArtifact::Patterns(patterns))
+            .with_card("vectors", n)
+            .with_card("k", k))
+    }
+    fn codec(&self) -> Option<&dyn StageCodec<CliArtifact>> {
+        Some(&CliPatternsCodec)
+    }
+}
+
+struct CliLabelStage;
+
+impl Stage<CliArtifact> for CliLabelStage {
+    fn name(&self) -> &'static str {
+        "label"
+    }
+    fn deps(&self) -> &'static [&'static str] {
+        &["ingest-geo", "vectorize", "cluster"]
+    }
+    fn run(
+        &self,
+        ctx: &StageContext<'_, CliArtifact>,
+    ) -> Result<StageOutput<CliArtifact>, EngineError> {
+        let (towers, pois) = geo_parts(ctx)?;
+        let normalized = vectors_parts(ctx)?;
+        let patterns = patterns_part(ctx)?;
+        // Geographic labelling from files (no synthetic City needed).
+        let n_towers = towers.iter().map(|t| t.id + 1).max().unwrap_or(0);
+        let mut positions = vec![GeoPoint::new(0.0, 0.0); n_towers];
+        let mut bounds = BoundingBox::empty();
+        for t in towers {
+            positions[t.id] = t.position;
+            bounds.include(&t.position);
+        }
+        let poi_index = PoiIndex::build(pois.clone());
+        let geo = label_clusters_parts(
+            &positions,
+            &bounds,
+            &poi_index,
+            &patterns.clustering,
+            &normalized.kept_ids,
+        )
+        .map_err(|e| ctx.fail(e))?;
+        let clusters = geo.labels.len() as u64;
+        Ok(StageOutput::new(CliArtifact::Labels(geo)).with_card("clusters", clusters))
+    }
+}
+
+struct ScoreStage {
+    dir: PathBuf,
+}
+
+impl Stage<CliArtifact> for ScoreStage {
+    fn name(&self) -> &'static str {
+        "score"
+    }
+    fn deps(&self) -> &'static [&'static str] {
+        &["ingest-geo", "vectorize", "cluster"]
+    }
+    fn run(
+        &self,
+        ctx: &StageContext<'_, CliArtifact>,
+    ) -> Result<StageOutput<CliArtifact>, EngineError> {
+        let (towers, _) = geo_parts(ctx)?;
+        let normalized = vectors_parts(ctx)?;
+        let patterns = patterns_part(ctx)?;
+        let truth_path = self.dir.join("truth.tsv");
+        if !truth_path.exists() {
+            return Ok(StageOutput::new(CliArtifact::Score(None)).with_card("truth", 0));
+        }
+        let n_towers = towers.iter().map(|t| t.id + 1).max().unwrap_or(0);
+        let (truth_rows, _) = read_truth(&truth_path).map_err(|e| ctx.fail(e))?;
         let mut by_id = vec![None; n_towers];
         for (id, kind) in truth_rows {
             if id < n_towers {
                 by_id[id] = Some(kind);
             }
         }
-        let truth_labels: Option<Vec<usize>> = output
-            .normalized
+        let truth_labels: Option<Vec<usize>> = normalized
             .kept_ids
             .iter()
-            .map(|&id| by_id[id].map(|k| k.index()))
+            .map(|&id| by_id.get(id).copied().flatten().map(|k| k.index()))
             .collect();
-        match truth_labels {
+        let ari = match truth_labels {
             Some(labels) => {
                 // Compact to consecutive labels for the comparison.
                 let mut map = std::collections::HashMap::new();
@@ -226,23 +469,198 @@ pub fn analyze(dir: &Path, options: &AnalyzeOptions) -> Result<AnalyzeSummary, B
                         })
                     })
                     .collect();
-                let truth_clustering = Clustering::from_labels(compact)?;
-                Some(adjusted_rand_index(&found.clustering, &truth_clustering)?)
+                let truth_clustering = Clustering::from_labels(compact).map_err(|e| ctx.fail(e))?;
+                Some(
+                    adjusted_rand_index(&patterns.clustering, &truth_clustering)
+                        .map_err(|e| ctx.fail(e))?,
+                )
             }
             None => None,
-        }
-    } else {
-        None
-    };
+        };
+        let found = ari.is_some() as u64;
+        Ok(StageOutput::new(CliArtifact::Score(ari)).with_card("truth", found))
+    }
+}
 
-    Ok(AnalyzeSummary {
-        records: records.len(),
-        kept: clean.len(),
-        k: found.k,
-        labels: geo.labels,
-        shares: found.clustering.shares(),
-        ari_vs_truth,
-    })
+// ---- codecs -----------------------------------------------------
+
+struct CliVectorsCodec;
+
+impl StageCodec<CliArtifact> for CliVectorsCodec {
+    fn encode(&self, artifact: &CliArtifact, out: &mut String) -> Result<(), String> {
+        let CliArtifact::Vectors {
+            normalized,
+            parsed,
+            cleaned,
+        } = artifact
+        else {
+            return Err("expected a vectors artifact".to_string());
+        };
+        out.push_str(&format!("counts {parsed} {cleaned}\n"));
+        encode_normalized(normalized, out);
+        Ok(())
+    }
+
+    fn decode(&self, body: &mut BodyReader<'_>) -> Result<CliArtifact, String> {
+        let mut fields = body.tagged("counts")?.split_whitespace();
+        let parsed = decode_usize(fields.next().ok_or("missing parsed count")?)?;
+        let cleaned = decode_usize(fields.next().ok_or("missing cleaned count")?)?;
+        let normalized = decode_normalized(body)?;
+        Ok(CliArtifact::Vectors {
+            normalized,
+            parsed,
+            cleaned,
+        })
+    }
+}
+
+struct CliPatternsCodec;
+
+impl StageCodec<CliArtifact> for CliPatternsCodec {
+    fn encode(&self, artifact: &CliArtifact, out: &mut String) -> Result<(), String> {
+        let CliArtifact::Patterns(p) = artifact else {
+            return Err("expected a pattern-set artifact".to_string());
+        };
+        encode_patterns(p, out);
+        Ok(())
+    }
+
+    fn decode(&self, body: &mut BodyReader<'_>) -> Result<CliArtifact, String> {
+        Ok(CliArtifact::Patterns(decode_patterns(body)?))
+    }
+}
+
+// ---- drivers ----------------------------------------------------
+
+fn analyze_graph(dir: &Path, options: &AnalyzeOptions) -> Graph<CliArtifact> {
+    Graph::new()
+        .add_stage(IngestLogsStage {
+            dir: dir.to_path_buf(),
+        })
+        .add_stage(IngestGeoStage {
+            dir: dir.to_path_buf(),
+        })
+        .add_stage(CleanStage { days: options.days })
+        .add_stage(CliVectorizeStage {
+            days: options.days,
+            threads: options.threads,
+        })
+        .add_stage(CliClusterStage)
+        .add_stage(CliLabelStage)
+        .add_stage(ScoreStage {
+            dir: dir.to_path_buf(),
+        })
+}
+
+/// The checkpoint fingerprint of an analyze invocation: the options
+/// that shape the numbers plus the sizes of the input files, so an
+/// edited dataset or changed window invalidates the cache.
+///
+/// # Errors
+/// I/O failures reading the input file metadata.
+pub fn analyze_fingerprint(dir: &Path, options: &AnalyzeOptions) -> std::io::Result<u64> {
+    let mut s = format!(
+        "analyze v1 days={} threads={}",
+        options.days, options.threads
+    );
+    for f in ["logs.tsv", "towers.tsv", "pois.tsv"] {
+        let len = std::fs::metadata(dir.join(f))?.len();
+        s.push_str(&format!(" {f}={len}"));
+    }
+    Ok(fnv1a64(s.as_bytes()))
+}
+
+/// Analyzes a dataset directory: parse → clean → vectorize → cluster
+/// → label; scores against `truth.tsv` when present.
+///
+/// # Errors
+/// I/O, parse, and analysis failures.
+pub fn analyze(
+    dir: &Path,
+    options: &AnalyzeOptions,
+) -> Result<AnalyzeSummary, Box<dyn std::error::Error>> {
+    Ok(analyze_instrumented(dir, options, None)?.0)
+}
+
+/// As [`analyze`], but also returns the per-stage [`RunReport`] and,
+/// with `resume`, persists/reloads the vectorize and cluster stages
+/// in that checkpoint directory.
+///
+/// # Errors
+/// As [`analyze`], plus checkpoint I/O and corruption errors.
+pub fn analyze_instrumented(
+    dir: &Path,
+    options: &AnalyzeOptions,
+    resume: Option<&Path>,
+) -> Result<(AnalyzeSummary, RunReport), Box<dyn std::error::Error>> {
+    let store = match resume {
+        Some(ckpt_dir) => Some(CheckpointStore::open(
+            ckpt_dir,
+            analyze_fingerprint(dir, options)?,
+        )?),
+        None => None,
+    };
+    let mut outcome = analyze_graph(dir, options).run(store.as_ref())?;
+    let CliArtifact::Vectors {
+        parsed, cleaned, ..
+    } = outcome.take("vectorize")?
+    else {
+        return Err("artifact `vectorize` has unexpected type".into());
+    };
+    let CliArtifact::Patterns(patterns) = outcome.take("cluster")? else {
+        return Err("artifact `cluster` has unexpected type".into());
+    };
+    let CliArtifact::Labels(geo) = outcome.take("label")? else {
+        return Err("artifact `label` has unexpected type".into());
+    };
+    let CliArtifact::Score(ari_vs_truth) = outcome.take("score")? else {
+        return Err("artifact `score` has unexpected type".into());
+    };
+    Ok((
+        AnalyzeSummary {
+            records: parsed,
+            kept: cleaned,
+            k: patterns.k,
+            labels: geo.labels,
+            shares: patterns.clustering.shares(),
+            ari_vs_truth,
+        },
+        outcome.report,
+    ))
+}
+
+/// Parses a scale name (`tiny` / `small` / `medium` / `paper`) into a
+/// study configuration.
+///
+/// # Errors
+/// A usage line for an unknown scale name.
+pub fn study_config(scale: &str, seed: u64) -> Result<StudyConfig, String> {
+    match scale {
+        "tiny" => Ok(StudyConfig::tiny(seed)),
+        "small" => Ok(StudyConfig::small(seed)),
+        "medium" => Ok(StudyConfig::medium(seed)),
+        "paper" => Ok(StudyConfig::paper_scale(seed)),
+        other => Err(format!(
+            "unknown scale `{other}` (expected tiny|small|medium|paper)"
+        )),
+    }
+}
+
+/// Runs the staged end-to-end study, optionally resuming from (and
+/// writing to) a checkpoint directory.
+///
+/// # Errors
+/// Study and checkpoint failures.
+pub fn run_study(
+    config: StudyConfig,
+    resume: Option<&Path>,
+) -> Result<(StudyReport, RunReport), Box<dyn std::error::Error>> {
+    let study = Study::new(config);
+    let store = match resume {
+        Some(dir) => Some(CheckpointStore::open(dir, study.checkpoint_fingerprint())?),
+        None => None,
+    };
+    Ok(study.run_instrumented(store.as_ref())?)
 }
 
 /// Convenience for tests: generate then analyze in one temp dir.
@@ -252,14 +670,10 @@ pub fn roundtrip_in(dir: &Path) -> Result<AnalyzeSummary, Box<dyn std::error::Er
     analyze(dir, &AnalyzeOptions::default())
 }
 
-// City is used only via towers/POIs here, but keep the import local to
-// the signature users expect.
-#[allow(unused)]
-fn _assert_city_unused(_: &City) {}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use towerlens_core::StageStatus;
 
     #[test]
     fn gen_then_analyze_roundtrip() {
@@ -300,5 +714,61 @@ mod tests {
         let dir = std::env::temp_dir().join("towerlens-cli-missing");
         let _ = std::fs::remove_dir_all(&dir);
         assert!(analyze(&dir, &AnalyzeOptions::default()).is_err());
+    }
+
+    #[test]
+    fn analyze_resume_skips_ingestion_and_matches_fresh_run() {
+        let dir = std::env::temp_dir().join("towerlens-cli-resume");
+        let ckpt = std::env::temp_dir().join("towerlens-cli-resume-ckpt");
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&ckpt);
+        generate_dataset(
+            &dir,
+            &GenOptions {
+                seed: 5,
+                towers: 80,
+                agents: 500,
+                days: 7,
+            },
+        )
+        .expect("gen");
+        let options = AnalyzeOptions {
+            days: 7,
+            threads: 2,
+        };
+        let (fresh, first) =
+            analyze_instrumented(&dir, &options, Some(&ckpt)).expect("first analyze");
+        assert_eq!(first.with_status(StageStatus::Cached), Vec::<&str>::new());
+
+        let (resumed, second) =
+            analyze_instrumented(&dir, &options, Some(&ckpt)).expect("second analyze");
+        assert_eq!(
+            second.with_status(StageStatus::Cached),
+            vec!["vectorize", "cluster"]
+        );
+        // With the expensive middle cached, log ingestion and
+        // cleaning are not demanded at all.
+        assert_eq!(
+            second.with_status(StageStatus::Skipped),
+            vec!["ingest-logs", "clean"]
+        );
+        assert_eq!(resumed.records, fresh.records);
+        assert_eq!(resumed.kept, fresh.kept);
+        assert_eq!(resumed.k, fresh.k);
+        assert_eq!(resumed.labels, fresh.labels);
+        assert_eq!(
+            resumed.ari_vs_truth.map(f64::to_bits),
+            fresh.ari_vs_truth.map(f64::to_bits)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&ckpt);
+    }
+
+    #[test]
+    fn study_config_parses_known_scales_only() {
+        assert!(study_config("tiny", 7).is_ok());
+        assert!(study_config("paper", 7).is_ok());
+        let e = study_config("huge", 7).unwrap_err();
+        assert!(e.contains("unknown scale `huge`"), "{e}");
     }
 }

@@ -6,14 +6,21 @@
 //!
 //! * [`files`] — the on-disk dataset format (`logs.tsv`,
 //!   `towers.tsv`, `pois.tsv`, `truth.tsv`) with writers and parsers,
-//! * [`commands`] — the `gen` and `analyze` subcommands as library
-//!   functions (the binary is a thin wrapper, so everything is
-//!   testable without spawning processes).
+//! * [`args`] — uniform flag parsing (one-line errors, exit code 2),
+//! * [`commands`] — the `gen`, `analyze`, and `study` subcommands as
+//!   library functions (the binary is a thin wrapper, so everything
+//!   is testable without spawning processes). `analyze` runs as a
+//!   stage graph on [`towerlens_core::engine`], so it supports
+//!   `--resume`, `--timings`, and `--json`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod args;
 pub mod commands;
 pub mod files;
 
-pub use commands::{analyze, generate_dataset, AnalyzeOptions, AnalyzeSummary, GenOptions};
+pub use commands::{
+    analyze, analyze_instrumented, generate_dataset, run_study, study_config, AnalyzeOptions,
+    AnalyzeSummary, GenOptions,
+};

@@ -326,7 +326,10 @@ mod tests {
         let points: Vec<Vec<f64>> = (0..60)
             .map(|i| {
                 let t = i as f64;
-                vec![(t * 0.9).sin() * 3.0 + (i % 3) as f64 * 20.0, (t * 0.4).cos()]
+                vec![
+                    (t * 0.9).sin() * 3.0 + (i % 3) as f64 * 20.0,
+                    (t * 0.4).cos(),
+                ]
             })
             .collect();
         let a = tree(&points, Linkage::Average, Engine::Naive)
@@ -386,8 +389,8 @@ mod tests {
 
     #[test]
     fn singleton_input() {
-        let d = agglomerative_points(&[vec![1.0, 2.0]], Linkage::Average, Engine::NnChain, 1)
-            .unwrap();
+        let d =
+            agglomerative_points(&[vec![1.0, 2.0]], Linkage::Average, Engine::NnChain, 1).unwrap();
         assert_eq!(d.len(), 1);
         assert!(d.merges().is_empty());
         assert_eq!(d.cut_at(1.0).k, 1);

@@ -98,6 +98,47 @@ impl Dendrogram {
         })
     }
 
+    /// Rebuilds a dendrogram from merges already in canonical form —
+    /// the exact list a previous [`Dendrogram::merges`] returned, as
+    /// persisted by a checkpoint codec. Unlike the engine-facing
+    /// constructor this does *not* re-sort or rewrite ids; it only
+    /// validates that the list is canonical: `n − 1` merges,
+    /// non-decreasing distances, each merge referencing ids created
+    /// earlier, and every cluster id consumed at most once.
+    ///
+    /// # Errors
+    /// [`ClusterError::Internal`] describing the first violation.
+    pub fn from_sorted_merges(n: usize, merges: Vec<Merge>) -> Result<Self, ClusterError> {
+        if merges.len() + 1 != n && !(n == 0 && merges.is_empty()) {
+            return Err(ClusterError::Internal("merge count must be n-1"));
+        }
+        let total = n + merges.len();
+        let mut consumed = vec![false; total];
+        let mut prev = f64::NEG_INFINITY;
+        for (i, m) in merges.iter().enumerate() {
+            let created = n + i;
+            if m.a >= created || m.b >= created || m.a == m.b {
+                return Err(ClusterError::Internal(
+                    "merge references a not-yet-created cluster id",
+                ));
+            }
+            if consumed[m.a] || consumed[m.b] {
+                return Err(ClusterError::Internal(
+                    "merge consumes an already-merged cluster id",
+                ));
+            }
+            consumed[m.a] = true;
+            consumed[m.b] = true;
+            if m.distance.is_nan() || m.distance < prev {
+                return Err(ClusterError::Internal(
+                    "merge distances must be non-decreasing",
+                ));
+            }
+            prev = m.distance;
+        }
+        Ok(Dendrogram { n, merges })
+    }
+
     /// Number of leaves (original points).
     pub fn len(&self) -> usize {
         self.n
@@ -371,6 +412,35 @@ mod tests {
             ],
         )
         .unwrap()
+    }
+
+    #[test]
+    fn from_sorted_merges_roundtrips_canonical_form() {
+        let d = sample();
+        let rebuilt = Dendrogram::from_sorted_merges(d.len(), d.merges().to_vec()).unwrap();
+        assert_eq!(rebuilt.merges(), d.merges());
+        for k in 1..=4 {
+            assert_eq!(rebuilt.cut_k(k).unwrap(), d.cut_k(k).unwrap());
+        }
+    }
+
+    #[test]
+    fn from_sorted_merges_rejects_non_canonical_input() {
+        let d = sample();
+        // Wrong merge count.
+        assert!(Dendrogram::from_sorted_merges(5, d.merges().to_vec()).is_err());
+        // Decreasing distances.
+        let mut merges = d.merges().to_vec();
+        merges[2].distance = 0.5;
+        assert!(Dendrogram::from_sorted_merges(4, merges).is_err());
+        // Forward reference.
+        let mut merges = d.merges().to_vec();
+        merges[0].a = 6;
+        assert!(Dendrogram::from_sorted_merges(4, merges).is_err());
+        // Double consumption of a cluster id.
+        let mut merges = d.merges().to_vec();
+        merges[1].a = 0;
+        assert!(Dendrogram::from_sorted_merges(4, merges).is_err());
     }
 
     #[test]

@@ -151,10 +151,11 @@ pub fn dbi_sweep(
 
 /// The sweep point with minimal DBI (ties: smallest `k`).
 pub fn best_by_dbi(sweep: &[DbiPoint]) -> Option<DbiPoint> {
-    sweep
-        .iter()
-        .copied()
-        .min_by(|a, b| a.dbi.partial_cmp(&b.dbi).unwrap_or(std::cmp::Ordering::Equal))
+    sweep.iter().copied().min_by(|a, b| {
+        a.dbi
+            .partial_cmp(&b.dbi)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    })
 }
 
 #[cfg(test)]

@@ -1,0 +1,62 @@
+//! Property test: the O(n³) naive engine and the O(n²)
+//! nearest-neighbour-chain engine are interchangeable — for any
+//! random distance matrix and any linkage, every dendrogram cut
+//! yields the same labeling.
+
+use proptest::prelude::*;
+use towerlens_cluster::agglomerative::{agglomerative, Engine, Linkage};
+use towerlens_cluster::distance::DistanceMatrix;
+
+const LINKAGES: [Linkage; 4] = [
+    Linkage::Single,
+    Linkage::Complete,
+    Linkage::Average,
+    Linkage::Ward,
+];
+
+/// Largest point count exercised; the condensed pool below is sized
+/// for it (n·(n−1)/2 = 66 at n = 12).
+const MAX_N: usize = 12;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn engines_cut_identically_for_all_linkages(
+        vals in prop::collection::vec(0.01f64..100.0, MAX_N * (MAX_N - 1) / 2),
+        n in 2usize..=MAX_N,
+    ) {
+        // Random strictly positive distances: ties have probability
+        // zero, so the merge order is unique and the engines must
+        // agree exactly, not just up to reordering.
+        let condensed: Vec<f64> = vals[..n * (n - 1) / 2].to_vec();
+        for linkage in LINKAGES {
+            let naive = agglomerative(
+                DistanceMatrix::from_condensed(n, condensed.clone()).unwrap(),
+                linkage,
+                Engine::Naive,
+            )
+            .unwrap();
+            let chain = agglomerative(
+                DistanceMatrix::from_condensed(n, condensed.clone()).unwrap(),
+                linkage,
+                Engine::NnChain,
+            )
+            .unwrap();
+            for k in 1..=n {
+                let a = naive.cut_k(k).unwrap();
+                let b = chain.cut_k(k).unwrap();
+                prop_assert_eq!(
+                    &a.labels,
+                    &b.labels,
+                    "n={} k={} {:?}: naive {:?} vs nn-chain {:?}",
+                    n,
+                    k,
+                    linkage,
+                    a.labels,
+                    b.labels
+                );
+            }
+        }
+    }
+}

@@ -60,10 +60,7 @@ impl Decomposer {
         kept_ids: &[usize],
         solver: Solver,
     ) -> Result<Self, CoreError> {
-        let vertices = representatives
-            .iter()
-            .map(|f| f.f3().to_vec())
-            .collect();
+        let vertices = representatives.iter().map(|f| f.f3().to_vec()).collect();
         let poi_counts: Vec<[f64; 4]> = kept_ids
             .iter()
             .map(|&id| {
@@ -203,10 +200,7 @@ mod tests {
         let c = vec![1.0, 1.0];
         let d = vec![2.0, 2.0];
         let coeff = [0.5, 0.5, 0.0, 0.0];
-        let out = time_domain_combination(
-            &coeff,
-            &[&a, &b, &c, &d],
-        );
+        let out = time_domain_combination(&coeff, &[&a, &b, &c, &d]);
         assert_eq!(out, vec![0.5, 0.5]);
     }
 

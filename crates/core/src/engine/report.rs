@@ -1,0 +1,221 @@
+//! Per-stage and per-run instrumentation reports.
+
+use std::time::Duration;
+
+use super::stage::Card;
+
+/// How a stage was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageStatus {
+    /// Computed in this run.
+    Ran,
+    /// Reloaded from a checkpoint.
+    Cached,
+    /// Not executed: every consumer of its artifact was satisfied
+    /// from checkpoints.
+    Skipped,
+}
+
+impl StageStatus {
+    /// Lower-case label (`ran` / `cached` / `skipped`).
+    pub fn label(self) -> &'static str {
+        match self {
+            StageStatus::Ran => "ran",
+            StageStatus::Cached => "cached",
+            StageStatus::Skipped => "skipped",
+        }
+    }
+}
+
+impl std::fmt::Display for StageStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// What happened to one stage in one run.
+#[derive(Debug, Clone)]
+pub struct StageReport {
+    /// The stage name.
+    pub name: &'static str,
+    /// The wave (topological level) the stage was scheduled in.
+    pub wave: usize,
+    /// How the stage was satisfied.
+    pub status: StageStatus,
+    /// Wall time: compute + checkpoint write for [`StageStatus::Ran`],
+    /// checkpoint read for [`StageStatus::Cached`], zero for
+    /// [`StageStatus::Skipped`].
+    pub wall: Duration,
+    /// Input/output cardinalities (restored from the checkpoint
+    /// header for cached stages).
+    pub cards: Vec<Card>,
+}
+
+/// The full instrumentation record of one graph run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Per-stage reports, in graph registration order.
+    pub stages: Vec<StageReport>,
+    /// End-to-end wall time of the run.
+    pub total: Duration,
+}
+
+impl RunReport {
+    /// The report of a stage, by name.
+    pub fn stage(&self, name: &str) -> Option<&StageReport> {
+        self.stages.iter().find(|s| s.name == name)
+    }
+
+    /// Stage names with a given status, in registration order.
+    pub fn with_status(&self, status: StageStatus) -> Vec<&'static str> {
+        self.stages
+            .iter()
+            .filter(|s| s.status == status)
+            .map(|s| s.name)
+            .collect()
+    }
+
+    /// A fixed-width human table, one row per stage plus a total row.
+    pub fn render_table(&self) -> String {
+        let name_w = self
+            .stages
+            .iter()
+            .map(|s| s.name.len())
+            .chain(["stage".len()])
+            .max()
+            .unwrap_or(5);
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<name_w$}  wave  status   {:>10}  cards\n",
+            "stage", "wall"
+        ));
+        for s in &self.stages {
+            let cards = s
+                .cards
+                .iter()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
+                .join(" ");
+            out.push_str(&format!(
+                "{:<name_w$}  {:>4}  {:<7}  {:>8.2}ms  {}\n",
+                s.name,
+                s.wave,
+                s.status.label(),
+                s.wall.as_secs_f64() * 1e3,
+                cards
+            ));
+        }
+        out.push_str(&format!(
+            "{:<name_w$}        total    {:>8.2}ms\n",
+            "",
+            self.total.as_secs_f64() * 1e3
+        ));
+        out
+    }
+
+    /// The report as a JSON object (hand-rolled; stage names and card
+    /// labels are plain ASCII identifiers).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"total_ms\":");
+        out.push_str(&format!(
+            "{:.3},\"stages\":[",
+            self.total.as_secs_f64() * 1e3
+        ));
+        for (i, s) in self.stages.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"wave\":{},\"status\":\"{}\",\"wall_ms\":{:.3},\"cards\":{{",
+                json_escape(s.name),
+                s.wave,
+                s.status.label(),
+                s.wall.as_secs_f64() * 1e3
+            ));
+            for (j, c) in s.cards.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"{}\":{}", json_escape(&c.label), c.value));
+            }
+            out.push_str("}}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunReport {
+        RunReport {
+            stages: vec![
+                StageReport {
+                    name: "city",
+                    wave: 0,
+                    status: StageStatus::Cached,
+                    wall: Duration::from_micros(1_500),
+                    cards: vec![Card::new("towers", 120)],
+                },
+                StageReport {
+                    name: "cluster",
+                    wave: 1,
+                    status: StageStatus::Ran,
+                    wall: Duration::from_millis(12),
+                    cards: vec![Card::new("k", 5), Card::new("vectors", 118)],
+                },
+            ],
+            total: Duration::from_millis(14),
+        }
+    }
+
+    #[test]
+    fn table_lists_every_stage_and_total() {
+        let table = sample().render_table();
+        assert!(table.contains("city"));
+        assert!(table.contains("cached"));
+        assert!(table.contains("towers=120"));
+        assert!(table.contains("total"));
+        assert_eq!(table.lines().count(), 4); // header + 2 stages + total
+    }
+
+    #[test]
+    fn json_is_well_formed() {
+        let json = sample().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"name\":\"cluster\""));
+        assert!(json.contains("\"status\":\"ran\""));
+        assert!(json.contains("\"k\":5"));
+        // Balanced braces/brackets (cheap well-formedness check).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn lookup_and_status_filters() {
+        let r = sample();
+        assert_eq!(r.stage("city").unwrap().wave, 0);
+        assert!(r.stage("nope").is_none());
+        assert_eq!(r.with_status(StageStatus::Cached), vec!["city"]);
+        assert_eq!(r.with_status(StageStatus::Skipped), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn json_escaping_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\ny"), "x\\u000ay");
+    }
+}

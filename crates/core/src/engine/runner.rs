@@ -1,0 +1,569 @@
+//! Graph validation, wave scheduling, and execution.
+
+use std::collections::{HashMap, HashSet};
+use std::time::{Duration, Instant};
+
+use super::checkpoint::CheckpointStore;
+use super::report::{RunReport, StageReport, StageStatus};
+use super::stage::{Card, Stage, StageContext, StageOutput};
+use super::EngineError;
+
+/// A set of stages forming a dependency DAG, executed in topological
+/// *waves*: all stages of a wave depend only on earlier waves and run
+/// concurrently on scoped threads.
+pub struct Graph<A> {
+    stages: Vec<Box<dyn Stage<A>>>,
+}
+
+/// What a run produced: every completed stage's artifact (keyed by
+/// stage name) plus the instrumentation report.
+#[derive(Debug)]
+pub struct RunOutcome<A> {
+    /// Artifacts of all stages that ran or were reloaded from a
+    /// checkpoint. Skipped stages have no entry.
+    pub artifacts: HashMap<&'static str, A>,
+    /// Per-stage timing, status, and cardinalities.
+    pub report: RunReport,
+}
+
+impl<A> RunOutcome<A> {
+    /// Removes and returns a stage's artifact.
+    ///
+    /// # Errors
+    /// [`EngineError::MissingArtifact`] when the stage produced none
+    /// (skipped) or it was already taken.
+    pub fn take(&mut self, name: &str) -> Result<A, EngineError> {
+        self.artifacts
+            .remove(name)
+            .ok_or_else(|| EngineError::MissingArtifact {
+                stage: "<outcome>".to_string(),
+                dep: name.to_string(),
+            })
+    }
+}
+
+impl<A> Default for Graph<A> {
+    fn default() -> Self {
+        Graph { stages: Vec::new() }
+    }
+}
+
+impl<A: Send + Sync> Graph<A> {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a stage (builder style). Registration order is the
+    /// report order and the tie-break order within a wave.
+    pub fn add_stage(mut self, stage: impl Stage<A> + 'static) -> Self {
+        self.stages.push(Box::new(stage));
+        self
+    }
+
+    /// Registered stage names, in registration order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.stages.iter().map(|s| s.name()).collect()
+    }
+
+    /// Checks name uniqueness and dependency resolution.
+    ///
+    /// # Errors
+    /// [`EngineError::DuplicateStage`] or
+    /// [`EngineError::UnknownDependency`].
+    pub fn validate(&self) -> Result<(), EngineError> {
+        let mut seen = HashSet::new();
+        for s in &self.stages {
+            if !seen.insert(s.name()) {
+                return Err(EngineError::DuplicateStage {
+                    name: s.name().to_string(),
+                });
+            }
+        }
+        for s in &self.stages {
+            for &d in s.deps() {
+                if !seen.contains(d) {
+                    return Err(EngineError::UnknownDependency {
+                        stage: s.name().to_string(),
+                        dep: d.to_string(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The topological schedule: wave `i + 1` depends only on waves
+    /// `0..=i`; stages within a wave are mutually independent and run
+    /// concurrently. Deterministic (registration order within a
+    /// wave), so tests can assert on it directly.
+    ///
+    /// # Errors
+    /// Validation errors, plus [`EngineError::Cycle`] listing the
+    /// unschedulable stages.
+    pub fn waves(&self) -> Result<Vec<Vec<&'static str>>, EngineError> {
+        self.validate()?;
+        let mut done: HashSet<&'static str> = HashSet::new();
+        let mut remaining: Vec<&dyn Stage<A>> = self.stages.iter().map(|b| b.as_ref()).collect();
+        let mut waves = Vec::new();
+        while !remaining.is_empty() {
+            let (ready, rest): (Vec<_>, Vec<_>) = remaining
+                .into_iter()
+                .partition(|s| s.deps().iter().all(|d| done.contains(d)));
+            if ready.is_empty() {
+                return Err(EngineError::Cycle {
+                    stages: rest.iter().map(|s| s.name().to_string()).collect(),
+                });
+            }
+            let wave: Vec<&'static str> = ready.iter().map(|s| s.name()).collect();
+            done.extend(wave.iter().copied());
+            waves.push(wave);
+            remaining = rest;
+        }
+        Ok(waves)
+    }
+
+    /// Runs the graph.
+    ///
+    /// Without a store, every stage executes ([`StageStatus::Ran`]).
+    /// With a store, checkpointable stages whose artifact reloads
+    /// under the store's fingerprint are [`StageStatus::Cached`], and
+    /// stages whose artifact is then demanded by no executing stage
+    /// are pruned ([`StageStatus::Skipped`]). Demand is traced
+    /// backwards from the graph's sinks; a cached stage's
+    /// dependencies are not demanded on its behalf.
+    ///
+    /// # Errors
+    /// Scheduling errors, checkpoint I/O/corruption errors, and the
+    /// first failing stage's error.
+    pub fn run(&self, store: Option<&CheckpointStore>) -> Result<RunOutcome<A>, EngineError> {
+        let started = Instant::now();
+        let waves = self.waves()?;
+        let index: HashMap<&'static str, usize> = self
+            .stages
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.name(), i))
+            .collect();
+
+        // Probe checkpoints up front: demand pruning needs the full
+        // hit set before the first wave starts.
+        let mut cached: HashMap<&'static str, (A, Vec<Card>, Duration)> = HashMap::new();
+        if let Some(store) = store {
+            for s in &self.stages {
+                if let Some(codec) = s.codec() {
+                    let probe_started = Instant::now();
+                    if let Some((artifact, cards)) = store.load(s.name(), codec)? {
+                        cached.insert(s.name(), (artifact, cards, probe_started.elapsed()));
+                    }
+                }
+            }
+        }
+
+        // Backward demand trace from the sinks.
+        let mut has_dependent: HashSet<&'static str> = HashSet::new();
+        for s in &self.stages {
+            has_dependent.extend(s.deps().iter().copied());
+        }
+        let mut demanded: HashSet<&'static str> = HashSet::new();
+        let mut frontier: Vec<&'static str> = self
+            .stages
+            .iter()
+            .map(|s| s.name())
+            .filter(|n| !has_dependent.contains(n))
+            .collect();
+        while let Some(name) = frontier.pop() {
+            if !demanded.insert(name) || cached.contains_key(name) {
+                continue;
+            }
+            frontier.extend(self.stages[index[&name]].deps().iter().copied());
+        }
+
+        let mut artifacts: HashMap<&'static str, A> = HashMap::new();
+        let mut reports: HashMap<&'static str, StageReport> = HashMap::new();
+        for (w, wave) in waves.iter().enumerate() {
+            let mut to_run: Vec<usize> = Vec::new();
+            for &name in wave {
+                if let Some((artifact, cards, load)) = cached.remove(name) {
+                    artifacts.insert(name, artifact);
+                    reports.insert(
+                        name,
+                        StageReport {
+                            name,
+                            wave: w,
+                            status: StageStatus::Cached,
+                            wall: load,
+                            cards,
+                        },
+                    );
+                } else if !demanded.contains(name) {
+                    reports.insert(
+                        name,
+                        StageReport {
+                            name,
+                            wave: w,
+                            status: StageStatus::Skipped,
+                            wall: Duration::ZERO,
+                            cards: Vec::new(),
+                        },
+                    );
+                } else {
+                    to_run.push(index[name]);
+                }
+            }
+
+            let run_one = |i: usize,
+                           artifacts: &HashMap<&'static str, A>|
+             -> (usize, Result<StageOutput<A>, EngineError>, Duration) {
+                let stage = &self.stages[i];
+                let stage_started = Instant::now();
+                let result = stage.run(&StageContext::new(stage.name(), artifacts));
+                (i, result, stage_started.elapsed())
+            };
+            let results: Vec<(usize, Result<StageOutput<A>, EngineError>, Duration)> =
+                if to_run.len() <= 1 {
+                    // A single runnable stage executes inline: no
+                    // thread spawn on the (common) sequential spine.
+                    to_run.iter().map(|&i| run_one(i, &artifacts)).collect()
+                } else {
+                    let shared = &artifacts;
+                    let run_one = &run_one;
+                    std::thread::scope(|scope| {
+                        let handles: Vec<_> = to_run
+                            .iter()
+                            .map(|&i| scope.spawn(move || run_one(i, shared)))
+                            .collect();
+                        handles
+                            .into_iter()
+                            .map(|h| h.join().expect("stage thread panicked"))
+                            .collect()
+                    })
+                };
+
+            for (i, result, mut wall) in results {
+                let output = result?;
+                let stage = &self.stages[i];
+                if let (Some(store), Some(codec)) = (store, stage.codec()) {
+                    let save_started = Instant::now();
+                    store.save(stage.name(), &output.cards, codec, &output.artifact)?;
+                    wall += save_started.elapsed();
+                }
+                reports.insert(
+                    stage.name(),
+                    StageReport {
+                        name: stage.name(),
+                        wave: w,
+                        status: StageStatus::Ran,
+                        wall,
+                        cards: output.cards,
+                    },
+                );
+                artifacts.insert(stage.name(), output.artifact);
+            }
+        }
+
+        let stages = self
+            .stages
+            .iter()
+            .map(|s| reports.remove(s.name()).expect("every stage reported"))
+            .collect();
+        Ok(RunOutcome {
+            artifacts,
+            report: RunReport {
+                stages,
+                total: started.elapsed(),
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::checkpoint::BodyReader;
+    use super::super::stage::{StageCodec, StageOutput};
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+
+    type RunFn =
+        Box<dyn Fn(&StageContext<'_, u64>) -> Result<StageOutput<u64>, EngineError> + Send + Sync>;
+
+    /// A test stage built from closures.
+    struct TestStage {
+        name: &'static str,
+        deps: &'static [&'static str],
+        body: RunFn,
+        checkpointed: bool,
+    }
+
+    impl TestStage {
+        fn new(
+            name: &'static str,
+            deps: &'static [&'static str],
+            body: impl Fn(&StageContext<'_, u64>) -> Result<StageOutput<u64>, EngineError>
+                + Send
+                + Sync
+                + 'static,
+        ) -> Self {
+            TestStage {
+                name,
+                deps,
+                body: Box::new(body),
+                checkpointed: false,
+            }
+        }
+
+        fn checkpointed(mut self) -> Self {
+            self.checkpointed = true;
+            self
+        }
+    }
+
+    /// Codec for `u64` artifacts: one decimal line.
+    struct U64Codec;
+
+    impl StageCodec<u64> for U64Codec {
+        fn encode(&self, artifact: &u64, out: &mut String) -> Result<(), String> {
+            out.push_str(&format!("value {artifact}\n"));
+            Ok(())
+        }
+
+        fn decode(&self, body: &mut BodyReader<'_>) -> Result<u64, String> {
+            body.tagged("value")?
+                .parse()
+                .map_err(|_| "bad value".to_string())
+        }
+    }
+
+    impl Stage<u64> for TestStage {
+        fn name(&self) -> &'static str {
+            self.name
+        }
+        fn deps(&self) -> &'static [&'static str] {
+            self.deps
+        }
+        fn run(&self, ctx: &StageContext<'_, u64>) -> Result<StageOutput<u64>, EngineError> {
+            (self.body)(ctx)
+        }
+        fn codec(&self) -> Option<&dyn StageCodec<u64>> {
+            self.checkpointed.then_some(&U64Codec)
+        }
+    }
+
+    fn constant(name: &'static str, deps: &'static [&'static str], v: u64) -> TestStage {
+        TestStage::new(name, deps, move |_| Ok(StageOutput::new(v)))
+    }
+
+    #[test]
+    fn waves_schedule_a_diamond() {
+        let g = Graph::new()
+            .add_stage(constant("a", &[], 1))
+            .add_stage(constant("b", &["a"], 2))
+            .add_stage(constant("c", &["a"], 3))
+            .add_stage(constant("d", &["b", "c"], 4));
+        assert_eq!(
+            g.waves().unwrap(),
+            vec![vec!["a"], vec!["b", "c"], vec!["d"]]
+        );
+    }
+
+    #[test]
+    fn duplicate_names_are_rejected() {
+        let g = Graph::new()
+            .add_stage(constant("a", &[], 1))
+            .add_stage(constant("a", &[], 2));
+        assert!(matches!(
+            g.waves(),
+            Err(EngineError::DuplicateStage { name }) if name == "a"
+        ));
+    }
+
+    #[test]
+    fn unknown_dependency_is_rejected() {
+        let g = Graph::new().add_stage(constant("a", &["ghost"], 1));
+        assert!(matches!(
+            g.waves(),
+            Err(EngineError::UnknownDependency { dep, .. }) if dep == "ghost"
+        ));
+    }
+
+    #[test]
+    fn cycles_are_rejected() {
+        let g = Graph::new()
+            .add_stage(constant("a", &["b"], 1))
+            .add_stage(constant("b", &["a"], 2));
+        assert!(matches!(g.waves(), Err(EngineError::Cycle { stages }) if stages.len() == 2));
+    }
+
+    #[test]
+    fn artifacts_flow_along_dependencies() {
+        let g = Graph::new()
+            .add_stage(constant("a", &[], 20))
+            .add_stage(TestStage::new("b", &["a"], |ctx| {
+                Ok(StageOutput::new(ctx.artifact("a")? * 2).with_card("doubled", 1))
+            }));
+        let mut outcome = g.run(None).unwrap();
+        assert_eq!(outcome.take("b").unwrap(), 40);
+        let report = outcome.report;
+        assert_eq!(report.with_status(StageStatus::Ran).len(), 2);
+        assert_eq!(report.stage("b").unwrap().cards[0].to_string(), "doubled=1");
+    }
+
+    #[test]
+    fn undeclared_artifact_access_fails_typed() {
+        let g = Graph::new().add_stage(TestStage::new("lone", &[], |ctx| {
+            ctx.artifact("nothing")?;
+            unreachable!()
+        }));
+        assert!(matches!(
+            g.run(None),
+            Err(EngineError::MissingArtifact { stage, dep }) if stage == "lone" && dep == "nothing"
+        ));
+    }
+
+    #[test]
+    fn stage_failure_carries_the_stage_name() {
+        let g = Graph::new()
+            .add_stage(constant("ok", &[], 1))
+            .add_stage(TestStage::new(
+                "boom",
+                &["ok"],
+                |ctx| Err(ctx.fail("kaput")),
+            ));
+        match g.run(None) {
+            Err(EngineError::Stage { stage, message }) => {
+                assert_eq!(stage, "boom");
+                assert_eq!(message, "kaput");
+            }
+            other => panic!("expected stage failure, got {other:?}"),
+        }
+    }
+
+    /// Independent stages of one wave must be *live concurrently*:
+    /// each signals its arrival and then blocks until it has seen the
+    /// other, with a generous timeout so a sequential runner fails
+    /// the assertion rather than deadlocking.
+    #[test]
+    fn independent_stages_run_concurrently() {
+        #[derive(Default)]
+        struct Rendezvous {
+            arrived: Mutex<Vec<&'static str>>,
+            bell: Condvar,
+        }
+        let meet = Arc::new(Rendezvous::default());
+        let stage = |name: &'static str, partner: &'static str| {
+            let meet = Arc::clone(&meet);
+            TestStage::new(name, &["src"], move |_| {
+                let mut arrived = meet.arrived.lock().unwrap();
+                arrived.push(name);
+                meet.bell.notify_all();
+                let deadline = std::time::Duration::from_secs(10);
+                let (guard, timeout) = meet
+                    .bell
+                    .wait_timeout_while(arrived, deadline, |a| !a.contains(&partner))
+                    .unwrap();
+                drop(guard);
+                Ok(StageOutput::new(u64::from(!timeout.timed_out())))
+            })
+        };
+        let g = Graph::new()
+            .add_stage(constant("src", &[], 0))
+            .add_stage(stage("left", "right"))
+            .add_stage(stage("right", "left"));
+        let mut outcome = g.run(None).unwrap();
+        assert_eq!(
+            outcome.take("left").unwrap(),
+            1,
+            "left never saw right running"
+        );
+        assert_eq!(
+            outcome.take("right").unwrap(),
+            1,
+            "right never saw left running"
+        );
+    }
+
+    fn temp_store(tag: &str) -> CheckpointStore {
+        let dir =
+            std::env::temp_dir().join(format!("towerlens-runner-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        CheckpointStore::open(dir, 99).unwrap()
+    }
+
+    /// Builds `a → b → c` with `b` checkpointed, counting executions.
+    fn counted_chain(counts: &Arc<[AtomicUsize; 3]>) -> Graph<u64> {
+        let track = |i: usize| {
+            let counts = Arc::clone(counts);
+            move || counts[i].fetch_add(1, Ordering::SeqCst)
+        };
+        let (ta, tb, tc) = (track(0), track(1), track(2));
+        Graph::new()
+            .add_stage(TestStage::new("a", &[], move |_| {
+                ta();
+                Ok(StageOutput::new(5))
+            }))
+            .add_stage(
+                TestStage::new("b", &["a"], move |ctx| {
+                    tb();
+                    Ok(StageOutput::new(ctx.artifact("a")? + 1).with_card("in", 5))
+                })
+                .checkpointed(),
+            )
+            .add_stage(TestStage::new("c", &["b"], move |ctx| {
+                tc();
+                Ok(StageOutput::new(ctx.artifact("b")? * 10))
+            }))
+    }
+
+    #[test]
+    fn resume_reloads_checkpoints_and_prunes_undemanded_upstream() {
+        let store = temp_store("resume");
+        let counts: Arc<[AtomicUsize; 3]> = Arc::new(Default::default());
+
+        let mut first = counted_chain(&counts).run(Some(&store)).unwrap();
+        assert_eq!(first.take("c").unwrap(), 60);
+        assert_eq!(
+            first.report.with_status(StageStatus::Ran),
+            vec!["a", "b", "c"]
+        );
+
+        let mut second = counted_chain(&counts).run(Some(&store)).unwrap();
+        assert_eq!(
+            second.take("c").unwrap(),
+            60,
+            "resumed run changed the result"
+        );
+        let report = &second.report;
+        assert_eq!(report.with_status(StageStatus::Cached), vec!["b"]);
+        assert_eq!(report.with_status(StageStatus::Skipped), vec!["a"]);
+        assert_eq!(report.with_status(StageStatus::Ran), vec!["c"]);
+        // Cached stages keep their cards across the reload.
+        assert_eq!(report.stage("b").unwrap().cards[0].to_string(), "in=5");
+        let runs = |i: usize| counts[i].load(Ordering::SeqCst);
+        assert_eq!((runs(0), runs(1), runs(2)), (1, 1, 2));
+    }
+
+    #[test]
+    fn corrupt_checkpoint_surfaces_typed_error() {
+        let store = temp_store("corrupt");
+        let counts: Arc<[AtomicUsize; 3]> = Arc::new(Default::default());
+        counted_chain(&counts).run(Some(&store)).unwrap();
+        let path = store.path_of("b");
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, text.replace("value", "vlaue")).unwrap();
+        assert!(matches!(
+            counted_chain(&counts).run(Some(&store)),
+            Err(EngineError::Checkpoint(
+                super::super::CheckpointError::Corrupt { .. }
+            ))
+        ));
+    }
+
+    #[test]
+    fn run_without_store_never_touches_disk_state() {
+        let counts: Arc<[AtomicUsize; 3]> = Arc::new(Default::default());
+        counted_chain(&counts).run(None).unwrap();
+        counted_chain(&counts).run(None).unwrap();
+        assert_eq!(counts[1].load(Ordering::SeqCst), 2);
+    }
+}

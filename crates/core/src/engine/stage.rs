@@ -1,0 +1,143 @@
+//! The [`Stage`] trait and the values stages exchange.
+
+use std::collections::HashMap;
+
+use super::checkpoint::BodyReader;
+use super::EngineError;
+
+/// A named cardinality ("towers=120", "merges=119") attached to a
+/// stage report; the instrumentation equivalent of a row count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Card {
+    /// What is being counted.
+    pub label: String,
+    /// The count.
+    pub value: u64,
+}
+
+impl Card {
+    /// Creates a card.
+    pub fn new(label: impl Into<String>, value: u64) -> Self {
+        Card {
+            label: label.into(),
+            value,
+        }
+    }
+}
+
+impl std::fmt::Display for Card {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}={}", self.label, self.value)
+    }
+}
+
+/// What a stage returns: its artifact plus instrumentation cards.
+#[derive(Debug)]
+pub struct StageOutput<A> {
+    /// The produced artifact, stored under the stage's name.
+    pub artifact: A,
+    /// Cardinalities for the stage report (and the checkpoint header,
+    /// so a cached stage still reports them).
+    pub cards: Vec<Card>,
+}
+
+impl<A> StageOutput<A> {
+    /// Wraps an artifact with no cards.
+    pub fn new(artifact: A) -> Self {
+        StageOutput {
+            artifact,
+            cards: Vec::new(),
+        }
+    }
+
+    /// Attaches a card (builder style).
+    pub fn with_card(mut self, label: impl Into<String>, value: u64) -> Self {
+        self.cards.push(Card::new(label, value));
+        self
+    }
+}
+
+/// What a running stage sees: the artifacts of every stage completed
+/// in an earlier wave.
+pub struct StageContext<'a, A> {
+    stage: &'static str,
+    artifacts: &'a HashMap<&'static str, A>,
+}
+
+impl<'a, A> StageContext<'a, A> {
+    pub(crate) fn new(stage: &'static str, artifacts: &'a HashMap<&'static str, A>) -> Self {
+        StageContext { stage, artifacts }
+    }
+
+    /// The running stage's own name.
+    pub fn stage(&self) -> &'static str {
+        self.stage
+    }
+
+    /// The artifact a completed stage produced.
+    ///
+    /// # Errors
+    /// [`EngineError::MissingArtifact`] when `name` has not completed
+    /// (not a declared dependency, or skipped).
+    pub fn artifact(&self, name: &str) -> Result<&'a A, EngineError> {
+        self.artifacts
+            .get(name)
+            .ok_or_else(|| EngineError::MissingArtifact {
+                stage: self.stage.to_string(),
+                dep: name.to_string(),
+            })
+    }
+
+    /// Wraps a stage-local failure into [`EngineError::Stage`].
+    pub fn fail(&self, message: impl std::fmt::Display) -> EngineError {
+        EngineError::Stage {
+            stage: self.stage.to_string(),
+            message: message.to_string(),
+        }
+    }
+}
+
+/// One unit of the pipeline: a named computation with declared
+/// dependencies.
+pub trait Stage<A>: Send + Sync {
+    /// The stage's unique name — also its artifact key and its
+    /// checkpoint file stem.
+    fn name(&self) -> &'static str;
+
+    /// Names of the stages whose artifacts this stage reads.
+    fn deps(&self) -> &'static [&'static str] {
+        &[]
+    }
+
+    /// Runs the stage.
+    ///
+    /// # Errors
+    /// Any [`EngineError`]; stage-local failures are wrapped via
+    /// [`StageContext::fail`].
+    fn run(&self, ctx: &StageContext<'_, A>) -> Result<StageOutput<A>, EngineError>;
+
+    /// The codec persisting this stage's artifact, if it is
+    /// checkpointable.
+    fn codec(&self) -> Option<&dyn StageCodec<A>> {
+        None
+    }
+}
+
+/// Encodes/decodes one stage's artifact to the checkpoint body (a
+/// line-oriented text block; see [`super::checkpoint`]).
+pub trait StageCodec<A>: Send + Sync {
+    /// Appends the artifact's body lines to `out` (each line
+    /// `\n`-terminated).
+    ///
+    /// # Errors
+    /// A rendered reason, e.g. when handed the wrong artifact variant.
+    fn encode(&self, artifact: &A, out: &mut String) -> Result<(), String>;
+
+    /// Rebuilds the artifact from body lines.
+    ///
+    /// # Errors
+    /// A rendered reason; the store wraps it into
+    /// [`super::CheckpointError::Corrupt`] with the failing line
+    /// number.
+    fn decode(&self, body: &mut BodyReader<'_>) -> Result<A, String>;
+}

@@ -41,6 +41,9 @@ pub enum CoreError {
         /// The requested id.
         id: String,
     },
+    /// A stage-graph run failed (scheduling, checkpointing, or a
+    /// stage's own computation).
+    Engine(crate::engine::EngineError),
 }
 
 impl std::fmt::Display for CoreError {
@@ -60,6 +63,7 @@ impl std::fmt::Display for CoreError {
             CoreError::UnknownExperiment { id } => {
                 write!(f, "unknown experiment id `{id}` (see `repro list`)")
             }
+            CoreError::Engine(e) => write!(f, "engine: {e}"),
         }
     }
 }
@@ -89,6 +93,11 @@ impl From<CityError> for CoreError {
 impl From<TraceError> for CoreError {
     fn from(e: TraceError) -> Self {
         CoreError::Trace(e)
+    }
+}
+impl From<crate::engine::EngineError> for CoreError {
+    fn from(e: crate::engine::EngineError) -> Self {
+        CoreError::Engine(e)
     }
 }
 

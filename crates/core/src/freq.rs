@@ -283,11 +283,7 @@ pub fn representative_towers(
         // radius).
         let density: Vec<usize> = members
             .iter()
-            .map(|&m| {
-                pts.iter()
-                    .filter(|p| d3(p, &pts[m]) <= radius)
-                    .count()
-            })
+            .map(|&m| pts.iter().filter(|p| d3(p, &pts[m]) <= radius).count())
             .collect();
         let mut sorted = density.clone();
         sorted.sort_unstable();
@@ -369,11 +365,7 @@ mod tests {
         // low-noise towers.
         let v = zscored_pure(PoiKind::Resident, 1, 0.05);
         let summary = reconstruct_principal(&v, &window()).unwrap();
-        assert!(
-            summary.lost_energy < 0.25,
-            "lost {}",
-            summary.lost_energy
-        );
+        assert!(summary.lost_energy < 0.25, "lost {}", summary.lost_energy);
         assert_eq!(summary.reconstructed.len(), v.len());
     }
 
@@ -413,9 +405,7 @@ mod tests {
         let feats: Vec<TowerFeatures> = PoiKind::ALL
             .iter()
             .enumerate()
-            .map(|(i, &k)| {
-                features_of(&[zscored_pure(k, i, 0.05)], &window()).unwrap()[0]
-            })
+            .map(|(i, &k)| features_of(&[zscored_pure(k, i, 0.05)], &window()).unwrap()[0])
             .collect();
         let transport = feats[PoiKind::Transport.index()].amp_half;
         for (i, f) in feats.iter().enumerate() {
@@ -436,24 +426,13 @@ mod tests {
         // entertainment sits on resident's side of the circle.
         let off = features_of(&[zscored_pure(PoiKind::Office, 0, 0.05)], &window()).unwrap();
         let res = features_of(&[zscored_pure(PoiKind::Resident, 1, 0.05)], &window()).unwrap();
-        let ent = features_of(
-            &[zscored_pure(PoiKind::Entertainment, 2, 0.05)],
-            &window(),
-        )
-        .unwrap();
-        let d = towerlens_dsp::circular::angular_distance(
-            off[0].phase_week,
-            res[0].phase_week,
-        );
+        let ent = features_of(&[zscored_pure(PoiKind::Entertainment, 2, 0.05)], &window()).unwrap();
+        let d = towerlens_dsp::circular::angular_distance(off[0].phase_week, res[0].phase_week);
         assert!(d > 2.0, "office/resident separation {d} (want ≈ π)");
-        let d_ent_res = towerlens_dsp::circular::angular_distance(
-            ent[0].phase_week,
-            res[0].phase_week,
-        );
-        let d_ent_off = towerlens_dsp::circular::angular_distance(
-            ent[0].phase_week,
-            off[0].phase_week,
-        );
+        let d_ent_res =
+            towerlens_dsp::circular::angular_distance(ent[0].phase_week, res[0].phase_week);
+        let d_ent_off =
+            towerlens_dsp::circular::angular_distance(ent[0].phase_week, off[0].phase_week);
         assert!(
             d_ent_res < d_ent_off,
             "entertainment ({}) closer to office ({d_ent_off}) than resident ({d_ent_res})",
@@ -481,15 +460,10 @@ mod tests {
     fn cluster_stats_shapes() {
         let feats: Vec<TowerFeatures> = (0..6)
             .map(|i| {
-                features_of(
-                    &[zscored_pure(PoiKind::ALL[i % 2], i, 0.1)],
-                    &window(),
-                )
-                .unwrap()[0]
+                features_of(&[zscored_pure(PoiKind::ALL[i % 2], i, 0.1)], &window()).unwrap()[0]
             })
             .collect();
-        let clustering =
-            Clustering::from_labels(vec![0, 1, 0, 1, 0, 1]).unwrap();
+        let clustering = Clustering::from_labels(vec![0, 1, 0, 1, 0, 1]).unwrap();
         let stats = cluster_feature_stats(&feats, &clustering).unwrap();
         assert_eq!(stats.len(), 2);
         for cluster in &stats {
@@ -518,8 +492,7 @@ mod tests {
             .iter()
             .map(|&a| mk(a))
             .collect();
-        let clustering =
-            Clustering::from_labels(vec![0, 0, 0, 0, 1, 1, 1, 1]).unwrap();
+        let clustering = Clustering::from_labels(vec![0, 0, 0, 0, 1, 1, 1, 1]).unwrap();
         let reps = representative_towers(&features, &clustering, &[0, 1]).unwrap();
         // The exact endpoints (0 and 7) are *noise-filtered out*: they
         // have below-median density. The representatives are the most
@@ -550,9 +523,7 @@ mod tests {
         let vectors: Vec<Vec<f64>> = PoiKind::ALL
             .iter()
             .enumerate()
-            .flat_map(|(i, &k)| {
-                (0..3).map(move |j| zscored_pure(k, i * 3 + j, 0.1))
-            })
+            .flat_map(|(i, &k)| (0..3).map(move |j| zscored_pure(k, i * 3 + j, 0.1)))
             .collect();
         let var = amplitude_variance(&vectors).unwrap();
         let [kw, kd, kh] = principal_bins(&window()).unwrap();
@@ -582,12 +553,26 @@ mod calib {
     fn print_features() {
         let w = TraceWindow::days(14);
         for kind in PoiKind::ALL {
-            let cfg = SynthConfig { bin_noise_sigma: 0.0, day_noise_sigma: 0.0, tower_scale_sigma: 0.0, ..SynthConfig::default() };
+            let cfg = SynthConfig {
+                bin_noise_sigma: 0.0,
+                day_noise_sigma: 0.0,
+                tower_scale_sigma: 0.0,
+                ..SynthConfig::default()
+            };
             let v = tower_vector(&pure_mix(kind), &w, &cfg, 0);
             let z = normalize_matrix(&[v]).unwrap().vectors.remove(0);
             let f = features_of(&[z], &w).unwrap()[0];
             let ph = |p: f64| (-p / std::f64::consts::TAU * 24.0).rem_euclid(24.0);
-            println!("{kind:?}: Aw={:.3} Pw={:+.2} Ad={:.3} Pd={:+.2}(peak {:.1}h) Ah={:.3} Ph={:+.2}", f.amp_week, f.phase_week, f.amp_day, f.phase_day, ph(f.phase_day), f.amp_half, f.phase_half);
+            println!(
+                "{kind:?}: Aw={:.3} Pw={:+.2} Ad={:.3} Pd={:+.2}(peak {:.1}h) Ah={:.3} Ph={:+.2}",
+                f.amp_week,
+                f.phase_week,
+                f.amp_day,
+                f.phase_day,
+                ph(f.phase_day),
+                f.amp_half,
+                f.phase_half
+            );
         }
     }
 }
@@ -638,9 +623,7 @@ mod goertzel_path {
         let vectors: Vec<Vec<f64>> = PoiKind::ALL
             .iter()
             .enumerate()
-            .map(|(i, &k)| {
-                tower_vector(&pure_mix(k), &w, &SynthConfig::default(), i)
-            })
+            .map(|(i, &k)| tower_vector(&pure_mix(k), &w, &SynthConfig::default(), i))
             .collect();
         let via_fft = features_of(&vectors, &w).unwrap();
         let via_goertzel = features_of_goertzel(&vectors, &w).unwrap();

@@ -96,8 +96,7 @@ impl PatternIdentifier {
                 got: vectors.len(),
             });
         }
-        let dendrogram =
-            agglomerative_points(vectors, cfg.linkage, cfg.engine, cfg.threads)?;
+        let dendrogram = agglomerative_points(vectors, cfg.linkage, cfg.engine, cfg.threads)?;
         let k_max = cfg.k_max.min(vectors.len());
         let dbi_curve = dbi_sweep(vectors, &dendrogram, cfg.k_min, k_max)?;
         let best = best_by_dbi(&dbi_curve).ok_or(CoreError::NotEnoughData {

@@ -57,13 +57,8 @@ pub fn label_clusters(
     kept_ids: &[usize],
 ) -> Result<GeoLabels, CoreError> {
     let positions: Vec<GeoPoint> = city.towers().iter().map(|t| t.position).collect();
-    let mut labels = label_clusters_parts(
-        &positions,
-        city.bounds(),
-        city.pois(),
-        clustering,
-        kept_ids,
-    )?;
+    let mut labels =
+        label_clusters_parts(&positions, city.bounds(), city.pois(), clustering, kept_ids)?;
     // Ground-truth agreement is only computable against a synthetic
     // city (real deployments have no oracle).
     let mut agree = 0usize;
@@ -262,10 +257,8 @@ mod tests {
 
     #[test]
     fn empty_input_is_error() {
-        let city = towerlens_city::generate::generate(
-            &towerlens_city::config::CityConfig::tiny(1),
-        )
-        .unwrap();
+        let city = towerlens_city::generate::generate(&towerlens_city::config::CityConfig::tiny(1))
+            .unwrap();
         let clustering = Clustering::from_labels(vec![0]).unwrap();
         assert!(label_clusters(&city, &clustering, &[]).is_err());
     }

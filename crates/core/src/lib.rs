@@ -28,14 +28,19 @@
 //! * [`predict`] — applications on top of the model: sparse spectral
 //!   forecasting and anomaly screening (the introduction's ISP
 //!   use-cases).
+//! * [`engine`] — the stage-graph execution engine: named stages with
+//!   declared dependencies, concurrent wave scheduling, per-stage
+//!   instrumentation, and filesystem checkpointing with resume.
 //! * [`study`] — an end-to-end driver wiring city generation, traffic
-//!   synthesis, the vectorizer, and all analyses into one call; the
-//!   repro harness and the examples sit on top of it.
+//!   synthesis, the vectorizer, and all analyses into one call —
+//!   expressed as an [`engine`] graph; the repro harness and the
+//!   examples sit on top of it.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod decompose;
+pub mod engine;
 pub mod error;
 pub mod freq;
 pub mod identifier;
@@ -44,6 +49,9 @@ pub mod predict;
 pub mod study;
 pub mod timedomain;
 
+pub use engine::{
+    CheckpointError, CheckpointStore, EngineError, RunReport, StageReport, StageStatus,
+};
 pub use error::CoreError;
 pub use identifier::{IdentifiedPatterns, IdentifierConfig, PatternIdentifier};
 pub use study::{Study, StudyConfig, StudyReport};

@@ -2,28 +2,34 @@
 //! labels → time & frequency analyses → decomposition.
 //!
 //! This is the programmatic equivalent of "run the whole paper once".
-//! The repro harness (`towerlens-bench`) and the examples consume the
-//! [`StudyReport`] it produces.
+//! The pipeline is expressed as an [`engine`](crate::engine) stage
+//! graph (see [`crate::engine::study_stages`] for the stage list and
+//! wave structure); [`Study::run`] executes it and assembles the
+//! [`StudyReport`] from the stage artifacts. The repro harness
+//! (`towerlens-bench`) and the examples consume the report.
+//!
+//! [`Study::run_instrumented`] additionally returns the per-stage
+//! [`RunReport`] and, given a [`CheckpointStore`], persists the
+//! expensive front of the pipeline so a later run resumes from disk.
+
+use std::collections::HashMap;
 
 use towerlens_city::city::City;
 use towerlens_city::config::CityConfig;
-use towerlens_city::generate::generate;
 use towerlens_city::zone::RegionKind;
 use towerlens_mobility::config::SynthConfig;
-use towerlens_mobility::synth::synthesize_city;
-use towerlens_opt::simplex::Solver;
-use towerlens_pipeline::normalize::normalize_matrix;
 use towerlens_trace::time::TraceWindow;
 
-use crate::decompose::{Decomposer, Decomposition};
-use crate::error::CoreError;
-use crate::freq::{
-    cluster_feature_stats, features_of, representative_towers, ClusterFeatureStats,
-    TowerFeatures,
+use crate::decompose::Decomposition;
+use crate::engine::{
+    study_fingerprint, study_graph, CheckpointStore, EngineError, RunOutcome, RunReport,
+    StudyArtifact,
 };
-use crate::identifier::{IdentifiedPatterns, IdentifierConfig, PatternIdentifier};
-use crate::labeling::{cluster_of_kind, label_clusters, GeoLabels};
-use crate::timedomain::{cluster_series, cluster_time_stats, ClusterTimeStats};
+use crate::error::CoreError;
+use crate::freq::{ClusterFeatureStats, TowerFeatures};
+use crate::identifier::{IdentifiedPatterns, IdentifierConfig};
+use crate::labeling::{cluster_of_kind, GeoLabels};
+use crate::timedomain::ClusterTimeStats;
 
 /// Configuration of a full study run.
 #[derive(Debug, Clone)]
@@ -140,6 +146,207 @@ impl StudyReport {
         let reps = self.representatives?;
         self.vectors.get(*reps.get(pure_idx)?).map(|v| v.as_slice())
     }
+
+    /// An FNV-1a content hash over every numeric and categorical
+    /// field of the report, with floats hashed by bit pattern. Two
+    /// reports fingerprint equal iff the pipeline produced
+    /// bit-identical results — the equivalence oracle for the staged
+    /// engine vs the monolithic driver, and for resumed vs fresh
+    /// runs.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        // Window.
+        h.u64(self.window.start_s);
+        h.u64(self.window.bin_secs);
+        h.usize(self.window.n_bins);
+        // City (ordered collections only: the POI spatial index
+        // buckets are a HashMap, so hash the ordered POI list).
+        for z in self.city.zones() {
+            h.usize(z.id);
+            h.usize(z.kind.index());
+            h.f64(z.center.lon);
+            h.f64(z.center.lat);
+            h.f64(z.radius_m);
+        }
+        for t in self.city.towers() {
+            h.usize(t.id);
+            h.usize(t.kind_truth.index());
+            h.usize(t.zone_id);
+            h.f64(t.position.lon);
+            h.f64(t.position.lat);
+            h.bytes(t.address.as_bytes());
+        }
+        for p in self.city.pois().pois() {
+            h.usize(p.kind.index());
+            h.usize(p.zone_id);
+            h.f64(p.position.lon);
+            h.f64(p.position.lat);
+        }
+        let b = self.city.bounds();
+        for v in [b.min_lon, b.max_lon, b.min_lat, b.max_lat] {
+            h.f64(v);
+        }
+        h.f64(self.city.center().lon);
+        h.f64(self.city.center().lat);
+        for v in self.city.comprehensive_blend() {
+            h.f64(v);
+        }
+        // Traffic and vectors.
+        for row in &self.raw {
+            h.row(row);
+        }
+        for &id in &self.kept_ids {
+            h.usize(id);
+        }
+        for row in &self.vectors {
+            h.row(row);
+        }
+        // Patterns.
+        h.usize(self.patterns.k);
+        h.f64(self.patterns.threshold);
+        h.usize(self.patterns.clustering.k);
+        for &l in &self.patterns.clustering.labels {
+            h.usize(l);
+        }
+        for p in &self.patterns.dbi_curve {
+            h.usize(p.k);
+            h.f64(p.threshold);
+            h.f64(p.dbi);
+        }
+        for row in &self.patterns.centroids {
+            h.row(row);
+        }
+        for row in &self.patterns.member_distances {
+            h.row(row);
+        }
+        for m in self.patterns.dendrogram.merges() {
+            h.usize(m.a);
+            h.usize(m.b);
+            h.usize(m.size);
+            h.f64(m.distance);
+        }
+        // Geography.
+        for &l in &self.geo.labels {
+            h.usize(l.index());
+        }
+        for profile in &self.geo.poi_profiles {
+            for &v in profile {
+                h.f64(v);
+            }
+        }
+        for p in &self.geo.hotspots {
+            h.f64(p.lon);
+            h.f64(p.lat);
+        }
+        for counts in &self.geo.hotspot_poi {
+            for &c in counts {
+                h.usize(c);
+            }
+        }
+        h.f64(self.geo.ground_truth_agreement);
+        // Time domain.
+        for row in &self.cluster_series {
+            h.row(row);
+        }
+        for s in &self.time_stats {
+            h.row(&s.weekday_profile);
+            h.row(&s.weekend_profile);
+            h.f64(s.weekday_weekend_ratio);
+            for pv in [&s.weekday, &s.weekend] {
+                h.f64(pv.max_traffic);
+                h.f64(pv.min_traffic);
+                h.f64(pv.peak_valley_ratio);
+                h.u64(pv.peak_time.0 as u64);
+                h.u64(pv.peak_time.1 as u64);
+                h.u64(pv.valley_time.0 as u64);
+                h.u64(pv.valley_time.1 as u64);
+            }
+        }
+        // Frequency.
+        for f in &self.features {
+            for v in [
+                f.amp_week,
+                f.phase_week,
+                f.amp_day,
+                f.phase_day,
+                f.amp_half,
+                f.phase_half,
+            ] {
+                h.f64(v);
+            }
+        }
+        for triple in &self.feature_stats {
+            for s in triple {
+                h.f64(s.amp_mean);
+                h.f64(s.amp_std);
+                h.option_f64(s.phase_mean);
+                h.option_f64(s.phase_std);
+            }
+        }
+        // Decomposition.
+        match self.representatives {
+            Some(reps) => {
+                h.u64(1);
+                for r in reps {
+                    h.usize(r);
+                }
+            }
+            None => h.u64(0),
+        }
+        for d in &self.decompositions {
+            h.usize(d.vector_index);
+            for v in d.coefficients {
+                h.f64(v);
+            }
+            h.f64(d.residual_sqr);
+            for v in d.ntf_idf {
+                h.f64(v);
+            }
+        }
+        h.finish()
+    }
+}
+
+/// Incremental FNV-1a, with typed writers matching the report fields.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+    fn option_f64(&mut self, v: Option<f64>) {
+        match v {
+            Some(v) => {
+                self.u64(1);
+                self.f64(v);
+            }
+            None => self.u64(0),
+        }
+    }
+    fn row(&mut self, row: &[f64]) {
+        self.usize(row.len());
+        for &v in row {
+            self.f64(v);
+        }
+    }
+    fn finish(&self) -> u64 {
+        self.0
+    }
 }
 
 /// The study driver.
@@ -159,11 +366,58 @@ impl Study {
         &self.config
     }
 
-    /// Runs the full pipeline.
+    /// The checkpoint fingerprint of this study's configuration —
+    /// what a [`CheckpointStore`] for this study must be opened with.
+    pub fn checkpoint_fingerprint(&self) -> u64 {
+        study_fingerprint(&self.config)
+    }
+
+    /// Runs the full pipeline through the stage engine.
     ///
     /// # Errors
     /// Propagates every stage's failure as [`CoreError`].
     pub fn run(&self) -> Result<StudyReport, CoreError> {
+        Ok(self.run_instrumented(None)?.0)
+    }
+
+    /// Runs the pipeline and returns the per-stage instrumentation
+    /// alongside the report. With a [`CheckpointStore`] (opened with
+    /// [`Study::checkpoint_fingerprint`]) the generation, synthesis,
+    /// vectorization, and clustering stages are persisted on first
+    /// run and reloaded — bit-identically — on resume.
+    ///
+    /// # Errors
+    /// As [`Study::run`], plus checkpoint I/O and corruption errors.
+    pub fn run_instrumented(
+        &self,
+        store: Option<&CheckpointStore>,
+    ) -> Result<(StudyReport, RunReport), CoreError> {
+        let graph = study_graph(&self.config);
+        let RunOutcome {
+            mut artifacts,
+            report,
+        } = graph.run(store)?;
+        let study = assemble(&self.config, &mut artifacts)?;
+        Ok((study, report))
+    }
+
+    /// The pre-engine single-function pipeline, kept verbatim as the
+    /// numerical reference: the golden test asserts that the staged
+    /// engine reproduces this path bit-for-bit (see
+    /// [`StudyReport::fingerprint`]).
+    #[doc(hidden)]
+    pub fn run_monolithic(&self) -> Result<StudyReport, CoreError> {
+        use towerlens_city::generate::generate;
+        use towerlens_mobility::synth::synthesize_city;
+        use towerlens_opt::simplex::Solver;
+        use towerlens_pipeline::normalize::normalize_matrix;
+
+        use crate::decompose::Decomposer;
+        use crate::freq::{cluster_feature_stats, features_of, representative_towers};
+        use crate::identifier::PatternIdentifier;
+        use crate::labeling::label_clusters;
+        use crate::timedomain::{cluster_series, cluster_time_stats};
+
         let cfg = &self.config;
         // 1. Ground truth.
         let city = generate(&cfg.city)?;
@@ -239,9 +493,79 @@ impl Study {
     }
 }
 
+fn type_mismatch(name: &'static str) -> CoreError {
+    CoreError::Engine(EngineError::Stage {
+        stage: name.to_string(),
+        message: "artifact has unexpected type".to_string(),
+    })
+}
+
+/// Assembles the [`StudyReport`] from the stage artifacts.
+fn assemble(
+    config: &StudyConfig,
+    artifacts: &mut HashMap<&'static str, StudyArtifact>,
+) -> Result<StudyReport, CoreError> {
+    let mut take = |name: &'static str| {
+        artifacts
+            .remove(name)
+            .ok_or_else(|| EngineError::MissingArtifact {
+                stage: "<assemble>".to_string(),
+                dep: name.to_string(),
+            })
+    };
+    let StudyArtifact::City(city) = take("city")? else {
+        return Err(type_mismatch("city"));
+    };
+    let StudyArtifact::Raw(raw) = take("synthesize")? else {
+        return Err(type_mismatch("synthesize"));
+    };
+    let StudyArtifact::Vectors(normalized) = take("vectorize")? else {
+        return Err(type_mismatch("vectorize"));
+    };
+    let StudyArtifact::Patterns(patterns) = take("cluster")? else {
+        return Err(type_mismatch("cluster"));
+    };
+    let StudyArtifact::Geo(geo) = take("label")? else {
+        return Err(type_mismatch("label"));
+    };
+    let StudyArtifact::TimeDomain { series, stats } = take("timedomain")? else {
+        return Err(type_mismatch("timedomain"));
+    };
+    let StudyArtifact::Frequency {
+        features,
+        stats: feature_stats,
+    } = take("frequency")?
+    else {
+        return Err(type_mismatch("frequency"));
+    };
+    let StudyArtifact::Decompose {
+        representatives,
+        rows,
+    } = take("decompose")?
+    else {
+        return Err(type_mismatch("decompose"));
+    };
+    Ok(StudyReport {
+        city,
+        window: config.window,
+        raw,
+        kept_ids: normalized.kept_ids,
+        vectors: normalized.vectors,
+        patterns,
+        geo,
+        cluster_series: series,
+        time_stats: stats,
+        features,
+        feature_stats,
+        representatives,
+        decompositions: rows,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::StageStatus;
 
     #[test]
     fn tiny_study_runs_end_to_end() {
@@ -264,5 +588,77 @@ mod tests {
         assert_eq!(a.patterns.k, b.patterns.k);
         assert_eq!(a.patterns.clustering.labels, b.patterns.clustering.labels);
         assert_eq!(a.geo.labels, b.geo.labels);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    /// The golden equivalence: the staged engine must be numerically
+    /// invisible relative to the original single-function driver.
+    #[test]
+    fn engine_matches_monolithic_bit_for_bit() {
+        for seed in [3, 7] {
+            let study = Study::new(StudyConfig::tiny(seed));
+            let staged = study.run().unwrap();
+            let monolithic = study.run_monolithic().unwrap();
+            assert_eq!(
+                staged.fingerprint(),
+                monolithic.fingerprint(),
+                "seed {seed}: staged engine diverged from the monolithic driver"
+            );
+        }
+    }
+
+    #[test]
+    fn fingerprint_separates_different_runs() {
+        let a = Study::new(StudyConfig::tiny(3)).run().unwrap();
+        let b = Study::new(StudyConfig::tiny(4)).run().unwrap();
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn resumed_run_reuses_checkpoints_and_matches_fresh_run() {
+        let dir =
+            std::env::temp_dir().join(format!("towerlens-study-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let study = Study::new(StudyConfig::tiny(7));
+        let store = CheckpointStore::open(&dir, study.checkpoint_fingerprint()).unwrap();
+
+        let (fresh, first) = study.run_instrumented(Some(&store)).unwrap();
+        assert_eq!(first.with_status(StageStatus::Cached), Vec::<&str>::new());
+        assert_eq!(first.with_status(StageStatus::Ran).len(), 8);
+
+        let (resumed, second) = study.run_instrumented(Some(&store)).unwrap();
+        assert_eq!(
+            second.with_status(StageStatus::Cached),
+            vec!["city", "synthesize", "vectorize", "cluster"]
+        );
+        // Cached stages keep their cardinality cards.
+        let city_cards = &second.stage("city").unwrap().cards;
+        assert!(city_cards
+            .iter()
+            .any(|c| c.label == "towers" && c.value == 120));
+        assert_eq!(
+            resumed.fingerprint(),
+            fresh.fingerprint(),
+            "resume changed the numbers"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_fingerprint_recomputes_instead_of_resuming() {
+        let dir =
+            std::env::temp_dir().join(format!("towerlens-study-stale-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let seven = Study::new(StudyConfig::tiny(7));
+        let store = CheckpointStore::open(&dir, seven.checkpoint_fingerprint()).unwrap();
+        seven.run_instrumented(Some(&store)).unwrap();
+
+        // A different seed opens the same directory with its own
+        // fingerprint: every checkpoint misses.
+        let eight = Study::new(StudyConfig::tiny(8));
+        let store = CheckpointStore::open(&dir, eight.checkpoint_fingerprint()).unwrap();
+        let (_, report) = eight.run_instrumented(Some(&store)).unwrap();
+        assert_eq!(report.with_status(StageStatus::Cached), Vec::<&str>::new());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

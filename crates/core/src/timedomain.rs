@@ -165,9 +165,8 @@ pub fn double_peaks(profile: &[f64], window: &TraceWindow) -> Option<((u32, u32)
     if per_day == 0 {
         return None;
     }
-    let bin_of_hour = |h: f64| -> usize {
-        ((h * 3_600.0 / window.bin_secs as f64) as usize).min(per_day - 1)
-    };
+    let bin_of_hour =
+        |h: f64| -> usize { ((h * 3_600.0 / window.bin_secs as f64) as usize).min(per_day - 1) };
     let morning = bin_of_hour(4.0)..bin_of_hour(14.0);
     let evening = bin_of_hour(14.0)..per_day;
     let m = argmax(&profile[morning.clone()])?;

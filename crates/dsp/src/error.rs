@@ -40,10 +40,16 @@ impl std::fmt::Display for DspError {
                 write!(f, "length mismatch: expected {expected}, got {actual}")
             }
             DspError::BinOutOfRange { bin, len } => {
-                write!(f, "frequency bin {bin} out of range for length-{len} transform")
+                write!(
+                    f,
+                    "frequency bin {bin} out of range for length-{len} transform"
+                )
             }
             DspError::ZeroVariance => {
-                write!(f, "signal has zero variance; z-score normalisation undefined")
+                write!(
+                    f,
+                    "signal has zero variance; z-score normalisation undefined"
+                )
             }
             DspError::NonFinite { index } => {
                 write!(f, "non-finite sample at index {index}")

@@ -56,7 +56,11 @@ pub struct FftPlan {
 impl FftPlan {
     /// Builds a plan for length-`n` transforms.
     pub fn new(n: usize) -> Self {
-        let step = if n == 0 { 0.0 } else { -std::f64::consts::TAU / n as f64 };
+        let step = if n == 0 {
+            0.0
+        } else {
+            -std::f64::consts::TAU / n as f64
+        };
         let twiddles = (0..n).map(|j| Complex::cis(step * j as f64)).collect();
         FftPlan {
             n,
@@ -230,7 +234,9 @@ mod tests {
     fn matches_direct_dft_for_many_lengths() {
         // Mix of powers of two, odd composites, primes, and the paper's
         // sub-lengths.
-        for n in [1usize, 2, 3, 4, 5, 6, 7, 8, 9, 12, 16, 21, 28, 36, 63, 97, 128, 144] {
+        for n in [
+            1usize, 2, 3, 4, 5, 6, 7, 8, 9, 12, 16, 21, 28, 36, 63, 97, 128, 144,
+        ] {
             let x = ramp(n);
             assert_spectra_close(&fft(&x), &dft_direct(&x), 1e-8 * (n as f64 + 1.0));
         }

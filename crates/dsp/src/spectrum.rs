@@ -231,7 +231,8 @@ mod tests {
         (0..n)
             .map(|i| {
                 let t = std::f64::consts::TAU * i as f64 / n as f64;
-                3.0 + 0.4 * (4.0 * t).cos() + 1.0 * (28.0 * t + 1.0).cos()
+                3.0 + 0.4 * (4.0 * t).cos()
+                    + 1.0 * (28.0 * t + 1.0).cos()
                     + 0.5 * (56.0 * t - 0.5).cos()
             })
             .collect()

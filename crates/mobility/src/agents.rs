@@ -92,10 +92,7 @@ impl AgentPopulation {
     pub fn generate(city: &City, config: AgentConfig) -> Self {
         let mut rng = StdRng::seed_from_u64(config.seed);
         let pick_pool = |kinds: &[RegionKind]| -> Vec<usize> {
-            let mut pool: Vec<usize> = kinds
-                .iter()
-                .flat_map(|&k| city.towers_of_kind(k))
-                .collect();
+            let mut pool: Vec<usize> = kinds.iter().flat_map(|&k| city.towers_of_kind(k)).collect();
             if pool.is_empty() {
                 pool = (0..city.towers().len()).collect();
             }
@@ -141,13 +138,7 @@ impl AgentPopulation {
                 let weekend = day % 7 >= 5;
                 let day_start = (first_day + day) as u64 * DAY_SECS;
                 for block in self.day_blocks(agent, day_start, weekend, &mut rng) {
-                    self.emit_block_sessions(
-                        agent_id as u64,
-                        &block,
-                        city,
-                        &mut rng,
-                        &mut out,
-                    );
+                    self.emit_block_sessions(agent_id as u64, &block, city, &mut rng, &mut out);
                 }
             }
         }
@@ -276,9 +267,7 @@ impl AgentPopulation {
             let start_s = rng.gen_range(block.start_s..block.end_s);
             let dur = exponential(rng, self.config.mean_session_secs) as u64;
             let end_s = (start_s + dur).min(block.end_s);
-            let bytes = (self.config.mean_session_bytes
-                * lognormal_unit(rng, 1.0))
-            .max(1.0) as u64;
+            let bytes = (self.config.mean_session_bytes * lognormal_unit(rng, 1.0)).max(1.0) as u64;
             let record = LogRecord {
                 user_id,
                 start_s,

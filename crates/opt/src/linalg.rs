@@ -133,10 +133,7 @@ mod tests {
             solve(&[1.0, 2.0], &[1.0], 2),
             Err(OptError::DimensionMismatch { .. })
         ));
-        assert_eq!(
-            solve(&[f64::NAN], &[1.0], 1),
-            Err(OptError::NonFinite)
-        );
+        assert_eq!(solve(&[f64::NAN], &[1.0], 1), Err(OptError::NonFinite));
     }
 
     #[test]

@@ -383,8 +383,7 @@ mod tests {
     #[test]
     fn vertex_target_gets_unit_coefficient() {
         let verts = vec![vec![0.0, 0.0], vec![2.0, 0.0], vec![0.0, 2.0]];
-        let sol =
-            simplex_least_squares(&verts, &[0.0, 2.0], opts(Solver::ActiveSet)).unwrap();
+        let sol = simplex_least_squares(&verts, &[0.0, 2.0], opts(Solver::ActiveSet)).unwrap();
         assert!((sol.coefficients[2] - 1.0).abs() < 1e-9);
         assert!(sol.coefficients[0].abs() < 1e-9);
         assert!(sol.coefficients[1].abs() < 1e-9);
@@ -422,8 +421,7 @@ mod tests {
                 ((s * 9176) % 1000) as f64 / 500.0 - 0.5,
             ];
             let exact = simplex_least_squares(&verts, &t, opts(Solver::ActiveSet)).unwrap();
-            let pg =
-                simplex_least_squares(&verts, &t, opts(Solver::ProjectedGradient)).unwrap();
+            let pg = simplex_least_squares(&verts, &t, opts(Solver::ProjectedGradient)).unwrap();
             assert!(
                 (exact.residual_sqr - pg.residual_sqr).abs() < 1e-5,
                 "seed {s}: exact {} vs pg {}",
@@ -438,12 +436,8 @@ mod tests {
 
     #[test]
     fn single_vertex_problem() {
-        let sol = simplex_least_squares(
-            &[vec![3.0, 4.0]],
-            &[0.0, 0.0],
-            opts(Solver::ActiveSet),
-        )
-        .unwrap();
+        let sol =
+            simplex_least_squares(&[vec![3.0, 4.0]], &[0.0, 0.0], opts(Solver::ActiveSet)).unwrap();
         assert_eq!(sol.coefficients, vec![1.0]);
         assert!((sol.residual_sqr - 25.0).abs() < 1e-9);
     }

@@ -8,7 +8,7 @@
 //! input and converts each cell tower's logs into a time-domain
 //! traffic vector" in two phases: **aggregation** (10-minute chunks)
 //! and **normalisation** (z-score). This crate reproduces both phases
-//! over a crossbeam worker pool:
+//! over scoped worker threads:
 //!
 //! 1. a single cheap pass partitions record indices by tower shard,
 //! 2. workers aggregate their shards into dense per-tower rows

@@ -1,7 +1,7 @@
 //! The parallel aggregation phase.
 //!
 //! Towers are partitioned into shards; a cheap serial pass buckets
-//! record indices by shard; crossbeam workers then aggregate each
+//! record indices by shard; scoped worker threads then aggregate each
 //! shard independently (no shared mutable state, so no locks on the
 //! hot path and bit-identical output for any worker count).
 
@@ -138,9 +138,10 @@ impl Vectorizer {
         if shards <= 1 {
             for r in records {
                 let row = &mut matrix[r.cell_id as usize];
-                self.window.for_each_overlap(r.start_s, r.end_s, |bin, frac| {
-                    row[bin] += r.bytes as f64 * frac;
-                });
+                self.window
+                    .for_each_overlap(r.start_s, r.end_s, |bin, frac| {
+                        row[bin] += r.bytes as f64 * frac;
+                    });
             }
             return Ok(matrix);
         }
@@ -155,13 +156,13 @@ impl Vectorizer {
         }
 
         let window = &self.window;
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for (shard, (bucket, rows)) in buckets
                 .iter()
                 .zip(matrix.chunks_mut(shard_size))
                 .enumerate()
             {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let base = shard * shard_size;
                     for &idx in bucket {
                         let r = &records[idx];
@@ -172,8 +173,7 @@ impl Vectorizer {
                     }
                 });
             }
-        })
-        .expect("vectorizer worker panicked");
+        });
         Ok(matrix)
     }
 }

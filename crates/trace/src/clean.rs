@@ -111,7 +111,7 @@ mod tests {
     fn distinct_sessions_survive() {
         let records = vec![
             rec(1, 1, 0, 100),
-            rec(1, 1, 600, 100),  // later start: distinct
+            rec(1, 1, 600, 100), // later start: distinct
             rec(2, 1, 0, 100),   // other user: distinct
             rec(1, 2, 0, 100),   // other cell: distinct
         ];
@@ -148,6 +148,9 @@ mod tests {
         let (kept, r) = clean_records(&records);
         assert_eq!(r.total, 4);
         assert_eq!(r.kept, kept.len());
-        assert_eq!(r.total, r.kept + r.duplicates_removed + r.conflicts_resolved);
+        assert_eq!(
+            r.total,
+            r.kept + r.duplicates_removed + r.conflicts_resolved
+        );
     }
 }

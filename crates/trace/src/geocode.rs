@@ -69,16 +69,17 @@ impl Geocoder {
             return *cached;
         }
         self.fresh_lookups += 1;
-        let result = if self.failure_period > 0 && self.fresh_lookups.is_multiple_of(self.failure_period) {
-            self.report.injected_failures += 1;
-            None
-        } else {
-            let parsed = GeoPoint::from_block_address(address);
-            if parsed.is_none() {
-                self.report.unresolved += 1;
-            }
-            parsed
-        };
+        let result =
+            if self.failure_period > 0 && self.fresh_lookups.is_multiple_of(self.failure_period) {
+                self.report.injected_failures += 1;
+                None
+            } else {
+                let parsed = GeoPoint::from_block_address(address);
+                if parsed.is_none() {
+                    self.report.unresolved += 1;
+                }
+                parsed
+            };
         self.cache.insert(address.to_string(), result);
         result
     }

@@ -64,12 +64,10 @@ impl LogRecord {
             });
         }
         let num = |s: &str, field: &'static str| -> Result<u64, TraceError> {
-            s.trim()
-                .parse::<u64>()
-                .map_err(|_| TraceError::BadNumber {
-                    field,
-                    line: line_no,
-                })
+            s.trim().parse::<u64>().map_err(|_| TraceError::BadNumber {
+                field,
+                line: line_no,
+            })
         };
         let user_id = num(fields[0], "user_id")?;
         let start_s = num(fields[1], "start_s")?;

@@ -136,7 +136,10 @@ impl TraceWindow {
     /// Time of day of a bin start, as `(hour, minute)`.
     pub fn time_of_day(&self, bin: usize) -> (u32, u32) {
         let day_offset = (self.bin_start(bin) - self.start_s) % DAY_SECS;
-        ((day_offset / 3600) as u32, ((day_offset % 3600) / 60) as u32)
+        (
+            (day_offset / 3600) as u32,
+            ((day_offset % 3600) / 60) as u32,
+        )
     }
 
     /// Bin index within its day (`0..BINS_PER_DAY` for 10-minute

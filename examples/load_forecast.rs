@@ -28,7 +28,9 @@ fn spectral_forecast(train: &[f64], horizon: usize) -> Vec<f64> {
         .expect("bins in range");
     // The reconstruction is periodic with the training length; the
     // forecast continues it (indices wrap).
-    (0..horizon).map(|i| fitted[i % fitted.len()].max(0.0)).collect()
+    (0..horizon)
+        .map(|i| fitted[i % fitted.len()].max(0.0))
+        .collect()
 }
 
 fn rmse(pred: &[f64], truth: &[f64]) -> f64 {

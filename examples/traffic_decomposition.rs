@@ -55,8 +55,8 @@ fn main() {
             report.vectors[reps[3]].as_slice(),
         ];
         let combo = time_domain_combination(&row.coefficients, &rep_vectors);
-        let corr = profile_correlation(&combo, &report.vectors[row.vector_index])
-            .unwrap_or(f64::NAN);
+        let corr =
+            profile_correlation(&combo, &report.vectors[row.vector_index]).unwrap_or(f64::NAN);
         println!(
             "{:>8}  {:>9.2} {:>9.2} {:>9.2} {:>9.2}  {:>9.4}  {:>6.3}",
             report.kept_ids[row.vector_index],

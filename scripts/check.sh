@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# The full quality gate: run before merging.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release --workspace
+
+echo "== cargo test =="
+cargo test -q --workspace
+
+echo "== cargo clippy =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "All checks passed."

@@ -1,0 +1,220 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment has no crates.io access, so this shim keeps
+//! the workspace's benchmark suite compiling and *runnable* with the
+//! API subset it uses: [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], the
+//! [`criterion_group!`]/[`criterion_main!`] macros, and
+//! [`Bencher::iter`].
+//!
+//! Measurement is deliberately simple — warm up, then time a fixed
+//! iteration budget and print the mean — with none of upstream's
+//! statistics. Numbers are comparable within a run, not across
+//! machines or against real criterion output.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Times one benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    mean: Duration,
+}
+
+impl Bencher {
+    /// Runs `body` repeatedly and records the mean wall time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        // One untimed warm-up iteration.
+        black_box(body());
+        let started = Instant::now();
+        for _ in 0..self.iters {
+            black_box(body());
+        }
+        self.mean = started.elapsed() / self.iters as u32;
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Upstream tunes the statistical sample count; the shim ignores
+    /// it (the iteration budget is fixed).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Upstream tunes the measurement window; the shim ignores it.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks a closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&full, f);
+        self
+    }
+
+    /// Benchmarks a closure over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (no-op beyond matching upstream's API).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    iters: Option<u64>,
+}
+
+impl Criterion {
+    /// Iterations per benchmark (default 10; override with
+    /// `TOWERLENS_BENCH_ITERS`).
+    fn iters(&self) -> u64 {
+        self.iters
+            .or_else(|| {
+                std::env::var("TOWERLENS_BENCH_ITERS")
+                    .ok()
+                    .and_then(|v| v.parse().ok())
+            })
+            .unwrap_or(10)
+            .max(1)
+    }
+
+    /// Starts a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+        }
+    }
+
+    /// Benchmarks a closure outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        self.run_one(&id.to_string(), f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let mut bencher = Bencher {
+            iters: self.iters(),
+            mean: Duration::ZERO,
+        };
+        f(&mut bencher);
+        println!(
+            "{id:<56} {:>12.3} ms/iter ({} iters)",
+            bencher.mean.as_secs_f64() * 1e3,
+            bencher.iters
+        );
+    }
+}
+
+/// Declares a group function running each listed benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_bencher_run_bodies() {
+        let mut c = Criterion { iters: Some(3) };
+        let mut runs = 0u64;
+        {
+            let mut group = c.benchmark_group("shim");
+            group.sample_size(10);
+            group.bench_function(BenchmarkId::new("count", 1), |b| {
+                b.iter(|| runs += 1);
+            });
+            group.finish();
+        }
+        // 1 warm-up + 3 timed.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = Criterion { iters: Some(2) };
+        let data = vec![1.0f64; 8];
+        let mut seen = 0usize;
+        c.benchmark_group("shim").bench_with_input(
+            BenchmarkId::from_parameter(8),
+            &data,
+            |b, d| {
+                b.iter(|| seen = d.len());
+            },
+        );
+        assert_eq!(seen, 8);
+    }
+}

@@ -1,0 +1,513 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no crates.io access, so this crate
+//! provides the subset of the proptest API the workspace's property
+//! tests use:
+//!
+//! * the [`proptest!`] macro (with optional
+//!   `#![proptest_config(...)]` header),
+//! * [`prop_assert!`] / [`prop_assert_eq!`],
+//! * range strategies (`0u64..1000`, `-1e6f64..1e6`, …),
+//! * [`collection::vec`] with an exact or ranged size,
+//! * string strategies from a small regex subset
+//!   (`"[A-Za-z0-9 .-]{0,40}"` style: character classes with a
+//!   repetition count),
+//! * [`ProptestConfig::with_cases`].
+//!
+//! Differences from upstream: failing cases are **not shrunk** (the
+//! failing draw is reported as-is), and generation is deterministic
+//! per test name, so failures always reproduce.
+
+#![forbid(unsafe_code)]
+
+/// Deterministic SplitMix64 generator driving all draws.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from an arbitrary byte string (FNV-1a), typically the
+    /// test name, so every test gets its own reproducible stream.
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next raw 64 bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[0, n)` (n > 0).
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Rejection sampling keeps the draw unbiased.
+        let zone = u64::MAX - (u64::MAX - n + 1) % n;
+        loop {
+            let x = self.next_u64();
+            if x <= zone {
+                return x % n;
+            }
+        }
+    }
+}
+
+/// A value generator. Unlike upstream there is no shrinking: a
+/// strategy is just a function from an RNG to a value.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(rng.below(span as u64) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (self.end - self.start) * rng.next_f64() as $t
+            }
+        }
+    )*};
+}
+
+impl_float_range_strategy!(f32, f64);
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// ---------------------------------------------------------------
+// String strategies from a regex subset.
+// ---------------------------------------------------------------
+
+/// One element of a parsed pattern: a set of candidate chars plus a
+/// repetition range.
+#[derive(Debug, Clone)]
+struct PatternPiece {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// Parses the regex subset: a sequence of literal characters or
+/// character classes (`[A-Za-z0-9 .-]`), each optionally followed by
+/// `{n}` or `{m,n}`. Panics on anything richer — extend the parser
+/// rather than silently mis-generating.
+fn parse_pattern(pattern: &str) -> Vec<PatternPiece> {
+    let mut pieces = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let set: Vec<char> = match c {
+            '[' => {
+                let mut set = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    let Some(c) = chars.next() else {
+                        panic!("unterminated character class in `{pattern}`");
+                    };
+                    match c {
+                        ']' => break,
+                        '-' if prev.is_some() && chars.peek() != Some(&']') => {
+                            let lo = prev.take().expect("range start");
+                            let hi = chars.next().expect("range end");
+                            for v in lo as u32..=hi as u32 {
+                                set.extend(char::from_u32(v));
+                            }
+                        }
+                        '\\' => {
+                            let escaped = chars.next().expect("escaped char");
+                            set.push(escaped);
+                            prev = Some(escaped);
+                        }
+                        other => {
+                            set.push(other);
+                            prev = Some(other);
+                        }
+                    }
+                }
+                set
+            }
+            '\\' => vec![chars.next().expect("escaped char")],
+            '{' | '}' | '*' | '+' | '?' | '(' | ')' | '|' | '.' => {
+                panic!("unsupported regex construct `{c}` in `{pattern}` (shim proptest)")
+            }
+            literal => vec![literal],
+        };
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    break;
+                }
+                spec.push(c);
+            }
+            match spec.split_once(',') {
+                Some((a, b)) => (
+                    a.trim().parse().expect("repetition min"),
+                    b.trim().parse().expect("repetition max"),
+                ),
+                None => {
+                    let n = spec.trim().parse().expect("repetition count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "bad repetition {{{min},{max}}} in `{pattern}`");
+        assert!(!set.is_empty(), "empty character class in `{pattern}`");
+        pieces.push(PatternPiece {
+            chars: set,
+            min,
+            max,
+        });
+    }
+    pieces
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let pieces = parse_pattern(self);
+        let mut out = String::new();
+        for piece in &pieces {
+            let n = piece.min + rng.below((piece.max - piece.min + 1) as u64) as usize;
+            for _ in 0..n {
+                out.push(piece.chars[rng.below(piece.chars.len() as u64) as usize]);
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------
+// Collections.
+// ---------------------------------------------------------------
+
+/// Size argument of [`collection::vec`]: exact or a range.
+pub trait SizeRange {
+    /// Draws a concrete length.
+    fn pick(&self, rng: &mut TestRng) -> usize;
+}
+
+impl SizeRange for usize {
+    fn pick(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+impl SizeRange for std::ops::Range<usize> {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end, "empty size range");
+        self.start + rng.below((self.end - self.start) as u64) as usize
+    }
+}
+
+impl SizeRange for std::ops::RangeInclusive<usize> {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start() <= self.end(), "empty size range");
+        self.start() + rng.below((self.end() - self.start() + 1) as u64) as usize
+    }
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::{SizeRange, Strategy, TestRng};
+
+    /// A `Vec` strategy: `size` elements drawn from `element`.
+    pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+
+    /// The strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+// ---------------------------------------------------------------
+// Harness.
+// ---------------------------------------------------------------
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases generated per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed property (returned by `prop_assert!` and friends).
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    /// Human-readable failure description.
+    pub message: String,
+}
+
+impl TestCaseError {
+    /// Builds a failure from a message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case
+/// (with the formatted message) instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)+);
+    }};
+}
+
+/// Draws each `name in strategy` binding in order (internal).
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_draw {
+    ($rng:expr;) => {};
+    ($rng:expr; $arg:ident in $strat:expr) => {
+        let $arg = $crate::Strategy::generate(&($strat), $rng);
+    };
+    ($rng:expr; $arg:ident in $strat:expr, $($rest:tt)*) => {
+        let $arg = $crate::Strategy::generate(&($strat), $rng);
+        $crate::__proptest_draw!($rng; $($rest)*);
+    };
+}
+
+/// Expands the test functions one at a time (internal).
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_fns {
+    ($cfg:expr;) => {};
+    (
+        $cfg:expr;
+        $(#[$meta:meta])*
+        fn $name:ident ( $($args:tt)* ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                $crate::__proptest_draw!(&mut rng; $($args)*);
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest case {}/{} of `{}` failed: {}",
+                        case + 1,
+                        config.cases,
+                        stringify!($name),
+                        e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_fns!($cfg; $($rest)*);
+    };
+}
+
+/// The proptest entry macro: wraps `#[test]` functions whose
+/// arguments are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!($crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// The `prop` namespace (`prop::collection::vec`).
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Everything tests import.
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, proptest, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::TestRng;
+
+    #[test]
+    fn ranges_and_vec_sizes_respected() {
+        let mut rng = TestRng::from_name("ranges");
+        for _ in 0..1000 {
+            let v = Strategy::generate(&(3u64..17), &mut rng);
+            assert!((3..17).contains(&v));
+            let f = Strategy::generate(&(-2.0f64..2.0), &mut rng);
+            assert!((-2.0..2.0).contains(&f));
+            let xs = Strategy::generate(&prop::collection::vec(0.0f64..1.0, 2..9), &mut rng);
+            assert!((2..9).contains(&xs.len()));
+        }
+    }
+
+    #[test]
+    fn string_pattern_subset() {
+        let mut rng = TestRng::from_name("strings");
+        for _ in 0..500 {
+            let s = Strategy::generate(&"[A-Za-z0-9 .-]{0,40}", &mut rng);
+            assert!(s.len() <= 40);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || " .-".contains(c)));
+        }
+        let exact = Strategy::generate(&"[ab]{3}x", &mut rng);
+        assert_eq!(exact.len(), 4);
+        assert!(exact.ends_with('x'));
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = TestRng::from_name("same");
+        let mut b = TestRng::from_name("same");
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_draws_and_asserts(x in 0u32..100, xs in prop::collection::vec(-1.0f64..1.0, 1..5)) {
+            prop_assert!(x < 100);
+            prop_assert_eq!(xs.len(), xs.len());
+            if xs.is_empty() {
+                return Ok(());
+            }
+        }
+
+        #[test]
+        #[should_panic(expected = "proptest case")]
+        fn macro_reports_failures(x in 0u32..10) {
+            prop_assert!(x > 100, "x was {x}");
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, and the workspace
+//! uses serde only as derive annotations on data types — no format
+//! crate (`serde_json`, `bincode`, …) is ever linked, so nothing
+//! actually calls into the traits. The stand-in therefore reduces the
+//! traits to markers with blanket implementations and re-exports no-op
+//! derives, keeping every `#[derive(Serialize, Deserialize)]` and
+//! `T: Serialize` bound in the workspace compiling unchanged.
+//!
+//! The engine's checkpointing layer (`towerlens-core::engine`) does
+//! its own explicit text serialisation precisely because no serde
+//! format is available.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+/// The `serde::de` module surface some code paths name.
+pub mod de {
+    pub use crate::DeserializeOwned;
+    pub use serde_derive::Deserialize;
+}
+
+/// The `serde::ser` module surface some code paths name.
+pub mod ser {
+    pub use serde_derive::Serialize;
+}

@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on data types but
+//! never links a serialisation format (there is no `serde_json` etc.),
+//! so the derives only need to *exist*. The shim `serde` crate
+//! blanket-implements both traits, and these derives expand to
+//! nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive: the shim trait is blanket-implemented.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive: the shim trait is blanket-implemented.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -81,8 +81,7 @@ fn representative_towers_come_from_their_clusters() {
     for (i, kind) in RegionKind::PURE.iter().enumerate() {
         let cluster = report.patterns.clustering.labels[reps[i]];
         assert_eq!(
-            report.geo.labels[cluster],
-            *kind,
+            report.geo.labels[cluster], *kind,
             "representative {i} not in the {kind:?} cluster"
         );
     }

@@ -11,7 +11,11 @@ use towerlens::trace::geocode::Geocoder;
 use towerlens::trace::record::{parse_lines, to_lines};
 use towerlens::trace::time::TraceWindow;
 
-fn setup() -> (towerlens::city::City, Vec<towerlens::trace::LogRecord>, TraceWindow) {
+fn setup() -> (
+    towerlens::city::City,
+    Vec<towerlens::trace::LogRecord>,
+    TraceWindow,
+) {
     let city = generate(&CityConfig::tiny(11)).expect("city");
     let population = AgentPopulation::generate(
         &city,

@@ -52,7 +52,11 @@ fn weekday_weekend_ratios_match_fig10() {
     let r = report();
     let ratio = |k: RegionKind| r.time_stats[cluster(k)].weekday_weekend_ratio;
     // Office & transport clearly above 1; the rest near 1.
-    assert!(ratio(RegionKind::Office) > 1.4, "{}", ratio(RegionKind::Office));
+    assert!(
+        ratio(RegionKind::Office) > 1.4,
+        "{}",
+        ratio(RegionKind::Office)
+    );
     assert!(
         ratio(RegionKind::Transport) > 1.2,
         "{}",
@@ -127,7 +131,9 @@ fn commute_choreography_matches_fig11() {
     assert!((7..=9).contains(&morning.0), "morning {morning:?}");
     assert!((17..=19).contains(&evening.0), "evening {evening:?}");
     // Resident peak a few hours after the evening rush.
-    let res_peak = r.time_stats[cluster(RegionKind::Resident)].weekday.peak_time;
+    let res_peak = r.time_stats[cluster(RegionKind::Resident)]
+        .weekday
+        .peak_time;
     let lag = lag_hours(evening, res_peak);
     assert!((1.0..=6.0).contains(&lag), "lag {lag}");
     // Office peak between the rushes.

@@ -7,9 +7,7 @@ use towerlens::cluster::agglomerative::{agglomerative_points, Engine, Linkage};
 use towerlens::dsp::fft::{fft, fft_real, ifft};
 use towerlens::dsp::normalize::{by_max, minmax, zscore};
 use towerlens::dsp::spectrum::Spectrum;
-use towerlens::opt::simplex::{
-    project_to_simplex, simplex_least_squares, SimplexLsOptions,
-};
+use towerlens::opt::simplex::{project_to_simplex, simplex_least_squares, SimplexLsOptions};
 use towerlens::trace::record::LogRecord;
 use towerlens::trace::time::TraceWindow;
 
