@@ -1,0 +1,326 @@
+//! The binary's entry point as a library function: subcommand
+//! dispatch, flag tables, and rendering.
+//!
+//! The binary is a one-line wrapper around [`run`], so exit codes,
+//! degraded-run handling, and the `doctor` output are all testable
+//! without spawning processes.
+//!
+//! Exit status: 0 success, 1 runtime failure *or degraded run* (an
+//! optional stage failed and was pruned — the numbers that did come
+//! out are trustworthy, but incomplete), 2 usage error.
+
+use std::path::PathBuf;
+
+use crate::args::{self, switch, value, FlagDef, Flags, Parsed};
+use crate::commands::{
+    analyze_instrumented, doctor_checkpoints, generate_dataset, run_study, study_config,
+    AnalyzeOptions, GenOptions,
+};
+use towerlens_core::RunReport;
+
+/// The multi-line usage text (also the `help` subcommand's output).
+pub const USAGE: &str = "\
+towerlens-cli — synthetic cellular-trace datasets and their analysis
+
+usage:
+  towerlens-cli gen     --out DIR [--seed N] [--towers N] [--agents N] [--days N]
+      write a synthetic dataset (logs.tsv, towers.tsv, pois.tsv, truth.tsv)
+
+  towerlens-cli analyze --dir DIR [--days N] [--threads N]
+                        [--max-bad-fraction F] [--impute]
+                        [--resume DIR] [--timings] [--json]
+      parse, clean, vectorize, cluster, and label a dataset directory
+
+  towerlens-cli study   [--scale tiny|small|medium|paper] [--seed N]
+                        [--resume DIR] [--timings] [--json]
+      run the full in-process paper study through the stage engine
+
+  towerlens-cli doctor  --dir DIR
+      fsck every checkpoint file in DIR and report per-file damage
+
+  towerlens-cli help
+      print this message
+
+fault tolerance:
+  --max-bad-fraction F  tolerate up to this fraction of malformed or
+                        unknown-cell records (quarantined per category)
+                        before failing closed; default 0.05
+  --impute              detect per-tower outage windows (runs of zero
+                        bins) and impute them from the daily/weekly
+                        periodicity instead of dropping the tower
+
+common flags:
+  --resume DIR   reuse (and write) stage checkpoints under DIR; a
+                 second run reloads the expensive stages bit-identically
+                 (damaged checkpoints are detected and recomputed)
+  --timings      print the per-stage wave/status/wall-time table
+  --json         print the per-stage report as JSON instead of the
+                 human summary
+
+exit status: 0 success, 1 runtime failure or degraded run, 2 usage error";
+
+/// Prints a usage error and returns exit code 2.
+fn usage_error(message: &str) -> i32 {
+    eprintln!("{message}");
+    2
+}
+
+/// Parses a subcommand's flags; prints help or a one-line error.
+fn parse_or_exit(command: &str, raw: &[String], defs: &[FlagDef]) -> Result<Flags, i32> {
+    match args::parse(command, raw, defs) {
+        Ok(Parsed::Flags(flags)) => Ok(flags),
+        Ok(Parsed::Help) => {
+            println!("{USAGE}");
+            Err(0)
+        }
+        Err(e) => Err(usage_error(&e)),
+    }
+}
+
+/// Emits the per-stage report and converts a degraded run into a
+/// non-zero exit: the status table is printed whenever something
+/// failed, `--timings` or not, so the failure is never silent.
+fn emit_report(command: &str, report: &RunReport, timings: bool, json: bool) -> i32 {
+    let degraded = report.degraded();
+    if timings || degraded {
+        print!("{}", report.render_table());
+    }
+    if json {
+        println!("{}", report.to_json());
+    }
+    if degraded {
+        eprintln!("{command} degraded: an optional stage failed and its dependents were pruned");
+        1
+    } else {
+        0
+    }
+}
+
+/// Runs the CLI against already-split arguments (no program name) and
+/// returns the process exit code.
+pub fn run(argv: &[String]) -> i32 {
+    let Some(command) = argv.first() else {
+        return usage_error("missing command (try `towerlens-cli help`)");
+    };
+    let rest = &argv[1..];
+    match command.as_str() {
+        "gen" => {
+            const DEFS: &[FlagDef] = &[
+                value("out"),
+                value("seed"),
+                value("towers"),
+                value("agents"),
+                value("days"),
+            ];
+            let flags = match parse_or_exit("gen", rest, DEFS) {
+                Ok(f) => f,
+                Err(code) => return code,
+            };
+            let parsed = (|| -> Result<(String, GenOptions), String> {
+                let out = flags.require("gen", "out")?.to_string();
+                Ok((
+                    out,
+                    GenOptions {
+                        seed: flags.num("seed", 42)?,
+                        towers: flags.num("towers", 120)? as usize,
+                        agents: flags.num("agents", 800)? as usize,
+                        days: flags.num("days", 14)? as usize,
+                    },
+                ))
+            })();
+            let (out, options) = match parsed {
+                Ok(p) => p,
+                Err(e) => return usage_error(&e),
+            };
+            match generate_dataset(&PathBuf::from(&out), &options) {
+                Ok(n) => {
+                    println!(
+                        "wrote {n} records for {} towers / {} agents / {} days to {out}",
+                        options.towers, options.agents, options.days
+                    );
+                    0
+                }
+                Err(e) => {
+                    eprintln!("gen failed: {e}");
+                    1
+                }
+            }
+        }
+        "analyze" => {
+            const DEFS: &[FlagDef] = &[
+                value("dir"),
+                value("days"),
+                value("threads"),
+                value("max-bad-fraction"),
+                switch("impute"),
+                value("resume"),
+                switch("timings"),
+                switch("json"),
+            ];
+            let flags = match parse_or_exit("analyze", rest, DEFS) {
+                Ok(f) => f,
+                Err(code) => return code,
+            };
+            let parsed = (|| -> Result<(String, AnalyzeOptions), String> {
+                let dir = flags.require("analyze", "dir")?.to_string();
+                let defaults = AnalyzeOptions::default();
+                Ok((
+                    dir,
+                    AnalyzeOptions {
+                        days: flags.num("days", 14)? as usize,
+                        threads: flags.num("threads", 0)? as usize,
+                        max_bad_fraction: flags
+                            .fraction("max-bad-fraction", defaults.max_bad_fraction)?,
+                        impute: flags.has("impute"),
+                    },
+                ))
+            })();
+            let (dir, options) = match parsed {
+                Ok(p) => p,
+                Err(e) => return usage_error(&e),
+            };
+            let resume = flags.get("resume").map(PathBuf::from);
+            match analyze_instrumented(&PathBuf::from(&dir), &options, resume.as_deref()) {
+                Ok((s, report)) => {
+                    if !flags.has("json") {
+                        println!(
+                            "{} records ({} after cleaning); {} patterns:",
+                            s.records, s.kept, s.k
+                        );
+                        match &s.labels {
+                            Some(labels) => {
+                                for (c, (kind, share)) in labels.iter().zip(&s.shares).enumerate() {
+                                    println!("  cluster {c}: {kind:<13} {:5.1}%", share * 100.0);
+                                }
+                            }
+                            None => println!("  (geographic labelling unavailable)"),
+                        }
+                        if let Some(ari) = s.ari_vs_truth {
+                            println!("adjusted Rand index vs truth.tsv: {ari:.3}");
+                        }
+                    }
+                    emit_report("analyze", &report, flags.has("timings"), flags.has("json"))
+                }
+                Err(e) => {
+                    eprintln!("analyze failed: {e}");
+                    1
+                }
+            }
+        }
+        "study" => {
+            const DEFS: &[FlagDef] = &[
+                value("scale"),
+                value("seed"),
+                value("resume"),
+                switch("timings"),
+                switch("json"),
+            ];
+            let flags = match parse_or_exit("study", rest, DEFS) {
+                Ok(f) => f,
+                Err(code) => return code,
+            };
+            let scale = flags.get("scale").unwrap_or("tiny").to_string();
+            let seed = match flags.num("seed", 42) {
+                Ok(s) => s,
+                Err(e) => return usage_error(&e),
+            };
+            let config = match study_config(&scale, seed) {
+                Ok(c) => c,
+                Err(e) => return usage_error(&e),
+            };
+            let resume = flags.get("resume").map(PathBuf::from);
+            match run_study(config, resume.as_deref()) {
+                Ok((report, run_report)) => {
+                    if !flags.has("json") {
+                        println!(
+                            "study {scale} seed {seed}: {} towers, {} analysed, {} patterns",
+                            report.raw.len(),
+                            report.vectors.len(),
+                            report.patterns.k
+                        );
+                        let shares = report.patterns.clustering.shares();
+                        match &report.geo {
+                            Some(geo) => {
+                                for (c, (kind, share)) in geo.labels.iter().zip(&shares).enumerate()
+                                {
+                                    println!("  cluster {c}: {kind:<13} {:5.1}%", share * 100.0);
+                                }
+                                println!(
+                                    "ground-truth agreement: {:.3}",
+                                    geo.ground_truth_agreement
+                                );
+                            }
+                            None => println!("  (geographic labelling unavailable)"),
+                        }
+                    }
+                    emit_report(
+                        "study",
+                        &run_report,
+                        flags.has("timings"),
+                        flags.has("json"),
+                    )
+                }
+                Err(e) => {
+                    eprintln!("study failed: {e}");
+                    1
+                }
+            }
+        }
+        "doctor" => {
+            const DEFS: &[FlagDef] = &[value("dir")];
+            let flags = match parse_or_exit("doctor", rest, DEFS) {
+                Ok(f) => f,
+                Err(code) => return code,
+            };
+            let dir = match flags.require("doctor", "dir") {
+                Ok(d) => PathBuf::from(d),
+                Err(e) => return usage_error(&e),
+            };
+            let rows = match doctor_checkpoints(&dir) {
+                Ok(rows) => rows,
+                Err(e) => {
+                    eprintln!("doctor failed: {e}");
+                    return 1;
+                }
+            };
+            if rows.is_empty() {
+                println!("no checkpoint files (*.ckpt) in {}", dir.display());
+                return 0;
+            }
+            let mut bad = 0usize;
+            for (name, verdict) in &rows {
+                match verdict {
+                    Ok(info) => println!(
+                        "{name}: ok — stage `{}`, fingerprint {:016x}, {} cards, {} body lines",
+                        info.stage,
+                        info.fingerprint,
+                        info.cards.len(),
+                        info.body_lines
+                    ),
+                    Err(e) => {
+                        bad += 1;
+                        println!("{name}: BAD — {e}");
+                    }
+                }
+            }
+            println!(
+                "{} checkpoint(s): {} ok, {} damaged",
+                rows.len(),
+                rows.len() - bad,
+                bad
+            );
+            if bad > 0 {
+                1
+            } else {
+                0
+            }
+        }
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            0
+        }
+        other => usage_error(&format!(
+            "unknown command `{other}` (try `towerlens-cli help`)"
+        )),
+    }
+}

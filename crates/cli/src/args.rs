@@ -81,6 +81,21 @@ impl Flags {
                 .map_err(|_| format!("--{name} expects a number, got `{v}`")),
         }
     }
+
+    /// The fractional value of `--name` in `[0, 1]`, or `default`
+    /// when absent.
+    ///
+    /// # Errors
+    /// A usage line when the value is not a number in `[0, 1]`.
+    pub fn fraction(&self, name: &str, default: f64) -> Result<f64, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => match v.parse::<f64>() {
+                Ok(f) if (0.0..=1.0).contains(&f) => Ok(f),
+                _ => Err(format!("--{name} expects a fraction in [0, 1], got `{v}`")),
+            },
+        }
+    }
 }
 
 /// Parses the arguments after the subcommand word against a flag
@@ -186,6 +201,24 @@ mod tests {
             parse("test", &args(&["-h"]), DEFS).unwrap(),
             Parsed::Help
         ));
+    }
+
+    #[test]
+    fn fractions_accept_the_unit_interval_only() {
+        let f = ok(&["--seed", "0.25"]);
+        assert_eq!(f.fraction("seed", 0.05).unwrap(), 0.25);
+        assert_eq!(f.fraction("out", 0.05).unwrap(), 0.05);
+        for bad in [
+            &["--seed", "1.5"][..],
+            &["--seed", "-0.1"],
+            &["--seed", "x"],
+        ] {
+            let f = ok(bad);
+            assert_eq!(
+                f.fraction("seed", 0.05).unwrap_err(),
+                format!("--seed expects a fraction in [0, 1], got `{}`", bad[1])
+            );
+        }
     }
 
     #[test]

@@ -27,16 +27,19 @@ use towerlens_cluster::compare::adjusted_rand_index;
 use towerlens_cluster::dendrogram::Clustering;
 use towerlens_core::engine::checkpoint::{decode_usize, fnv1a64, BodyReader};
 use towerlens_core::engine::{
-    decode_normalized, decode_patterns, encode_normalized, encode_patterns, CheckpointStore,
-    EngineError, Graph, RunReport, Stage, StageCodec, StageContext, StageOutput,
+    decode_normalized, decode_patterns, encode_normalized, encode_patterns, fsck_file,
+    CheckpointError, CheckpointStore, EngineError, FsckInfo, Graph, RunReport, Stage, StageCodec,
+    StageContext, StageOutput,
 };
 use towerlens_core::identifier::{IdentifiedPatterns, IdentifierConfig, PatternIdentifier};
 use towerlens_core::labeling::{label_clusters_parts, GeoLabels};
-use towerlens_core::{Study, StudyConfig, StudyReport};
+use towerlens_core::{PartialStudyReport, Study, StudyConfig};
 use towerlens_mobility::agents::{AgentConfig, AgentPopulation};
+use towerlens_pipeline::impute::ImputeConfig;
 use towerlens_pipeline::normalize::NormalizedMatrix;
-use towerlens_pipeline::vectorizer::Vectorizer;
+use towerlens_pipeline::vectorizer::{Vectorizer, VectorizerOptions};
 use towerlens_trace::clean::clean_records;
+use towerlens_trace::quarantine::{FaultPolicy, QuarantineReport};
 use towerlens_trace::record::{LogRecord, RecordReader};
 use towerlens_trace::time::TraceWindow;
 
@@ -125,6 +128,12 @@ pub struct AnalyzeOptions {
     pub days: usize,
     /// Worker threads for the vectorizer (0 = auto).
     pub threads: usize,
+    /// Maximum tolerated fraction of quarantined (malformed or
+    /// unknown-cell) records before ingestion fails closed.
+    pub max_bad_fraction: f64,
+    /// Detect per-tower outage windows and impute them from the
+    /// paper's daily/weekly periodicity.
+    pub impute: bool,
 }
 
 impl Default for AnalyzeOptions {
@@ -132,7 +141,22 @@ impl Default for AnalyzeOptions {
         AnalyzeOptions {
             days: 14,
             threads: 0,
+            max_bad_fraction: FaultPolicy::default().max_bad_fraction,
+            impute: false,
         }
+    }
+}
+
+impl AnalyzeOptions {
+    fn policy(&self) -> FaultPolicy {
+        FaultPolicy {
+            max_bad_fraction: self.max_bad_fraction,
+            ..FaultPolicy::default()
+        }
+    }
+
+    fn impute_config(&self) -> Option<ImputeConfig> {
+        self.impute.then(ImputeConfig::default)
     }
 }
 
@@ -145,8 +169,9 @@ pub struct AnalyzeSummary {
     pub kept: usize,
     /// Number of patterns found.
     pub k: usize,
-    /// Per-cluster labels (canonical kinds).
-    pub labels: Vec<RegionKind>,
+    /// Per-cluster labels (canonical kinds); `None` when the optional
+    /// labelling stage failed and the run degraded.
+    pub labels: Option<Vec<RegionKind>>,
     /// Per-cluster shares.
     pub shares: Vec<f64>,
     /// Adjusted Rand index vs `truth.tsv`, when present.
@@ -217,6 +242,7 @@ fn patterns_part<'a>(
 
 struct IngestLogsStage {
     dir: PathBuf,
+    policy: FaultPolicy,
 }
 
 impl Stage<CliArtifact> for IngestLogsStage {
@@ -228,25 +254,33 @@ impl Stage<CliArtifact> for IngestLogsStage {
         ctx: &StageContext<'_, CliArtifact>,
     ) -> Result<StageOutput<CliArtifact>, EngineError> {
         // Stream the log file: operator exports don't fit in memory.
+        // Malformed lines are quarantined per category rather than
+        // silently counted; the policy decides when the feed itself is
+        // too broken to trust.
         let file = std::fs::File::open(self.dir.join("logs.tsv")).map_err(|e| ctx.fail(e))?;
         let mut records = Vec::new();
-        let mut parse_errors = 0usize;
+        let mut quarantine = QuarantineReport::default();
         for item in RecordReader::new(std::io::BufReader::new(file)) {
+            quarantine.total += 1;
             match item.map_err(|e| ctx.fail(e))? {
                 Ok(r) => records.push(r),
-                Err(_) => parse_errors += 1,
+                Err(e) => quarantine.note(&e),
             }
         }
+        self.policy.enforce(&quarantine).map_err(|e| ctx.fail(e))?;
         if records.is_empty() {
             return Err(ctx.fail(FileError::Malformed {
                 file: "logs.tsv",
-                lines: parse_errors,
+                lines: quarantine.bad(),
             }));
         }
-        let n = records.len() as u64;
+        if !quarantine.is_clean() {
+            eprintln!("warning: ingest-logs: {}", quarantine.summary());
+        }
+        let (n, bad) = (records.len() as u64, quarantine.bad() as u64);
         Ok(StageOutput::new(CliArtifact::Logs(records))
             .with_card("records", n)
-            .with_card("parse-errors", parse_errors as u64))
+            .with_card("quarantined", bad))
     }
 }
 
@@ -316,6 +350,8 @@ impl Stage<CliArtifact> for CleanStage {
 struct CliVectorizeStage {
     days: usize,
     threads: usize,
+    policy: FaultPolicy,
+    impute: Option<ImputeConfig>,
 }
 
 impl Stage<CliArtifact> for CliVectorizeStage {
@@ -338,15 +374,28 @@ impl Stage<CliArtifact> for CliVectorizeStage {
             .max()
             .unwrap_or(0);
         let vectorizer = Vectorizer::new(TraceWindow::days(self.days), self.threads);
-        let output = vectorizer.run(records, n_towers).map_err(|e| ctx.fail(e))?;
+        let options = VectorizerOptions {
+            policy: self.policy,
+            impute: self.impute,
+        };
+        let output = vectorizer
+            .run_with(records, n_towers, &options)
+            .map_err(|e| ctx.fail(e))?;
+        if !output.quarantine.is_clean() {
+            eprintln!("warning: vectorize: {}", output.quarantine.summary());
+        }
         let kept = output.normalized.kept_ids.len() as u64;
+        let imputed = output.normalized.imputed_bins() as u64;
+        let quarantined = output.quarantine.bad() as u64;
         Ok(StageOutput::new(CliArtifact::Vectors {
             normalized: output.normalized,
             parsed: *parsed,
             cleaned: records.len(),
         })
         .with_card("kept", kept)
-        .with_card("records", records.len() as u64))
+        .with_card("records", records.len() as u64)
+        .with_card("quarantined", quarantined)
+        .with_card("imputed", imputed))
     }
     fn codec(&self) -> Option<&dyn StageCodec<CliArtifact>> {
         Some(&CliVectorsCodec)
@@ -390,6 +439,11 @@ impl Stage<CliArtifact> for CliLabelStage {
     fn deps(&self) -> &'static [&'static str] {
         &["ingest-geo", "vectorize", "cluster"]
     }
+    // Labelling enriches the clustering; a bad POI file should not
+    // take the whole analysis down.
+    fn optional(&self) -> bool {
+        true
+    }
     fn run(
         &self,
         ctx: &StageContext<'_, CliArtifact>,
@@ -429,6 +483,11 @@ impl Stage<CliArtifact> for ScoreStage {
     }
     fn deps(&self) -> &'static [&'static str] {
         &["ingest-geo", "vectorize", "cluster"]
+    }
+    // Scoring is diagnostic: a damaged truth file degrades the run
+    // instead of failing it.
+    fn optional(&self) -> bool {
+        true
     }
     fn run(
         &self,
@@ -536,6 +595,7 @@ fn analyze_graph(dir: &Path, options: &AnalyzeOptions) -> Graph<CliArtifact> {
     Graph::new()
         .add_stage(IngestLogsStage {
             dir: dir.to_path_buf(),
+            policy: options.policy(),
         })
         .add_stage(IngestGeoStage {
             dir: dir.to_path_buf(),
@@ -544,6 +604,8 @@ fn analyze_graph(dir: &Path, options: &AnalyzeOptions) -> Graph<CliArtifact> {
         .add_stage(CliVectorizeStage {
             days: options.days,
             threads: options.threads,
+            policy: options.policy(),
+            impute: options.impute_config(),
         })
         .add_stage(CliClusterStage)
         .add_stage(CliLabelStage)
@@ -560,8 +622,8 @@ fn analyze_graph(dir: &Path, options: &AnalyzeOptions) -> Graph<CliArtifact> {
 /// I/O failures reading the input file metadata.
 pub fn analyze_fingerprint(dir: &Path, options: &AnalyzeOptions) -> std::io::Result<u64> {
     let mut s = format!(
-        "analyze v1 days={} threads={}",
-        options.days, options.threads
+        "analyze v2 days={} threads={} maxbad={} impute={}",
+        options.days, options.threads, options.max_bad_fraction, options.impute
     );
     for f in ["logs.tsv", "towers.tsv", "pois.tsv"] {
         let len = std::fs::metadata(dir.join(f))?.len();
@@ -610,18 +672,25 @@ pub fn analyze_instrumented(
     let CliArtifact::Patterns(patterns) = outcome.take("cluster")? else {
         return Err("artifact `cluster` has unexpected type".into());
     };
-    let CliArtifact::Labels(geo) = outcome.take("label")? else {
-        return Err("artifact `label` has unexpected type".into());
+    // The labelling and scoring stages are optional: when one failed
+    // (and was reported as such) its artifact is simply absent, and the
+    // summary degrades rather than erroring.
+    let labels = match outcome.take("label") {
+        Ok(CliArtifact::Labels(geo)) => Some(geo.labels),
+        Ok(_) => return Err("artifact `label` has unexpected type".into()),
+        Err(_) => None,
     };
-    let CliArtifact::Score(ari_vs_truth) = outcome.take("score")? else {
-        return Err("artifact `score` has unexpected type".into());
+    let ari_vs_truth = match outcome.take("score") {
+        Ok(CliArtifact::Score(ari)) => ari,
+        Ok(_) => return Err("artifact `score` has unexpected type".into()),
+        Err(_) => None,
     };
     Ok((
         AnalyzeSummary {
             records: parsed,
             kept: cleaned,
             k: patterns.k,
-            labels: geo.labels,
+            labels,
             shares: patterns.clustering.shares(),
             ari_vs_truth,
         },
@@ -649,18 +718,56 @@ pub fn study_config(scale: &str, seed: u64) -> Result<StudyConfig, String> {
 /// Runs the staged end-to-end study, optionally resuming from (and
 /// writing to) a checkpoint directory.
 ///
+/// Optional enrichment stages (labelling, time-domain, frequency,
+/// decomposition) that fail are reported and pruned rather than
+/// aborting: inspect [`PartialStudyReport::is_complete`] and
+/// [`RunReport::degraded`] on the way out.
+///
 /// # Errors
-/// Study and checkpoint failures.
+/// Failures of the required spine (generation through clustering) and
+/// checkpoint I/O failures.
 pub fn run_study(
     config: StudyConfig,
     resume: Option<&Path>,
-) -> Result<(StudyReport, RunReport), Box<dyn std::error::Error>> {
+) -> Result<(PartialStudyReport, RunReport), Box<dyn std::error::Error>> {
     let study = Study::new(config);
     let store = match resume {
         Some(dir) => Some(CheckpointStore::open(dir, study.checkpoint_fingerprint())?),
         None => None,
     };
-    Ok(study.run_instrumented(store.as_ref())?)
+    Ok(study.run_resilient(store.as_ref())?)
+}
+
+/// One `doctor` verdict: the checkpoint's file name and its fsck
+/// outcome.
+pub type DoctorRow = (String, Result<FsckInfo, CheckpointError>);
+
+/// Fscks every `*.ckpt` file in a checkpoint directory, in name order.
+///
+/// Returns one `(file name, verdict)` row per checkpoint; a damaged
+/// file is a per-file [`CheckpointError`], not a hard error, so one
+/// corrupt checkpoint never hides the health of the others.
+///
+/// # Errors
+/// Only directory-level I/O failures (missing or unreadable dir).
+pub fn doctor_checkpoints(dir: &Path) -> Result<Vec<DoctorRow>, std::io::Error> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|entry| {
+            let path = entry.ok()?.path();
+            (path.extension().and_then(|e| e.to_str()) == Some("ckpt")).then_some(path)
+        })
+        .collect();
+    paths.sort();
+    Ok(paths
+        .into_iter()
+        .map(|path| {
+            let name = path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            (name, fsck_file(&path, None))
+        })
+        .collect())
 }
 
 /// Convenience for tests: generate then analyze in one temp dir.
@@ -695,13 +802,15 @@ mod tests {
             &AnalyzeOptions {
                 days: 7,
                 threads: 2,
+                ..AnalyzeOptions::default()
             },
         )
         .expect("analyze");
         assert_eq!(summary.records, written);
         assert!(summary.kept <= summary.records);
         assert!(summary.k >= 2, "k = {}", summary.k);
-        assert_eq!(summary.labels.len(), summary.k);
+        let labels = summary.labels.as_ref().expect("labelling healthy");
+        assert_eq!(labels.len(), summary.k);
         let ari = summary.ari_vs_truth.expect("truth present");
         assert!(ari > 0.1, "ari {ari}");
         let share_sum: f64 = summary.shares.iter().sum();
@@ -735,6 +844,7 @@ mod tests {
         let options = AnalyzeOptions {
             days: 7,
             threads: 2,
+            ..AnalyzeOptions::default()
         };
         let (fresh, first) =
             analyze_instrumented(&dir, &options, Some(&ckpt)).expect("first analyze");

@@ -1,237 +1,11 @@
 //! `towerlens-cli` — file-based CLI.
 //!
-//! ```text
-//! towerlens-cli gen     --out DIR [--seed N] [--towers N] [--agents N] [--days N]
-//! towerlens-cli analyze --dir DIR [--days N] [--threads N] [--resume DIR] [--timings] [--json]
-//! towerlens-cli study   [--scale S] [--seed N] [--resume DIR] [--timings] [--json]
-//! ```
-//!
-//! Exit status: 0 success, 1 runtime failure, 2 usage error. Usage
-//! errors (unknown command, unknown flag, missing or non-numeric
-//! value) are reported as a single line on stderr, uniformly across
-//! subcommands.
-
-use std::path::PathBuf;
-
-use towerlens_cli::args::{self, switch, value, FlagDef, Flags, Parsed};
-use towerlens_cli::commands::{
-    analyze_instrumented, generate_dataset, run_study, study_config, AnalyzeOptions, GenOptions,
-};
-use towerlens_core::RunReport;
-
-const USAGE: &str = "\
-towerlens-cli — synthetic cellular-trace datasets and their analysis
-
-usage:
-  towerlens-cli gen     --out DIR [--seed N] [--towers N] [--agents N] [--days N]
-      write a synthetic dataset (logs.tsv, towers.tsv, pois.tsv, truth.tsv)
-
-  towerlens-cli analyze --dir DIR [--days N] [--threads N]
-                        [--resume DIR] [--timings] [--json]
-      parse, clean, vectorize, cluster, and label a dataset directory
-
-  towerlens-cli study   [--scale tiny|small|medium|paper] [--seed N]
-                        [--resume DIR] [--timings] [--json]
-      run the full in-process paper study through the stage engine
-
-  towerlens-cli help
-      print this message
-
-common flags:
-  --resume DIR   reuse (and write) stage checkpoints under DIR; a
-                 second run reloads the expensive stages bit-identically
-  --timings      print the per-stage wave/status/wall-time table
-  --json         print the per-stage report as JSON instead of the
-                 human summary
-
-exit status: 0 success, 1 runtime failure, 2 usage error";
+//! The binary is a one-line wrapper around [`towerlens_cli::app::run`]
+//! so that dispatch, rendering, and exit codes are all testable as
+//! library code.
 
 fn main() {
-    std::process::exit(run(&std::env::args().skip(1).collect::<Vec<_>>()));
-}
-
-/// Prints a usage error and returns exit code 2.
-fn usage_error(message: &str) -> i32 {
-    eprintln!("{message}");
-    2
-}
-
-/// Parses a subcommand's flags; prints help or a one-line error.
-fn parse_or_exit(command: &str, raw: &[String], defs: &[FlagDef]) -> Result<Flags, i32> {
-    match args::parse(command, raw, defs) {
-        Ok(Parsed::Flags(flags)) => Ok(flags),
-        Ok(Parsed::Help) => {
-            println!("{USAGE}");
-            Err(0)
-        }
-        Err(e) => Err(usage_error(&e)),
-    }
-}
-
-fn emit_report(report: &RunReport, timings: bool, json: bool) {
-    if timings {
-        print!("{}", report.render_table());
-    }
-    if json {
-        println!("{}", report.to_json());
-    }
-}
-
-fn run(argv: &[String]) -> i32 {
-    let Some(command) = argv.first() else {
-        return usage_error("missing command (try `towerlens-cli help`)");
-    };
-    let rest = &argv[1..];
-    match command.as_str() {
-        "gen" => {
-            const DEFS: &[FlagDef] = &[
-                value("out"),
-                value("seed"),
-                value("towers"),
-                value("agents"),
-                value("days"),
-            ];
-            let flags = match parse_or_exit("gen", rest, DEFS) {
-                Ok(f) => f,
-                Err(code) => return code,
-            };
-            let parsed = (|| -> Result<(String, GenOptions), String> {
-                let out = flags.require("gen", "out")?.to_string();
-                Ok((
-                    out,
-                    GenOptions {
-                        seed: flags.num("seed", 42)?,
-                        towers: flags.num("towers", 120)? as usize,
-                        agents: flags.num("agents", 800)? as usize,
-                        days: flags.num("days", 14)? as usize,
-                    },
-                ))
-            })();
-            let (out, options) = match parsed {
-                Ok(p) => p,
-                Err(e) => return usage_error(&e),
-            };
-            match generate_dataset(&PathBuf::from(&out), &options) {
-                Ok(n) => {
-                    println!(
-                        "wrote {n} records for {} towers / {} agents / {} days to {out}",
-                        options.towers, options.agents, options.days
-                    );
-                    0
-                }
-                Err(e) => {
-                    eprintln!("gen failed: {e}");
-                    1
-                }
-            }
-        }
-        "analyze" => {
-            const DEFS: &[FlagDef] = &[
-                value("dir"),
-                value("days"),
-                value("threads"),
-                value("resume"),
-                switch("timings"),
-                switch("json"),
-            ];
-            let flags = match parse_or_exit("analyze", rest, DEFS) {
-                Ok(f) => f,
-                Err(code) => return code,
-            };
-            let parsed = (|| -> Result<(String, AnalyzeOptions), String> {
-                let dir = flags.require("analyze", "dir")?.to_string();
-                Ok((
-                    dir,
-                    AnalyzeOptions {
-                        days: flags.num("days", 14)? as usize,
-                        threads: flags.num("threads", 0)? as usize,
-                    },
-                ))
-            })();
-            let (dir, options) = match parsed {
-                Ok(p) => p,
-                Err(e) => return usage_error(&e),
-            };
-            let resume = flags.get("resume").map(PathBuf::from);
-            match analyze_instrumented(&PathBuf::from(&dir), &options, resume.as_deref()) {
-                Ok((s, report)) => {
-                    if !flags.has("json") {
-                        println!(
-                            "{} records ({} after cleaning); {} patterns:",
-                            s.records, s.kept, s.k
-                        );
-                        for (c, (kind, share)) in s.labels.iter().zip(&s.shares).enumerate() {
-                            println!("  cluster {c}: {kind:<13} {:5.1}%", share * 100.0);
-                        }
-                        if let Some(ari) = s.ari_vs_truth {
-                            println!("adjusted Rand index vs truth.tsv: {ari:.3}");
-                        }
-                    }
-                    emit_report(&report, flags.has("timings"), flags.has("json"));
-                    0
-                }
-                Err(e) => {
-                    eprintln!("analyze failed: {e}");
-                    1
-                }
-            }
-        }
-        "study" => {
-            const DEFS: &[FlagDef] = &[
-                value("scale"),
-                value("seed"),
-                value("resume"),
-                switch("timings"),
-                switch("json"),
-            ];
-            let flags = match parse_or_exit("study", rest, DEFS) {
-                Ok(f) => f,
-                Err(code) => return code,
-            };
-            let scale = flags.get("scale").unwrap_or("tiny").to_string();
-            let seed = match flags.num("seed", 42) {
-                Ok(s) => s,
-                Err(e) => return usage_error(&e),
-            };
-            let config = match study_config(&scale, seed) {
-                Ok(c) => c,
-                Err(e) => return usage_error(&e),
-            };
-            let resume = flags.get("resume").map(PathBuf::from);
-            match run_study(config, resume.as_deref()) {
-                Ok((report, run_report)) => {
-                    if !flags.has("json") {
-                        println!(
-                            "study {scale} seed {seed}: {} towers, {} analysed, {} patterns",
-                            report.raw.len(),
-                            report.vectors.len(),
-                            report.patterns.k
-                        );
-                        let shares = report.patterns.clustering.shares();
-                        for (c, (kind, share)) in report.geo.labels.iter().zip(&shares).enumerate()
-                        {
-                            println!("  cluster {c}: {kind:<13} {:5.1}%", share * 100.0);
-                        }
-                        println!(
-                            "ground-truth agreement: {:.3}",
-                            report.geo.ground_truth_agreement
-                        );
-                    }
-                    emit_report(&run_report, flags.has("timings"), flags.has("json"));
-                    0
-                }
-                Err(e) => {
-                    eprintln!("study failed: {e}");
-                    1
-                }
-            }
-        }
-        "help" | "--help" | "-h" => {
-            println!("{USAGE}");
-            0
-        }
-        other => usage_error(&format!(
-            "unknown command `{other}` (try `towerlens-cli help`)"
-        )),
-    }
+    std::process::exit(towerlens_cli::app::run(
+        &std::env::args().skip(1).collect::<Vec<_>>(),
+    ));
 }

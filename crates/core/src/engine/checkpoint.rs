@@ -4,12 +4,13 @@
 //! hand-rolled line-oriented text idiom (cf. the CLI's TSV files):
 //!
 //! ```text
-//! towerlens-checkpoint v1
+//! towerlens-checkpoint v2
 //! stage <name>
 //! fingerprint <hex64>
 //! cards <n>
 //! card <value> <label…>        (n times)
 //! data <body-line-count>
+//! checksum <hex64>
 //! <body lines…>                (the stage codec's payload)
 //! end
 //! ```
@@ -17,9 +18,12 @@
 //! The `fingerprint` is an FNV-1a hash of the run configuration: a
 //! resume against a different configuration silently misses (the
 //! stage recomputes and overwrites) rather than resurrecting stale
-//! data. The trailing `end` sentinel plus the recorded body line
-//! count detect truncation. Floats are stored as IEEE-754 bit
-//! patterns ([`encode_f64`]/[`decode_f64`]) so reloads are
+//! data. The `checksum` is an FNV-1a hash of the body text, verified
+//! *before* the codec runs: a flipped byte that still decodes cleanly
+//! (a plausible-but-wrong bit pattern) is caught here rather than
+//! resurrected as data. The trailing `end` sentinel plus the recorded
+//! body line count detect truncation. Floats are stored as IEEE-754
+//! bit patterns ([`encode_f64`]/[`decode_f64`]) so reloads are
 //! bit-identical.
 
 use std::io::Write as _;
@@ -28,7 +32,7 @@ use std::path::{Path, PathBuf};
 use super::stage::{Card, StageCodec};
 
 /// Magic first line of every checkpoint file.
-const MAGIC: &str = "towerlens-checkpoint v1";
+const MAGIC: &str = "towerlens-checkpoint v2";
 
 /// Typed checkpoint failures. I/O errors are carried as rendered
 /// strings so the error stays `Clone`/`PartialEq` (and thus
@@ -56,6 +60,32 @@ pub enum CheckpointError {
         /// The stage whose checkpoint is incomplete.
         stage: String,
     },
+    /// The file is zero bytes (a crash between create and write).
+    Empty {
+        /// The stage whose checkpoint is empty.
+        stage: String,
+    },
+    /// The body text does not hash to the recorded checksum (bit rot
+    /// or a partial overwrite that still parses).
+    ChecksumMismatch {
+        /// The stage whose checkpoint is damaged.
+        stage: String,
+        /// The checksum recorded in the header.
+        expected: u64,
+        /// The checksum of the body actually on disk.
+        found: u64,
+    },
+    /// The file was written under a different configuration
+    /// fingerprint (reported by [`fsck_file`]; [`CheckpointStore::load`]
+    /// treats this as a cache miss instead).
+    FingerprintMismatch {
+        /// The stage whose checkpoint is stale.
+        stage: String,
+        /// The fingerprint expected by the caller.
+        expected: u64,
+        /// The fingerprint in the file.
+        found: u64,
+    },
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -73,6 +103,27 @@ impl std::fmt::Display for CheckpointError {
             CheckpointError::Truncated { stage } => {
                 write!(f, "stage `{stage}` checkpoint is truncated")
             }
+            CheckpointError::Empty { stage } => {
+                write!(f, "stage `{stage}` checkpoint is empty")
+            }
+            CheckpointError::ChecksumMismatch {
+                stage,
+                expected,
+                found,
+            } => write!(
+                f,
+                "stage `{stage}` checkpoint body checksum mismatch \
+                 (expected {expected:016x}, found {found:016x})"
+            ),
+            CheckpointError::FingerprintMismatch {
+                stage,
+                expected,
+                found,
+            } => write!(
+                f,
+                "stage `{stage}` checkpoint belongs to a different configuration \
+                 (expected fingerprint {expected:016x}, found {found:016x})"
+            ),
         }
     }
 }
@@ -178,6 +229,115 @@ impl<'a> BodyReader<'a> {
         let line = self.line()?;
         expect_tag(line, tag)
     }
+
+    /// The next `n` lines without consuming them, or `None` when the
+    /// text ends early — the checksum lookahead.
+    fn peek_lines(&self, n: usize) -> Option<Vec<&'a str>> {
+        let mut ahead = self.lines.clone();
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(ahead.next()?);
+        }
+        Some(out)
+    }
+}
+
+/// The parsed fixed header of a checkpoint file.
+struct RawHeader {
+    named: String,
+    fingerprint: u64,
+    cards: Vec<Card>,
+    body_lines: usize,
+    checksum: u64,
+}
+
+/// Number of header lines preceding the body for a given card count
+/// (magic, stage, fingerprint, cards, the card lines, data, checksum).
+fn header_lines(n_cards: usize) -> usize {
+    6 + n_cards
+}
+
+fn read_header(reader: &mut BodyReader<'_>, stage: &str) -> Result<RawHeader, CheckpointError> {
+    let corrupt = |line: usize, reason: String| CheckpointError::Corrupt {
+        stage: stage.to_string(),
+        line,
+        reason,
+    };
+    let truncated = || CheckpointError::Truncated {
+        stage: stage.to_string(),
+    };
+    let magic = reader.line().map_err(|_| truncated())?;
+    if magic != MAGIC {
+        return Err(corrupt(1, format!("bad magic `{magic}`")));
+    }
+    let named = reader
+        .tagged("stage")
+        .map_err(|r| corrupt(reader.line_no(), r))?
+        .to_string();
+    let fp_field = reader
+        .tagged("fingerprint")
+        .map_err(|r| corrupt(reader.line_no(), r))?;
+    let fingerprint = u64::from_str_radix(fp_field, 16)
+        .map_err(|_| corrupt(reader.line_no(), format!("bad fingerprint `{fp_field}`")))?;
+    let n_cards = reader
+        .tagged("cards")
+        .and_then(decode_usize)
+        .map_err(|r| corrupt(reader.line_no(), r))?;
+    let mut cards = Vec::with_capacity(n_cards);
+    for _ in 0..n_cards {
+        let rest = reader.tagged("card").map_err(|_| truncated())?;
+        let (value, label) = rest
+            .split_once(' ')
+            .ok_or_else(|| corrupt(reader.line_no(), format!("bad card `{rest}`")))?;
+        let value = value
+            .parse()
+            .map_err(|_| corrupt(reader.line_no(), format!("bad card value `{value}`")))?;
+        cards.push(Card::new(label, value));
+    }
+    let body_lines = reader
+        .tagged("data")
+        .and_then(decode_usize)
+        .map_err(|r| corrupt(reader.line_no(), r))?;
+    let ck_field = reader
+        .tagged("checksum")
+        .map_err(|r| corrupt(reader.line_no(), r))?;
+    let checksum = u64::from_str_radix(ck_field, 16)
+        .map_err(|_| corrupt(reader.line_no(), format!("bad checksum `{ck_field}`")))?;
+    Ok(RawHeader {
+        named,
+        fingerprint,
+        cards,
+        body_lines,
+        checksum,
+    })
+}
+
+/// Hashes the next `body_lines` lines (without consuming the reader)
+/// and compares against the recorded checksum.
+fn verify_body(
+    reader: &BodyReader<'_>,
+    stage: &str,
+    body_lines: usize,
+    expected: u64,
+) -> Result<(), CheckpointError> {
+    let Some(lines) = reader.peek_lines(body_lines) else {
+        return Err(CheckpointError::Truncated {
+            stage: stage.to_string(),
+        });
+    };
+    let mut body = lines.join("\n");
+    if !body.is_empty() {
+        body.push('\n');
+    }
+    let found = fnv1a64(body.as_bytes());
+    if found != expected {
+        return Err(CheckpointError::ChecksumMismatch {
+            stage: stage.to_string(),
+            expected,
+            found,
+        });
+    }
+    Ok(())
 }
 
 /// A directory of per-stage checkpoint files sharing one
@@ -232,7 +392,11 @@ impl CheckpointStore {
                 line: 0,
                 reason,
             })?;
+        if !body.is_empty() && !body.ends_with('\n') {
+            body.push('\n');
+        }
         let body_lines = body.lines().count();
+        let checksum = fnv1a64(body.as_bytes());
         let mut text = String::with_capacity(body.len() + 256);
         text.push_str(MAGIC);
         text.push('\n');
@@ -243,10 +407,8 @@ impl CheckpointStore {
             text.push_str(&format!("card {} {}\n", c.value, c.label));
         }
         text.push_str(&format!("data {body_lines}\n"));
+        text.push_str(&format!("checksum {checksum:016x}\n"));
         text.push_str(&body);
-        if !body.is_empty() && !body.ends_with('\n') {
-            text.push('\n');
-        }
         text.push_str("end\n");
 
         let path = self.path_of(stage);
@@ -266,7 +428,10 @@ impl CheckpointStore {
     ///
     /// # Errors
     /// [`CheckpointError::Io`] on read failure,
+    /// [`CheckpointError::Empty`] for a zero-byte file,
     /// [`CheckpointError::Truncated`] for an incomplete file,
+    /// [`CheckpointError::ChecksumMismatch`] when the body does not
+    /// hash to the recorded checksum,
     /// [`CheckpointError::Corrupt`] for malformed content.
     pub fn load<A>(
         &self,
@@ -279,6 +444,11 @@ impl CheckpointStore {
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
             Err(e) => return Err(io_err(&path, e)),
         };
+        if text.is_empty() {
+            return Err(CheckpointError::Empty {
+                stage: stage.to_string(),
+            });
+        }
         let corrupt = |line: usize, reason: String| CheckpointError::Corrupt {
             stage: stage.to_string(),
             line,
@@ -289,48 +459,18 @@ impl CheckpointStore {
         };
 
         let mut reader = BodyReader::new(&text, 0);
-        let magic = reader.line().map_err(|_| truncated())?;
-        if magic != MAGIC {
-            return Err(corrupt(1, format!("bad magic `{magic}`")));
+        let header = read_header(&mut reader, stage)?;
+        if header.named != stage {
+            return Err(corrupt(2, format!("file is for stage `{}`", header.named)));
         }
-        let named = reader
-            .tagged("stage")
-            .map_err(|r| corrupt(reader.line_no(), r))?;
-        if named != stage {
-            return Err(corrupt(
-                reader.line_no(),
-                format!("file is for stage `{named}`"),
-            ));
-        }
-        let fp_field = reader
-            .tagged("fingerprint")
-            .map_err(|r| corrupt(reader.line_no(), r))?;
-        let fp = u64::from_str_radix(fp_field, 16)
-            .map_err(|_| corrupt(reader.line_no(), format!("bad fingerprint `{fp_field}`")))?;
-        if fp != self.fingerprint {
+        if header.fingerprint != self.fingerprint {
             // A checkpoint from a different configuration: stale, not
             // corrupt. Recompute (and overwrite on save).
             return Ok(None);
         }
-        let n_cards = reader
-            .tagged("cards")
-            .and_then(decode_usize)
-            .map_err(|r| corrupt(reader.line_no(), r))?;
-        let mut cards = Vec::with_capacity(n_cards);
-        for _ in 0..n_cards {
-            let rest = reader.tagged("card").map_err(|_| truncated())?;
-            let (value, label) = rest
-                .split_once(' ')
-                .ok_or_else(|| corrupt(reader.line_no(), format!("bad card `{rest}`")))?;
-            let value = value
-                .parse()
-                .map_err(|_| corrupt(reader.line_no(), format!("bad card value `{value}`")))?;
-            cards.push(Card::new(label, value));
-        }
-        let body_lines = reader
-            .tagged("data")
-            .and_then(decode_usize)
-            .map_err(|r| corrupt(reader.line_no(), r))?;
+        // Verify the body hash before handing anything to the codec —
+        // a flipped byte that still parses must not come back as data.
+        verify_body(&reader, stage, header.body_lines, header.checksum)?;
 
         let artifact = codec.decode(&mut reader).map_err(|r| {
             // Distinguish "file ends early" from "line is garbage".
@@ -343,18 +483,19 @@ impl CheckpointStore {
         // The codec must have consumed exactly the declared body, and
         // the `end` sentinel must follow — otherwise the write was
         // interrupted.
-        let header_lines = 5 + n_cards;
-        if reader.line_no() != header_lines + body_lines {
+        let header_len = header_lines(header.cards.len());
+        if reader.line_no() != header_len + header.body_lines {
             return Err(corrupt(
                 reader.line_no(),
                 format!(
-                    "codec consumed {} body lines, header declares {body_lines}",
-                    reader.line_no() - header_lines
+                    "codec consumed {} body lines, header declares {}",
+                    reader.line_no() - header_len,
+                    header.body_lines
                 ),
             ));
         }
         match reader.line() {
-            Ok("end") => Ok(Some((artifact, cards))),
+            Ok("end") => Ok(Some((artifact, header.cards))),
             Ok(other) => Err(corrupt(
                 reader.line_no(),
                 format!("expected `end`, got `{other}`"),
@@ -362,6 +503,83 @@ impl CheckpointStore {
             Err(_) => Err(truncated()),
         }
     }
+}
+
+/// What [`fsck_file`] learned about a structurally valid checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FsckInfo {
+    /// The stage named in the header.
+    pub stage: String,
+    /// The configuration fingerprint the file was written under.
+    pub fingerprint: u64,
+    /// The instrumentation cards recorded in the header.
+    pub cards: Vec<Card>,
+    /// The number of body lines.
+    pub body_lines: usize,
+}
+
+/// Structurally validates a checkpoint file without decoding its
+/// artifact: header shape, body checksum, declared line count, and
+/// the `end` sentinel. Passing `expected_fingerprint` additionally
+/// pins the configuration — a healthy file from another configuration
+/// reports [`CheckpointError::FingerprintMismatch`] (unlike
+/// [`CheckpointStore::load`], which treats that as a cache miss).
+/// This is the `doctor` subcommand's workhorse.
+///
+/// # Errors
+/// Any [`CheckpointError`]; the stage name in errors raised before
+/// the header parses is the file stem.
+pub fn fsck_file(
+    path: &Path,
+    expected_fingerprint: Option<u64>,
+) -> Result<FsckInfo, CheckpointError> {
+    let stem = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("?")
+        .to_string();
+    let text = std::fs::read_to_string(path).map_err(|e| io_err(path, e))?;
+    if text.is_empty() {
+        return Err(CheckpointError::Empty { stage: stem });
+    }
+    let mut reader = BodyReader::new(&text, 0);
+    let header = read_header(&mut reader, &stem)?;
+    verify_body(&reader, &header.named, header.body_lines, header.checksum)?;
+    for _ in 0..header.body_lines {
+        reader.line().map_err(|_| CheckpointError::Truncated {
+            stage: header.named.clone(),
+        })?;
+    }
+    match reader.line() {
+        Ok("end") => {}
+        Ok(other) => {
+            return Err(CheckpointError::Corrupt {
+                stage: header.named,
+                line: reader.line_no(),
+                reason: format!("expected `end`, got `{other}`"),
+            })
+        }
+        Err(_) => {
+            return Err(CheckpointError::Truncated {
+                stage: header.named,
+            })
+        }
+    }
+    if let Some(expected) = expected_fingerprint {
+        if header.fingerprint != expected {
+            return Err(CheckpointError::FingerprintMismatch {
+                stage: header.named,
+                expected,
+                found: header.fingerprint,
+            });
+        }
+    }
+    Ok(FsckInfo {
+        stage: header.named,
+        fingerprint: header.fingerprint,
+        cards: header.cards,
+        body_lines: header.body_lines,
+    })
 }
 
 #[cfg(test)]
@@ -405,6 +623,32 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("towerlens-ckpt-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         CheckpointStore::open(dir, fingerprint).unwrap()
+    }
+
+    /// Recomputes the `checksum` header line from the (possibly
+    /// edited) body, so tests can exercise codec-level corruption
+    /// without tripping the checksum gate first.
+    fn fix_checksum(text: &str) -> String {
+        let lines: Vec<&str> = text.lines().collect();
+        let ck_idx = lines
+            .iter()
+            .position(|l| l.starts_with("checksum "))
+            .unwrap();
+        let end_idx = lines.iter().rposition(|l| *l == "end").unwrap();
+        let mut body = lines[ck_idx + 1..end_idx].join("\n");
+        if !body.is_empty() {
+            body.push('\n');
+        }
+        let mut out = String::new();
+        for (i, l) in lines.iter().enumerate() {
+            if i == ck_idx {
+                out.push_str(&format!("checksum {:016x}\n", fnv1a64(body.as_bytes())));
+            } else {
+                out.push_str(l);
+                out.push('\n');
+            }
+        }
+        out
     }
 
     fn toy() -> Toy {
@@ -481,7 +725,13 @@ mod tests {
         store.save("toy", &[], &ToyCodec, &toy()).unwrap();
         let path = store.path_of("toy");
         let text = std::fs::read_to_string(&path).unwrap();
-        std::fs::write(&path, text.replace("name probe", "nome probe")).unwrap();
+        // Break a body tag but keep the checksum honest, so the codec
+        // (not the checksum gate) is what rejects the file.
+        std::fs::write(
+            &path,
+            fix_checksum(&text.replace("name probe", "nome probe")),
+        )
+        .unwrap();
         match store.load("toy", &ToyCodec) {
             Err(CheckpointError::Corrupt { stage, line, .. }) => {
                 assert_eq!(stage, "toy");
@@ -489,6 +739,99 @@ mod tests {
             }
             other => panic!("expected Corrupt, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn flipped_byte_is_a_checksum_mismatch() {
+        let store = temp_store("flip", 7);
+        store.save("toy", &[], &ToyCodec, &toy()).unwrap();
+        let path = store.path_of("toy");
+        let text = std::fs::read_to_string(&path).unwrap();
+        // Still parses as a name line — only the hash knows.
+        std::fs::write(&path, text.replace("name probe", "name qrobe")).unwrap();
+        match store.load("toy", &ToyCodec) {
+            Err(CheckpointError::ChecksumMismatch {
+                stage,
+                expected,
+                found,
+            }) => {
+                assert_eq!(stage, "toy");
+                assert_ne!(expected, found);
+            }
+            other => panic!("expected ChecksumMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_file_is_a_typed_error() {
+        let store = temp_store("empty", 7);
+        std::fs::write(store.path_of("toy"), "").unwrap();
+        match store.load("toy", &ToyCodec) {
+            Err(CheckpointError::Empty { stage }) => assert_eq!(stage, "toy"),
+            other => panic!("expected Empty, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fsck_validates_and_reports() {
+        let store = temp_store("fsck", 7);
+        let cards = vec![Card::new("values", 4)];
+        store.save("toy", &cards, &ToyCodec, &toy()).unwrap();
+        let path = store.path_of("toy");
+
+        let info = fsck_file(&path, Some(7)).unwrap();
+        assert_eq!(info.stage, "toy");
+        assert_eq!(info.fingerprint, 7);
+        assert_eq!(info.cards, cards);
+        assert_eq!(info.body_lines, 2);
+
+        // Unpinned fsck accepts any fingerprint; pinned fsck reports
+        // the mismatch instead of treating it as a miss.
+        assert!(fsck_file(&path, None).is_ok());
+        match fsck_file(&path, Some(8)) {
+            Err(CheckpointError::FingerprintMismatch {
+                stage,
+                expected,
+                found,
+            }) => {
+                assert_eq!(stage, "toy");
+                assert_eq!((expected, found), (8, 7));
+            }
+            other => panic!("expected FingerprintMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fsck_flags_each_damage_class() {
+        let store = temp_store("fsck-damage", 7);
+        store.save("toy", &[], &ToyCodec, &toy()).unwrap();
+        let path = store.path_of("toy");
+        let pristine = std::fs::read_to_string(&path).unwrap();
+
+        std::fs::write(&path, "").unwrap();
+        assert!(matches!(
+            fsck_file(&path, None),
+            Err(CheckpointError::Empty { .. })
+        ));
+
+        let cut: Vec<&str> = pristine.lines().collect();
+        std::fs::write(&path, cut[..cut.len() - 2].join("\n")).unwrap();
+        assert!(matches!(
+            fsck_file(&path, None),
+            Err(CheckpointError::Truncated { .. })
+        ));
+
+        std::fs::write(&path, pristine.replace("name probe", "name qrobe")).unwrap();
+        assert!(matches!(
+            fsck_file(&path, None),
+            Err(CheckpointError::ChecksumMismatch { .. })
+        ));
+
+        std::fs::write(&path, pristine.replace(MAGIC, "towerlens-checkpoint v0")).unwrap();
+        assert!(matches!(
+            fsck_file(&path, None),
+            Err(CheckpointError::Corrupt { line: 1, .. })
+        ));
     }
 
     #[test]

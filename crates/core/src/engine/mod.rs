@@ -35,7 +35,7 @@ pub mod runner;
 pub mod stage;
 pub mod study_stages;
 
-pub use checkpoint::{fnv1a64, CheckpointError, CheckpointStore};
+pub use checkpoint::{fnv1a64, fsck_file, CheckpointError, CheckpointStore, FsckInfo};
 pub use report::{RunReport, StageReport, StageStatus};
 pub use runner::{Graph, RunOutcome};
 pub use stage::{Card, Stage, StageCodec, StageContext, StageOutput};
@@ -80,6 +80,13 @@ pub enum EngineError {
         /// The rendered failure.
         message: String,
     },
+    /// A stage panicked; the panic was contained by the runner.
+    StagePanicked {
+        /// The panicking stage.
+        stage: String,
+        /// The rendered panic payload.
+        message: String,
+    },
     /// A checkpoint could not be read or written.
     Checkpoint(CheckpointError),
 }
@@ -104,6 +111,9 @@ impl std::fmt::Display for EngineError {
             }
             EngineError::Stage { stage, message } => {
                 write!(f, "stage `{stage}` failed: {message}")
+            }
+            EngineError::StagePanicked { stage, message } => {
+                write!(f, "stage `{stage}` panicked: {message}")
             }
             EngineError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
         }

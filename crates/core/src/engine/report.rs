@@ -14,15 +14,24 @@ pub enum StageStatus {
     /// Not executed: every consumer of its artifact was satisfied
     /// from checkpoints.
     Skipped,
+    /// Executed but did not produce an artifact: the stage panicked,
+    /// or it errored and is [`super::Stage::optional`].
+    Failed,
+    /// Not executed because a stage it (transitively) depends on
+    /// failed.
+    Pruned,
 }
 
 impl StageStatus {
-    /// Lower-case label (`ran` / `cached` / `skipped`).
+    /// Lower-case label (`ran` / `cached` / `skipped` / `failed` /
+    /// `pruned`).
     pub fn label(self) -> &'static str {
         match self {
             StageStatus::Ran => "ran",
             StageStatus::Cached => "cached",
             StageStatus::Skipped => "skipped",
+            StageStatus::Failed => "failed",
+            StageStatus::Pruned => "pruned",
         }
     }
 }
@@ -49,6 +58,8 @@ pub struct StageReport {
     /// Input/output cardinalities (restored from the checkpoint
     /// header for cached stages).
     pub cards: Vec<Card>,
+    /// The rendered failure, for [`StageStatus::Failed`] stages.
+    pub error: Option<String>,
 }
 
 /// The full instrumentation record of one graph run.
@@ -58,6 +69,9 @@ pub struct RunReport {
     pub stages: Vec<StageReport>,
     /// End-to-end wall time of the run.
     pub total: Duration,
+    /// Non-fatal conditions the run recovered from (e.g. a corrupt
+    /// checkpoint that fell back to recompute).
+    pub warnings: Vec<String>,
 }
 
 impl RunReport {
@@ -75,6 +89,13 @@ impl RunReport {
             .collect()
     }
 
+    /// Whether any stage failed (or was pruned behind a failure).
+    pub fn degraded(&self) -> bool {
+        self.stages
+            .iter()
+            .any(|s| matches!(s.status, StageStatus::Failed | StageStatus::Pruned))
+    }
+
     /// A fixed-width human table, one row per stage plus a total row.
     pub fn render_table(&self) -> String {
         let name_w = self
@@ -90,12 +111,18 @@ impl RunReport {
             "stage", "wall"
         ));
         for s in &self.stages {
-            let cards = s
+            let mut cards = s
                 .cards
                 .iter()
                 .map(|c| c.to_string())
                 .collect::<Vec<_>>()
                 .join(" ");
+            if let Some(error) = &s.error {
+                if !cards.is_empty() {
+                    cards.push(' ');
+                }
+                cards.push_str(&format!("[{error}]"));
+            }
             out.push_str(&format!(
                 "{:<name_w$}  {:>4}  {:<7}  {:>8.2}ms  {}\n",
                 s.name,
@@ -110,6 +137,9 @@ impl RunReport {
             "",
             self.total.as_secs_f64() * 1e3
         ));
+        for w in &self.warnings {
+            out.push_str(&format!("warning: {w}\n"));
+        }
         out
     }
 
@@ -138,7 +168,18 @@ impl RunReport {
                 }
                 out.push_str(&format!("\"{}\":{}", json_escape(&c.label), c.value));
             }
-            out.push_str("}}");
+            out.push('}');
+            if let Some(error) = &s.error {
+                out.push_str(&format!(",\"error\":\"{}\"", json_escape(error)));
+            }
+            out.push('}');
+        }
+        out.push_str("],\"warnings\":[");
+        for (i, w) in self.warnings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\"", json_escape(w)));
         }
         out.push_str("]}");
         out
@@ -169,6 +210,7 @@ mod tests {
                     status: StageStatus::Cached,
                     wall: Duration::from_micros(1_500),
                     cards: vec![Card::new("towers", 120)],
+                    error: None,
                 },
                 StageReport {
                     name: "cluster",
@@ -176,10 +218,29 @@ mod tests {
                     status: StageStatus::Ran,
                     wall: Duration::from_millis(12),
                     cards: vec![Card::new("k", 5), Card::new("vectors", 118)],
+                    error: None,
                 },
             ],
             total: Duration::from_millis(14),
+            warnings: Vec::new(),
         }
+    }
+
+    fn degraded() -> RunReport {
+        let mut r = sample();
+        r.stages[1].status = StageStatus::Failed;
+        r.stages[1].error = Some("stage `cluster` panicked: boom".into());
+        r.stages.push(StageReport {
+            name: "label",
+            wave: 2,
+            status: StageStatus::Pruned,
+            wall: Duration::ZERO,
+            cards: Vec::new(),
+            error: None,
+        });
+        r.warnings
+            .push("checkpoint for stage `city` is unusable; recomputing".into());
+        r
     }
 
     #[test]
@@ -217,5 +278,26 @@ mod tests {
     fn json_escaping_handles_specials() {
         assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
         assert_eq!(json_escape("x\ny"), "x\\u000ay");
+    }
+
+    #[test]
+    fn degraded_run_renders_failures_and_warnings() {
+        let r = degraded();
+        assert!(r.degraded());
+        assert!(!sample().degraded());
+        let table = r.render_table();
+        assert!(table.contains("failed"));
+        assert!(table.contains("pruned"));
+        assert!(table.contains("panicked: boom"));
+        assert!(table.contains("warning: checkpoint for stage `city`"));
+        let json = r.to_json();
+        assert!(json.contains("\"status\":\"failed\""));
+        assert!(json.contains("\"status\":\"pruned\""));
+        assert!(json.contains("\"error\":\"stage `cluster` panicked: boom\""));
+        assert!(json.contains("\"warnings\":[\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert_eq!(r.with_status(StageStatus::Failed), vec!["cluster"]);
+        assert_eq!(r.with_status(StageStatus::Pruned), vec!["label"]);
     }
 }

@@ -1,12 +1,36 @@
 //! Graph validation, wave scheduling, and execution.
 
 use std::collections::{HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
-use super::checkpoint::CheckpointStore;
+use super::checkpoint::{CheckpointError, CheckpointStore};
 use super::report::{RunReport, StageReport, StageStatus};
 use super::stage::{Card, Stage, StageContext, StageOutput};
 use super::EngineError;
+
+/// Renders a panic payload — the common `&str`/`String` cases; other
+/// payload types get a placeholder.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Fault-injection failpoint: panics inside the named stage when the
+/// `TOWERLENS_FAULT_PANIC` environment variable names it. Lets
+/// integration tests (and operators) exercise the panic-containment
+/// path against the real study graph without a purpose-built broken
+/// stage.
+fn fault_panic(stage: &str) {
+    if std::env::var("TOWERLENS_FAULT_PANIC").as_deref() == Ok(stage) {
+        panic!("injected fault: TOWERLENS_FAULT_PANIC={stage}");
+    }
+}
 
 /// A set of stages forming a dependency DAG, executed in topological
 /// *waves*: all stages of a wave depend only on earlier waves and run
@@ -133,9 +157,23 @@ impl<A: Send + Sync> Graph<A> {
     /// backwards from the graph's sinks; a cached stage's
     /// dependencies are not demanded on its behalf.
     ///
+    /// A checkpoint file that exists but cannot be trusted (truncated,
+    /// checksum mismatch, malformed) is *not* fatal: the stage
+    /// recomputes (overwriting the bad file on save) and the run
+    /// carries a warning in [`RunReport::warnings`]. Only checkpoint
+    /// I/O errors abort.
+    ///
+    /// Stage failures are contained where the graph can survive them:
+    /// a panic in any stage, or an error from a [`Stage::optional`]
+    /// stage, marks that stage [`StageStatus::Failed`] (with the
+    /// rendered error in its report), transitively prunes its
+    /// dependents ([`StageStatus::Pruned`] — unless their artifact was
+    /// already cached), and lets the rest of the run complete. An
+    /// error from a non-optional stage still fails the run.
+    ///
     /// # Errors
-    /// Scheduling errors, checkpoint I/O/corruption errors, and the
-    /// first failing stage's error.
+    /// Scheduling errors, checkpoint I/O errors, and the first failing
+    /// non-optional stage's error.
     pub fn run(&self, store: Option<&CheckpointStore>) -> Result<RunOutcome<A>, EngineError> {
         let started = Instant::now();
         let waves = self.waves()?;
@@ -145,16 +183,26 @@ impl<A: Send + Sync> Graph<A> {
             .enumerate()
             .map(|(i, s)| (s.name(), i))
             .collect();
+        let mut warnings: Vec<String> = Vec::new();
 
         // Probe checkpoints up front: demand pruning needs the full
-        // hit set before the first wave starts.
+        // hit set before the first wave starts. A damaged file is a
+        // cache miss with a warning, not a dead run.
         let mut cached: HashMap<&'static str, (A, Vec<Card>, Duration)> = HashMap::new();
         if let Some(store) = store {
             for s in &self.stages {
                 if let Some(codec) = s.codec() {
                     let probe_started = Instant::now();
-                    if let Some((artifact, cards)) = store.load(s.name(), codec)? {
-                        cached.insert(s.name(), (artifact, cards, probe_started.elapsed()));
+                    match store.load(s.name(), codec) {
+                        Ok(Some((artifact, cards))) => {
+                            cached.insert(s.name(), (artifact, cards, probe_started.elapsed()));
+                        }
+                        Ok(None) => {}
+                        Err(e @ CheckpointError::Io { .. }) => return Err(e.into()),
+                        Err(e) => warnings.push(format!(
+                            "checkpoint for stage `{}` is unusable ({e}); recomputing",
+                            s.name()
+                        )),
                     }
                 }
             }
@@ -181,10 +229,16 @@ impl<A: Send + Sync> Graph<A> {
 
         let mut artifacts: HashMap<&'static str, A> = HashMap::new();
         let mut reports: HashMap<&'static str, StageReport> = HashMap::new();
+        // Stages whose artifact will never materialize this run:
+        // failed stages and everything pruned behind them.
+        let mut unavailable: HashSet<&'static str> = HashSet::new();
         for (w, wave) in waves.iter().enumerate() {
             let mut to_run: Vec<usize> = Vec::new();
             for &name in wave {
                 if let Some((artifact, cards, load)) = cached.remove(name) {
+                    // A cached artifact is usable even when a
+                    // dependency failed — the checkpoint already holds
+                    // the finished product.
                     artifacts.insert(name, artifact);
                     reports.insert(
                         name,
@@ -194,6 +248,24 @@ impl<A: Send + Sync> Graph<A> {
                             status: StageStatus::Cached,
                             wall: load,
                             cards,
+                            error: None,
+                        },
+                    );
+                } else if self.stages[index[name]]
+                    .deps()
+                    .iter()
+                    .any(|d| unavailable.contains(d))
+                {
+                    unavailable.insert(name);
+                    reports.insert(
+                        name,
+                        StageReport {
+                            name,
+                            wave: w,
+                            status: StageStatus::Pruned,
+                            wall: Duration::ZERO,
+                            cards: Vec::new(),
+                            error: None,
                         },
                     );
                 } else if !demanded.contains(name) {
@@ -205,6 +277,7 @@ impl<A: Send + Sync> Graph<A> {
                             status: StageStatus::Skipped,
                             wall: Duration::ZERO,
                             cards: Vec::new(),
+                            error: None,
                         },
                     );
                 } else {
@@ -217,7 +290,18 @@ impl<A: Send + Sync> Graph<A> {
              -> (usize, Result<StageOutput<A>, EngineError>, Duration) {
                 let stage = &self.stages[i];
                 let stage_started = Instant::now();
-                let result = stage.run(&StageContext::new(stage.name(), artifacts));
+                // Contain panics so one sick stage cannot take down
+                // its wave siblings (or the process).
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    fault_panic(stage.name());
+                    stage.run(&StageContext::new(stage.name(), artifacts))
+                }))
+                .unwrap_or_else(|payload| {
+                    Err(EngineError::StagePanicked {
+                        stage: stage.name().to_string(),
+                        message: panic_message(payload),
+                    })
+                });
                 (i, result, stage_started.elapsed())
             };
             let results: Vec<(usize, Result<StageOutput<A>, EngineError>, Duration)> =
@@ -241,8 +325,30 @@ impl<A: Send + Sync> Graph<A> {
                 };
 
             for (i, result, mut wall) in results {
-                let output = result?;
                 let stage = &self.stages[i];
+                let output = match result {
+                    Ok(output) => output,
+                    Err(e) => {
+                        let contained =
+                            stage.optional() || matches!(e, EngineError::StagePanicked { .. });
+                        if !contained {
+                            return Err(e);
+                        }
+                        unavailable.insert(stage.name());
+                        reports.insert(
+                            stage.name(),
+                            StageReport {
+                                name: stage.name(),
+                                wave: w,
+                                status: StageStatus::Failed,
+                                wall,
+                                cards: Vec::new(),
+                                error: Some(e.to_string()),
+                            },
+                        );
+                        continue;
+                    }
+                };
                 if let (Some(store), Some(codec)) = (store, stage.codec()) {
                     let save_started = Instant::now();
                     store.save(stage.name(), &output.cards, codec, &output.artifact)?;
@@ -256,6 +362,7 @@ impl<A: Send + Sync> Graph<A> {
                         status: StageStatus::Ran,
                         wall,
                         cards: output.cards,
+                        error: None,
                     },
                 );
                 artifacts.insert(stage.name(), output.artifact);
@@ -272,6 +379,7 @@ impl<A: Send + Sync> Graph<A> {
             report: RunReport {
                 stages,
                 total: started.elapsed(),
+                warnings,
             },
         })
     }
@@ -294,6 +402,7 @@ mod tests {
         deps: &'static [&'static str],
         body: RunFn,
         checkpointed: bool,
+        is_optional: bool,
     }
 
     impl TestStage {
@@ -310,11 +419,17 @@ mod tests {
                 deps,
                 body: Box::new(body),
                 checkpointed: false,
+                is_optional: false,
             }
         }
 
         fn checkpointed(mut self) -> Self {
             self.checkpointed = true;
+            self
+        }
+
+        fn optional(mut self) -> Self {
+            self.is_optional = true;
             self
         }
     }
@@ -347,6 +462,9 @@ mod tests {
         }
         fn codec(&self) -> Option<&dyn StageCodec<u64>> {
             self.checkpointed.then_some(&U64Codec)
+        }
+        fn optional(&self) -> bool {
+            self.is_optional
         }
     }
 
@@ -544,19 +662,111 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_checkpoint_surfaces_typed_error() {
+    fn corrupt_checkpoint_falls_back_to_recompute() {
         let store = temp_store("corrupt");
         let counts: Arc<[AtomicUsize; 3]> = Arc::new(Default::default());
         counted_chain(&counts).run(Some(&store)).unwrap();
         let path = store.path_of("b");
         let text = std::fs::read_to_string(&path).unwrap();
         std::fs::write(&path, text.replace("value", "vlaue")).unwrap();
-        assert!(matches!(
-            counted_chain(&counts).run(Some(&store)),
-            Err(EngineError::Checkpoint(
-                super::super::CheckpointError::Corrupt { .. }
-            ))
-        ));
+
+        // The damaged file is a warning and a recompute, not a dead
+        // run — and the recompute overwrites it, so a third run caches
+        // cleanly again.
+        let mut second = counted_chain(&counts).run(Some(&store)).unwrap();
+        assert_eq!(second.take("c").unwrap(), 60);
+        let report = &second.report;
+        assert_eq!(report.with_status(StageStatus::Ran), vec!["a", "b", "c"]);
+        assert!(
+            report.warnings.iter().any(|w| w.contains("stage `b`")),
+            "missing warning: {:?}",
+            report.warnings
+        );
+
+        let mut third = counted_chain(&counts).run(Some(&store)).unwrap();
+        assert_eq!(third.take("c").unwrap(), 60);
+        assert!(third.report.warnings.is_empty());
+        assert_eq!(third.report.with_status(StageStatus::Cached), vec!["b"]);
+    }
+
+    type Damage = fn(&std::path::Path);
+
+    #[test]
+    fn damaged_checkpoints_fall_back_to_recompute() {
+        let damage: [(&str, Damage); 3] = [
+            ("truncated", |p| {
+                let f = std::fs::OpenOptions::new().write(true).open(p).unwrap();
+                let len = f.metadata().unwrap().len();
+                f.set_len(len / 2).unwrap();
+            }),
+            ("flipped", |p| {
+                let text = std::fs::read_to_string(p).unwrap();
+                std::fs::write(p, text.replace("value 6", "value 7")).unwrap();
+            }),
+            ("empty", |p| std::fs::write(p, "").unwrap()),
+        ];
+        for (tag, hurt) in damage {
+            let store = temp_store(&format!("damage-{tag}"));
+            let counts: Arc<[AtomicUsize; 3]> = Arc::new(Default::default());
+            counted_chain(&counts).run(Some(&store)).unwrap();
+            hurt(&store.path_of("b"));
+            let mut again = counted_chain(&counts).run(Some(&store)).unwrap();
+            assert_eq!(again.take("c").unwrap(), 60, "{tag}: wrong result");
+            assert!(!again.report.warnings.is_empty(), "{tag}: no warning");
+            assert_eq!(
+                counts[1].load(Ordering::SeqCst),
+                2,
+                "{tag}: b was not recomputed"
+            );
+        }
+    }
+
+    #[test]
+    fn panicking_stage_fails_and_prunes_dependents() {
+        let g = Graph::new()
+            .add_stage(constant("a", &[], 1))
+            .add_stage(TestStage::new("b", &["a"], |_| panic!("boom {}", 7)))
+            .add_stage(TestStage::new("c", &["b"], |ctx| {
+                Ok(StageOutput::new(ctx.artifact("b")? + 1))
+            }))
+            .add_stage(TestStage::new("d", &["a"], |ctx| {
+                Ok(StageOutput::new(ctx.artifact("a")? + 10))
+            }));
+        let mut outcome = g.run(None).unwrap();
+        let report = &outcome.report;
+        assert!(report.degraded());
+        assert_eq!(report.with_status(StageStatus::Failed), vec!["b"]);
+        assert_eq!(report.with_status(StageStatus::Pruned), vec!["c"]);
+        assert_eq!(report.with_status(StageStatus::Ran), vec!["a", "d"]);
+        let err = report.stage("b").unwrap().error.as_deref().unwrap();
+        assert!(err.contains("panicked") && err.contains("boom 7"), "{err}");
+        // Sibling work survived the panic; the dead branch yields no
+        // artifact.
+        assert_eq!(outcome.take("d").unwrap(), 11);
+        assert!(outcome.take("b").is_err());
+        assert!(outcome.take("c").is_err());
+    }
+
+    #[test]
+    fn optional_stage_error_degrades_instead_of_aborting() {
+        let g = Graph::new()
+            .add_stage(constant("a", &[], 1))
+            .add_stage(TestStage::new("b", &["a"], |ctx| Err(ctx.fail("no data"))).optional())
+            .add_stage(TestStage::new("c", &["b"], |ctx| {
+                Ok(StageOutput::new(*ctx.artifact("b")?))
+            }))
+            .add_stage(TestStage::new("d", &["c"], |ctx| {
+                Ok(StageOutput::new(*ctx.artifact("c")?))
+            }));
+        let outcome = g.run(None).unwrap();
+        let report = &outcome.report;
+        assert_eq!(report.with_status(StageStatus::Failed), vec!["b"]);
+        // Pruning is transitive: d never had a chance either.
+        assert_eq!(report.with_status(StageStatus::Pruned), vec!["c", "d"]);
+        assert_eq!(
+            report.stage("b").unwrap().error.as_deref(),
+            Some("stage `b` failed: no data")
+        );
     }
 
     #[test]

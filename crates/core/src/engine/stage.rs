@@ -121,6 +121,18 @@ pub trait Stage<A>: Send + Sync {
     fn codec(&self) -> Option<&dyn StageCodec<A>> {
         None
     }
+
+    /// Whether the run may continue without this stage's artifact.
+    ///
+    /// When an optional stage errors, the runner marks it
+    /// [`super::StageStatus::Failed`], prunes its dependents, and
+    /// completes the rest of the graph instead of aborting. Errors
+    /// from non-optional stages still fail the run. (Panics are
+    /// always contained this way, whatever the stage declares — a
+    /// panic must never take down sibling stages mid-wave.)
+    fn optional(&self) -> bool {
+        false
+    }
 }
 
 /// Encodes/decodes one stage's artifact to the checkpoint body (a

@@ -314,6 +314,11 @@ impl Stage<StudyArtifact> for LabelStage {
             .with_card("clusters", clusters)
             .with_card("hotspots", hotspots))
     }
+    // Geographic labelling enriches the study but the clustering
+    // stands on its own: degrade, don't die.
+    fn optional(&self) -> bool {
+        true
+    }
 }
 
 struct TimeDomainStage {
@@ -351,6 +356,9 @@ impl Stage<StudyArtifact> for TimeDomainStage {
                 .with_card("clusters", clusters),
         )
     }
+    fn optional(&self) -> bool {
+        true
+    }
 }
 
 struct FrequencyStage {
@@ -379,6 +387,9 @@ impl Stage<StudyArtifact> for FrequencyStage {
                 .with_card("towers", towers)
                 .with_card("clusters", clusters),
         )
+    }
+    fn optional(&self) -> bool {
+        true
     }
 }
 
@@ -444,6 +455,9 @@ impl Stage<StudyArtifact> for DecomposeStage {
         })
         .with_card("rows", n_rows)
         .with_card("representatives", n_reps))
+    }
+    fn optional(&self) -> bool {
+        true
     }
 }
 
@@ -658,6 +672,10 @@ impl StageCodec<StudyArtifact> for RawCodec {
 pub fn encode_normalized(nm: &NormalizedMatrix, out: &mut String) {
     encode_ids("kept", &nm.kept_ids, out);
     encode_ids("dropped", &nm.dropped, out);
+    out.push_str(&format!("imputed {}\n", nm.imputed.len()));
+    for mask in &nm.imputed {
+        encode_ids("mask", mask, out);
+    }
     let cols = nm.vectors.first().map_or(0, Vec::len);
     encode_matrix(&nm.vectors, cols, out);
 }
@@ -669,6 +687,11 @@ pub fn encode_normalized(nm: &NormalizedMatrix, out: &mut String) {
 pub fn decode_normalized(body: &mut BodyReader<'_>) -> Result<NormalizedMatrix, String> {
     let kept_ids = decode_ids(body, "kept")?;
     let dropped = decode_ids(body, "dropped")?;
+    let n_masks = decode_usize(body.tagged("imputed")?)?;
+    let mut imputed = Vec::with_capacity(n_masks);
+    for _ in 0..n_masks {
+        imputed.push(decode_ids(body, "mask")?);
+    }
     let vectors = decode_matrix(body)?;
     if vectors.len() != kept_ids.len() {
         return Err(format!(
@@ -677,10 +700,18 @@ pub fn decode_normalized(body: &mut BodyReader<'_>) -> Result<NormalizedMatrix, 
             kept_ids.len()
         ));
     }
+    if imputed.len() != kept_ids.len() {
+        return Err(format!(
+            "{} imputed masks but {} kept ids",
+            imputed.len(),
+            kept_ids.len()
+        ));
+    }
     Ok(NormalizedMatrix {
         vectors,
         kept_ids,
         dropped,
+        imputed,
     })
 }
 

@@ -54,4 +54,4 @@ pub use engine::{
 };
 pub use error::CoreError;
 pub use identifier::{IdentifiedPatterns, IdentifierConfig, PatternIdentifier};
-pub use study::{Study, StudyConfig, StudyReport};
+pub use study::{PartialStudyReport, Study, StudyConfig, StudyReport};

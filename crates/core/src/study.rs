@@ -401,6 +401,31 @@ impl Study {
         Ok((study, report))
     }
 
+    /// Runs the pipeline fault-tolerantly: a panic in any stage, or a
+    /// failure in an optional one (labelling, time-domain, frequency,
+    /// decomposition), degrades the corresponding report section to
+    /// `None` instead of killing the run. The required spine (city →
+    /// synthesize → vectorize → cluster) must still succeed. The
+    /// [`RunReport`] records which stages failed (with their rendered
+    /// errors) and which were pruned behind them.
+    ///
+    /// # Errors
+    /// Failures of required stages, scheduling errors, and checkpoint
+    /// I/O errors. Corrupt checkpoints are *not* errors here — they
+    /// fall back to recompute with a [`RunReport::warnings`] entry.
+    pub fn run_resilient(
+        &self,
+        store: Option<&CheckpointStore>,
+    ) -> Result<(PartialStudyReport, RunReport), CoreError> {
+        let graph = study_graph(&self.config);
+        let RunOutcome {
+            mut artifacts,
+            report,
+        } = graph.run(store)?;
+        let partial = assemble_partial(&self.config, &mut artifacts)?;
+        Ok((partial, report))
+    }
+
     /// The pre-engine single-function pipeline, kept verbatim as the
     /// numerical reference: the golden test asserts that the staged
     /// engine reproduces this path bit-for-bit (see
@@ -493,6 +518,68 @@ impl Study {
     }
 }
 
+/// What a [`Study::run_resilient`] run produced: the required spine
+/// plus whichever optional sections completed.
+#[derive(Debug)]
+pub struct PartialStudyReport {
+    /// The generated city (ground truth included).
+    pub city: City,
+    /// The binning window used.
+    pub window: TraceWindow,
+    /// Raw per-tower traffic (tower id × bin, bytes).
+    pub raw: Vec<Vec<f64>>,
+    /// Tower id of each analysed (kept) vector.
+    pub kept_ids: Vec<usize>,
+    /// Z-scored traffic vectors (kept-index aligned).
+    pub vectors: Vec<Vec<f64>>,
+    /// The identified patterns (clustering, DBI curve, centroids).
+    pub patterns: IdentifiedPatterns,
+    /// Geographic labels, when the `label` stage completed.
+    pub geo: Option<GeoLabels>,
+    /// Per-cluster series and time statistics, when `timedomain`
+    /// completed.
+    pub time: Option<(Vec<Vec<f64>>, Vec<ClusterTimeStats>)>,
+    /// Frequency features and per-cluster stats, when `frequency`
+    /// completed.
+    pub frequency: Option<(Vec<TowerFeatures>, Vec<[ClusterFeatureStats; 3]>)>,
+    /// Representatives and §5.3 decomposition rows, when `decompose`
+    /// completed.
+    pub decomposition: Option<(Option<[usize; 4]>, Vec<Decomposition>)>,
+}
+
+impl PartialStudyReport {
+    /// Whether every optional section completed.
+    pub fn is_complete(&self) -> bool {
+        self.geo.is_some()
+            && self.time.is_some()
+            && self.frequency.is_some()
+            && self.decomposition.is_some()
+    }
+
+    /// Upgrades to a full [`StudyReport`] when nothing was lost.
+    pub fn into_full(self) -> Option<StudyReport> {
+        let geo = self.geo?;
+        let (cluster_series, time_stats) = self.time?;
+        let (features, feature_stats) = self.frequency?;
+        let (representatives, decompositions) = self.decomposition?;
+        Some(StudyReport {
+            city: self.city,
+            window: self.window,
+            raw: self.raw,
+            kept_ids: self.kept_ids,
+            vectors: self.vectors,
+            patterns: self.patterns,
+            geo,
+            cluster_series,
+            time_stats,
+            features,
+            feature_stats,
+            representatives,
+            decompositions,
+        })
+    }
+}
+
 fn type_mismatch(name: &'static str) -> CoreError {
     CoreError::Engine(EngineError::Stage {
         stage: name.to_string(),
@@ -559,6 +646,69 @@ fn assemble(
         feature_stats,
         representatives,
         decompositions: rows,
+    })
+}
+
+/// Assembles the partial report: the spine is required, the optional
+/// sections degrade to `None` when their stage failed or was pruned.
+fn assemble_partial(
+    config: &StudyConfig,
+    artifacts: &mut HashMap<&'static str, StudyArtifact>,
+) -> Result<PartialStudyReport, CoreError> {
+    let mut take = |name: &'static str| {
+        artifacts
+            .remove(name)
+            .ok_or_else(|| EngineError::MissingArtifact {
+                stage: "<assemble>".to_string(),
+                dep: name.to_string(),
+            })
+    };
+    let StudyArtifact::City(city) = take("city")? else {
+        return Err(type_mismatch("city"));
+    };
+    let StudyArtifact::Raw(raw) = take("synthesize")? else {
+        return Err(type_mismatch("synthesize"));
+    };
+    let StudyArtifact::Vectors(normalized) = take("vectorize")? else {
+        return Err(type_mismatch("vectorize"));
+    };
+    let StudyArtifact::Patterns(patterns) = take("cluster")? else {
+        return Err(type_mismatch("cluster"));
+    };
+    let geo = match take("label") {
+        Ok(StudyArtifact::Geo(geo)) => Some(geo),
+        Ok(_) => return Err(type_mismatch("label")),
+        Err(_) => None,
+    };
+    let time = match take("timedomain") {
+        Ok(StudyArtifact::TimeDomain { series, stats }) => Some((series, stats)),
+        Ok(_) => return Err(type_mismatch("timedomain")),
+        Err(_) => None,
+    };
+    let frequency = match take("frequency") {
+        Ok(StudyArtifact::Frequency { features, stats }) => Some((features, stats)),
+        Ok(_) => return Err(type_mismatch("frequency")),
+        Err(_) => None,
+    };
+    let decomposition = match take("decompose") {
+        Ok(StudyArtifact::Decompose {
+            representatives,
+            rows,
+        }) => Some((representatives, rows)),
+        Ok(_) => return Err(type_mismatch("decompose")),
+        Err(_) => None,
+    };
+    Ok(PartialStudyReport {
+        city,
+        window: config.window,
+        raw,
+        kept_ids: normalized.kept_ids,
+        vectors: normalized.vectors,
+        patterns,
+        geo,
+        time,
+        frequency,
+        decomposition,
     })
 }
 
@@ -642,6 +792,16 @@ mod tests {
             "resume changed the numbers"
         );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resilient_run_on_a_healthy_study_is_complete_and_identical() {
+        let study = Study::new(StudyConfig::tiny(7));
+        let (partial, report) = study.run_resilient(None).unwrap();
+        assert!(!report.degraded());
+        assert!(partial.is_complete());
+        let full = partial.into_full().unwrap();
+        assert_eq!(full.fingerprint(), study.run().unwrap().fingerprint());
     }
 
     #[test]

@@ -1,0 +1,289 @@
+//! Outage detection and periodicity-based imputation.
+//!
+//! A tower that goes dark mid-window reports zero traffic for the
+//! duration of the outage. Left alone, those zero runs drag the
+//! tower's mean down and reshape its z-scored vector, which silently
+//! moves the tower between clusters (§3). The paper's own finding —
+//! traffic is dominated by daily and weekly periodicity (§5, the
+//! k=28/k=4 frequency structure) — gives the repair rule: a missing
+//! bin is best estimated by the *median of the same time-of-day bin on
+//! other days*, preferring same-day-of-week (weekly lag) candidates
+//! over plain daily ones.
+//!
+//! Detection is conservative: only zero runs of at least
+//! [`ImputeConfig::min_run`] consecutive bins on a tower that
+//! otherwise carries traffic count as outages; isolated zero bins are
+//! legitimate quiet periods (3am residential traffic really is near
+//! zero), and an all-zero tower is dead, not dark — it stays zero and
+//! is dropped at normalisation as before.
+
+use towerlens_trace::time::TraceWindow;
+
+/// Configuration of the outage imputer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ImputeConfig {
+    /// Minimum consecutive zero bins to classify as an outage
+    /// (default 6 bins = one hour).
+    pub min_run: usize,
+    /// Minimum number of weekly-lag candidates before the weekly
+    /// median is trusted over the daily one (default 2).
+    pub min_weekly_candidates: usize,
+}
+
+impl Default for ImputeConfig {
+    fn default() -> Self {
+        ImputeConfig {
+            min_run: 6,
+            min_weekly_candidates: 2,
+        }
+    }
+}
+
+/// Per-run imputation statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ImputeReport {
+    /// Towers with at least one imputed bin.
+    pub towers_affected: usize,
+    /// Bins imputed across all towers.
+    pub bins_imputed: usize,
+    /// Outage bins left at zero because no periodic candidate existed.
+    pub bins_unrepaired: usize,
+}
+
+/// Median of a non-empty slice (even length averages the middle two).
+fn median(values: &mut [f64]) -> f64 {
+    values.sort_by(|a, b| a.partial_cmp(b).expect("finite traffic"));
+    let n = values.len();
+    if n % 2 == 1 {
+        values[n / 2]
+    } else {
+        (values[n / 2 - 1] + values[n / 2]) / 2.0
+    }
+}
+
+/// Finds `[start, end)` spans of consecutive zeros of length ≥
+/// `min_run`.
+fn zero_runs(row: &[f64], min_run: usize) -> Vec<(usize, usize)> {
+    let mut runs = Vec::new();
+    let mut start = None;
+    for (i, &v) in row.iter().enumerate() {
+        if v == 0.0 {
+            start.get_or_insert(i);
+        } else if let Some(s) = start.take() {
+            if i - s >= min_run {
+                runs.push((s, i));
+            }
+        }
+    }
+    if let Some(s) = start {
+        if row.len() - s >= min_run {
+            runs.push((s, row.len()));
+        }
+    }
+    runs
+}
+
+/// Detects per-tower outage windows in a raw traffic matrix and
+/// imputes them in place from the tower's own periodic structure.
+///
+/// Returns the per-tower imputed-bin masks (ascending bin indices;
+/// one entry per input row, empty for untouched towers) so provenance
+/// can follow the data through normalisation into the stage reports,
+/// plus summary statistics.
+pub fn impute_outages(
+    matrix: &mut [Vec<f64>],
+    window: &TraceWindow,
+    config: &ImputeConfig,
+) -> (Vec<Vec<usize>>, ImputeReport) {
+    let per_day = (towerlens_trace::time::DAY_SECS / window.bin_secs.max(1)) as usize;
+    let mut masks = vec![Vec::new(); matrix.len()];
+    let mut report = ImputeReport::default();
+    if per_day == 0 {
+        return (masks, report);
+    }
+    for (tower, row) in matrix.iter_mut().enumerate() {
+        if row.iter().all(|&v| v == 0.0) {
+            continue; // dead tower, not an outage
+        }
+        let runs = zero_runs(row, config.min_run);
+        if runs.is_empty() {
+            continue;
+        }
+        // Outage membership, so candidates never come from another
+        // outage bin of the same tower.
+        let mut in_outage = vec![false; row.len()];
+        for &(s, e) in &runs {
+            for flag in &mut in_outage[s..e] {
+                *flag = true;
+            }
+        }
+        let mut repairs: Vec<(usize, f64)> = Vec::new();
+        for &(s, e) in &runs {
+            for bin in s..e {
+                let day = bin / per_day;
+                let mut weekly = Vec::new();
+                let mut daily = Vec::new();
+                // Same time-of-day bin on every other day.
+                let mut candidate = bin % per_day;
+                while candidate < row.len() {
+                    let c_day = candidate / per_day;
+                    if candidate != bin && !in_outage[candidate] && row[candidate] > 0.0 {
+                        if c_day.abs_diff(day).is_multiple_of(7) {
+                            weekly.push(row[candidate]);
+                        }
+                        daily.push(row[candidate]);
+                    }
+                    candidate += per_day;
+                }
+                let value = if weekly.len() >= config.min_weekly_candidates {
+                    Some(median(&mut weekly))
+                } else if !daily.is_empty() {
+                    Some(median(&mut daily))
+                } else {
+                    None
+                };
+                match value {
+                    Some(v) => repairs.push((bin, v)),
+                    None => report.bins_unrepaired += 1,
+                }
+            }
+        }
+        if !repairs.is_empty() {
+            report.towers_affected += 1;
+            report.bins_imputed += repairs.len();
+            for &(bin, v) in &repairs {
+                row[bin] = v;
+                masks[tower].push(bin);
+            }
+        }
+    }
+    (masks, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use towerlens_trace::time::BINS_PER_DAY;
+
+    /// A 14-day periodic tower: value depends on time of day and
+    /// weekday/weekend, so weekly structure is present.
+    fn periodic_row(window: &TraceWindow) -> Vec<f64> {
+        (0..window.n_bins)
+            .map(|b| {
+                let tod = window.bin_in_day(b) as f64;
+                let weekend = if window.is_weekend_bin(b) { 0.5 } else { 1.0 };
+                weekend * (100.0 + tod)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn outage_is_repaired_with_weekly_median() {
+        let w = TraceWindow::days(21);
+        let mut matrix = vec![periodic_row(&w)];
+        let truth = matrix[0].clone();
+        // Black out Tuesday of week 2 (day index 8), whole day.
+        let start = 8 * BINS_PER_DAY;
+        let end = start + BINS_PER_DAY;
+        for v in &mut matrix[0][start..end] {
+            *v = 0.0;
+        }
+        let (masks, report) = impute_outages(&mut matrix, &w, &ImputeConfig::default());
+        assert_eq!(report.towers_affected, 1);
+        assert_eq!(report.bins_imputed, BINS_PER_DAY);
+        assert_eq!(report.bins_unrepaired, 0);
+        assert_eq!(masks[0], (start..end).collect::<Vec<_>>());
+        // Weekly-lag candidates (Tuesdays of weeks 1 and 3) agree with
+        // the truth exactly, so the repair is exact.
+        for bin in start..end {
+            assert!(
+                (matrix[0][bin] - truth[bin]).abs() < 1e-12,
+                "bin {bin}: {} vs {}",
+                matrix[0][bin],
+                truth[bin]
+            );
+        }
+    }
+
+    #[test]
+    fn short_zero_runs_are_left_alone() {
+        let w = TraceWindow::days(7);
+        let mut matrix = vec![periodic_row(&w)];
+        // A 3-bin dip: legitimate quiet, not an outage.
+        matrix[0][10] = 0.0;
+        matrix[0][11] = 0.0;
+        matrix[0][12] = 0.0;
+        let snapshot = matrix[0].clone();
+        let (masks, report) = impute_outages(&mut matrix, &w, &ImputeConfig::default());
+        assert_eq!(report.bins_imputed, 0);
+        assert!(masks[0].is_empty());
+        assert_eq!(matrix[0], snapshot);
+    }
+
+    #[test]
+    fn dead_towers_are_not_imputed() {
+        let w = TraceWindow::days(7);
+        let mut matrix = vec![vec![0.0; w.n_bins], periodic_row(&w)];
+        let (masks, report) = impute_outages(&mut matrix, &w, &ImputeConfig::default());
+        assert_eq!(report.towers_affected, 0);
+        assert!(masks[0].is_empty());
+        assert!(matrix[0].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn falls_back_to_daily_median_when_weekly_candidates_scarce() {
+        // One week only: a blacked-out day has zero weekly-lag peers,
+        // so the daily median must kick in.
+        let w = TraceWindow::days(7);
+        let mut matrix = vec![periodic_row(&w)];
+        let start = 2 * BINS_PER_DAY; // Wednesday
+        for v in &mut matrix[0][start..start + BINS_PER_DAY] {
+            *v = 0.0;
+        }
+        let (masks, report) = impute_outages(&mut matrix, &w, &ImputeConfig::default());
+        assert_eq!(report.bins_imputed, BINS_PER_DAY);
+        assert_eq!(masks[0].len(), BINS_PER_DAY);
+        // Every repaired bin took the median over the other six days.
+        for v in &matrix[0][start..start + BINS_PER_DAY] {
+            assert!(*v > 0.0);
+        }
+    }
+
+    #[test]
+    fn unrepairable_bins_stay_zero_and_are_counted() {
+        // Same bin-of-day is zero on *every* day: no candidates.
+        let w = TraceWindow::days(7);
+        let mut row = periodic_row(&w);
+        for day in 0..7 {
+            for off in 0..6 {
+                row[day * BINS_PER_DAY + off] = 0.0;
+            }
+        }
+        let mut matrix = vec![row];
+        let (masks, report) = impute_outages(&mut matrix, &w, &ImputeConfig::default());
+        assert_eq!(report.bins_imputed, 0);
+        assert_eq!(report.bins_unrepaired, 6 * 7);
+        assert!(masks[0].is_empty());
+        for day in 0..7 {
+            assert_eq!(matrix[0][day * BINS_PER_DAY], 0.0);
+        }
+    }
+
+    #[test]
+    fn imputation_is_deterministic() {
+        let w = TraceWindow::days(14);
+        let make = || {
+            let mut m = vec![periodic_row(&w), periodic_row(&w)];
+            for v in &mut m[0][100..160] {
+                *v = 0.0;
+            }
+            m
+        };
+        let mut a = make();
+        let mut b = make();
+        let ra = impute_outages(&mut a, &w, &ImputeConfig::default());
+        let rb = impute_outages(&mut b, &w, &ImputeConfig::default());
+        assert_eq!(a, b);
+        assert_eq!(ra, rb);
+    }
+}

@@ -20,12 +20,22 @@
 //!    reported, mirroring the paper's data cleaning.
 //!
 //! Output is bit-identical for any worker count.
+//!
+//! On top of the two phases, [`vectorizer::Vectorizer::run_with`]
+//! adds fault tolerance: unknown-cell records are quarantined under a
+//! [`towerlens_trace::quarantine::FaultPolicy`] instead of aborting,
+//! and [`impute`] detects per-tower outage windows (long zero runs on
+//! an otherwise-live tower) and repairs them from the tower's own
+//! daily/weekly periodicity, threading imputed-bin provenance through
+//! [`NormalizedMatrix::imputed`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod impute;
 pub mod normalize;
 pub mod vectorizer;
 
+pub use impute::{impute_outages, ImputeConfig, ImputeReport};
 pub use normalize::{normalize_matrix, NormalizedMatrix};
-pub use vectorizer::{Vectorizer, VectorizerOutput, VectorizerReport};
+pub use vectorizer::{Vectorizer, VectorizerOptions, VectorizerOutput, VectorizerReport};

@@ -15,6 +15,11 @@ pub struct NormalizedMatrix {
     /// Tower ids dropped because their traffic had zero variance
     /// (dead or constant towers).
     pub dropped: Vec<usize>,
+    /// Imputed-bin provenance: for each kept vector (same order as
+    /// [`NormalizedMatrix::vectors`]), the ascending bin indices whose
+    /// raw values were repaired by outage imputation before
+    /// normalisation. All-empty when imputation is off.
+    pub imputed: Vec<Vec<usize>>,
 }
 
 impl NormalizedMatrix {
@@ -26,6 +31,11 @@ impl NormalizedMatrix {
     /// `true` when no tower survived.
     pub fn is_empty(&self) -> bool {
         self.vectors.is_empty()
+    }
+
+    /// Total imputed bins across all kept vectors.
+    pub fn imputed_bins(&self) -> usize {
+        self.imputed.iter().map(Vec::len).sum()
     }
 }
 
@@ -54,10 +64,12 @@ pub fn normalize_matrix(raw: &[Vec<f64>]) -> Result<NormalizedMatrix, DspError> 
             Err(e) => return Err(e),
         }
     }
+    let imputed = vec![Vec::new(); kept_ids.len()];
     Ok(NormalizedMatrix {
         vectors,
         kept_ids,
         dropped,
+        imputed,
     })
 }
 

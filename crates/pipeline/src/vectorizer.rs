@@ -6,9 +6,11 @@
 //! hot path and bit-identical output for any worker count).
 
 use towerlens_trace::error::TraceError;
+use towerlens_trace::quarantine::{FaultPolicy, QuarantineReport};
 use towerlens_trace::record::LogRecord;
 use towerlens_trace::time::TraceWindow;
 
+use crate::impute::{impute_outages, ImputeConfig, ImputeReport};
 use crate::normalize::{normalize_matrix, NormalizedMatrix};
 
 /// Statistics of a vectorizer run.
@@ -22,17 +24,34 @@ pub struct VectorizerReport {
     pub active_towers: usize,
     /// Towers dropped at normalisation (zero variance).
     pub dead_towers: usize,
+    /// Outage-imputation statistics (all zero when imputation is off).
+    pub imputation: ImputeReport,
+}
+
+/// Fault handling for a vectorizer run: what to do with records
+/// referencing unknown towers, and whether to repair outages.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct VectorizerOptions {
+    /// Tolerance for unknown-cell records: within tolerance they are
+    /// quarantined; past it the run fails closed (per the policy).
+    pub policy: FaultPolicy,
+    /// Outage detection + imputation; `None` disables it.
+    pub impute: Option<ImputeConfig>,
 }
 
 /// The vectorizer's full output.
 #[derive(Debug, Clone)]
 pub struct VectorizerOutput {
-    /// Raw per-tower binned traffic (tower id × bin), bytes.
+    /// Raw per-tower binned traffic (tower id × bin), bytes — after
+    /// imputation when enabled.
     pub raw: Vec<Vec<f64>>,
-    /// Z-scored vectors with provenance.
+    /// Z-scored vectors with provenance (kept/dropped/imputed).
     pub normalized: NormalizedMatrix,
     /// Run statistics.
     pub report: VectorizerReport,
+    /// Records quarantined on the way in (empty for [`Vectorizer::run`],
+    /// which predates the policy and rejects bad records outright).
+    pub quarantine: QuarantineReport,
 }
 
 /// The parallel traffic vectorizer.
@@ -78,14 +97,78 @@ impl Vectorizer {
     /// # Errors
     /// * [`TraceError::EmptyWindow`] for a degenerate window,
     /// * [`TraceError::UnknownCell`] if any record references a tower
-    ///   id ≥ `n_towers`.
+    ///   id ≥ `n_towers`,
+    /// * [`TraceError::Normalization`] if aggregation produced
+    ///   non-finite traffic (the cause is preserved in the message).
     pub fn run(
         &self,
         records: &[LogRecord],
         n_towers: usize,
     ) -> Result<VectorizerOutput, TraceError> {
         let raw = self.aggregate(records, n_towers)?;
-        let normalized = normalize_matrix(&raw).map_err(|_| TraceError::Corrupt)?;
+        self.finish(raw, records, None, QuarantineReport::default())
+    }
+
+    /// Like [`Vectorizer::run`], but fault-tolerant: records
+    /// referencing unknown towers are quarantined under
+    /// `options.policy` instead of failing the run outright, and
+    /// outage windows are detected and imputed when `options.impute`
+    /// is set.
+    ///
+    /// # Errors
+    /// * [`TraceError::QuarantineOverflow`] when the unknown-cell
+    ///   fraction crosses the policy threshold and the policy fails
+    ///   closed,
+    /// * otherwise as for [`Vectorizer::run`].
+    pub fn run_with(
+        &self,
+        records: &[LogRecord],
+        n_towers: usize,
+        options: &VectorizerOptions,
+    ) -> Result<VectorizerOutput, TraceError> {
+        let mut quarantine = QuarantineReport {
+            total: records.len(),
+            ..QuarantineReport::default()
+        };
+        let mut good: Vec<LogRecord> = Vec::with_capacity(records.len());
+        for r in records {
+            if (r.cell_id as usize) < n_towers {
+                good.push(r.clone());
+            } else {
+                quarantine.note(&TraceError::UnknownCell {
+                    cell_id: r.cell_id,
+                    count: n_towers,
+                });
+            }
+        }
+        options.policy.enforce(&quarantine)?;
+        let raw = self.aggregate(&good, n_towers)?;
+        self.finish(raw, &good, options.impute.as_ref(), quarantine)
+    }
+
+    /// Shared back half of `run`/`run_with`: optional imputation, then
+    /// normalisation with provenance threading.
+    fn finish(
+        &self,
+        mut raw: Vec<Vec<f64>>,
+        records: &[LogRecord],
+        impute: Option<&ImputeConfig>,
+        quarantine: QuarantineReport,
+    ) -> Result<VectorizerOutput, TraceError> {
+        let (masks, imputation) = match impute {
+            Some(config) => impute_outages(&mut raw, &self.window, config),
+            None => (vec![Vec::new(); raw.len()], ImputeReport::default()),
+        };
+        let mut normalized = normalize_matrix(&raw).map_err(|e| TraceError::Normalization {
+            message: e.to_string(),
+        })?;
+        // Map per-tower masks into kept order so provenance follows
+        // the vectors downstream.
+        normalized.imputed = normalized
+            .kept_ids
+            .iter()
+            .map(|&id| masks[id].clone())
+            .collect();
         let active_towers = raw
             .iter()
             .filter(|row| row.iter().any(|&v| v > 0.0))
@@ -95,11 +178,13 @@ impl Vectorizer {
             bytes: records.iter().map(|r| r.bytes as f64).sum(),
             active_towers,
             dead_towers: normalized.dropped.len(),
+            imputation,
         };
         Ok(VectorizerOutput {
             raw,
             normalized,
             report,
+            quarantine,
         })
     }
 
@@ -275,6 +360,106 @@ mod tests {
             Vectorizer::new(w, 1).aggregate(&[], 1),
             Err(TraceError::EmptyWindow)
         );
+    }
+
+    #[test]
+    fn run_with_quarantines_unknown_cells_under_threshold() {
+        let w = TraceWindow::days(1);
+        let mut records = synth_records(100, 4, &w);
+        records[7].cell_id = 99; // 1% bad: under the default 5%
+        let options = VectorizerOptions::default();
+        let out = Vectorizer::new(w, 2)
+            .run_with(&records, 4, &options)
+            .unwrap();
+        assert_eq!(out.quarantine.unknown_cell, 1);
+        assert_eq!(out.quarantine.total, 100);
+        assert_eq!(out.report.records, 99); // the bad record never aggregated
+                                            // Strict run on the same batch fails outright.
+        assert!(matches!(
+            Vectorizer::new(w, 2).run(&records, 4),
+            Err(TraceError::UnknownCell { cell_id: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn run_with_fails_closed_past_threshold() {
+        let w = TraceWindow::days(1);
+        let mut records = synth_records(10, 4, &w);
+        records[0].cell_id = 50;
+        records[1].cell_id = 51; // 20% bad
+        let err = Vectorizer::new(w, 2)
+            .run_with(&records, 4, &VectorizerOptions::default())
+            .unwrap_err();
+        assert_eq!(err, TraceError::QuarantineOverflow { bad: 2, total: 10 });
+    }
+
+    #[test]
+    fn run_with_imputes_blackouts_and_threads_provenance() {
+        use crate::impute::ImputeConfig;
+
+        let w = TraceWindow::days(7);
+        // Dense coverage: one record per (tower, bin).
+        let mut records = Vec::new();
+        for tower in 0..3u32 {
+            for bin in 0..w.n_bins {
+                records.push(LogRecord {
+                    user_id: tower as u64,
+                    start_s: w.bin_start(bin),
+                    end_s: w.bin_start(bin) + 600,
+                    cell_id: tower,
+                    address: format!("BLK-1-{tower} Rd"),
+                    bytes: 1_000 + (bin % 7) as u64,
+                });
+            }
+        }
+        // Tower 1 goes dark for day 2 (drop its records).
+        let dark = (2 * 144, 3 * 144);
+        records.retain(|r| {
+            r.cell_id != 1
+                || w.bin_of(r.start_s)
+                    .is_none_or(|b| b < dark.0 || b >= dark.1)
+        });
+        let options = VectorizerOptions {
+            impute: Some(ImputeConfig::default()),
+            ..VectorizerOptions::default()
+        };
+        let out = Vectorizer::new(w, 2)
+            .run_with(&records, 3, &options)
+            .unwrap();
+        assert_eq!(out.report.imputation.towers_affected, 1);
+        assert_eq!(out.report.imputation.bins_imputed, 144);
+        // Provenance follows the kept order.
+        let kept_pos = out
+            .normalized
+            .kept_ids
+            .iter()
+            .position(|&id| id == 1)
+            .unwrap();
+        assert_eq!(out.normalized.imputed[kept_pos].len(), 144);
+        assert!(out.normalized.imputed[kept_pos]
+            .iter()
+            .all(|&b| b >= dark.0 && b < dark.1));
+        for (i, mask) in out.normalized.imputed.iter().enumerate() {
+            if i != kept_pos {
+                assert!(mask.is_empty());
+            }
+        }
+        // The blacked-out day was repaired with plausible traffic.
+        assert!(out.raw[1][dark.0..dark.1].iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn run_with_matches_run_when_no_faults() {
+        let w = TraceWindow::days(2);
+        let records = synth_records(1_000, 8, &w);
+        let v = Vectorizer::new(w, 4);
+        let plain = v.run(&records, 8).unwrap();
+        let policed = v
+            .run_with(&records, 8, &VectorizerOptions::default())
+            .unwrap();
+        assert_eq!(plain.raw, policed.raw);
+        assert_eq!(plain.normalized, policed.normalized);
+        assert!(policed.quarantine.is_clean());
     }
 
     #[test]

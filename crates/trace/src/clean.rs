@@ -154,3 +154,62 @@ mod tests {
         );
     }
 }
+
+#[cfg(test)]
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Decodes one random word into a record drawn from a small key
+    /// space, so duplicates and conflicts actually occur.
+    fn decode(word: u64) -> LogRecord {
+        let slot = (word >> 4) % 3;
+        LogRecord {
+            user_id: word % 4,
+            start_s: slot * 600,
+            end_s: slot * 600 + 600,
+            cell_id: ((word >> 2) % 3) as u32,
+            address: "BLK-1-1 Rd".into(),
+            bytes: (word >> 6) % 500,
+        }
+    }
+
+    fn batches() -> impl Strategy<Value = Vec<u64>> {
+        prop::collection::vec(0u64..1_000_000, 0..60)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn clean_is_idempotent(words in batches()) {
+            let records: Vec<LogRecord> = words.iter().map(|&w| decode(w)).collect();
+            let (once, _) = clean_records(&records);
+            let (twice, report) = clean_records(&once);
+            prop_assert_eq!(&twice, &once);
+            prop_assert_eq!(report.duplicates_removed, 0);
+            prop_assert_eq!(report.conflicts_resolved, 0);
+        }
+
+        #[test]
+        fn kept_bytes_are_order_independent(words in batches()) {
+            let records: Vec<LogRecord> = words.iter().map(|&w| decode(w)).collect();
+            let (forward, fr) = clean_records(&records);
+            let reversed: Vec<LogRecord> = records.iter().rev().cloned().collect();
+            let (backward, br) = clean_records(&reversed);
+            // Conflict resolution keeps the max-bytes entry per
+            // session regardless of arrival order, so the kept byte
+            // multiset matches even though first-seen order differs.
+            let canon = |mut v: Vec<LogRecord>| {
+                v.sort_by_key(|r| (r.user_id, r.cell_id, r.start_s, r.end_s, r.bytes));
+                v
+            };
+            prop_assert_eq!(canon(forward), canon(backward));
+            prop_assert_eq!(fr.kept, br.kept);
+            prop_assert_eq!(
+                fr.duplicates_removed + fr.conflicts_resolved,
+                br.duplicates_removed + br.conflicts_resolved
+            );
+        }
+    }
+}

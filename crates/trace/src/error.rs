@@ -31,9 +31,21 @@ pub enum TraceError {
     },
     /// The binning window is degenerate (zero bins or zero bin width).
     EmptyWindow,
-    /// Aggregated traffic contained non-finite values (corrupted
-    /// input).
-    Corrupt,
+    /// Too many records were quarantined: the bad fraction exceeded
+    /// the [`crate::quarantine::FaultPolicy`] threshold and the policy
+    /// fails closed.
+    QuarantineOverflow {
+        /// Records quarantined.
+        bad: usize,
+        /// Records examined.
+        total: usize,
+    },
+    /// Z-score normalisation of the aggregated matrix failed; the
+    /// underlying cause is preserved verbatim.
+    Normalization {
+        /// The rendered normalisation failure (a `DspError`).
+        message: String,
+    },
 }
 
 impl std::fmt::Display for TraceError {
@@ -52,7 +64,19 @@ impl std::fmt::Display for TraceError {
                 write!(f, "cell id {cell_id} out of range ({count} towers)")
             }
             TraceError::EmptyWindow => write!(f, "binning window has zero bins"),
-            TraceError::Corrupt => write!(f, "aggregated traffic contains non-finite values"),
+            TraceError::QuarantineOverflow { bad, total } => write!(
+                f,
+                "quarantined {bad} of {total} records ({:.1}%), over the configured bad-fraction \
+                 threshold",
+                if *total == 0 {
+                    0.0
+                } else {
+                    100.0 * *bad as f64 / *total as f64
+                }
+            ),
+            TraceError::Normalization { message } => {
+                write!(f, "normalisation failed: {message}")
+            }
         }
     }
 }

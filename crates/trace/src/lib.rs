@@ -22,7 +22,14 @@
 //!   consist of four entire weeks"), weekday/weekend arithmetic,
 //! * [`binning`] — the reference (single-threaded) log-to-vector
 //!   aggregator; `towerlens-pipeline` provides the parallel version
-//!   and cross-checks against this one.
+//!   and cross-checks against this one,
+//! * [`quarantine`] — tolerance policy for malformed records: bad
+//!   lines are quarantined per category instead of aborting, failing
+//!   closed only past a configurable bad-fraction threshold,
+//! * [`faults`] — a deterministic, seed-driven fault injector
+//!   (dropped/duplicated records, clock skew, byte spikes, tower
+//!   blackouts, truncated lines/files, bit flips) backing the
+//!   robustness test harness.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,12 +37,16 @@
 pub mod binning;
 pub mod clean;
 pub mod error;
+pub mod faults;
 pub mod geocode;
+pub mod quarantine;
 pub mod record;
 pub mod time;
 
 pub use clean::{clean_records, CleanReport};
 pub use error::TraceError;
+pub use faults::FaultInjector;
 pub use geocode::{GeocodeReport, Geocoder};
+pub use quarantine::{parse_lines_policed, FaultPolicy, OverflowAction, QuarantineReport};
 pub use record::LogRecord;
 pub use time::{TraceWindow, BINS_PER_DAY, BIN_SECS, N_BINS, WINDOW_DAYS};

@@ -1,0 +1,331 @@
+//! Quarantine ingestion: tolerate bad records up to a policy
+//! threshold instead of aborting.
+//!
+//! Real operator logs contain garbage (§2.2) — the question is never
+//! *whether* lines are malformed but *how many*. The policy here fails
+//! open for isolated noise (bad records are routed into a per-category
+//! quarantine report and the run continues) and fails closed when the
+//! bad fraction crosses a configurable threshold, which usually means
+//! the feed itself is broken and every downstream number would be
+//! garbage.
+
+use crate::error::TraceError;
+use crate::record::LogRecord;
+
+/// How many offending raw lines the report keeps verbatim for
+/// debugging.
+pub const MAX_QUARANTINE_SAMPLES: usize = 5;
+
+/// What to do when the bad-record fraction crosses the threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverflowAction {
+    /// Fail closed with [`TraceError::QuarantineOverflow`] (default):
+    /// a feed this broken should not produce plausible-looking output.
+    #[default]
+    Fail,
+    /// Keep quarantining and let the caller inspect the report — for
+    /// salvage runs and diagnostics.
+    Quarantine,
+}
+
+/// Tolerance policy for malformed records.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPolicy {
+    /// Maximum tolerated `bad / total` fraction; crossing it triggers
+    /// `on_overflow`.
+    pub max_bad_fraction: f64,
+    /// Behaviour past the threshold.
+    pub on_overflow: OverflowAction,
+}
+
+impl Default for FaultPolicy {
+    /// Tolerate up to 5% bad records, then fail closed.
+    fn default() -> Self {
+        FaultPolicy {
+            max_bad_fraction: 0.05,
+            on_overflow: OverflowAction::Fail,
+        }
+    }
+}
+
+impl FaultPolicy {
+    /// A zero-tolerance policy: any bad record fails the run.
+    pub fn strict() -> Self {
+        FaultPolicy {
+            max_bad_fraction: 0.0,
+            on_overflow: OverflowAction::Fail,
+        }
+    }
+
+    /// Whether `bad` out of `total` records stays within tolerance.
+    pub fn within(&self, bad: usize, total: usize) -> bool {
+        if total == 0 {
+            return bad == 0;
+        }
+        bad as f64 / total as f64 <= self.max_bad_fraction
+    }
+
+    /// Applies the policy to a finished report: `Err` iff the report
+    /// is over threshold and the policy fails closed.
+    ///
+    /// # Errors
+    /// [`TraceError::QuarantineOverflow`] carrying the bad/total
+    /// counts.
+    pub fn enforce(&self, report: &QuarantineReport) -> Result<(), TraceError> {
+        if self.on_overflow == OverflowAction::Fail && !self.within(report.bad(), report.total) {
+            return Err(TraceError::QuarantineOverflow {
+                bad: report.bad(),
+                total: report.total,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Per-category tally of quarantined records, with a few verbatim
+/// samples for debugging.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct QuarantineReport {
+    /// Records examined (good + bad).
+    pub total: usize,
+    /// Lines with the wrong field count.
+    pub bad_field_count: usize,
+    /// Lines with an unparseable numeric field.
+    pub bad_number: usize,
+    /// Records ending before they start.
+    pub negative_duration: usize,
+    /// Records referencing a tower outside the known range.
+    pub unknown_cell: usize,
+    /// Up to [`MAX_QUARANTINE_SAMPLES`] rendered errors, in encounter
+    /// order.
+    pub samples: Vec<String>,
+}
+
+impl QuarantineReport {
+    /// Routes one error into its category and keeps a sample.
+    pub fn note(&mut self, err: &TraceError) {
+        match err {
+            TraceError::BadFieldCount { .. } => self.bad_field_count += 1,
+            TraceError::BadNumber { .. } => self.bad_number += 1,
+            TraceError::NegativeDuration { .. } => self.negative_duration += 1,
+            TraceError::UnknownCell { .. } => self.unknown_cell += 1,
+            // Non-record-level errors are not quarantinable; count
+            // them with the unknown-cell bucket's neighbours would
+            // lie, so they land in samples only.
+            _ => {}
+        }
+        if self.samples.len() < MAX_QUARANTINE_SAMPLES {
+            self.samples.push(err.to_string());
+        }
+    }
+
+    /// Total quarantined records across all categories.
+    pub fn bad(&self) -> usize {
+        self.bad_field_count + self.bad_number + self.negative_duration + self.unknown_cell
+    }
+
+    /// Quarantined share of the examined records (`0.0` when empty).
+    pub fn bad_fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.bad() as f64 / self.total as f64
+        }
+    }
+
+    /// Whether nothing was quarantined.
+    pub fn is_clean(&self) -> bool {
+        self.bad() == 0
+    }
+
+    /// Folds another report into this one (samples capped).
+    pub fn merge(&mut self, other: &QuarantineReport) {
+        self.total += other.total;
+        self.bad_field_count += other.bad_field_count;
+        self.bad_number += other.bad_number;
+        self.negative_duration += other.negative_duration;
+        self.unknown_cell += other.unknown_cell;
+        for s in &other.samples {
+            if self.samples.len() >= MAX_QUARANTINE_SAMPLES {
+                break;
+            }
+            self.samples.push(s.clone());
+        }
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "quarantined {}/{} records ({:.2}%): {} bad field count, {} bad number, \
+             {} negative duration, {} unknown cell",
+            self.bad(),
+            self.total,
+            100.0 * self.bad_fraction(),
+            self.bad_field_count,
+            self.bad_number,
+            self.negative_duration,
+            self.unknown_cell,
+        )
+    }
+}
+
+/// Parses a multi-line dump under a tolerance policy: good records are
+/// returned, bad lines are quarantined per category, and the policy
+/// decides whether an excessive bad fraction fails the run.
+///
+/// ```
+/// use towerlens_trace::quarantine::{parse_lines_policed, FaultPolicy};
+///
+/// let dump = "1\t10\t20\t0\t5\taddr\ngarbage\n";
+/// // One bad line out of two: over a 5% threshold → fails closed.
+/// assert!(parse_lines_policed(dump, &FaultPolicy::default()).is_err());
+/// // A permissive threshold quarantines it and keeps the good record.
+/// let lax = FaultPolicy { max_bad_fraction: 0.5, ..FaultPolicy::default() };
+/// let (records, report) = parse_lines_policed(dump, &lax).unwrap();
+/// assert_eq!(records.len(), 1);
+/// assert_eq!(report.bad_field_count, 1);
+/// ```
+///
+/// # Errors
+/// [`TraceError::QuarantineOverflow`] when the bad fraction crosses
+/// `policy.max_bad_fraction` and `policy.on_overflow` is
+/// [`OverflowAction::Fail`].
+pub fn parse_lines_policed(
+    input: &str,
+    policy: &FaultPolicy,
+) -> Result<(Vec<LogRecord>, QuarantineReport), TraceError> {
+    let mut records = Vec::new();
+    let mut report = QuarantineReport::default();
+    for (i, line) in input.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        report.total += 1;
+        match LogRecord::parse_line(line, i + 1) {
+            Ok(r) => records.push(r),
+            Err(e) => report.note(&e),
+        }
+    }
+    policy.enforce(&report)?;
+    Ok((records, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::to_lines;
+
+    fn good(n: usize) -> String {
+        let records: Vec<LogRecord> = (0..n)
+            .map(|i| LogRecord {
+                user_id: i as u64,
+                start_s: 0,
+                end_s: 600,
+                cell_id: 0,
+                address: "BLK-1-1 Rd".into(),
+                bytes: 1,
+            })
+            .collect();
+        to_lines(&records)
+    }
+
+    #[test]
+    fn clean_input_yields_clean_report() {
+        let (records, report) = parse_lines_policed(&good(10), &FaultPolicy::strict()).unwrap();
+        assert_eq!(records.len(), 10);
+        assert!(report.is_clean());
+        assert_eq!(report.total, 10);
+    }
+
+    #[test]
+    fn bad_lines_under_threshold_are_quarantined_by_category() {
+        let mut dump = good(97);
+        dump.push_str("only three\tfields\there\n"); // bad field count
+        dump.push_str("x\t1\t2\t3\t4\taddr\n"); // bad number
+        dump.push_str("1\t100\t50\t3\t4\taddr\n"); // negative duration
+        let (records, report) = parse_lines_policed(&dump, &FaultPolicy::default()).unwrap();
+        assert_eq!(records.len(), 97);
+        assert_eq!(report.total, 100);
+        assert_eq!(report.bad_field_count, 1);
+        assert_eq!(report.bad_number, 1);
+        assert_eq!(report.negative_duration, 1);
+        assert_eq!(report.bad(), 3);
+        assert_eq!(report.samples.len(), 3);
+        assert!((report.bad_fraction() - 0.03).abs() < 1e-12);
+    }
+
+    #[test]
+    fn over_threshold_fails_closed_with_counts() {
+        let mut dump = good(4);
+        dump.push_str("garbage\n");
+        let err = parse_lines_policed(&dump, &FaultPolicy::default()).unwrap_err();
+        assert_eq!(err, TraceError::QuarantineOverflow { bad: 1, total: 5 });
+        assert!(err.to_string().contains("20.0%"));
+    }
+
+    #[test]
+    fn quarantine_overflow_action_keeps_going() {
+        let mut dump = good(1);
+        dump.push_str("garbage\ngarbage\ngarbage\n");
+        let lax = FaultPolicy {
+            max_bad_fraction: 0.0,
+            on_overflow: OverflowAction::Quarantine,
+        };
+        let (records, report) = parse_lines_policed(&dump, &lax).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(report.bad(), 3);
+    }
+
+    #[test]
+    fn threshold_is_exclusive_at_the_boundary() {
+        // 1 bad of 20 = exactly 5%: not *past* the threshold.
+        let mut dump = good(19);
+        dump.push_str("garbage\n");
+        assert!(parse_lines_policed(&dump, &FaultPolicy::default()).is_ok());
+    }
+
+    #[test]
+    fn samples_are_capped() {
+        let mut report = QuarantineReport::default();
+        for i in 0..20 {
+            report.note(&TraceError::NegativeDuration { line: i });
+        }
+        assert_eq!(report.samples.len(), MAX_QUARANTINE_SAMPLES);
+        assert_eq!(report.negative_duration, 20);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = QuarantineReport {
+            total: 10,
+            unknown_cell: 2,
+            samples: vec!["x".into()],
+            ..QuarantineReport::default()
+        };
+        let b = QuarantineReport {
+            total: 5,
+            bad_number: 1,
+            samples: vec!["y".into()],
+            ..QuarantineReport::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.total, 15);
+        assert_eq!(a.bad(), 3);
+        assert_eq!(a.samples, vec!["x".to_string(), "y".to_string()]);
+    }
+
+    #[test]
+    fn summary_mentions_every_category() {
+        let mut report = QuarantineReport {
+            total: 8,
+            ..QuarantineReport::default()
+        };
+        report.note(&TraceError::UnknownCell {
+            cell_id: 99,
+            count: 4,
+        });
+        let s = report.summary();
+        assert!(s.contains("unknown cell"));
+        assert!(s.contains("1/8"));
+    }
+}

@@ -9,6 +9,11 @@ cargo build --release --workspace
 echo "== cargo test =="
 cargo test -q --workspace
 
+echo "== fault injection (pinned seeds) =="
+# The robustness contract, end to end: seeded fault classes through
+# the full pipeline, plus panic containment in its own process.
+cargo test -q -p towerlens-cli --test fault_injection --test panic_isolation
+
 echo "== cargo clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
 
