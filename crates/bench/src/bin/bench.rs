@@ -1,0 +1,117 @@
+//! Reproducible pipeline benchmark: emits `BENCH_pipeline.json`.
+//!
+//! ```text
+//! bench [--sizes N,N,...] [--repeats K] [--seed N] [--out FILE]
+//! bench --validate FILE
+//! ```
+//!
+//! Each size runs the full staged study pipeline (city → synthesize →
+//! vectorize → cluster → label/timedomain/frequency → decompose) over
+//! the paper's 4032-bin window, K times; the JSON carries per-stage
+//! median/p95 wall time, end-to-end throughput, the hot-path counter
+//! snapshot, and the git revision. `--validate` checks an existing
+//! file against the schema instead of running anything (this is the
+//! `scripts/check.sh` gate).
+
+use towerlens_bench::perf::{run_bench, validate_bench_json, BenchParams};
+
+fn bail(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut params = BenchParams::default();
+    let mut out_file = "BENCH_pipeline.json".to_string();
+    let mut validate: Option<String> = None;
+
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--sizes" => {
+                let v = it.next().unwrap_or_default();
+                match v.split(',').map(|s| s.trim().parse()).collect() {
+                    Ok(sizes) => params.sizes = sizes,
+                    Err(_) => bail(&format!("bad --sizes `{v}` (want N,N,...)")),
+                }
+                if params.sizes.is_empty() || params.sizes.contains(&0) {
+                    bail("--sizes needs at least one positive tower count");
+                }
+            }
+            "--repeats" => match it.next().unwrap_or_default().parse() {
+                Ok(k) if k >= 1 => params.repeats = k,
+                _ => bail("bad --repeats (want an integer ≥ 1)"),
+            },
+            "--seed" => match it.next().unwrap_or_default().parse() {
+                Ok(s) => params.seed = s,
+                Err(_) => bail("bad --seed"),
+            },
+            "--out" => out_file = it.next().unwrap_or_else(|| bail("--out needs a path")),
+            "--validate" => {
+                validate = Some(it.next().unwrap_or_else(|| bail("--validate needs a path")));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: bench [--sizes N,N,...] [--repeats K] [--seed N] [--out FILE]\n\
+                     \x20      bench --validate FILE"
+                );
+                return;
+            }
+            other => bail(&format!("unknown argument `{other}` (see --help)")),
+        }
+    }
+
+    if let Some(path) = validate {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("failed to read {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        match validate_bench_json(&text) {
+            Ok(()) => {
+                println!("{path}: valid {}", towerlens_bench::perf::BENCH_SCHEMA);
+                return;
+            }
+            Err(e) => {
+                eprintln!("{path}: INVALID: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    eprintln!(
+        "benching sizes {:?} × 4032 bins, {} repeat(s), seed {}…",
+        params.sizes, params.repeats, params.seed
+    );
+    let started = std::time::Instant::now();
+    let report = match run_bench(&params) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    for w in &report.workloads {
+        eprintln!(
+            "  {:>6} towers: median {:>9.1} ms, p95 {:>9.1} ms, {:>12.0} cells/s",
+            w.towers, w.total_median_ms, w.total_p95_ms, w.throughput_cells_per_s
+        );
+    }
+    let json = report.to_json();
+    if let Err(e) = validate_bench_json(&json) {
+        eprintln!("emitted JSON failed self-validation: {e}");
+        std::process::exit(1);
+    }
+    if let Err(e) = std::fs::write(&out_file, &json) {
+        eprintln!("failed to write {out_file}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "wrote {out_file} (rev {}) in {:.1}s",
+        report.git_rev,
+        started.elapsed().as_secs_f64()
+    );
+}

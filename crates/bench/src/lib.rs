@@ -14,6 +14,8 @@
 
 pub mod ablations;
 pub mod experiments;
+pub mod json;
+pub mod perf;
 pub mod table;
 
 use std::path::Path;

@@ -1,0 +1,430 @@
+//! The reproducible pipeline benchmark behind the `bench` binary.
+//!
+//! Runs the full staged study pipeline over parameterized synthetic
+//! workloads — N towers × 4032 bins (the paper's 28-day window) at
+//! several sizes, K repeats each — and reports per-stage wall-time
+//! median/p95, end-to-end throughput, and the hot-path counter
+//! snapshot from the metrics registry, stamped with the git revision.
+//! The emitted `BENCH_pipeline.json` is the perf baseline later PRs
+//! measure against; [`validate_bench_json`] is the schema gate
+//! `scripts/check.sh` runs so a broken emitter fails CI.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use towerlens_core::{CoreError, RunReport, Study, StudyConfig};
+use towerlens_trace::time::TraceWindow;
+
+use crate::json::{self, Json};
+
+/// Workload parameters for one bench invocation.
+#[derive(Debug, Clone)]
+pub struct BenchParams {
+    /// Tower counts to run (each over the full 4032-bin paper window).
+    pub sizes: Vec<usize>,
+    /// Repeats per size (medians/percentiles are taken across these).
+    pub repeats: usize,
+    /// Seed shared by every workload, so reruns are comparable.
+    pub seed: u64,
+}
+
+impl Default for BenchParams {
+    /// Three sizes × three repeats: small enough to run on a laptop,
+    /// big enough that stage medians are not all sub-millisecond.
+    fn default() -> Self {
+        BenchParams {
+            sizes: vec![60, 120, 240],
+            repeats: 3,
+            seed: 42,
+        }
+    }
+}
+
+/// Median/p95 wall time of one stage across the repeats.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageTiming {
+    /// Stage name.
+    pub name: String,
+    /// Median wall time in milliseconds.
+    pub median_ms: f64,
+    /// 95th-percentile (nearest-rank) wall time in milliseconds.
+    pub p95_ms: f64,
+}
+
+/// One size's results.
+#[derive(Debug, Clone)]
+pub struct WorkloadResult {
+    /// Tower count.
+    pub towers: usize,
+    /// Bins per tower (always the paper's 4032).
+    pub bins: usize,
+    /// Median end-to-end wall time in milliseconds.
+    pub total_median_ms: f64,
+    /// p95 end-to-end wall time in milliseconds.
+    pub total_p95_ms: f64,
+    /// Throughput at the median: matrix cells (towers × bins) per
+    /// second of end-to-end wall time.
+    pub throughput_cells_per_s: f64,
+    /// Per-stage timings, in stage registration order.
+    pub stages: Vec<StageTiming>,
+    /// Hot-path counter totals for a single run at this size
+    /// (deterministic for a fixed seed).
+    pub counters: BTreeMap<String, u64>,
+}
+
+/// A full bench run, ready to serialize.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Git revision the binary was built from (`unknown` outside a
+    /// repository).
+    pub git_rev: String,
+    /// Seed used for every workload.
+    pub seed: u64,
+    /// Repeats per workload.
+    pub repeats: usize,
+    /// Per-size results, in the order requested.
+    pub workloads: Vec<WorkloadResult>,
+}
+
+/// Schema tag embedded in (and required from) the JSON.
+pub const BENCH_SCHEMA: &str = "towerlens-bench-pipeline-v1";
+
+/// The study configuration for a bench workload: `towers` towers over
+/// the paper's 4032-bin window, geometry scaled down so small tower
+/// counts still form plausible zones.
+pub fn workload_config(towers: usize, seed: u64) -> StudyConfig {
+    let mut config = StudyConfig::tiny(seed);
+    config.city.n_towers = towers;
+    config.window = TraceWindow::paper();
+    config
+}
+
+fn nearest_rank(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+fn percentiles(mut walls: Vec<f64>) -> (f64, f64) {
+    walls.sort_by(|a, b| a.partial_cmp(b).expect("wall times are finite"));
+    (nearest_rank(&walls, 0.5), nearest_rank(&walls, 0.95))
+}
+
+fn ms(wall: Duration) -> f64 {
+    wall.as_secs_f64() * 1e3
+}
+
+fn summarize(towers: usize, bins: usize, runs: &[RunReport]) -> WorkloadResult {
+    let totals: Vec<f64> = runs.iter().map(|r| ms(r.total)).collect();
+    let (total_median_ms, total_p95_ms) = percentiles(totals);
+    let stages = runs[0]
+        .stages
+        .iter()
+        .map(|s| {
+            let walls: Vec<f64> = runs
+                .iter()
+                .map(|r| ms(r.stage(s.name).expect("stage in every repeat").wall))
+                .collect();
+            let (median_ms, p95_ms) = percentiles(walls);
+            StageTiming {
+                name: s.name.to_string(),
+                median_ms,
+                p95_ms,
+            }
+        })
+        .collect();
+    WorkloadResult {
+        towers,
+        bins,
+        total_median_ms,
+        total_p95_ms,
+        throughput_cells_per_s: (towers * bins) as f64 / (total_median_ms / 1e3),
+        stages,
+        counters: BTreeMap::new(),
+    }
+}
+
+/// Runs every workload and collects the report.
+///
+/// The process-wide metrics registry is reset before each repeat, so
+/// the captured counter snapshot describes exactly one run at each
+/// size.
+///
+/// # Errors
+/// The first failing study run's [`CoreError`].
+pub fn run_bench(params: &BenchParams) -> Result<BenchReport, CoreError> {
+    let mut workloads = Vec::new();
+    for &towers in &params.sizes {
+        let mut runs = Vec::with_capacity(params.repeats);
+        for _ in 0..params.repeats.max(1) {
+            towerlens_obs::global().reset();
+            let (_, report) =
+                Study::new(workload_config(towers, params.seed)).run_instrumented(None)?;
+            runs.push(report);
+        }
+        let bins = TraceWindow::paper().n_bins;
+        let mut result = summarize(towers, bins, &runs);
+        result.counters = towerlens_obs::global().snapshot().counters;
+        workloads.push(result);
+    }
+    Ok(BenchReport {
+        git_rev: git_rev(),
+        seed: params.seed,
+        repeats: params.repeats.max(1),
+        workloads,
+    })
+}
+
+/// The current git revision, or `unknown` when git is unavailable.
+pub fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+impl BenchReport {
+    /// The report as the `BENCH_pipeline.json` document (schema
+    /// [`BENCH_SCHEMA`]).
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\n  \"schema\": \"{BENCH_SCHEMA}\",\n  \"git_rev\": \"{}\",\n  \
+             \"seed\": {},\n  \"repeats\": {},\n  \"workloads\": [",
+            json::escape(&self.git_rev),
+            self.seed,
+            self.repeats
+        );
+        for (i, w) in self.workloads.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\n      \"towers\": {},\n      \"bins\": {},\n      \
+                 \"total_median_ms\": {:.3},\n      \"total_p95_ms\": {:.3},\n      \
+                 \"throughput_cells_per_s\": {:.1},\n      \"stages\": [",
+                w.towers, w.bins, w.total_median_ms, w.total_p95_ms, w.throughput_cells_per_s
+            ));
+            for (j, s) in w.stages.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "\n        {{\"name\": \"{}\", \"median_ms\": {:.3}, \"p95_ms\": {:.3}}}",
+                    json::escape(&s.name),
+                    s.median_ms,
+                    s.p95_ms
+                ));
+            }
+            out.push_str("\n      ],\n      \"counters\": {");
+            for (j, (name, value)) in w.counters.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\n        \"{}\": {}", json::escape(name), value));
+            }
+            out.push_str("\n      }\n    }");
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+fn require<'a>(obj: &'a Json, key: &str, at: &str) -> Result<&'a Json, String> {
+    obj.get(key)
+        .ok_or_else(|| format!("{at}: missing key `{key}`"))
+}
+
+fn require_number(obj: &Json, key: &str, at: &str) -> Result<f64, String> {
+    require(obj, key, at)?
+        .as_number()
+        .ok_or_else(|| format!("{at}: `{key}` is not a number"))
+}
+
+/// Validates a `BENCH_pipeline.json` document: well-formed JSON,
+/// correct schema tag, at least one workload, and per-workload
+/// median/p95 stage timings, positive throughput, and a non-empty
+/// counter snapshot.
+///
+/// # Errors
+/// A human-readable description of the first violation.
+pub fn validate_bench_json(text: &str) -> Result<(), String> {
+    let doc = json::parse(text)?;
+    let schema = require(&doc, "schema", "document")?
+        .as_str()
+        .ok_or("document: `schema` is not a string")?;
+    if schema != BENCH_SCHEMA {
+        return Err(format!(
+            "document: schema `{schema}` is not `{BENCH_SCHEMA}`"
+        ));
+    }
+    let rev = require(&doc, "git_rev", "document")?
+        .as_str()
+        .ok_or("document: `git_rev` is not a string")?;
+    if rev.is_empty() {
+        return Err("document: `git_rev` is empty".to_string());
+    }
+    require_number(&doc, "seed", "document")?;
+    let repeats = require_number(&doc, "repeats", "document")?;
+    if repeats < 1.0 {
+        return Err("document: `repeats` must be ≥ 1".to_string());
+    }
+    let workloads = require(&doc, "workloads", "document")?
+        .as_array()
+        .ok_or("document: `workloads` is not an array")?;
+    if workloads.is_empty() {
+        return Err("document: `workloads` is empty".to_string());
+    }
+    for (i, w) in workloads.iter().enumerate() {
+        let at = format!("workloads[{i}]");
+        let towers = require_number(w, "towers", &at)?;
+        let bins = require_number(w, "bins", &at)?;
+        if towers < 1.0 || bins < 1.0 {
+            return Err(format!("{at}: towers/bins must be positive"));
+        }
+        let median = require_number(w, "total_median_ms", &at)?;
+        let p95 = require_number(w, "total_p95_ms", &at)?;
+        if !(median.is_finite() && p95.is_finite()) || median <= 0.0 || p95 + 1e-9 < median {
+            return Err(format!(
+                "{at}: implausible totals (median {median} ms, p95 {p95} ms)"
+            ));
+        }
+        if require_number(w, "throughput_cells_per_s", &at)? <= 0.0 {
+            return Err(format!("{at}: throughput must be positive"));
+        }
+        let stages = require(w, "stages", &at)?
+            .as_array()
+            .ok_or_else(|| format!("{at}: `stages` is not an array"))?;
+        if stages.is_empty() {
+            return Err(format!("{at}: `stages` is empty"));
+        }
+        for (j, s) in stages.iter().enumerate() {
+            let at = format!("{at}.stages[{j}]");
+            let name = require(s, "name", &at)?
+                .as_str()
+                .ok_or_else(|| format!("{at}: `name` is not a string"))?;
+            if name.is_empty() {
+                return Err(format!("{at}: `name` is empty"));
+            }
+            let median = require_number(s, "median_ms", &at)?;
+            let p95 = require_number(s, "p95_ms", &at)?;
+            if median < 0.0 || p95 + 1e-9 < median {
+                return Err(format!("{at}: implausible stage percentiles"));
+            }
+        }
+        let counters = require(w, "counters", &at)?
+            .as_object()
+            .ok_or_else(|| format!("{at}: `counters` is not an object"))?;
+        if counters.is_empty() {
+            return Err(format!("{at}: `counters` is empty"));
+        }
+        for (name, value) in counters {
+            if value.as_number().is_none_or(|v| v < 0.0) {
+                return Err(format!("{at}: counter `{name}` is not a count"));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> BenchReport {
+        BenchReport {
+            git_rev: "abc123def456".into(),
+            seed: 42,
+            repeats: 3,
+            workloads: vec![WorkloadResult {
+                towers: 60,
+                bins: 4_032,
+                total_median_ms: 120.5,
+                total_p95_ms: 130.25,
+                throughput_cells_per_s: 2_007_363.2,
+                stages: vec![
+                    StageTiming {
+                        name: "city".into(),
+                        median_ms: 1.2,
+                        p95_ms: 1.4,
+                    },
+                    StageTiming {
+                        name: "cluster".into(),
+                        median_ms: 80.0,
+                        p95_ms: 91.0,
+                    },
+                ],
+                counters: BTreeMap::from([
+                    ("cluster.distance.evaluations".to_string(), 1_770u64),
+                    ("core.engine.runs".to_string(), 1),
+                ]),
+            }],
+        }
+    }
+
+    #[test]
+    fn emitted_json_passes_validation() {
+        let json = sample_report().to_json();
+        validate_bench_json(&json).unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_structural_damage() {
+        let good = sample_report().to_json();
+        for (tag, breakage) in [
+            ("bad schema", good.replace(BENCH_SCHEMA, "nope-v0")),
+            (
+                "no workloads",
+                good.replace("\"towers\": 60", "\"towers\": 0"),
+            ),
+            (
+                "p95 below median",
+                good.replace("\"total_p95_ms\": 130.25", "\"total_p95_ms\": 1.0"),
+            ),
+            ("non-numeric counter", good.replace(": 1770", ": \"many\"")),
+            ("truncated", good[..good.len() / 2].to_string()),
+        ] {
+            assert!(validate_bench_json(&breakage).is_err(), "{tag} accepted");
+        }
+        let empty = good
+            .replace("\"stages\": [", "\"stages_x\": [")
+            .replace("\"stages_x\"", "\"stages\": [], \"x\"");
+        assert!(
+            validate_bench_json(&empty).is_err(),
+            "empty stages accepted"
+        );
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        assert_eq!(percentiles(vec![3.0]), (3.0, 3.0));
+        assert_eq!(percentiles(vec![5.0, 1.0, 3.0]), (3.0, 5.0));
+        let twenty: Vec<f64> = (1..=20).map(f64::from).collect();
+        assert_eq!(percentiles(twenty), (10.0, 19.0));
+    }
+
+    #[test]
+    fn workload_config_scales_towers_over_the_paper_window() {
+        let c = workload_config(60, 7);
+        assert_eq!(c.city.n_towers, 60);
+        assert_eq!(c.window.n_bins, 4_032);
+    }
+
+    #[test]
+    fn bench_smoke_produces_valid_json() {
+        let params = BenchParams {
+            sizes: vec![12],
+            repeats: 1,
+            seed: 7,
+        };
+        let report = run_bench(&params).unwrap();
+        assert_eq!(report.workloads.len(), 1);
+        assert_eq!(report.workloads[0].bins, 4_032);
+        assert!(!report.workloads[0].counters.is_empty());
+        validate_bench_json(&report.to_json()).unwrap();
+    }
+}

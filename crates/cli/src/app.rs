@@ -29,10 +29,12 @@ usage:
   towerlens-cli analyze --dir DIR [--days N] [--threads N]
                         [--max-bad-fraction F] [--impute]
                         [--resume DIR] [--timings] [--json]
+                        [--metrics PATH] [--trace-events PATH]
       parse, clean, vectorize, cluster, and label a dataset directory
 
   towerlens-cli study   [--scale tiny|small|medium|paper] [--seed N]
                         [--resume DIR] [--timings] [--json]
+                        [--metrics PATH] [--trace-events PATH]
       run the full in-process paper study through the stage engine
 
   towerlens-cli doctor  --dir DIR
@@ -53,9 +55,19 @@ common flags:
   --resume DIR   reuse (and write) stage checkpoints under DIR; a
                  second run reloads the expensive stages bit-identically
                  (damaged checkpoints are detected and recomputed)
-  --timings      print the per-stage wave/status/wall-time table
+  --timings      print the per-stage wave/status/wall-time table plus
+                 the nonzero hot-path counters from the metrics registry
   --json         print the per-stage report as JSON instead of the
                  human summary
+
+observability:
+  --metrics PATH       dump the metrics registry (counters, gauges,
+                       histograms; timers as observation counts) as
+                       stable sorted JSON — byte-identical across
+                       identical seeded runs
+  --trace-events PATH  dump the structured span log (one event per
+                       engine stage: name, wave, status, start/end
+                       offsets in µs, cardinality cards) as JSON
 
 exit status: 0 success, 1 runtime failure or degraded run, 2 usage error";
 
@@ -80,10 +92,23 @@ fn parse_or_exit(command: &str, raw: &[String], defs: &[FlagDef]) -> Result<Flag
 /// Emits the per-stage report and converts a degraded run into a
 /// non-zero exit: the status table is printed whenever something
 /// failed, `--timings` or not, so the failure is never silent.
+/// `--timings` additionally prints the nonzero counters from the
+/// metrics registry, which every engine run feeds — so the timing
+/// view and `--metrics` share one source of truth.
 fn emit_report(command: &str, report: &RunReport, timings: bool, json: bool) -> i32 {
     let degraded = report.degraded();
     if timings || degraded {
         print!("{}", report.render_table());
+    }
+    if timings {
+        let snapshot = towerlens_obs::global().snapshot();
+        let live: Vec<_> = snapshot.counters.iter().filter(|(_, &v)| v > 0).collect();
+        if !live.is_empty() {
+            println!("counters:");
+            for (name, value) in live {
+                println!("  {name} = {value}");
+            }
+        }
     }
     if json {
         println!("{}", report.to_json());
@@ -96,12 +121,37 @@ fn emit_report(command: &str, report: &RunReport, timings: bool, json: bool) -> 
     }
 }
 
+/// Writes the `--metrics` registry dump and/or the `--trace-events`
+/// span log, when requested. Returns a non-zero exit code on write
+/// failure so a broken observability sink is never silent.
+fn emit_observability(flags: &Flags, report: &RunReport) -> Option<i32> {
+    if let Some(path) = flags.get("metrics") {
+        let json = towerlens_obs::global().snapshot().to_json();
+        if let Err(e) = std::fs::write(path, json + "\n") {
+            eprintln!("failed to write --metrics {path}: {e}");
+            return Some(1);
+        }
+    }
+    if let Some(path) = flags.get("trace-events") {
+        let json = towerlens_obs::spans_to_json(&report.spans());
+        if let Err(e) = std::fs::write(path, json + "\n") {
+            eprintln!("failed to write --trace-events {path}: {e}");
+            return Some(1);
+        }
+    }
+    None
+}
+
 /// Runs the CLI against already-split arguments (no program name) and
 /// returns the process exit code.
 pub fn run(argv: &[String]) -> i32 {
     let Some(command) = argv.first() else {
         return usage_error("missing command (try `towerlens-cli help`)");
     };
+    // Each invocation observes only its own work: zero the process-wide
+    // registry so `--metrics` is a per-run dump (and deterministic for
+    // identical seeded runs), while registrations and handles survive.
+    towerlens_obs::global().reset();
     let rest = &argv[1..];
     match command.as_str() {
         "gen" => {
@@ -156,6 +206,8 @@ pub fn run(argv: &[String]) -> i32 {
                 value("resume"),
                 switch("timings"),
                 switch("json"),
+                value("metrics"),
+                value("trace-events"),
             ];
             let flags = match parse_or_exit("analyze", rest, DEFS) {
                 Ok(f) => f,
@@ -199,6 +251,9 @@ pub fn run(argv: &[String]) -> i32 {
                             println!("adjusted Rand index vs truth.tsv: {ari:.3}");
                         }
                     }
+                    if let Some(code) = emit_observability(&flags, &report) {
+                        return code;
+                    }
                     emit_report("analyze", &report, flags.has("timings"), flags.has("json"))
                 }
                 Err(e) => {
@@ -214,6 +269,8 @@ pub fn run(argv: &[String]) -> i32 {
                 value("resume"),
                 switch("timings"),
                 switch("json"),
+                value("metrics"),
+                value("trace-events"),
             ];
             let flags = match parse_or_exit("study", rest, DEFS) {
                 Ok(f) => f,
@@ -252,6 +309,9 @@ pub fn run(argv: &[String]) -> i32 {
                             }
                             None => println!("  (geographic labelling unavailable)"),
                         }
+                    }
+                    if let Some(code) = emit_observability(&flags, &run_report) {
+                        return code;
                     }
                     emit_report(
                         "study",

@@ -267,6 +267,7 @@ impl Stage<CliArtifact> for IngestLogsStage {
                 Err(e) => quarantine.note(&e),
             }
         }
+        towerlens_trace::quarantine::record_ingest_metrics(&quarantine);
         self.policy.enforce(&quarantine).map_err(|e| ctx.fail(e))?;
         if records.is_empty() {
             return Err(ctx.fail(FileError::Malformed {

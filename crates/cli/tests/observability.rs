@@ -1,0 +1,181 @@
+//! End-to-end observability contract, driven through the real binary.
+//!
+//! Subprocesses, not library calls: the metrics registry is
+//! process-global, so each invocation here gets the same fresh-process
+//! view a user gets, and parallel tests cannot contaminate each other.
+//!
+//! Covered: `--metrics` dumps are byte-identical across identical
+//! seeded runs (the determinism contract — no wall-clock in the
+//! snapshot), and a checkpoint-resumed `analyze` reports the reloaded
+//! stages as `cached` in the `--trace-events` span log while every
+//! recompute counter stays at zero.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+const BIN: &str = env!("CARGO_BIN_EXE_towerlens-cli");
+
+fn temp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("towerlens-obs-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn run_ok(args: &[&str]) {
+    let out = Command::new(BIN).args(args).output().expect("spawn CLI");
+    assert!(
+        out.status.success(),
+        "`towerlens-cli {}` failed:\n{}",
+        args.join(" "),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+fn read(path: &Path) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// The `status` of the span named `name` in a `--trace-events` dump.
+fn span_status(log: &str, name: &str) -> String {
+    let needle = format!("\"name\":\"{name}\"");
+    let at = log
+        .find(&needle)
+        .unwrap_or_else(|| panic!("no span `{name}` in {log}"));
+    let rest = &log[at..];
+    let status = rest
+        .find("\"status\":\"")
+        .map(|i| &rest[i + 10..])
+        .and_then(|s| s.split('"').next())
+        .unwrap_or_else(|| panic!("span `{name}` has no status in {log}"));
+    status.to_string()
+}
+
+/// A counter's value in a `--metrics` dump; 0 when never registered.
+fn counter_value(metrics: &str, name: &str) -> u64 {
+    let needle = format!("\"{name}\":");
+    match metrics.find(&needle) {
+        None => 0,
+        Some(at) => metrics[at + needle.len()..]
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .collect::<String>()
+            .parse()
+            .unwrap_or_else(|_| panic!("unparseable value for `{name}`")),
+    }
+}
+
+#[test]
+fn metrics_dump_is_byte_identical_across_identical_seeded_runs() {
+    let dir = temp("determinism");
+    let first = dir.join("m1.json");
+    let second = dir.join("m2.json");
+    for path in [&first, &second] {
+        run_ok(&[
+            "study",
+            "--scale",
+            "tiny",
+            "--seed",
+            "42",
+            "--metrics",
+            path.to_str().unwrap(),
+        ]);
+    }
+    let a = std::fs::read(&first).expect("first dump");
+    let b = std::fs::read(&second).expect("second dump");
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "identical seeded runs must dump identical metrics");
+
+    // And the dump actually carries the hot-path counters, not an
+    // empty-but-identical shell.
+    let text = String::from_utf8(a).expect("utf8 metrics");
+    for name in [
+        "cluster.agglomerative.merges",
+        "cluster.distance.evaluations",
+        "core.engine.runs",
+        "core.engine.stages_ran",
+        "dsp.fft.transforms",
+        "pipeline.normalize.towers_kept",
+    ] {
+        assert!(counter_value(&text, name) > 0, "counter `{name}` is zero");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resumed_stages_are_cached_in_the_span_log_with_zero_recompute_counters() {
+    let dir = temp("resume");
+    let data = dir.join("data");
+    let checkpoints = dir.join("ckpt");
+    run_ok(&[
+        "gen",
+        "--out",
+        data.to_str().unwrap(),
+        "--seed",
+        "11",
+        "--towers",
+        "40",
+        "--agents",
+        "300",
+        "--days",
+        "7",
+    ]);
+
+    // Warm run: populates the checkpoint store and — being a fresh
+    // process — shows every stage as `ran` with live counters.
+    let warm_metrics = dir.join("warm-metrics.json");
+    let warm_events = dir.join("warm-events.json");
+    let analyze = |metrics: &Path, events: &Path| {
+        run_ok(&[
+            "analyze",
+            "--dir",
+            data.to_str().unwrap(),
+            "--resume",
+            checkpoints.to_str().unwrap(),
+            "--metrics",
+            metrics.to_str().unwrap(),
+            "--trace-events",
+            events.to_str().unwrap(),
+        ]);
+    };
+    analyze(&warm_metrics, &warm_events);
+    let warm_log = read(&warm_events);
+    for stage in ["ingest-logs", "clean", "vectorize", "cluster"] {
+        assert_eq!(span_status(&warm_log, stage), "ran");
+    }
+    let warm = read(&warm_metrics);
+    assert!(counter_value(&warm, "trace.ingest.records") > 0);
+    assert!(counter_value(&warm, "cluster.distance.evaluations") > 0);
+
+    // Resumed run: checkpointed stages come back `cached`, their
+    // upstreams are skipped, and no recompute counter moves.
+    let resumed_metrics = dir.join("resumed-metrics.json");
+    let resumed_events = dir.join("resumed-events.json");
+    analyze(&resumed_metrics, &resumed_events);
+    let log = read(&resumed_events);
+    for stage in ["vectorize", "cluster"] {
+        assert_eq!(span_status(&log, stage), "cached", "stage `{stage}`");
+    }
+    for stage in ["ingest-logs", "clean"] {
+        assert_eq!(span_status(&log, stage), "skipped", "stage `{stage}`");
+    }
+
+    let metrics = read(&resumed_metrics);
+    for name in [
+        "trace.ingest.records",
+        "trace.quarantine.records",
+        "trace.clean.kept",
+        "trace.clean.dropped",
+        "pipeline.vectorize.records",
+        "pipeline.normalize.towers_kept",
+        "cluster.distance.evaluations",
+        "cluster.agglomerative.merges",
+    ] {
+        assert_eq!(counter_value(&metrics, name), 0, "counter `{name}` moved");
+    }
+    // The engine itself still ran and accounted for the reloads.
+    assert_eq!(counter_value(&metrics, "core.engine.runs"), 1);
+    assert_eq!(counter_value(&metrics, "core.engine.stages_cached"), 2);
+    assert_eq!(counter_value(&metrics, "core.engine.stages_skipped"), 2);
+    let _ = std::fs::remove_dir_all(&dir);
+}

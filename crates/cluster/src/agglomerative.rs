@@ -16,9 +16,14 @@
 //! agreement between them is a real cross-check of the bookkeeping,
 //! not of a shared code path for neighbour selection.
 
+use towerlens_obs::LazyCounter;
+
 use crate::dendrogram::{Dendrogram, Merge};
 use crate::distance::DistanceMatrix;
 use crate::error::ClusterError;
+
+/// Merge steps performed, across all clustering runs (n−1 per run).
+static MERGES: LazyCounter = LazyCounter::new("cluster.agglomerative.merges");
 
 /// How the distance between two clusters is defined.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -91,6 +96,7 @@ pub fn agglomerative(
         Engine::Naive => naive(&mut dist, linkage),
         Engine::NnChain => nn_chain(&mut dist, linkage),
     };
+    MERGES.add(merges.len() as u64);
     Dendrogram::new(n, merges)
 }
 

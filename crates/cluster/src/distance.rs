@@ -7,7 +7,13 @@
 //! result is bit-identical regardless of thread count because each
 //! entry is computed independently.
 
+use towerlens_obs::LazyCounter;
+
 use crate::error::{validate_points, ClusterError};
+
+/// Pairwise distance evaluations, across all matrix builds. Batched:
+/// one add of n(n−1)/2 per build, not one per pair.
+static EVALUATIONS: LazyCounter = LazyCounter::new("cluster.distance.evaluations");
 
 /// Squared Euclidean distance between two equal-length slices.
 #[inline]
@@ -98,6 +104,7 @@ impl DistanceMatrix {
             });
         }
 
+        EVALUATIONS.add(len as u64);
         Ok(DistanceMatrix { n, data })
     }
 

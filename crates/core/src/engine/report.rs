@@ -2,6 +2,8 @@
 
 use std::time::Duration;
 
+use towerlens_obs::SpanEvent;
+
 use super::stage::Card;
 
 /// How a stage was satisfied.
@@ -51,6 +53,10 @@ pub struct StageReport {
     pub wave: usize,
     /// How the stage was satisfied.
     pub status: StageStatus,
+    /// Offset from run start to when work on this stage began (the
+    /// checkpoint probe for [`StageStatus::Cached`] stages, the
+    /// scheduling point for stages that did no work).
+    pub start: Duration,
     /// Wall time: compute + checkpoint write for [`StageStatus::Ran`],
     /// checkpoint read for [`StageStatus::Cached`], zero for
     /// [`StageStatus::Skipped`].
@@ -94,6 +100,57 @@ impl RunReport {
         self.stages
             .iter()
             .any(|s| matches!(s.status, StageStatus::Failed | StageStatus::Pruned))
+    }
+
+    /// The run as a structured span log, one [`SpanEvent`] per stage
+    /// in registration order. The report is the single source of
+    /// truth; spans are a projection of it, so the event log can
+    /// never disagree with the table or the JSON.
+    pub fn spans(&self) -> Vec<SpanEvent> {
+        self.stages
+            .iter()
+            .map(|s| {
+                let start_us = s.start.as_micros() as u64;
+                SpanEvent {
+                    name: s.name.to_string(),
+                    wave: s.wave as u64,
+                    status: s.status.label().to_string(),
+                    start_us,
+                    end_us: start_us + s.wall.as_micros() as u64,
+                    cards: s
+                        .cards
+                        .iter()
+                        .map(|c| (c.label.to_string(), c.value))
+                        .collect(),
+                    error: s.error.clone(),
+                }
+            })
+            .collect()
+    }
+
+    /// Feeds the run into a metrics registry: one
+    /// `core.engine.stages_<status>` counter increment per stage, one
+    /// `core.engine.stage.<name>` timer observation per stage that did
+    /// work (ran or cached), and a `core.engine.runs` counter plus
+    /// `core.engine.total` timer per run. The engine runner calls this
+    /// against the [`towerlens_obs::global`] registry for every run.
+    pub fn feed_registry(&self, registry: &towerlens_obs::Registry) {
+        registry.counter("core.engine.runs").inc();
+        registry.timer("core.engine.total").observe(self.total);
+        for s in &self.stages {
+            match s.status {
+                StageStatus::Ran => registry.counter("core.engine.stages_ran").inc(),
+                StageStatus::Cached => registry.counter("core.engine.stages_cached").inc(),
+                StageStatus::Skipped => registry.counter("core.engine.stages_skipped").inc(),
+                StageStatus::Failed => registry.counter("core.engine.stages_failed").inc(),
+                StageStatus::Pruned => registry.counter("core.engine.stages_pruned").inc(),
+            }
+            if matches!(s.status, StageStatus::Ran | StageStatus::Cached) {
+                registry
+                    .timer(&format!("core.engine.stage.{}", s.name))
+                    .observe(s.wall);
+            }
+        }
     }
 
     /// A fixed-width human table, one row per stage plus a total row.
@@ -208,6 +265,7 @@ mod tests {
                     name: "city",
                     wave: 0,
                     status: StageStatus::Cached,
+                    start: Duration::from_micros(100),
                     wall: Duration::from_micros(1_500),
                     cards: vec![Card::new("towers", 120)],
                     error: None,
@@ -216,6 +274,7 @@ mod tests {
                     name: "cluster",
                     wave: 1,
                     status: StageStatus::Ran,
+                    start: Duration::from_micros(1_700),
                     wall: Duration::from_millis(12),
                     cards: vec![Card::new("k", 5), Card::new("vectors", 118)],
                     error: None,
@@ -234,6 +293,7 @@ mod tests {
             name: "label",
             wave: 2,
             status: StageStatus::Pruned,
+            start: Duration::from_millis(13),
             wall: Duration::ZERO,
             cards: Vec::new(),
             error: None,
@@ -278,6 +338,49 @@ mod tests {
     fn json_escaping_handles_specials() {
         assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
         assert_eq!(json_escape("x\ny"), "x\\u000ay");
+    }
+
+    #[test]
+    fn spans_mirror_the_report() {
+        let spans = sample().spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "city");
+        assert_eq!(spans[0].status, "cached");
+        assert_eq!(spans[0].start_us, 100);
+        assert_eq!(spans[0].end_us, 1_600);
+        assert_eq!(spans[0].cards, vec![("towers".to_string(), 120)]);
+        assert_eq!(spans[1].status, "ran");
+        assert_eq!(spans[1].duration_us(), 12_000);
+        // A pruned stage still produces a (zero-width) span, so the
+        // event log accounts for every stage in the graph.
+        let degraded_spans = degraded().spans();
+        let pruned = degraded_spans.iter().find(|s| s.name == "label").unwrap();
+        assert_eq!(pruned.status, "pruned");
+        assert_eq!(pruned.start_us, pruned.end_us);
+        let failed = degraded_spans.iter().find(|s| s.name == "cluster").unwrap();
+        assert_eq!(
+            failed.error.as_deref(),
+            Some("stage `cluster` panicked: boom")
+        );
+    }
+
+    #[test]
+    fn feed_registry_counts_statuses_and_times_work() {
+        let registry = towerlens_obs::Registry::new();
+        sample().feed_registry(&registry);
+        degraded().feed_registry(&registry);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("core.engine.runs"), 2);
+        assert_eq!(snap.counter("core.engine.stages_cached"), 2);
+        assert_eq!(snap.counter("core.engine.stages_ran"), 1);
+        assert_eq!(snap.counter("core.engine.stages_failed"), 1);
+        assert_eq!(snap.counter("core.engine.stages_pruned"), 1);
+        assert_eq!(snap.counter("core.engine.stages_skipped"), 0);
+        // Per-stage timers exist only for stages that did work.
+        assert_eq!(snap.timers["core.engine.stage.city"].count, 2);
+        assert_eq!(snap.timers["core.engine.stage.cluster"].count, 1);
+        assert!(!snap.timers.contains_key("core.engine.stage.label"));
+        assert_eq!(snap.timers["core.engine.total"].count, 2);
     }
 
     #[test]

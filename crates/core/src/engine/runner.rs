@@ -188,14 +188,18 @@ impl<A: Send + Sync> Graph<A> {
         // Probe checkpoints up front: demand pruning needs the full
         // hit set before the first wave starts. A damaged file is a
         // cache miss with a warning, not a dead run.
-        let mut cached: HashMap<&'static str, (A, Vec<Card>, Duration)> = HashMap::new();
+        let mut cached: HashMap<&'static str, (A, Vec<Card>, Duration, Duration)> = HashMap::new();
         if let Some(store) = store {
             for s in &self.stages {
                 if let Some(codec) = s.codec() {
                     let probe_started = Instant::now();
+                    let probe_offset = probe_started.duration_since(started);
                     match store.load(s.name(), codec) {
                         Ok(Some((artifact, cards))) => {
-                            cached.insert(s.name(), (artifact, cards, probe_started.elapsed()));
+                            cached.insert(
+                                s.name(),
+                                (artifact, cards, probe_offset, probe_started.elapsed()),
+                            );
                         }
                         Ok(None) => {}
                         Err(e @ CheckpointError::Io { .. }) => return Err(e.into()),
@@ -233,9 +237,10 @@ impl<A: Send + Sync> Graph<A> {
         // failed stages and everything pruned behind them.
         let mut unavailable: HashSet<&'static str> = HashSet::new();
         for (w, wave) in waves.iter().enumerate() {
+            let wave_offset = started.elapsed();
             let mut to_run: Vec<usize> = Vec::new();
             for &name in wave {
-                if let Some((artifact, cards, load)) = cached.remove(name) {
+                if let Some((artifact, cards, probe_offset, load)) = cached.remove(name) {
                     // A cached artifact is usable even when a
                     // dependency failed — the checkpoint already holds
                     // the finished product.
@@ -246,6 +251,7 @@ impl<A: Send + Sync> Graph<A> {
                             name,
                             wave: w,
                             status: StageStatus::Cached,
+                            start: probe_offset,
                             wall: load,
                             cards,
                             error: None,
@@ -263,6 +269,7 @@ impl<A: Send + Sync> Graph<A> {
                             name,
                             wave: w,
                             status: StageStatus::Pruned,
+                            start: wave_offset,
                             wall: Duration::ZERO,
                             cards: Vec::new(),
                             error: None,
@@ -275,6 +282,7 @@ impl<A: Send + Sync> Graph<A> {
                             name,
                             wave: w,
                             status: StageStatus::Skipped,
+                            start: wave_offset,
                             wall: Duration::ZERO,
                             cards: Vec::new(),
                             error: None,
@@ -285,11 +293,16 @@ impl<A: Send + Sync> Graph<A> {
                 }
             }
 
-            let run_one = |i: usize,
-                           artifacts: &HashMap<&'static str, A>|
-             -> (usize, Result<StageOutput<A>, EngineError>, Duration) {
+            type StageResult<A> = (
+                usize,
+                Result<StageOutput<A>, EngineError>,
+                Duration,
+                Duration,
+            );
+            let run_one = |i: usize, artifacts: &HashMap<&'static str, A>| -> StageResult<A> {
                 let stage = &self.stages[i];
                 let stage_started = Instant::now();
+                let stage_offset = stage_started.duration_since(started);
                 // Contain panics so one sick stage cannot take down
                 // its wave siblings (or the process).
                 let result = catch_unwind(AssertUnwindSafe(|| {
@@ -302,29 +315,28 @@ impl<A: Send + Sync> Graph<A> {
                         message: panic_message(payload),
                     })
                 });
-                (i, result, stage_started.elapsed())
+                (i, result, stage_offset, stage_started.elapsed())
             };
-            let results: Vec<(usize, Result<StageOutput<A>, EngineError>, Duration)> =
-                if to_run.len() <= 1 {
-                    // A single runnable stage executes inline: no
-                    // thread spawn on the (common) sequential spine.
-                    to_run.iter().map(|&i| run_one(i, &artifacts)).collect()
-                } else {
-                    let shared = &artifacts;
-                    let run_one = &run_one;
-                    std::thread::scope(|scope| {
-                        let handles: Vec<_> = to_run
-                            .iter()
-                            .map(|&i| scope.spawn(move || run_one(i, shared)))
-                            .collect();
-                        handles
-                            .into_iter()
-                            .map(|h| h.join().expect("stage thread panicked"))
-                            .collect()
-                    })
-                };
+            let results: Vec<StageResult<A>> = if to_run.len() <= 1 {
+                // A single runnable stage executes inline: no
+                // thread spawn on the (common) sequential spine.
+                to_run.iter().map(|&i| run_one(i, &artifacts)).collect()
+            } else {
+                let shared = &artifacts;
+                let run_one = &run_one;
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = to_run
+                        .iter()
+                        .map(|&i| scope.spawn(move || run_one(i, shared)))
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("stage thread panicked"))
+                        .collect()
+                })
+            };
 
-            for (i, result, mut wall) in results {
+            for (i, result, start, mut wall) in results {
                 let stage = &self.stages[i];
                 let output = match result {
                     Ok(output) => output,
@@ -341,6 +353,7 @@ impl<A: Send + Sync> Graph<A> {
                                 name: stage.name(),
                                 wave: w,
                                 status: StageStatus::Failed,
+                                start,
                                 wall,
                                 cards: Vec::new(),
                                 error: Some(e.to_string()),
@@ -360,6 +373,7 @@ impl<A: Send + Sync> Graph<A> {
                         name: stage.name(),
                         wave: w,
                         status: StageStatus::Ran,
+                        start,
                         wall,
                         cards: output.cards,
                         error: None,
@@ -374,14 +388,16 @@ impl<A: Send + Sync> Graph<A> {
             .iter()
             .map(|s| reports.remove(s.name()).expect("every stage reported"))
             .collect();
-        Ok(RunOutcome {
-            artifacts,
-            report: RunReport {
-                stages,
-                total: started.elapsed(),
-                warnings,
-            },
-        })
+        let report = RunReport {
+            stages,
+            total: started.elapsed(),
+            warnings,
+        };
+        // Every run instruments the process-wide registry, so
+        // `--metrics` and the bench harness see engine activity
+        // without any caller-side plumbing.
+        report.feed_registry(towerlens_obs::global());
+        Ok(RunOutcome { artifacts, report })
     }
 }
 

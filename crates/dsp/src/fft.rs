@@ -18,8 +18,16 @@
 //! tables so the per-tower transforms in the pipeline don't repeatedly
 //! call `sin`/`cos` 9,600 times over.
 
+use towerlens_obs::LazyCounter;
+
 use crate::complex::Complex;
 use crate::dft::dft_direct;
+
+/// Forward transforms executed, across all plans.
+static TRANSFORMS: LazyCounter = LazyCounter::new("dsp.fft.transforms");
+/// Butterfly-level work: N × (number of factorisation stages) per
+/// transform, added once per call rather than per butterfly.
+static BUTTERFLIES: LazyCounter = LazyCounter::new("dsp.fft.butterflies");
 
 /// Returns the prime factorisation of `n` in non-decreasing order.
 ///
@@ -97,6 +105,8 @@ impl FftPlan {
         if self.n == 0 {
             return Vec::new();
         }
+        TRANSFORMS.inc();
+        BUTTERFLIES.add((self.n * self.factors.len().max(1)) as u64);
         let mut out = vec![Complex::ZERO; self.n];
         self.rec(x, &mut out, 1, &self.factors);
         out

@@ -14,8 +14,13 @@
 //! X[k] = (s[N−1] − e^{−iω}·s[N−2]) · e^{iω}
 //! ```
 
+use towerlens_obs::LazyCounter;
+
 use crate::complex::Complex;
 use crate::error::{check_finite, DspError};
+
+/// Single-bin evaluations performed, across all calls.
+static EVALUATIONS: LazyCounter = LazyCounter::new("dsp.goertzel.evaluations");
 
 /// Evaluates a single DFT bin of a real signal.
 ///
@@ -34,6 +39,7 @@ pub fn goertzel(x: &[f64], k: usize) -> Result<Complex, DspError> {
         return Err(DspError::BinOutOfRange { bin: k, len: n });
     }
     check_finite(x)?;
+    EVALUATIONS.inc();
     let omega = std::f64::consts::TAU * k as f64 / n as f64;
     let coeff = 2.0 * omega.cos();
     let mut s_prev = 0.0f64;

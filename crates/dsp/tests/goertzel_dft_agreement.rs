@@ -1,0 +1,74 @@
+//! Cross-validates the O(n) Goertzel single-bin evaluator against the
+//! O(n²) direct-definition DFT — two independent implementations of
+//! the same transform. The bins checked are the ones the paper's
+//! frequency analysis actually reads off the 4032-bin month: k = 4
+//! (the 7-day rhythm), k = 28 (the daily rhythm), and k = 56 (the
+//! 12-hour harmonic).
+
+use towerlens_dsp::dft::dft_direct_real;
+use towerlens_dsp::goertzel::{goertzel, goertzel_feature};
+
+const PAPER_BINS: usize = 4_032;
+
+/// A month of paper-like traffic: a DC floor plus weekly, daily, and
+/// half-day tones with distinct amplitudes and phases.
+fn paper_like(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let t = std::f64::consts::TAU * i as f64 / n as f64;
+            2.0 + 0.9 * (4.0 * t + 0.25).cos()
+                + 0.6 * (28.0 * t + 0.8).cos()
+                + 0.3 * (56.0 * t).sin()
+        })
+        .collect()
+}
+
+#[test]
+fn goertzel_matches_direct_dft_at_the_paper_harmonics() {
+    let x = paper_like(PAPER_BINS);
+    let spectrum = dft_direct_real(&x);
+    for k in [4usize, 28, 56] {
+        let g = goertzel(&x, k).expect("in-range bin");
+        let d = spectrum[k];
+        let tolerance = 1e-6 * (d.abs() + 1.0);
+        assert!(
+            (g - d).abs() < tolerance,
+            "bin {k}: goertzel {g} vs direct DFT {d}"
+        );
+    }
+}
+
+#[test]
+fn both_transforms_recover_the_injected_tones() {
+    let x = paper_like(PAPER_BINS);
+    let spectrum = dft_direct_real(&x);
+    let half = PAPER_BINS as f64 / 2.0;
+    for (k, amplitude) in [(4usize, 0.9), (28, 0.6), (56, 0.3)] {
+        let (goertzel_amp, _) = goertzel_feature(&x, k).expect("in-range bin");
+        assert!(
+            (goertzel_amp - amplitude * half).abs() < 1e-6,
+            "bin {k}: goertzel amplitude {goertzel_amp}"
+        );
+        assert!(
+            (spectrum[k].abs() - amplitude * half).abs() < 1e-6,
+            "bin {k}: direct DFT amplitude {}",
+            spectrum[k].abs()
+        );
+    }
+}
+
+#[test]
+fn agreement_holds_off_peak_too() {
+    // Bins carrying only numerical noise must agree as exactly as the
+    // loud ones — a resonator drift bug would show up here first.
+    let x = paper_like(PAPER_BINS);
+    let spectrum = dft_direct_real(&x);
+    for k in [3usize, 5, 27, 29, 55, 57, 500] {
+        let g = goertzel(&x, k).expect("in-range bin");
+        let d = spectrum[k];
+        assert!(
+            (g - d).abs() < 1e-6 * (d.abs() + 1.0),
+            "quiet bin {k}: goertzel {g} vs direct DFT {d}"
+        );
+    }
+}

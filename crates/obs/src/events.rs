@@ -1,0 +1,146 @@
+//! Structured stage-span events.
+//!
+//! A [`SpanEvent`] is one stage execution as seen by the engine
+//! runner: name, wave, final status, start/end offsets relative to
+//! run start, the stage's cardinality cards (records ingested, bytes
+//! processed, …), and the error message for failed stages. The CLI
+//! dumps the span log with `--trace-events <path>`.
+//!
+//! Offsets are microseconds from run start rather than absolute
+//! timestamps, so logs from different runs line up when diffed and
+//! no wall-clock epoch leaks into the output.
+
+/// One stage execution span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Stage name (e.g. `vectorize`).
+    pub name: String,
+    /// Scheduler wave the stage ran in.
+    pub wave: u64,
+    /// Final status label: `ran`, `cached`, `skipped`, `failed`, or
+    /// `pruned`.
+    pub status: String,
+    /// Microseconds from run start to stage start.
+    pub start_us: u64,
+    /// Microseconds from run start to stage end (`start_us` for
+    /// stages that did no work, e.g. pruned ones).
+    pub end_us: u64,
+    /// Cardinality cards attached by the stage (label, value).
+    pub cards: Vec<(String, u64)>,
+    /// Error message when `status` is `failed`.
+    pub error: Option<String>,
+}
+
+impl SpanEvent {
+    /// The span's wall time in microseconds.
+    pub fn duration_us(&self) -> u64 {
+        self.end_us.saturating_sub(self.start_us)
+    }
+}
+
+/// Serializes a span log as a stable JSON document:
+/// `{"spans":[{...},{...}]}` in execution order.
+pub fn spans_to_json(spans: &[SpanEvent]) -> String {
+    let mut out = String::from("{\"spans\":[");
+    for (i, s) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"wave\":{},\"status\":\"{}\",\"start_us\":{},\"end_us\":{}",
+            json_escape(&s.name),
+            s.wave,
+            json_escape(&s.status),
+            s.start_us,
+            s.end_us
+        ));
+        out.push_str(",\"cards\":{");
+        for (j, (label, value)) in s.cards.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{}", json_escape(label), value));
+        }
+        out.push('}');
+        if let Some(err) = &s.error {
+            out.push_str(&format!(",\"error\":\"{}\"", json_escape(err)));
+        }
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SpanEvent {
+        SpanEvent {
+            name: "vectorize".into(),
+            wave: 1,
+            status: "ran".into(),
+            start_us: 120,
+            end_us: 4_520,
+            cards: vec![("records".into(), 960), ("bytes".into(), 61_440)],
+            error: None,
+        }
+    }
+
+    #[test]
+    fn duration_is_end_minus_start() {
+        assert_eq!(sample().duration_us(), 4_400);
+    }
+
+    #[test]
+    fn spans_serialize_in_order_with_cards() {
+        let failed = SpanEvent {
+            name: "cluster".into(),
+            wave: 2,
+            status: "failed".into(),
+            start_us: 4_520,
+            end_us: 4_530,
+            cards: vec![],
+            error: Some("boom \"quoted\"".into()),
+        };
+        let json = spans_to_json(&[sample(), failed]);
+        assert_eq!(
+            json,
+            "{\"spans\":[\
+             {\"name\":\"vectorize\",\"wave\":1,\"status\":\"ran\",\
+             \"start_us\":120,\"end_us\":4520,\
+             \"cards\":{\"records\":960,\"bytes\":61440}},\
+             {\"name\":\"cluster\",\"wave\":2,\"status\":\"failed\",\
+             \"start_us\":4520,\"end_us\":4530,\"cards\":{},\
+             \"error\":\"boom \\\"quoted\\\"\"}\
+             ]}"
+        );
+    }
+
+    #[test]
+    fn empty_log_is_valid_json() {
+        assert_eq!(spans_to_json(&[]), "{\"spans\":[]}");
+    }
+
+    #[test]
+    fn escape_handles_control_characters() {
+        assert_eq!(json_escape("a\"b\\c\nd\x01"), "a\\\"b\\\\c\\nd\\u0001");
+    }
+}

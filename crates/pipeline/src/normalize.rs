@@ -3,6 +3,12 @@
 
 use towerlens_dsp::normalize::zscore;
 use towerlens_dsp::DspError;
+use towerlens_obs::LazyCounter;
+
+/// Towers z-scored and kept, across all normalisation passes.
+static TOWERS_KEPT: LazyCounter = LazyCounter::new("pipeline.normalize.towers_kept");
+/// Zero-variance towers dropped, across all normalisation passes.
+static TOWERS_DROPPED: LazyCounter = LazyCounter::new("pipeline.normalize.towers_dropped");
 
 /// A normalised traffic matrix with provenance: which original rows
 /// survived.
@@ -64,6 +70,8 @@ pub fn normalize_matrix(raw: &[Vec<f64>]) -> Result<NormalizedMatrix, DspError> 
             Err(e) => return Err(e),
         }
     }
+    TOWERS_KEPT.add(kept_ids.len() as u64);
+    TOWERS_DROPPED.add(dropped.len() as u64);
     let imputed = vec![Vec::new(); kept_ids.len()];
     Ok(NormalizedMatrix {
         vectors,

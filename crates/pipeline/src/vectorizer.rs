@@ -5,6 +5,7 @@
 //! shard independently (no shared mutable state, so no locks on the
 //! hot path and bit-identical output for any worker count).
 
+use towerlens_obs::{LazyCounter, LazyHistogram};
 use towerlens_trace::error::TraceError;
 use towerlens_trace::quarantine::{FaultPolicy, QuarantineReport};
 use towerlens_trace::record::LogRecord;
@@ -12,6 +13,20 @@ use towerlens_trace::time::TraceWindow;
 
 use crate::impute::{impute_outages, ImputeConfig, ImputeReport};
 use crate::normalize::{normalize_matrix, NormalizedMatrix};
+
+/// Records vectorized, across all runs.
+static RECORDS: LazyCounter = LazyCounter::new("pipeline.vectorize.records");
+/// Traffic bytes vectorized, across all runs.
+static BYTES: LazyCounter = LazyCounter::new("pipeline.vectorize.bytes");
+/// Per-record byte-size distribution (decade buckets).
+static RECORD_BYTES: LazyHistogram = LazyHistogram::new(
+    "pipeline.vectorize.record_bytes",
+    &[100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000],
+);
+/// Outage bins repaired by imputation, across all runs.
+static BINS_IMPUTED: LazyCounter = LazyCounter::new("pipeline.impute.bins_imputed");
+/// Towers with at least one imputed bin, across all runs.
+static TOWERS_AFFECTED: LazyCounter = LazyCounter::new("pipeline.impute.towers_affected");
 
 /// Statistics of a vectorizer run.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -173,9 +188,18 @@ impl Vectorizer {
             .iter()
             .filter(|row| row.iter().any(|&v| v > 0.0))
             .count();
+        let mut total_bytes = 0u64;
+        for r in records {
+            total_bytes += r.bytes;
+            RECORD_BYTES.observe(r.bytes);
+        }
+        RECORDS.add(records.len() as u64);
+        BYTES.add(total_bytes);
+        BINS_IMPUTED.add(imputation.bins_imputed as u64);
+        TOWERS_AFFECTED.add(imputation.towers_affected as u64);
         let report = VectorizerReport {
             records: records.len(),
-            bytes: records.iter().map(|r| r.bytes as f64).sum(),
+            bytes: total_bytes as f64,
             active_towers,
             dead_towers: normalized.dropped.len(),
             imputation,

@@ -17,7 +17,14 @@
 
 use std::collections::HashMap;
 
+use towerlens_obs::LazyCounter;
+
 use crate::record::LogRecord;
+
+/// Records surviving cleaning, across all batches.
+static KEPT: LazyCounter = LazyCounter::new("trace.clean.kept");
+/// Duplicates plus resolved conflicts dropped, across all batches.
+static DROPPED: LazyCounter = LazyCounter::new("trace.clean.dropped");
 
 /// Audit report of a cleaning pass.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -70,6 +77,8 @@ pub fn clean_records(records: &[LogRecord]) -> (Vec<LogRecord>, CleanReport) {
         }
     }
     report.kept = kept.len();
+    KEPT.add(report.kept as u64);
+    DROPPED.add((report.duplicates_removed + report.conflicts_resolved) as u64);
     (kept, report)
 }
 

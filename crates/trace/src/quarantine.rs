@@ -9,8 +9,15 @@
 //! the feed itself is broken and every downstream number would be
 //! garbage.
 
+use towerlens_obs::LazyCounter;
+
 use crate::error::TraceError;
 use crate::record::LogRecord;
+
+/// Records examined by policed ingestion, across all batches.
+static INGESTED: LazyCounter = LazyCounter::new("trace.ingest.records");
+/// Records routed into quarantine, across all batches.
+static QUARANTINED: LazyCounter = LazyCounter::new("trace.quarantine.records");
 
 /// How many offending raw lines the report keeps verbatim for
 /// debugging.
@@ -169,6 +176,16 @@ impl QuarantineReport {
     }
 }
 
+/// Feeds a finished ingestion report into the process-wide metrics
+/// registry: `trace.ingest.records` (records examined) and
+/// `trace.quarantine.records` (records quarantined). Call once per
+/// finished report — [`parse_lines_policed`] already does; streaming
+/// ingesters that assemble their own report call it directly.
+pub fn record_ingest_metrics(report: &QuarantineReport) {
+    INGESTED.add(report.total as u64);
+    QUARANTINED.add(report.bad() as u64);
+}
+
 /// Parses a multi-line dump under a tolerance policy: good records are
 /// returned, bad lines are quarantined per category, and the policy
 /// decides whether an excessive bad fraction fails the run.
@@ -206,6 +223,7 @@ pub fn parse_lines_policed(
             Err(e) => report.note(&e),
         }
     }
+    record_ingest_metrics(&report);
     policy.enforce(&report)?;
     Ok((records, report))
 }

@@ -14,6 +14,16 @@ echo "== fault injection (pinned seeds) =="
 # the full pipeline, plus panic containment in its own process.
 cargo test -q -p towerlens-cli --test fault_injection --test panic_isolation
 
+echo "== bench smoke + schema validation =="
+# One tiny workload through the real bench harness, then the schema
+# gate over both the smoke output and the committed baseline.
+bench_tmp="$(mktemp -d)"
+trap 'rm -rf "$bench_tmp"' EXIT
+cargo run --release -q -p towerlens-bench --bin bench -- \
+    --sizes 20 --repeats 1 --seed 42 --out "$bench_tmp/BENCH_smoke.json"
+cargo run --release -q -p towerlens-bench --bin bench -- --validate "$bench_tmp/BENCH_smoke.json"
+cargo run --release -q -p towerlens-bench --bin bench -- --validate BENCH_pipeline.json
+
 echo "== cargo clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
 
