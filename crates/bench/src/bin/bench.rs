@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! bench [--sizes N,N,...] [--repeats K] [--seed N] [--out FILE]
-//! bench --validate FILE
+//! bench --validate FILE [--baseline FILE]
 //! ```
 //!
 //! Each size runs the full staged study pipeline (city → synthesize →
@@ -11,9 +11,12 @@
 //! median/p95 wall time, end-to-end throughput, the hot-path counter
 //! snapshot, and the git revision. `--validate` checks an existing
 //! file against the schema instead of running anything (this is the
-//! `scripts/check.sh` gate).
+//! `scripts/check.sh` gate); adding `--baseline` also compares it
+//! against a committed baseline — no stage names the baseline has
+//! never seen, and per-stage medians within the regression budget at
+//! matching workload sizes.
 
-use towerlens_bench::perf::{run_bench, validate_bench_json, BenchParams};
+use towerlens_bench::perf::{compare_bench_json, run_bench, validate_bench_json, BenchParams};
 
 fn bail(msg: &str) -> ! {
     eprintln!("{msg}");
@@ -25,6 +28,7 @@ fn main() {
     let mut params = BenchParams::default();
     let mut out_file = "BENCH_pipeline.json".to_string();
     let mut validate: Option<String> = None;
+    let mut baseline: Option<String> = None;
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -51,10 +55,13 @@ fn main() {
             "--validate" => {
                 validate = Some(it.next().unwrap_or_else(|| bail("--validate needs a path")));
             }
+            "--baseline" => {
+                baseline = Some(it.next().unwrap_or_else(|| bail("--baseline needs a path")));
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: bench [--sizes N,N,...] [--repeats K] [--seed N] [--out FILE]\n\
-                     \x20      bench --validate FILE"
+                     \x20      bench --validate FILE [--baseline FILE]"
                 );
                 return;
             }
@@ -71,15 +78,37 @@ fn main() {
             }
         };
         match validate_bench_json(&text) {
-            Ok(()) => {
-                println!("{path}: valid {}", towerlens_bench::perf::BENCH_SCHEMA);
-                return;
-            }
+            Ok(()) => println!("{path}: valid {}", towerlens_bench::perf::BENCH_SCHEMA),
             Err(e) => {
                 eprintln!("{path}: INVALID: {e}");
                 std::process::exit(1);
             }
         }
+        if let Some(base_path) = baseline {
+            let base = match std::fs::read_to_string(&base_path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("failed to read {base_path}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            match compare_bench_json(&text, &base) {
+                Ok(notes) => {
+                    for note in notes {
+                        println!("{path} vs {base_path}: {note}");
+                    }
+                    println!("{path}: within budget of {base_path}");
+                }
+                Err(e) => {
+                    eprintln!("{path} vs {base_path}: REGRESSION: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        return;
+    }
+    if baseline.is_some() {
+        bail("--baseline only makes sense with --validate");
     }
 
     eprintln!(

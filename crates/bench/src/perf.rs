@@ -331,6 +331,94 @@ pub fn validate_bench_json(text: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Allowed fractional regression of a per-stage median before
+/// [`compare_bench_json`] fails.
+pub const MEDIAN_REGRESSION_BUDGET: f64 = 0.10;
+
+/// Absolute slack added on top of the fractional budget, so
+/// sub-millisecond stages — where scheduler noise dominates the
+/// median — cannot fail the gate on jitter alone.
+pub const MEDIAN_EPSILON_MS: f64 = 0.5;
+
+/// Per-workload stage medians, keyed by tower count.
+fn stage_medians(text: &str, role: &str) -> Result<BTreeMap<u64, BTreeMap<String, f64>>, String> {
+    validate_bench_json(text).map_err(|e| format!("{role}: {e}"))?;
+    let doc = json::parse(text).map_err(|e| format!("{role}: {e}"))?;
+    let mut out = BTreeMap::new();
+    for w in doc.get("workloads").and_then(Json::as_array).unwrap_or(&[]) {
+        let towers = require_number(w, "towers", role)? as u64;
+        let mut stages = BTreeMap::new();
+        for s in w.get("stages").and_then(Json::as_array).unwrap_or(&[]) {
+            let name = s
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("{role}: stage without a name"))?;
+            stages.insert(name.to_string(), require_number(s, "median_ms", role)?);
+        }
+        out.insert(towers, stages);
+    }
+    Ok(out)
+}
+
+/// Compares a candidate bench report against a committed baseline:
+/// the candidate must introduce **no stage name** the baseline has
+/// never seen (a supervision layer that quietly adds pipeline work
+/// fails here), and for every workload whose tower count also exists
+/// in the baseline, each stage median may regress by at most
+/// [`MEDIAN_REGRESSION_BUDGET`] (plus [`MEDIAN_EPSILON_MS`] of
+/// absolute slack). Workloads with no matching baseline size skip the
+/// median check and are reported in the returned notes, so a smoke
+/// run at an off-baseline size still gates the stage set.
+///
+/// # Errors
+/// A human-readable description of the first violation, including
+/// structural invalidity of either document.
+pub fn compare_bench_json(candidate: &str, baseline: &str) -> Result<Vec<String>, String> {
+    let cand = stage_medians(candidate, "candidate")?;
+    let base = stage_medians(baseline, "baseline")?;
+    let known: std::collections::BTreeSet<&str> = base
+        .values()
+        .flat_map(|stages| stages.keys().map(String::as_str))
+        .collect();
+    let mut notes = Vec::new();
+    for (towers, stages) in &cand {
+        for name in stages.keys() {
+            if !known.contains(name.as_str()) {
+                return Err(format!(
+                    "candidate workload ({towers} towers) runs stage `{name}`, \
+                     which the baseline has never seen"
+                ));
+            }
+        }
+        match base.get(towers) {
+            None => notes.push(format!(
+                "{towers} towers: no baseline workload at this size; medians not compared"
+            )),
+            Some(base_stages) => {
+                for (name, &median) in stages {
+                    let Some(&reference) = base_stages.get(name) else {
+                        continue;
+                    };
+                    let budget = reference * (1.0 + MEDIAN_REGRESSION_BUDGET) + MEDIAN_EPSILON_MS;
+                    if median > budget {
+                        return Err(format!(
+                            "{towers} towers: stage `{name}` median {median:.3} ms exceeds \
+                             baseline {reference:.3} ms by more than {:.0}% (+{MEDIAN_EPSILON_MS} ms)",
+                            MEDIAN_REGRESSION_BUDGET * 100.0
+                        ));
+                    }
+                }
+                notes.push(format!(
+                    "{towers} towers: {} stage medians within {:.0}% of baseline",
+                    stages.len(),
+                    MEDIAN_REGRESSION_BUDGET * 100.0
+                ));
+            }
+        }
+    }
+    Ok(notes)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -397,6 +485,64 @@ mod tests {
             validate_bench_json(&empty).is_err(),
             "empty stages accepted"
         );
+    }
+
+    #[test]
+    fn comparison_accepts_a_report_against_itself() {
+        let json = sample_report().to_json();
+        let notes = compare_bench_json(&json, &json).unwrap();
+        assert!(
+            notes.iter().any(|n| n.contains("within 10% of baseline")),
+            "{notes:?}"
+        );
+    }
+
+    #[test]
+    fn comparison_rejects_a_stage_the_baseline_never_saw() {
+        let baseline = sample_report().to_json();
+        let mut report = sample_report();
+        report.workloads[0].stages.push(StageTiming {
+            name: "supervise".into(),
+            median_ms: 0.1,
+            p95_ms: 0.2,
+        });
+        let err = compare_bench_json(&report.to_json(), &baseline).unwrap_err();
+        assert!(err.contains("`supervise`"), "{err}");
+    }
+
+    #[test]
+    fn comparison_rejects_a_median_regression_beyond_budget() {
+        let baseline = sample_report().to_json();
+        let mut report = sample_report();
+        // cluster: 80 ms baseline; the budget is 80·1.1 + 0.5 = 88.5.
+        report.workloads[0].stages[1].median_ms = 95.0;
+        report.workloads[0].stages[1].p95_ms = 99.0;
+        let err = compare_bench_json(&report.to_json(), &baseline).unwrap_err();
+        assert!(err.contains("`cluster`") && err.contains("10%"), "{err}");
+        // Just inside the budget passes.
+        let mut report = sample_report();
+        report.workloads[0].stages[1].median_ms = 88.0;
+        report.workloads[0].stages[1].p95_ms = 91.0;
+        compare_bench_json(&report.to_json(), &baseline).unwrap();
+    }
+
+    #[test]
+    fn comparison_skips_medians_at_off_baseline_sizes() {
+        let baseline = sample_report().to_json();
+        let mut report = sample_report();
+        report.workloads[0].towers = 20;
+        // A wild regression at an unmatched size is tolerated (the
+        // smoke run in CI uses a smaller workload than the committed
+        // baseline) — but the stage-set gate still applies.
+        report.workloads[0].stages[1].median_ms = 500.0;
+        report.workloads[0].stages[1].p95_ms = 500.0;
+        let notes = compare_bench_json(&report.to_json(), &baseline).unwrap();
+        assert!(
+            notes.iter().any(|n| n.contains("medians not compared")),
+            "{notes:?}"
+        );
+        report.workloads[0].stages[0].name = "shadow".into();
+        assert!(compare_bench_json(&report.to_json(), &baseline).is_err());
     }
 
     #[test]

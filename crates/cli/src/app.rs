@@ -10,13 +10,14 @@
 //! out are trustworthy, but incomplete), 2 usage error.
 
 use std::path::PathBuf;
+use std::time::Duration;
 
 use crate::args::{self, switch, value, FlagDef, Flags, Parsed};
 use crate::commands::{
-    analyze_instrumented, doctor_checkpoints, generate_dataset, run_study, study_config,
+    analyze_instrumented_with, doctor_checkpoints, generate_dataset, run_study_with, study_config,
     AnalyzeOptions, GenOptions,
 };
-use towerlens_core::RunReport;
+use towerlens_core::{RunReport, Supervisor};
 
 /// The multi-line usage text (also the `help` subcommand's output).
 pub const USAGE: &str = "\
@@ -28,17 +29,20 @@ usage:
 
   towerlens-cli analyze --dir DIR [--days N] [--threads N]
                         [--max-bad-fraction F] [--impute]
-                        [--resume DIR] [--timings] [--json]
+                        [--resume DIR] [--retries N] [--stage-timeout-ms MS]
+                        [--timings] [--json]
                         [--metrics PATH] [--trace-events PATH]
       parse, clean, vectorize, cluster, and label a dataset directory
 
   towerlens-cli study   [--scale tiny|small|medium|paper] [--seed N]
-                        [--resume DIR] [--timings] [--json]
+                        [--resume DIR] [--retries N] [--stage-timeout-ms MS]
+                        [--timings] [--json]
                         [--metrics PATH] [--trace-events PATH]
       run the full in-process paper study through the stage engine
 
-  towerlens-cli doctor  --dir DIR
-      fsck every checkpoint file in DIR and report per-file damage
+  towerlens-cli doctor  --dir DIR [--fingerprint HEX]
+      fsck every checkpoint file in DIR and report per-stage health;
+      with --fingerprint, also pin each file to that config fingerprint
 
   towerlens-cli help
       print this message
@@ -50,6 +54,15 @@ fault tolerance:
   --impute              detect per-tower outage windows (runs of zero
                         bins) and impute them from the daily/weekly
                         periodicity instead of dropping the tower
+
+supervision:
+  --retries N            retry transient failures (checkpoint I/O errors,
+                         stage errors marked transient) up to N times per
+                         stage with deterministic seeded backoff; default
+                         0 (fail on first error)
+  --stage-timeout-ms MS  per-stage wall-time budget enforced by a
+                         watchdog; an overrunning optional stage degrades,
+                         a required one fails the run; default 0 (off)
 
 common flags:
   --resume DIR   reuse (and write) stage checkpoints under DIR; a
@@ -75,6 +88,20 @@ exit status: 0 success, 1 runtime failure or degraded run, 2 usage error";
 fn usage_error(message: &str) -> i32 {
     eprintln!("{message}");
     2
+}
+
+/// Builds the stage supervisor from the shared `--retries` /
+/// `--stage-timeout-ms` flags (0 = off, for both — the default
+/// supervisor reproduces the unsupervised engine exactly).
+fn supervisor_from(flags: &Flags) -> Result<Supervisor, String> {
+    let retries = flags.num("retries", 0)?;
+    let retries =
+        u32::try_from(retries).map_err(|_| format!("--retries {retries} is too large"))?;
+    let timeout_ms = flags.num("stage-timeout-ms", 0)?;
+    Ok(Supervisor::new(
+        retries,
+        (timeout_ms > 0).then(|| Duration::from_millis(timeout_ms)),
+    ))
 }
 
 /// Parses a subcommand's flags; prints help or a one-line error.
@@ -204,6 +231,8 @@ pub fn run(argv: &[String]) -> i32 {
                 value("max-bad-fraction"),
                 switch("impute"),
                 value("resume"),
+                value("retries"),
+                value("stage-timeout-ms"),
                 switch("timings"),
                 switch("json"),
                 value("metrics"),
@@ -232,7 +261,16 @@ pub fn run(argv: &[String]) -> i32 {
                 Err(e) => return usage_error(&e),
             };
             let resume = flags.get("resume").map(PathBuf::from);
-            match analyze_instrumented(&PathBuf::from(&dir), &options, resume.as_deref()) {
+            let supervisor = match supervisor_from(&flags) {
+                Ok(s) => s,
+                Err(e) => return usage_error(&e),
+            };
+            match analyze_instrumented_with(
+                &PathBuf::from(&dir),
+                &options,
+                resume.as_deref(),
+                &supervisor,
+            ) {
                 Ok((s, report)) => {
                     if !flags.has("json") {
                         println!(
@@ -267,6 +305,8 @@ pub fn run(argv: &[String]) -> i32 {
                 value("scale"),
                 value("seed"),
                 value("resume"),
+                value("retries"),
+                value("stage-timeout-ms"),
                 switch("timings"),
                 switch("json"),
                 value("metrics"),
@@ -286,7 +326,11 @@ pub fn run(argv: &[String]) -> i32 {
                 Err(e) => return usage_error(&e),
             };
             let resume = flags.get("resume").map(PathBuf::from);
-            match run_study(config, resume.as_deref()) {
+            let supervisor = match supervisor_from(&flags) {
+                Ok(s) => s,
+                Err(e) => return usage_error(&e),
+            };
+            match run_study_with(config, resume.as_deref(), &supervisor) {
                 Ok((report, run_report)) => {
                     if !flags.has("json") {
                         println!(
@@ -327,7 +371,7 @@ pub fn run(argv: &[String]) -> i32 {
             }
         }
         "doctor" => {
-            const DEFS: &[FlagDef] = &[value("dir")];
+            const DEFS: &[FlagDef] = &[value("dir"), value("fingerprint")];
             let flags = match parse_or_exit("doctor", rest, DEFS) {
                 Ok(f) => f,
                 Err(code) => return code,
@@ -336,7 +380,21 @@ pub fn run(argv: &[String]) -> i32 {
                 Ok(d) => PathBuf::from(d),
                 Err(e) => return usage_error(&e),
             };
-            let rows = match doctor_checkpoints(&dir) {
+            let expected = match flags.get("fingerprint") {
+                None => None,
+                Some(hex) => {
+                    let digits = hex.strip_prefix("0x").unwrap_or(hex);
+                    match u64::from_str_radix(digits, 16) {
+                        Ok(fp) => Some(fp),
+                        Err(_) => {
+                            return usage_error(&format!(
+                                "--fingerprint expects a hex fingerprint, got `{hex}`"
+                            ))
+                        }
+                    }
+                }
+            };
+            let rows = match doctor_checkpoints(&dir, expected) {
                 Ok(rows) => rows,
                 Err(e) => {
                     eprintln!("doctor failed: {e}");
@@ -347,19 +405,34 @@ pub fn run(argv: &[String]) -> i32 {
                 println!("no checkpoint files (*.ckpt) in {}", dir.display());
                 return 0;
             }
+            // Per-stage health table: one row per checkpoint file, the
+            // same fixed-width idiom as the `--timings` stage table.
+            let file_w = rows
+                .iter()
+                .map(|(name, _)| name.len())
+                .chain(["file".len()])
+                .max()
+                .unwrap_or(4);
+            println!(
+                "{:<file_w$}  {:<10}  status  {:>16}  {:>5}  {:>5}  detail",
+                "file", "stage", "fingerprint", "cards", "lines"
+            );
             let mut bad = 0usize;
             for (name, verdict) in &rows {
                 match verdict {
                     Ok(info) => println!(
-                        "{name}: ok — stage `{}`, fingerprint {:016x}, {} cards, {} body lines",
+                        "{name:<file_w$}  {:<10}  ok      {:>16}  {:>5}  {:>5}",
                         info.stage,
-                        info.fingerprint,
+                        format!("{:016x}", info.fingerprint),
                         info.cards.len(),
                         info.body_lines
                     ),
                     Err(e) => {
                         bad += 1;
-                        println!("{name}: BAD — {e}");
+                        println!(
+                            "{name:<file_w$}  {:<10}  BAD     {:>16}  {:>5}  {:>5}  {e}",
+                            "-", "-", "-", "-"
+                        );
                     }
                 }
             }

@@ -29,7 +29,7 @@ use towerlens_core::engine::checkpoint::{decode_usize, fnv1a64, BodyReader};
 use towerlens_core::engine::{
     decode_normalized, decode_patterns, encode_normalized, encode_patterns, fsck_file,
     CheckpointError, CheckpointStore, EngineError, FsckInfo, Graph, RunReport, Stage, StageCodec,
-    StageContext, StageOutput,
+    StageContext, StageOutput, Supervisor,
 };
 use towerlens_core::identifier::{IdentifiedPatterns, IdentifierConfig, PatternIdentifier};
 use towerlens_core::labeling::{label_clusters_parts, GeoLabels};
@@ -656,6 +656,22 @@ pub fn analyze_instrumented(
     options: &AnalyzeOptions,
     resume: Option<&Path>,
 ) -> Result<(AnalyzeSummary, RunReport), Box<dyn std::error::Error>> {
+    analyze_instrumented_with(dir, options, resume, &Supervisor::default())
+}
+
+/// As [`analyze_instrumented`], under a [`Supervisor`]: transient
+/// stage and checkpoint-I/O failures retry with deterministic seeded
+/// backoff, and stages may carry a watchdog wall-time budget. This is
+/// what `analyze --retries N --stage-timeout-ms MS` runs.
+///
+/// # Errors
+/// As [`analyze_instrumented`], plus stage-timeout errors.
+pub fn analyze_instrumented_with(
+    dir: &Path,
+    options: &AnalyzeOptions,
+    resume: Option<&Path>,
+    supervisor: &Supervisor,
+) -> Result<(AnalyzeSummary, RunReport), Box<dyn std::error::Error>> {
     let store = match resume {
         Some(ckpt_dir) => Some(CheckpointStore::open(
             ckpt_dir,
@@ -663,7 +679,7 @@ pub fn analyze_instrumented(
         )?),
         None => None,
     };
-    let mut outcome = analyze_graph(dir, options).run(store.as_ref())?;
+    let mut outcome = analyze_graph(dir, options).run_with(store.as_ref(), supervisor)?;
     let CliArtifact::Vectors {
         parsed, cleaned, ..
     } = outcome.take("vectorize")?
@@ -731,12 +747,26 @@ pub fn run_study(
     config: StudyConfig,
     resume: Option<&Path>,
 ) -> Result<(PartialStudyReport, RunReport), Box<dyn std::error::Error>> {
+    run_study_with(config, resume, &Supervisor::default())
+}
+
+/// As [`run_study`], under a [`Supervisor`] — retries, per-stage
+/// deadlines, and the circuit breaker on top of the resilient study
+/// path. This is what `study --retries N --stage-timeout-ms MS` runs.
+///
+/// # Errors
+/// As [`run_study`], plus stage-timeout errors from required stages.
+pub fn run_study_with(
+    config: StudyConfig,
+    resume: Option<&Path>,
+    supervisor: &Supervisor,
+) -> Result<(PartialStudyReport, RunReport), Box<dyn std::error::Error>> {
     let study = Study::new(config);
     let store = match resume {
         Some(dir) => Some(CheckpointStore::open(dir, study.checkpoint_fingerprint())?),
         None => None,
     };
-    Ok(study.run_resilient(store.as_ref())?)
+    Ok(study.run_resilient_with(store.as_ref(), supervisor)?)
 }
 
 /// One `doctor` verdict: the checkpoint's file name and its fsck
@@ -747,11 +777,17 @@ pub type DoctorRow = (String, Result<FsckInfo, CheckpointError>);
 ///
 /// Returns one `(file name, verdict)` row per checkpoint; a damaged
 /// file is a per-file [`CheckpointError`], not a hard error, so one
-/// corrupt checkpoint never hides the health of the others.
+/// corrupt checkpoint never hides the health of the others. With
+/// `expected_fingerprint`, every file is additionally pinned to that
+/// configuration fingerprint, so stale checkpoints from an older
+/// config surface as damage instead of passing as healthy files.
 ///
 /// # Errors
 /// Only directory-level I/O failures (missing or unreadable dir).
-pub fn doctor_checkpoints(dir: &Path) -> Result<Vec<DoctorRow>, std::io::Error> {
+pub fn doctor_checkpoints(
+    dir: &Path,
+    expected_fingerprint: Option<u64>,
+) -> Result<Vec<DoctorRow>, std::io::Error> {
     let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)?
         .filter_map(|entry| {
             let path = entry.ok()?.path();
@@ -766,7 +802,7 @@ pub fn doctor_checkpoints(dir: &Path) -> Result<Vec<DoctorRow>, std::io::Error> 
                 .file_name()
                 .map(|n| n.to_string_lossy().into_owned())
                 .unwrap_or_default();
-            (name, fsck_file(&path, None))
+            (name, fsck_file(&path, expected_fingerprint))
         })
         .collect())
 }

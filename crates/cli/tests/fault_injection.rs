@@ -198,7 +198,7 @@ fn corrupt_checkpoint_recomputes_bit_identically() {
         .expect("truncate checkpoint");
 
     // The doctor sees the damage…
-    let rows = doctor_checkpoints(&ckpt).expect("doctor");
+    let rows = doctor_checkpoints(&ckpt, None).expect("doctor");
     assert!(!rows.is_empty());
     assert!(
         rows.iter().any(|(_, verdict)| verdict.is_err()),
@@ -223,7 +223,7 @@ fn corrupt_checkpoint_recomputes_bit_identically() {
     );
 
     // The rewritten checkpoint is healthy again.
-    let rows = doctor_checkpoints(&ckpt).expect("doctor after heal");
+    let rows = doctor_checkpoints(&ckpt, None).expect("doctor after heal");
     assert!(rows.iter().all(|(_, verdict)| verdict.is_ok()));
     let _ = std::fs::remove_dir_all(&ckpt);
 }

@@ -28,8 +28,10 @@
 
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use super::stage::{Card, StageCodec};
+use super::supervisor::{FaultOp, IoFaultInjector};
 
 /// Magic first line of every checkpoint file.
 const MAGIC: &str = "towerlens-checkpoint v2";
@@ -346,18 +348,49 @@ fn verify_body(
 pub struct CheckpointStore {
     dir: PathBuf,
     fingerprint: u64,
+    /// Transient-I/O failpoint (`TOWERLENS_FAULT_IO`); fires before
+    /// the real filesystem operation so a faulted save leaves no
+    /// partial state behind.
+    injector: Option<Arc<IoFaultInjector>>,
 }
 
 impl CheckpointStore {
     /// Opens (creating if needed) a checkpoint directory for runs of
-    /// the configuration hashed into `fingerprint`.
+    /// the configuration hashed into `fingerprint`. The
+    /// `TOWERLENS_FAULT_IO` failpoint, when set, arms a transient
+    /// fault injector over this store's saves and loads.
     ///
     /// # Errors
     /// [`CheckpointError::Io`] when the directory cannot be created.
     pub fn open(dir: impl Into<PathBuf>, fingerprint: u64) -> Result<Self, CheckpointError> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir).map_err(|e| io_err(&dir, e))?;
-        Ok(CheckpointStore { dir, fingerprint })
+        Ok(CheckpointStore {
+            dir,
+            fingerprint,
+            injector: IoFaultInjector::from_env().map(Arc::new),
+        })
+    }
+
+    /// Replaces the store's fault injector (builder style) — the
+    /// in-process hook tests use instead of the environment variable.
+    pub fn with_injector(mut self, injector: IoFaultInjector) -> Self {
+        self.injector = Some(Arc::new(injector));
+        self
+    }
+
+    /// Raises an injected transient fault for `op` on `stage`, when
+    /// the injector says so.
+    fn injected_fault(&self, op: FaultOp, stage: &str) -> Result<(), CheckpointError> {
+        if let Some(inj) = &self.injector {
+            if inj.should_fail(op, stage) {
+                return Err(CheckpointError::Io {
+                    path: self.path_of(stage).display().to_string(),
+                    message: "injected transient I/O fault (TOWERLENS_FAULT_IO)".to_string(),
+                });
+            }
+        }
+        Ok(())
     }
 
     /// The configuration fingerprint this store validates against.
@@ -370,7 +403,10 @@ impl CheckpointStore {
         self.dir.join(format!("{stage}.ckpt"))
     }
 
-    /// Persists a stage artifact (atomically: temp file + rename).
+    /// Persists a stage artifact (atomically: temp file + rename,
+    /// with the temp file fsynced before the rename and the parent
+    /// directory fsynced best-effort after it, so a power loss cannot
+    /// leave a complete-looking-but-unsynced checkpoint behind).
     ///
     /// # Errors
     /// [`CheckpointError::Io`] on filesystem failure,
@@ -384,6 +420,7 @@ impl CheckpointStore {
         codec: &dyn StageCodec<A>,
         artifact: &A,
     ) -> Result<(), CheckpointError> {
+        self.injected_fault(FaultOp::Save, stage)?;
         let mut body = String::new();
         codec
             .encode(artifact, &mut body)
@@ -416,8 +453,18 @@ impl CheckpointStore {
         let mut f = std::fs::File::create(&tmp).map_err(|e| io_err(&tmp, e))?;
         f.write_all(text.as_bytes()).map_err(|e| io_err(&tmp, e))?;
         f.flush().map_err(|e| io_err(&tmp, e))?;
+        // Durability, not just atomicity: the rename must not land
+        // before the data — otherwise a power loss can leave a
+        // complete-looking file full of holes.
+        f.sync_all().map_err(|e| io_err(&tmp, e))?;
         drop(f);
-        std::fs::rename(&tmp, &path).map_err(|e| io_err(&path, e))
+        std::fs::rename(&tmp, &path).map_err(|e| io_err(&path, e))?;
+        // Best-effort: persist the rename itself. Not all platforms
+        // support fsync on directories, so failures are ignored.
+        if let Ok(d) = std::fs::File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
+        Ok(())
     }
 
     /// Loads a stage artifact, if a valid checkpoint with a matching
@@ -438,6 +485,7 @@ impl CheckpointStore {
         stage: &str,
         codec: &dyn StageCodec<A>,
     ) -> Result<Option<(A, Vec<Card>)>, CheckpointError> {
+        self.injected_fault(FaultOp::Load, stage)?;
         let path = self.path_of(stage);
         let text = match std::fs::read_to_string(&path) {
             Ok(t) => t,

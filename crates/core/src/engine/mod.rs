@@ -34,6 +34,7 @@ pub mod report;
 pub mod runner;
 pub mod stage;
 pub mod study_stages;
+pub mod supervisor;
 
 pub use checkpoint::{fnv1a64, fsck_file, CheckpointError, CheckpointStore, FsckInfo};
 pub use report::{RunReport, StageReport, StageStatus};
@@ -42,6 +43,10 @@ pub use stage::{Card, Stage, StageCodec, StageContext, StageOutput};
 pub use study_stages::{
     decode_normalized, decode_patterns, encode_normalized, encode_patterns, study_fingerprint,
     study_graph, StudyArtifact,
+};
+pub use supervisor::{
+    backoff_delay, BreakerPolicy, FaultOp, IoFaultInjector, RetryPolicy, Supervisor,
+    TRANSIENT_PREFIX,
 };
 
 /// Errors surfaced by graph validation and execution.
@@ -87,6 +92,14 @@ pub enum EngineError {
         /// The rendered panic payload.
         message: String,
     },
+    /// A stage overran its supervised wall-time budget and was
+    /// declared lost by the watchdog.
+    StageTimedOut {
+        /// The overrunning stage.
+        stage: String,
+        /// The budget it blew, in milliseconds.
+        budget_ms: u64,
+    },
     /// A checkpoint could not be read or written.
     Checkpoint(CheckpointError),
 }
@@ -114,6 +127,12 @@ impl std::fmt::Display for EngineError {
             }
             EngineError::StagePanicked { stage, message } => {
                 write!(f, "stage `{stage}` panicked: {message}")
+            }
+            EngineError::StageTimedOut { stage, budget_ms } => {
+                write!(
+                    f,
+                    "stage `{stage}` exceeded its {budget_ms} ms budget and was declared lost"
+                )
             }
             EngineError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
         }

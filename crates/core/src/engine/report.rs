@@ -66,6 +66,17 @@ pub struct StageReport {
     pub cards: Vec<Card>,
     /// The rendered failure, for [`StageStatus::Failed`] stages.
     pub error: Option<String>,
+    /// How many execution attempts the stage consumed: 1 for a clean
+    /// run, +1 per supervised retry (compute, checkpoint probe, or
+    /// checkpoint save), 0 for stages that did no work (skipped /
+    /// pruned).
+    pub attempts: u32,
+    /// Whether the watchdog declared this stage lost after it overran
+    /// its supervised wall-time budget.
+    pub timed_out: bool,
+    /// Whether the supervisor's circuit breaker opened on this stage
+    /// (an optional stage that kept flapping stopped retrying early).
+    pub breaker_opened: bool,
 }
 
 /// The full instrumentation record of one graph run.
@@ -123,6 +134,7 @@ impl RunReport {
                         .map(|c| (c.label.to_string(), c.value))
                         .collect(),
                     error: s.error.clone(),
+                    attempts: u64::from(s.attempts),
                 }
             })
             .collect()
@@ -132,11 +144,32 @@ impl RunReport {
     /// `core.engine.stages_<status>` counter increment per stage, one
     /// `core.engine.stage.<name>` timer observation per stage that did
     /// work (ran or cached), and a `core.engine.runs` counter plus
-    /// `core.engine.total` timer per run. The engine runner calls this
-    /// against the [`towerlens_obs::global`] registry for every run.
+    /// `core.engine.total` timer per run. Supervision activity feeds
+    /// three more counters — `core.engine.stage_retries_total`,
+    /// `core.engine.stage_timeouts_total`, and
+    /// `core.engine.breaker_open_total` — which are registered (at
+    /// zero) even on quiet runs so metric dumps keep a stable key set.
+    /// The engine runner calls this against the
+    /// [`towerlens_obs::global`] registry for every run.
     pub fn feed_registry(&self, registry: &towerlens_obs::Registry) {
         registry.counter("core.engine.runs").inc();
         registry.timer("core.engine.total").observe(self.total);
+        let retries: u64 = self
+            .stages
+            .iter()
+            .map(|s| u64::from(s.attempts.saturating_sub(1)))
+            .sum();
+        registry
+            .counter("core.engine.stage_retries_total")
+            .add(retries);
+        let timeouts = self.stages.iter().filter(|s| s.timed_out).count() as u64;
+        registry
+            .counter("core.engine.stage_timeouts_total")
+            .add(timeouts);
+        let breakers = self.stages.iter().filter(|s| s.breaker_opened).count() as u64;
+        registry
+            .counter("core.engine.breaker_open_total")
+            .add(breakers);
         for s in &self.stages {
             match s.status {
                 StageStatus::Ran => registry.counter("core.engine.stages_ran").inc(),
@@ -174,6 +207,12 @@ impl RunReport {
                 .map(|c| c.to_string())
                 .collect::<Vec<_>>()
                 .join(" ");
+            if s.attempts > 1 {
+                if !cards.is_empty() {
+                    cards.push(' ');
+                }
+                cards.push_str(&format!("attempts={}", s.attempts));
+            }
             if let Some(error) = &s.error {
                 if !cards.is_empty() {
                     cards.push(' ');
@@ -213,11 +252,12 @@ impl RunReport {
                 out.push(',');
             }
             out.push_str(&format!(
-                "{{\"name\":\"{}\",\"wave\":{},\"status\":\"{}\",\"wall_ms\":{:.3},\"cards\":{{",
+                "{{\"name\":\"{}\",\"wave\":{},\"status\":\"{}\",\"wall_ms\":{:.3},\"attempts\":{},\"cards\":{{",
                 json_escape(s.name),
                 s.wave,
                 s.status.label(),
-                s.wall.as_secs_f64() * 1e3
+                s.wall.as_secs_f64() * 1e3,
+                s.attempts
             ));
             for (j, c) in s.cards.iter().enumerate() {
                 if j > 0 {
@@ -226,6 +266,12 @@ impl RunReport {
                 out.push_str(&format!("\"{}\":{}", json_escape(&c.label), c.value));
             }
             out.push('}');
+            if s.timed_out {
+                out.push_str(",\"timed_out\":true");
+            }
+            if s.breaker_opened {
+                out.push_str(",\"breaker_opened\":true");
+            }
             if let Some(error) = &s.error {
                 out.push_str(&format!(",\"error\":\"{}\"", json_escape(error)));
             }
@@ -269,6 +315,9 @@ mod tests {
                     wall: Duration::from_micros(1_500),
                     cards: vec![Card::new("towers", 120)],
                     error: None,
+                    attempts: 1,
+                    timed_out: false,
+                    breaker_opened: false,
                 },
                 StageReport {
                     name: "cluster",
@@ -278,6 +327,9 @@ mod tests {
                     wall: Duration::from_millis(12),
                     cards: vec![Card::new("k", 5), Card::new("vectors", 118)],
                     error: None,
+                    attempts: 1,
+                    timed_out: false,
+                    breaker_opened: false,
                 },
             ],
             total: Duration::from_millis(14),
@@ -297,9 +349,46 @@ mod tests {
             wall: Duration::ZERO,
             cards: Vec::new(),
             error: None,
+            attempts: 0,
+            timed_out: false,
+            breaker_opened: false,
         });
         r.warnings
             .push("checkpoint for stage `city` is unusable; recomputing".into());
+        r
+    }
+
+    /// A run that exercised the supervisor: a retried stage, a
+    /// watchdog timeout, and an opened circuit breaker.
+    fn supervised() -> RunReport {
+        let mut r = sample();
+        r.stages[1].attempts = 3;
+        r.stages.push(StageReport {
+            name: "frequency",
+            wave: 2,
+            status: StageStatus::Failed,
+            start: Duration::from_millis(13),
+            wall: Duration::from_millis(2_000),
+            cards: Vec::new(),
+            error: Some(
+                "stage `frequency` exceeded its 2000 ms budget and was declared lost".into(),
+            ),
+            attempts: 1,
+            timed_out: true,
+            breaker_opened: false,
+        });
+        r.stages.push(StageReport {
+            name: "label",
+            wave: 2,
+            status: StageStatus::Failed,
+            start: Duration::from_millis(13),
+            wall: Duration::from_millis(1),
+            cards: Vec::new(),
+            error: Some("stage `label` failed: transient: flaky".into()),
+            attempts: 3,
+            timed_out: false,
+            breaker_opened: true,
+        });
         r
     }
 
@@ -381,6 +470,47 @@ mod tests {
         assert_eq!(snap.timers["core.engine.stage.cluster"].count, 1);
         assert!(!snap.timers.contains_key("core.engine.stage.label"));
         assert_eq!(snap.timers["core.engine.total"].count, 2);
+    }
+
+    #[test]
+    fn supervision_counters_register_even_when_quiet() {
+        let registry = towerlens_obs::Registry::new();
+        sample().feed_registry(&registry);
+        let quiet = registry.snapshot();
+        for name in [
+            "core.engine.stage_retries_total",
+            "core.engine.stage_timeouts_total",
+            "core.engine.breaker_open_total",
+        ] {
+            assert!(quiet.counters.contains_key(name), "missing {name}");
+            assert_eq!(quiet.counter(name), 0, "{name} nonzero on a quiet run");
+        }
+    }
+
+    #[test]
+    fn supervision_activity_feeds_counters_and_json() {
+        let registry = towerlens_obs::Registry::new();
+        supervised().feed_registry(&registry);
+        let snap = registry.snapshot();
+        // cluster: 3 attempts = 2 retries; label: 3 attempts = 2 more.
+        assert_eq!(snap.counter("core.engine.stage_retries_total"), 4);
+        assert_eq!(snap.counter("core.engine.stage_timeouts_total"), 1);
+        assert_eq!(snap.counter("core.engine.breaker_open_total"), 1);
+
+        let json = supervised().to_json();
+        assert!(json.contains("\"attempts\":3"));
+        assert!(json.contains("\"timed_out\":true"));
+        assert!(json.contains("\"breaker_opened\":true"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+
+        let table = supervised().render_table();
+        assert!(table.contains("attempts=3"));
+        // Span events carry the attempt count through to the log.
+        let spans = supervised().spans();
+        assert_eq!(
+            spans.iter().find(|s| s.name == "label").unwrap().attempts,
+            3
+        );
     }
 
     #[test]

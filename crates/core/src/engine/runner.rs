@@ -2,11 +2,14 @@
 
 use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use super::checkpoint::{CheckpointError, CheckpointStore};
 use super::report::{RunReport, StageReport, StageStatus};
 use super::stage::{Card, Stage, StageContext, StageOutput};
+use super::supervisor::Supervisor;
 use super::EngineError;
 
 /// Renders a panic payload — the common `&str`/`String` cases; other
@@ -30,6 +33,65 @@ fn fault_panic(stage: &str) {
     if std::env::var("TOWERLENS_FAULT_PANIC").as_deref() == Ok(stage) {
         panic!("injected fault: TOWERLENS_FAULT_PANIC={stage}");
     }
+}
+
+/// Straggler failpoint: sleeps inside the named stage when
+/// `TOWERLENS_FAULT_SLEEP=<stage>:<ms>` names it, so the watchdog's
+/// deadline path can be exercised against the real graph.
+fn fault_sleep(stage: &str) {
+    if let Ok(spec) = std::env::var("TOWERLENS_FAULT_SLEEP") {
+        if let Some((name, ms)) = spec.split_once(':') {
+            if name == stage {
+                if let Ok(ms) = ms.parse::<u64>() {
+                    std::thread::sleep(Duration::from_millis(ms));
+                }
+            }
+        }
+    }
+}
+
+/// Crash failpoint: aborts the process immediately after the k-th
+/// successful checkpoint save when `TOWERLENS_FAULT_KILL=<k>` is set.
+/// This is the chaos harness's kill switch — the abort happens *after*
+/// the save (and its fsync) completed, so exactly k durable
+/// checkpoints survive the crash.
+fn fault_kill_tick() {
+    static SAVES: AtomicUsize = AtomicUsize::new(0);
+    if let Ok(spec) = std::env::var("TOWERLENS_FAULT_KILL") {
+        if let Ok(k) = spec.parse::<usize>() {
+            if SAVES.fetch_add(1, Ordering::SeqCst) + 1 == k {
+                eprintln!("injected crash: TOWERLENS_FAULT_KILL={k} (aborting after {k} checkpoint saves)");
+                std::process::abort();
+            }
+        }
+    }
+}
+
+/// What one stage execution attempt chain produced: the final
+/// result plus the supervision bookkeeping the report needs.
+struct StageRun<A> {
+    index: usize,
+    result: Result<StageOutput<A>, EngineError>,
+    start: Duration,
+    wall: Duration,
+    attempts: u32,
+    breaker_opened: bool,
+}
+
+/// Messages on the watchdog channel: a finished stage, or the
+/// monitor thread declaring the wave's deadline blown.
+enum WatchMsg<A> {
+    Done(StageRun<A>),
+    Expired,
+}
+
+/// A checkpoint probe hit, with the retry count it took to get it.
+struct CachedProbe<A> {
+    artifact: A,
+    cards: Vec<Card>,
+    start: Duration,
+    wall: Duration,
+    attempts: u32,
 }
 
 /// A set of stages forming a dependency DAG, executed in topological
@@ -175,6 +237,35 @@ impl<A: Send + Sync> Graph<A> {
     /// Scheduling errors, checkpoint I/O errors, and the first failing
     /// non-optional stage's error.
     pub fn run(&self, store: Option<&CheckpointStore>) -> Result<RunOutcome<A>, EngineError> {
+        self.run_with(store, &Supervisor::default())
+    }
+
+    /// As [`Graph::run`], under a [`Supervisor`]: transient failures
+    /// (checkpoint I/O errors and stage errors raised via
+    /// [`StageContext::fail_transient`]) are retried up to the
+    /// supervisor's budget with deterministic seeded backoff; an
+    /// optional per-stage wall-time budget is enforced by a watchdog
+    /// monitor thread (an overrunning stage is declared lost with
+    /// [`EngineError::StageTimedOut`], which degrades optional stages
+    /// and fails the run for required ones); and a circuit breaker
+    /// stops retrying a flapping optional stage after N consecutive
+    /// failures. `Supervisor::default()` reproduces [`Graph::run`]
+    /// exactly.
+    ///
+    /// The watchdog bounds when a stage's result is *declared lost*,
+    /// not the worker thread's lifetime: a truly hung stage still
+    /// holds its scoped thread until it returns (killing threads is
+    /// unsound); process-level supervision is the chaos harness's
+    /// job.
+    ///
+    /// # Errors
+    /// As [`Graph::run`], plus [`EngineError::StageTimedOut`] for a
+    /// required stage that blew its budget.
+    pub fn run_with(
+        &self,
+        store: Option<&CheckpointStore>,
+        supervisor: &Supervisor,
+    ) -> Result<RunOutcome<A>, EngineError> {
         let started = Instant::now();
         let waves = self.waves()?;
         let index: HashMap<&'static str, usize> = self
@@ -187,18 +278,43 @@ impl<A: Send + Sync> Graph<A> {
 
         // Probe checkpoints up front: demand pruning needs the full
         // hit set before the first wave starts. A damaged file is a
-        // cache miss with a warning, not a dead run.
-        let mut cached: HashMap<&'static str, (A, Vec<Card>, Duration, Duration)> = HashMap::new();
+        // cache miss with a warning, not a dead run; a transient I/O
+        // error retries under the supervisor's budget before
+        // aborting.
+        let mut cached: HashMap<&'static str, CachedProbe<A>> = HashMap::new();
+        let mut probe_retries: HashMap<&'static str, u32> = HashMap::new();
         if let Some(store) = store {
             for s in &self.stages {
                 if let Some(codec) = s.codec() {
                     let probe_started = Instant::now();
                     let probe_offset = probe_started.duration_since(started);
-                    match store.load(s.name(), codec) {
+                    let mut retries = 0u32;
+                    let outcome = loop {
+                        match store.load(s.name(), codec) {
+                            Err(e @ CheckpointError::Io { .. })
+                                if retries < supervisor.retry.retries =>
+                            {
+                                drop(e);
+                                std::thread::sleep(supervisor.retry.delay(s.name(), retries));
+                                retries += 1;
+                            }
+                            other => break other,
+                        }
+                    };
+                    if retries > 0 {
+                        probe_retries.insert(s.name(), retries);
+                    }
+                    match outcome {
                         Ok(Some((artifact, cards))) => {
                             cached.insert(
                                 s.name(),
-                                (artifact, cards, probe_offset, probe_started.elapsed()),
+                                CachedProbe {
+                                    artifact,
+                                    cards,
+                                    start: probe_offset,
+                                    wall: probe_started.elapsed(),
+                                    attempts: retries + 1,
+                                },
                             );
                         }
                         Ok(None) => {}
@@ -240,21 +356,24 @@ impl<A: Send + Sync> Graph<A> {
             let wave_offset = started.elapsed();
             let mut to_run: Vec<usize> = Vec::new();
             for &name in wave {
-                if let Some((artifact, cards, probe_offset, load)) = cached.remove(name) {
+                if let Some(probe) = cached.remove(name) {
                     // A cached artifact is usable even when a
                     // dependency failed — the checkpoint already holds
                     // the finished product.
-                    artifacts.insert(name, artifact);
+                    artifacts.insert(name, probe.artifact);
                     reports.insert(
                         name,
                         StageReport {
                             name,
                             wave: w,
                             status: StageStatus::Cached,
-                            start: probe_offset,
-                            wall: load,
-                            cards,
+                            start: probe.start,
+                            wall: probe.wall,
+                            cards: probe.cards,
                             error: None,
+                            attempts: probe.attempts,
+                            timed_out: false,
+                            breaker_opened: false,
                         },
                     );
                 } else if self.stages[index[name]]
@@ -273,6 +392,9 @@ impl<A: Send + Sync> Graph<A> {
                             wall: Duration::ZERO,
                             cards: Vec::new(),
                             error: None,
+                            attempts: 0,
+                            timed_out: false,
+                            breaker_opened: false,
                         },
                     );
                 } else if !demanded.contains(name) {
@@ -286,6 +408,9 @@ impl<A: Send + Sync> Graph<A> {
                             wall: Duration::ZERO,
                             cards: Vec::new(),
                             error: None,
+                            attempts: 0,
+                            timed_out: false,
+                            breaker_opened: false,
                         },
                     );
                 } else {
@@ -293,31 +418,125 @@ impl<A: Send + Sync> Graph<A> {
                 }
             }
 
-            type StageResult<A> = (
-                usize,
-                Result<StageOutput<A>, EngineError>,
-                Duration,
-                Duration,
-            );
-            let run_one = |i: usize, artifacts: &HashMap<&'static str, A>| -> StageResult<A> {
+            let run_one = |i: usize, artifacts: &HashMap<&'static str, A>| -> StageRun<A> {
                 let stage = &self.stages[i];
+                let name = stage.name();
                 let stage_started = Instant::now();
                 let stage_offset = stage_started.duration_since(started);
-                // Contain panics so one sick stage cannot take down
-                // its wave siblings (or the process).
-                let result = catch_unwind(AssertUnwindSafe(|| {
-                    fault_panic(stage.name());
-                    stage.run(&StageContext::new(stage.name(), artifacts))
-                }))
-                .unwrap_or_else(|payload| {
-                    Err(EngineError::StagePanicked {
-                        stage: stage.name().to_string(),
-                        message: panic_message(payload),
-                    })
-                });
-                (i, result, stage_offset, stage_started.elapsed())
+                let mut attempts: u32 = 0;
+                let mut breaker_opened = false;
+                let result = loop {
+                    attempts += 1;
+                    // Contain panics so one sick stage cannot take
+                    // down its wave siblings (or the process).
+                    let attempt = catch_unwind(AssertUnwindSafe(|| {
+                        fault_sleep(name);
+                        fault_panic(name);
+                        stage.run(&StageContext::new(name, artifacts))
+                    }))
+                    .unwrap_or_else(|payload| {
+                        Err(EngineError::StagePanicked {
+                            stage: name.to_string(),
+                            message: panic_message(payload),
+                        })
+                    });
+                    match attempt {
+                        Err(e) if e.is_transient() && attempts <= supervisor.retry.retries => {
+                            // Circuit breaker: an optional stage that
+                            // keeps flapping stops burning its retry
+                            // budget — the graph degrades it instead.
+                            if stage.optional() && attempts >= supervisor.breaker.threshold {
+                                breaker_opened = true;
+                                break Err(e);
+                            }
+                            std::thread::sleep(supervisor.retry.delay(name, attempts - 1));
+                        }
+                        other => break other,
+                    }
+                };
+                StageRun {
+                    index: i,
+                    result,
+                    start: stage_offset,
+                    wall: stage_started.elapsed(),
+                    attempts,
+                    breaker_opened,
+                }
             };
-            let results: Vec<StageResult<A>> = if to_run.len() <= 1 {
+            let mut results: Vec<StageRun<A>> = if let Some(budget) = supervisor.stage_timeout {
+                if to_run.is_empty() {
+                    Vec::new()
+                } else {
+                    // Watchdog path: workers report completions over a
+                    // channel; a monitor thread injects `Expired` when
+                    // the wave's per-stage budget lapses, and every
+                    // still-unfinished stage is declared lost. Late
+                    // results are discarded (the scope still joins the
+                    // stragglers before the wave commits).
+                    let shared = &artifacts;
+                    let run_one = &run_one;
+                    std::thread::scope(|scope| {
+                        let (tx, rx) = mpsc::channel::<WatchMsg<A>>();
+                        for &i in &to_run {
+                            let tx = tx.clone();
+                            scope.spawn(move || {
+                                let _ = tx.send(WatchMsg::Done(run_one(i, shared)));
+                            });
+                        }
+                        let finished = Arc::new((Mutex::new(false), Condvar::new()));
+                        {
+                            let finished = Arc::clone(&finished);
+                            let tx = tx.clone();
+                            scope.spawn(move || {
+                                let (flag, bell) = &*finished;
+                                let guard = flag.lock().unwrap();
+                                let (_guard, timeout) = bell
+                                    .wait_timeout_while(guard, budget, |done| !*done)
+                                    .unwrap();
+                                if timeout.timed_out() {
+                                    let _ = tx.send(WatchMsg::Expired);
+                                }
+                            });
+                        }
+                        drop(tx);
+                        let mut results: Vec<StageRun<A>> = Vec::new();
+                        let mut seen: HashSet<usize> = HashSet::new();
+                        while seen.len() < to_run.len() {
+                            match rx.recv() {
+                                Ok(WatchMsg::Done(run)) => {
+                                    seen.insert(run.index);
+                                    results.push(run);
+                                }
+                                Ok(WatchMsg::Expired) => {
+                                    for &i in &to_run {
+                                        if !seen.contains(&i) {
+                                            results.push(StageRun {
+                                                index: i,
+                                                result: Err(EngineError::StageTimedOut {
+                                                    stage: self.stages[i].name().to_string(),
+                                                    budget_ms: budget.as_millis() as u64,
+                                                }),
+                                                start: wave_offset,
+                                                wall: budget,
+                                                attempts: 1,
+                                                breaker_opened: false,
+                                            });
+                                        }
+                                    }
+                                    break;
+                                }
+                                Err(_) => break,
+                            }
+                        }
+                        // Release the monitor thread before the scope
+                        // joins it.
+                        let (flag, bell) = &*finished;
+                        *flag.lock().unwrap() = true;
+                        bell.notify_all();
+                        results
+                    })
+                }
+            } else if to_run.len() <= 1 {
                 // A single runnable stage executes inline: no
                 // thread spawn on the (common) sequential spine.
                 to_run.iter().map(|&i| run_one(i, &artifacts)).collect()
@@ -335,9 +554,24 @@ impl<A: Send + Sync> Graph<A> {
                         .collect()
                 })
             };
+            // Commit in registration order whatever order the wave's
+            // threads finished in, so the first-error semantics stay
+            // deterministic.
+            results.sort_by_key(|r| r.index);
 
-            for (i, result, start, mut wall) in results {
+            for run in results {
+                let StageRun {
+                    index: i,
+                    result,
+                    start,
+                    mut wall,
+                    mut attempts,
+                    breaker_opened,
+                } = run;
                 let stage = &self.stages[i];
+                let name = stage.name();
+                attempts += probe_retries.get(name).copied().unwrap_or(0);
+                let timed_out = matches!(result, Err(EngineError::StageTimedOut { .. }));
                 let output = match result {
                     Ok(output) => output,
                     Err(e) => {
@@ -346,17 +580,20 @@ impl<A: Send + Sync> Graph<A> {
                         if !contained {
                             return Err(e);
                         }
-                        unavailable.insert(stage.name());
+                        unavailable.insert(name);
                         reports.insert(
-                            stage.name(),
+                            name,
                             StageReport {
-                                name: stage.name(),
+                                name,
                                 wave: w,
                                 status: StageStatus::Failed,
                                 start,
                                 wall,
                                 cards: Vec::new(),
                                 error: Some(e.to_string()),
+                                attempts,
+                                timed_out,
+                                breaker_opened,
                             },
                         );
                         continue;
@@ -364,22 +601,40 @@ impl<A: Send + Sync> Graph<A> {
                 };
                 if let (Some(store), Some(codec)) = (store, stage.codec()) {
                     let save_started = Instant::now();
-                    store.save(stage.name(), &output.cards, codec, &output.artifact)?;
+                    let mut save_retries = 0u32;
+                    loop {
+                        match store.save(name, &output.cards, codec, &output.artifact) {
+                            Ok(()) => break,
+                            Err(e @ CheckpointError::Io { .. })
+                                if save_retries < supervisor.retry.retries =>
+                            {
+                                drop(e);
+                                std::thread::sleep(supervisor.retry.delay(name, save_retries));
+                                save_retries += 1;
+                                attempts += 1;
+                            }
+                            Err(e) => return Err(e.into()),
+                        }
+                    }
+                    fault_kill_tick();
                     wall += save_started.elapsed();
                 }
                 reports.insert(
-                    stage.name(),
+                    name,
                     StageReport {
-                        name: stage.name(),
+                        name,
                         wave: w,
                         status: StageStatus::Ran,
                         start,
                         wall,
                         cards: output.cards,
                         error: None,
+                        attempts,
+                        timed_out: false,
+                        breaker_opened: false,
                     },
                 );
-                artifacts.insert(stage.name(), output.artifact);
+                artifacts.insert(name, output.artifact);
             }
         }
 
@@ -791,5 +1046,212 @@ mod tests {
         counted_chain(&counts).run(None).unwrap();
         counted_chain(&counts).run(None).unwrap();
         assert_eq!(counts[1].load(Ordering::SeqCst), 2);
+    }
+
+    use super::super::supervisor::IoFaultInjector;
+
+    /// A supervisor whose backoff unit is tiny, so retry tests spend
+    /// microseconds sleeping instead of the production 25 ms base.
+    fn fast_supervisor(retries: u32, stage_timeout: Option<Duration>) -> Supervisor {
+        let mut sup = Supervisor::new(retries, stage_timeout);
+        sup.retry.base = Duration::from_micros(50);
+        sup
+    }
+
+    #[test]
+    fn transient_failures_retry_to_success() {
+        let tries = Arc::new(AtomicUsize::new(0));
+        let t = Arc::clone(&tries);
+        let g = Graph::new().add_stage(TestStage::new("flaky", &[], move |ctx| {
+            if t.fetch_add(1, Ordering::SeqCst) < 2 {
+                Err(ctx.fail_transient("blip"))
+            } else {
+                Ok(StageOutput::new(7))
+            }
+        }));
+        let mut outcome = g.run_with(None, &fast_supervisor(3, None)).unwrap();
+        assert_eq!(outcome.take("flaky").unwrap(), 7);
+        let report = outcome.report.stage("flaky").unwrap();
+        assert_eq!(report.status, StageStatus::Ran);
+        assert_eq!(report.attempts, 3);
+        assert_eq!(tries.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_surfaces_the_final_error() {
+        let tries = Arc::new(AtomicUsize::new(0));
+        let t = Arc::clone(&tries);
+        let g = Graph::new().add_stage(TestStage::new("flaky", &[], move |ctx| {
+            t.fetch_add(1, Ordering::SeqCst);
+            Err(ctx.fail_transient("still down"))
+        }));
+        match g.run_with(None, &fast_supervisor(2, None)) {
+            Err(EngineError::Stage { stage, message }) => {
+                assert_eq!(stage, "flaky");
+                assert!(message.contains("still down"));
+            }
+            other => panic!("expected stage failure, got {other:?}"),
+        }
+        // One initial try plus the full retry budget.
+        assert_eq!(tries.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn permanent_errors_fail_fast_despite_retry_budget() {
+        let tries = Arc::new(AtomicUsize::new(0));
+        let t = Arc::clone(&tries);
+        let g = Graph::new().add_stage(TestStage::new("broken", &[], move |ctx| {
+            t.fetch_add(1, Ordering::SeqCst);
+            Err(ctx.fail("bad data"))
+        }));
+        assert!(g.run_with(None, &fast_supervisor(5, None)).is_err());
+        assert_eq!(tries.load(Ordering::SeqCst), 1, "permanent error retried");
+    }
+
+    #[test]
+    fn breaker_opens_on_flapping_optional_stage() {
+        let tries = Arc::new(AtomicUsize::new(0));
+        let t = Arc::clone(&tries);
+        let g = Graph::new()
+            .add_stage(
+                TestStage::new("flap", &[], move |ctx| {
+                    t.fetch_add(1, Ordering::SeqCst);
+                    Err(ctx.fail_transient("flap"))
+                })
+                .optional(),
+            )
+            .add_stage(TestStage::new("down", &["flap"], |ctx| {
+                Ok(StageOutput::new(*ctx.artifact("flap")?))
+            }));
+        // Budget of 10 retries, but the breaker (threshold 3) opens
+        // long before it is spent.
+        let outcome = g.run_with(None, &fast_supervisor(10, None)).unwrap();
+        let report = &outcome.report;
+        assert_eq!(report.with_status(StageStatus::Failed), vec!["flap"]);
+        assert_eq!(report.with_status(StageStatus::Pruned), vec!["down"]);
+        let flap = report.stage("flap").unwrap();
+        assert!(flap.breaker_opened);
+        assert_eq!(flap.attempts, 3);
+        assert_eq!(tries.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn watchdog_declares_overrunning_optional_stage_lost() {
+        let g = Graph::new()
+            .add_stage(constant("a", &[], 1))
+            .add_stage(
+                TestStage::new("slow", &["a"], |_| {
+                    std::thread::sleep(Duration::from_millis(400));
+                    Ok(StageOutput::new(9))
+                })
+                .optional(),
+            )
+            .add_stage(TestStage::new("behind", &["slow"], |ctx| {
+                Ok(StageOutput::new(*ctx.artifact("slow")?))
+            }))
+            .add_stage(TestStage::new("sibling", &["a"], |ctx| {
+                Ok(StageOutput::new(ctx.artifact("a")? + 1))
+            }));
+        let sup = Supervisor::new(0, Some(Duration::from_millis(40)));
+        let mut outcome = g.run_with(None, &sup).unwrap();
+        let report = &outcome.report;
+        assert_eq!(report.with_status(StageStatus::Failed), vec!["slow"]);
+        assert_eq!(report.with_status(StageStatus::Pruned), vec!["behind"]);
+        let slow = report.stage("slow").unwrap();
+        assert!(slow.timed_out);
+        let err = slow.error.as_deref().unwrap();
+        assert!(err.contains("40 ms budget"), "{err}");
+        // The sibling's result committed; the straggler's was
+        // discarded even though its thread eventually finished.
+        assert_eq!(outcome.take("sibling").unwrap(), 2);
+        assert!(outcome.take("slow").is_err());
+    }
+
+    #[test]
+    fn required_stage_timeout_fails_the_run() {
+        let g = Graph::new().add_stage(TestStage::new("slow", &[], |_| {
+            std::thread::sleep(Duration::from_millis(300));
+            Ok(StageOutput::new(1))
+        }));
+        let sup = Supervisor::new(0, Some(Duration::from_millis(30)));
+        match g.run_with(None, &sup) {
+            Err(EngineError::StageTimedOut { stage, budget_ms }) => {
+                assert_eq!(stage, "slow");
+                assert_eq!(budget_ms, 30);
+            }
+            other => panic!("expected timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fast_stages_run_unbothered_under_a_deadline() {
+        let store = temp_store("deadline-quiet");
+        let counts: Arc<[AtomicUsize; 3]> = Arc::new(Default::default());
+        let sup = Supervisor::new(1, Some(Duration::from_secs(30)));
+        let mut outcome = counted_chain(&counts).run_with(Some(&store), &sup).unwrap();
+        assert_eq!(outcome.take("c").unwrap(), 60);
+        assert_eq!(
+            outcome.report.with_status(StageStatus::Ran),
+            vec!["a", "b", "c"]
+        );
+        assert!(outcome.report.stages.iter().all(|s| !s.timed_out));
+    }
+
+    #[test]
+    fn injected_save_faults_retry_within_budget() {
+        let store =
+            temp_store("io-retry").with_injector(IoFaultInjector::parse("save:b:2").unwrap());
+        let counts: Arc<[AtomicUsize; 3]> = Arc::new(Default::default());
+        let mut outcome = counted_chain(&counts)
+            .run_with(Some(&store), &fast_supervisor(2, None))
+            .unwrap();
+        assert_eq!(outcome.take("c").unwrap(), 60);
+        let b = outcome.report.stage("b").unwrap();
+        assert_eq!(b.status, StageStatus::Ran);
+        assert_eq!(b.attempts, 3, "1 compute + 2 save retries");
+        // The checkpoint landed after the burst: a fresh run caches it.
+        let second = counted_chain(&counts).run(Some(&store)).unwrap();
+        assert_eq!(second.report.with_status(StageStatus::Cached), vec!["b"]);
+    }
+
+    #[test]
+    fn injected_save_faults_beyond_budget_abort() {
+        let store =
+            temp_store("io-abort").with_injector(IoFaultInjector::parse("save:b:3").unwrap());
+        let counts: Arc<[AtomicUsize; 3]> = Arc::new(Default::default());
+        let err = counted_chain(&counts)
+            .run_with(Some(&store), &fast_supervisor(2, None))
+            .unwrap_err();
+        assert!(
+            matches!(err, EngineError::Checkpoint(CheckpointError::Io { .. })),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn injected_load_faults_retry_during_probe() {
+        let store = temp_store("probe-retry");
+        let counts: Arc<[AtomicUsize; 3]> = Arc::new(Default::default());
+        counted_chain(&counts).run(Some(&store)).unwrap();
+        let store = store.with_injector(IoFaultInjector::parse("load:b:1").unwrap());
+        let mut again = counted_chain(&counts)
+            .run_with(Some(&store), &fast_supervisor(2, None))
+            .unwrap();
+        assert_eq!(again.take("c").unwrap(), 60);
+        let b = again.report.stage("b").unwrap();
+        assert_eq!(b.status, StageStatus::Cached);
+        assert_eq!(b.attempts, 2, "one probe retry before the hit");
+    }
+
+    #[test]
+    fn default_supervisor_reproduces_plain_run() {
+        let store = temp_store("sup-default");
+        let counts: Arc<[AtomicUsize; 3]> = Arc::new(Default::default());
+        let mut via_run = counted_chain(&counts).run(Some(&store)).unwrap();
+        let mut via_sup = counted_chain(&counts)
+            .run_with(Some(&store), &Supervisor::default())
+            .unwrap();
+        assert_eq!(via_run.take("c").unwrap(), via_sup.take("c").unwrap());
+        assert_eq!(via_sup.report.with_status(StageStatus::Cached), vec!["b"]);
     }
 }

@@ -1,0 +1,422 @@
+//! Supervised stage execution: retry policies with deterministic
+//! backoff, watchdog deadlines, a circuit breaker for flapping
+//! optional stages, and seeded transient-I/O fault injection.
+//!
+//! The paper's pipeline ran for a month on a Hadoop cluster (§2),
+//! where stragglers, transient I/O failures, and task restarts are
+//! the norm. This module is the engine's answer: a [`Supervisor`]
+//! bundles
+//!
+//! * a [`RetryPolicy`] — transient failures (checkpoint I/O errors
+//!   and stage errors marked via [`super::StageContext::fail_transient`])
+//!   are retried with seeded exponential backoff + jitter; permanent
+//!   failures fail fast. The backoff schedule is a pure function of
+//!   `(seed, stage, attempt)` — no wall-clock values — so supervised
+//!   runs stay bit-reproducible;
+//! * an optional per-stage wall-time budget enforced by a watchdog
+//!   monitor thread — an overrunning stage is declared lost with a
+//!   typed [`EngineError::StageTimedOut`] that flows through the
+//!   existing failed/pruned semantics;
+//! * a [`BreakerPolicy`] — an optional stage that keeps failing stops
+//!   retrying after N consecutive failures (the breaker *opens*) and
+//!   degrades immediately instead of burning its whole retry budget.
+//!
+//! The [`IoFaultInjector`] sits behind the checkpoint store and makes
+//! saves/loads fail transiently on demand (`TOWERLENS_FAULT_IO`,
+//! mirroring `TOWERLENS_FAULT_PANIC`), so the retry path is exercised
+//! end-to-end by tests rather than asserted in prose.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use towerlens_trace::faults::SplitMix64;
+
+use super::checkpoint::{fnv1a64, CheckpointError};
+use super::EngineError;
+
+/// Marker prefix a stage puts on an error message to classify its own
+/// failure as transient (retryable). See
+/// [`super::StageContext::fail_transient`].
+pub const TRANSIENT_PREFIX: &str = "transient: ";
+
+impl EngineError {
+    /// Whether this failure is worth retrying: checkpoint I/O errors
+    /// (the disk may come back) and stage errors explicitly marked
+    /// transient by the stage itself. Panics, timeouts, scheduling
+    /// errors, and ordinary stage failures are permanent and fail
+    /// fast.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            EngineError::Checkpoint(CheckpointError::Io { .. }) => true,
+            EngineError::Stage { message, .. } => message.starts_with(TRANSIENT_PREFIX),
+            _ => false,
+        }
+    }
+}
+
+/// Per-stage retry with deterministic seeded exponential backoff.
+///
+/// The delay before retry `attempt` (0-based) is
+/// `min(cap, base·2^attempt + jitter)` with `jitter` drawn uniformly
+/// from `[0, base·2^attempt)` by a [`SplitMix64`] stream seeded from
+/// `(seed, stage, attempt)` alone — the schedule is a pure function
+/// of its inputs and monotonically non-decreasing in `attempt`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum retries per operation (0 = fail on first error).
+    pub retries: u32,
+    /// Backoff unit: the delay before the first retry is in
+    /// `[base, 2·base)`.
+    pub base: Duration,
+    /// Ceiling on any single delay.
+    pub cap: Duration,
+    /// Jitter seed; fixed by default so identical runs sleep
+    /// identically.
+    pub seed: u64,
+}
+
+impl RetryPolicy {
+    /// No retries: every error is final. The engine default, so
+    /// unsupervised runs behave exactly as before.
+    pub fn none() -> Self {
+        RetryPolicy {
+            retries: 0,
+            base: Duration::from_millis(25),
+            cap: Duration::from_secs(1),
+            seed: 0x70DE_71E5,
+        }
+    }
+
+    /// `retries` attempts with the default base (25 ms), cap (1 s),
+    /// and seed.
+    pub fn new(retries: u32) -> Self {
+        RetryPolicy {
+            retries,
+            ..RetryPolicy::none()
+        }
+    }
+
+    /// The delay before retry `attempt` (0-based) of an operation on
+    /// `stage`. The stage name is folded into the seed so sibling
+    /// stages retrying in the same wave do not sleep in lockstep.
+    pub fn delay(&self, stage: &str, attempt: u32) -> Duration {
+        backoff_delay(
+            self.base,
+            self.cap,
+            self.seed ^ fnv1a64(stage.as_bytes()),
+            attempt,
+        )
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::none()
+    }
+}
+
+/// The pure backoff schedule: `min(cap, base·2^attempt + jitter)`
+/// with `jitter ∈ [0, base·2^attempt)` drawn from one [`SplitMix64`]
+/// value seeded by `(seed, attempt)`. Once the exponential slot
+/// reaches `cap` the delay is exactly `cap` (no jitter), which keeps
+/// the schedule monotonically non-decreasing even past the cap.
+pub fn backoff_delay(base: Duration, cap: Duration, seed: u64, attempt: u32) -> Duration {
+    let shift = attempt.min(63);
+    let slot: u128 = base.as_nanos().saturating_mul(1u128 << shift);
+    let cap_ns = cap.as_nanos();
+    if slot == 0 {
+        return Duration::ZERO;
+    }
+    if slot >= cap_ns {
+        return cap;
+    }
+    let mut rng = SplitMix64::new(seed ^ (u64::from(attempt) + 1).wrapping_mul(0x9E37_79B9));
+    let jitter = (rng.next_u64() as u128) % slot;
+    let nanos = slot.saturating_add(jitter).min(cap_ns);
+    Duration::from_nanos(nanos.min(u64::MAX as u128) as u64)
+}
+
+/// Circuit breaker for flapping optional stages: after `threshold`
+/// consecutive failed attempts, an optional stage stops retrying —
+/// the breaker *opens* — and the stage degrades (failed + dependents
+/// pruned) immediately.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BreakerPolicy {
+    /// Consecutive failures before the breaker opens (≥ 1).
+    pub threshold: u32,
+}
+
+impl Default for BreakerPolicy {
+    fn default() -> Self {
+        BreakerPolicy { threshold: 3 }
+    }
+}
+
+/// The full supervision configuration a [`super::Graph`] runs under.
+///
+/// [`Supervisor::default`] — no retries, no deadline — reproduces the
+/// unsupervised engine exactly, which is what
+/// [`super::Graph::run`] uses.
+#[derive(Debug, Clone, Default)]
+pub struct Supervisor {
+    /// Retry policy for transient stage and checkpoint failures.
+    pub retry: RetryPolicy,
+    /// Optional per-stage wall-time budget. When set, a watchdog
+    /// monitor thread declares any stage still running past the
+    /// budget lost ([`EngineError::StageTimedOut`]).
+    pub stage_timeout: Option<Duration>,
+    /// Circuit breaker for optional stages.
+    pub breaker: BreakerPolicy,
+}
+
+impl Supervisor {
+    /// A supervisor with `retries` transient retries and an optional
+    /// stage deadline, under the default backoff and breaker.
+    pub fn new(retries: u32, stage_timeout: Option<Duration>) -> Self {
+        Supervisor {
+            retry: RetryPolicy::new(retries),
+            stage_timeout,
+            breaker: BreakerPolicy::default(),
+        }
+    }
+}
+
+/// Which checkpoint-store operation an injected fault targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOp {
+    /// Checkpoint writes.
+    Save,
+    /// Checkpoint reads.
+    Load,
+    /// Both.
+    Any,
+}
+
+#[derive(Debug)]
+enum FaultMode {
+    /// Fail the next `remaining` matching operations, then recover —
+    /// the deterministic "transient burst" used by the chaos tests.
+    Burst(AtomicU64),
+    /// Fail each matching operation with probability `fraction`,
+    /// drawn from a seeded stream.
+    Random(Mutex<SplitMix64>, f64),
+}
+
+/// Seeded transient-I/O fault injection behind the checkpoint store.
+///
+/// Spec grammar (the `TOWERLENS_FAULT_IO` environment variable):
+///
+/// ```text
+/// <op>:<stage>:<n>           fail the next n matching ops (burst)
+/// <op>:<stage>:p<f>:<seed>   fail each matching op with prob. f
+/// ```
+///
+/// where `<op>` is `save`, `load`, or `any`, and `<stage>` is a stage
+/// name or `*`. Example: `save:vectorize:2` fails the next two saves
+/// of the `vectorize` checkpoint, then recovers — a retry budget of 2
+/// rides through it bit-identically.
+#[derive(Debug)]
+pub struct IoFaultInjector {
+    op: FaultOp,
+    stage: String,
+    mode: FaultMode,
+}
+
+impl IoFaultInjector {
+    /// Parses a failpoint spec (see the type docs for the grammar).
+    ///
+    /// # Errors
+    /// A rendered reason for a malformed spec.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut parts = spec.split(':');
+        let op = match parts.next() {
+            Some("save") => FaultOp::Save,
+            Some("load") => FaultOp::Load,
+            Some("any") => FaultOp::Any,
+            other => {
+                return Err(format!(
+                    "bad op `{}` (want save|load|any)",
+                    other.unwrap_or("")
+                ))
+            }
+        };
+        let stage = parts
+            .next()
+            .filter(|s| !s.is_empty())
+            .ok_or("missing stage (use `*` for all)")?
+            .to_string();
+        let third = parts.next().ok_or("missing count or p<fraction>")?;
+        let mode = if let Some(frac) = third.strip_prefix('p') {
+            let fraction: f64 = frac.parse().map_err(|_| format!("bad fraction `{frac}`"))?;
+            if !(0.0..=1.0).contains(&fraction) {
+                return Err(format!("fraction {fraction} outside [0, 1]"));
+            }
+            let seed: u64 = parts
+                .next()
+                .ok_or("probabilistic mode needs a seed: <op>:<stage>:p<f>:<seed>")?
+                .parse()
+                .map_err(|_| "bad seed".to_string())?;
+            FaultMode::Random(Mutex::new(SplitMix64::new(seed)), fraction)
+        } else {
+            let n: u64 = third.parse().map_err(|_| format!("bad count `{third}`"))?;
+            FaultMode::Burst(AtomicU64::new(n))
+        };
+        if parts.next().is_some() {
+            return Err("trailing fields in spec".to_string());
+        }
+        Ok(IoFaultInjector { op, stage, mode })
+    }
+
+    /// Builds an injector from the `TOWERLENS_FAULT_IO` environment
+    /// variable; `None` when unset. A malformed spec is reported on
+    /// stderr and ignored — a typo'd failpoint must not change
+    /// production behaviour.
+    pub fn from_env() -> Option<Self> {
+        let spec = std::env::var("TOWERLENS_FAULT_IO").ok()?;
+        match Self::parse(&spec) {
+            Ok(inj) => Some(inj),
+            Err(e) => {
+                eprintln!("warning: ignoring malformed TOWERLENS_FAULT_IO `{spec}`: {e}");
+                None
+            }
+        }
+    }
+
+    /// Whether this operation should fail now. Burst counters tick
+    /// down only on matching operations, so the burst length is exact
+    /// per target.
+    pub fn should_fail(&self, op: FaultOp, stage: &str) -> bool {
+        let op_matches = matches!(self.op, FaultOp::Any) || self.op == op;
+        if !op_matches || (self.stage != "*" && self.stage != stage) {
+            return false;
+        }
+        match &self.mode {
+            FaultMode::Burst(remaining) => remaining
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+                .is_ok(),
+            FaultMode::Random(rng, fraction) => rng
+                .lock()
+                .map(|mut r| r.next_f64() < *fraction)
+                .unwrap_or(false),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_pure_and_monotone() {
+        let (base, cap) = (Duration::from_millis(25), Duration::from_secs(1));
+        for seed in [0u64, 7, 0xDEAD_BEEF] {
+            let mut prev = Duration::ZERO;
+            for attempt in 0..24 {
+                let a = backoff_delay(base, cap, seed, attempt);
+                let b = backoff_delay(base, cap, seed, attempt);
+                assert_eq!(a, b, "not pure at attempt {attempt}");
+                assert!(
+                    a >= prev,
+                    "decreased at attempt {attempt}: {prev:?} -> {a:?}"
+                );
+                assert!(a <= cap);
+                prev = a;
+            }
+            assert_eq!(backoff_delay(base, cap, seed, 40), cap);
+        }
+    }
+
+    #[test]
+    fn backoff_first_retry_is_at_least_base() {
+        let d = backoff_delay(Duration::from_millis(25), Duration::from_secs(1), 3, 0);
+        assert!(d >= Duration::from_millis(25) && d < Duration::from_millis(50));
+    }
+
+    #[test]
+    fn policy_folds_stage_into_seed() {
+        let p = RetryPolicy::new(3);
+        assert_eq!(p.delay("cluster", 1), p.delay("cluster", 1));
+        // Different stages get different jitter (same slot, so equal
+        // only if the jitter draw collides — astronomically unlikely).
+        assert_ne!(p.delay("cluster", 1), p.delay("vectorize", 1));
+    }
+
+    #[test]
+    fn transient_classification() {
+        let io = EngineError::Checkpoint(CheckpointError::Io {
+            path: "x".into(),
+            message: "disk hiccup".into(),
+        });
+        assert!(io.is_transient());
+        let marked = EngineError::Stage {
+            stage: "s".into(),
+            message: format!("{TRANSIENT_PREFIX}flaky upstream"),
+        };
+        assert!(marked.is_transient());
+        let plain = EngineError::Stage {
+            stage: "s".into(),
+            message: "bad data".into(),
+        };
+        assert!(!plain.is_transient());
+        let panicked = EngineError::StagePanicked {
+            stage: "s".into(),
+            message: "boom".into(),
+        };
+        assert!(!panicked.is_transient());
+        let timed_out = EngineError::StageTimedOut {
+            stage: "s".into(),
+            budget_ms: 10,
+        };
+        assert!(!timed_out.is_transient());
+    }
+
+    #[test]
+    fn burst_injector_fails_exactly_n_matching_ops() {
+        let inj = IoFaultInjector::parse("save:vectorize:2").unwrap();
+        // Non-matching ops neither fail nor consume the burst.
+        assert!(!inj.should_fail(FaultOp::Load, "vectorize"));
+        assert!(!inj.should_fail(FaultOp::Save, "cluster"));
+        assert!(inj.should_fail(FaultOp::Save, "vectorize"));
+        assert!(inj.should_fail(FaultOp::Save, "vectorize"));
+        assert!(!inj.should_fail(FaultOp::Save, "vectorize"), "burst over");
+    }
+
+    #[test]
+    fn wildcard_and_any_match_everything() {
+        let inj = IoFaultInjector::parse("any:*:3").unwrap();
+        assert!(inj.should_fail(FaultOp::Save, "a"));
+        assert!(inj.should_fail(FaultOp::Load, "b"));
+        assert!(inj.should_fail(FaultOp::Save, "c"));
+        assert!(!inj.should_fail(FaultOp::Load, "d"));
+    }
+
+    #[test]
+    fn random_injector_is_seed_deterministic() {
+        let fire = |seed: u64| -> Vec<bool> {
+            let inj = IoFaultInjector::parse(&format!("load:*:p0.5:{seed}")).unwrap();
+            (0..32)
+                .map(|_| inj.should_fail(FaultOp::Load, "x"))
+                .collect()
+        };
+        assert_eq!(fire(7), fire(7));
+        assert_ne!(fire(7), fire(8));
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected() {
+        for bad in [
+            "",
+            "save",
+            "save:",
+            "save:vectorize",
+            "write:vectorize:1",
+            "save:vectorize:x",
+            "save:vectorize:p2.0:1",
+            "save:vectorize:p0.5",
+            "save:vectorize:1:extra",
+        ] {
+            assert!(IoFaultInjector::parse(bad).is_err(), "`{bad}` accepted");
+        }
+    }
+}

@@ -50,7 +50,8 @@ pub mod study;
 pub mod timedomain;
 
 pub use engine::{
-    CheckpointError, CheckpointStore, EngineError, RunReport, StageReport, StageStatus,
+    CheckpointError, CheckpointStore, EngineError, IoFaultInjector, RetryPolicy, RunReport,
+    StageReport, StageStatus, Supervisor,
 };
 pub use error::CoreError;
 pub use identifier::{IdentifiedPatterns, IdentifierConfig, PatternIdentifier};

@@ -23,7 +23,7 @@ use towerlens_trace::time::TraceWindow;
 use crate::decompose::Decomposition;
 use crate::engine::{
     study_fingerprint, study_graph, CheckpointStore, EngineError, RunOutcome, RunReport,
-    StudyArtifact,
+    StudyArtifact, Supervisor,
 };
 use crate::error::CoreError;
 use crate::freq::{ClusterFeatureStats, TowerFeatures};
@@ -392,11 +392,27 @@ impl Study {
         &self,
         store: Option<&CheckpointStore>,
     ) -> Result<(StudyReport, RunReport), CoreError> {
+        self.run_instrumented_with(store, &Supervisor::default())
+    }
+
+    /// As [`Study::run_instrumented`], under a [`Supervisor`]:
+    /// transient failures retry with deterministic backoff and stages
+    /// may carry a wall-time budget. `Supervisor::default()` is
+    /// exactly [`Study::run_instrumented`].
+    ///
+    /// # Errors
+    /// As [`Study::run_instrumented`], plus stage-timeout errors from
+    /// the watchdog.
+    pub fn run_instrumented_with(
+        &self,
+        store: Option<&CheckpointStore>,
+        supervisor: &Supervisor,
+    ) -> Result<(StudyReport, RunReport), CoreError> {
         let graph = study_graph(&self.config);
         let RunOutcome {
             mut artifacts,
             report,
-        } = graph.run(store)?;
+        } = graph.run_with(store, supervisor)?;
         let study = assemble(&self.config, &mut artifacts)?;
         Ok((study, report))
     }
@@ -417,11 +433,27 @@ impl Study {
         &self,
         store: Option<&CheckpointStore>,
     ) -> Result<(PartialStudyReport, RunReport), CoreError> {
+        self.run_resilient_with(store, &Supervisor::default())
+    }
+
+    /// As [`Study::run_resilient`], under a [`Supervisor`] — the
+    /// degraded-but-alive path with retries, deadlines, and the
+    /// circuit breaker on top. This is what the CLI's `study` command
+    /// runs when `--retries` / `--stage-timeout-ms` are given.
+    ///
+    /// # Errors
+    /// As [`Study::run_resilient`]; a timed-out *required* stage still
+    /// fails the run.
+    pub fn run_resilient_with(
+        &self,
+        store: Option<&CheckpointStore>,
+        supervisor: &Supervisor,
+    ) -> Result<(PartialStudyReport, RunReport), CoreError> {
         let graph = study_graph(&self.config);
         let RunOutcome {
             mut artifacts,
             report,
-        } = graph.run(store)?;
+        } = graph.run_with(store, supervisor)?;
         let partial = assemble_partial(&self.config, &mut artifacts)?;
         Ok((partial, report))
     }

@@ -1,0 +1,76 @@
+//! Property tests for the supervisor's backoff schedule.
+//!
+//! The retry delay must be a *pure function* of `(seed, stage,
+//! attempt)` — no wall-clock, no global state — and monotonically
+//! non-decreasing in the attempt number, capped at the policy
+//! ceiling. Purity is what keeps supervised runs bit-reproducible:
+//! two runs with the same seed sleep the same schedule.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+use towerlens_core::engine::{backoff_delay, RetryPolicy};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn backoff_is_a_pure_function_of_its_inputs(
+        seed in 0u64..u64::MAX,
+        base_us in 1u64..100_000,
+        cap_ms in 1u64..10_000,
+        attempt in 0u32..64,
+    ) {
+        let base = Duration::from_micros(base_us);
+        let cap = Duration::from_millis(cap_ms);
+        let a = backoff_delay(base, cap, seed, attempt);
+        let b = backoff_delay(base, cap, seed, attempt);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn backoff_is_monotone_and_capped(
+        seed in 0u64..u64::MAX,
+        base_us in 1u64..100_000,
+        cap_ms in 1u64..10_000,
+    ) {
+        let base = Duration::from_micros(base_us);
+        let cap = Duration::from_millis(cap_ms);
+        let mut prev = Duration::ZERO;
+        for attempt in 0..64u32 {
+            let d = backoff_delay(base, cap, seed, attempt);
+            prop_assert!(d >= prev, "attempt {}: {:?} < {:?}", attempt, d, prev);
+            prop_assert!(d <= cap, "attempt {}: {:?} > cap {:?}", attempt, d, cap);
+            prev = d;
+        }
+        // The exponential slot eventually saturates at the cap.
+        prop_assert_eq!(prev, cap);
+    }
+
+    #[test]
+    fn policy_schedule_depends_only_on_seed_and_stage(
+        seed in 0u64..u64::MAX,
+        retries in 1u32..12,
+    ) {
+        let mk = || {
+            let mut p = RetryPolicy::new(retries);
+            p.seed = seed;
+            p
+        };
+        let schedule = |p: &RetryPolicy, stage: &str| -> Vec<Duration> {
+            (0..retries).map(|a| p.delay(stage, a)).collect()
+        };
+        // Same policy, same stage: identical schedule (purity).
+        prop_assert_eq!(schedule(&mk(), "cluster"), schedule(&mk(), "cluster"));
+        // The stage name is folded into the seed, so sibling stages
+        // retrying concurrently do not sleep in lockstep (the
+        // exponential slots match, the jitter draws do not).
+        let a = schedule(&mk(), "cluster");
+        let b = schedule(&mk(), "vectorize");
+        prop_assert!(
+            a.iter().zip(&b).any(|(x, y)| x != y) || a.iter().all(|d| *d == Duration::ZERO),
+            "distinct stages produced identical jitter: {:?}",
+            a
+        );
+    }
+}

@@ -29,6 +29,9 @@ pub struct SpanEvent {
     pub cards: Vec<(String, u64)>,
     /// Error message when `status` is `failed`.
     pub error: Option<String>,
+    /// Execution attempts the stage consumed (1 for a clean run, +1
+    /// per supervised retry; 0 for stages that did no work).
+    pub attempts: u64,
 }
 
 impl SpanEvent {
@@ -47,12 +50,13 @@ pub fn spans_to_json(spans: &[SpanEvent]) -> String {
             out.push(',');
         }
         out.push_str(&format!(
-            "{{\"name\":\"{}\",\"wave\":{},\"status\":\"{}\",\"start_us\":{},\"end_us\":{}",
+            "{{\"name\":\"{}\",\"wave\":{},\"status\":\"{}\",\"start_us\":{},\"end_us\":{},\"attempts\":{}",
             json_escape(&s.name),
             s.wave,
             json_escape(&s.status),
             s.start_us,
-            s.end_us
+            s.end_us,
+            s.attempts
         ));
         out.push_str(",\"cards\":{");
         for (j, (label, value)) in s.cards.iter().enumerate() {
@@ -101,6 +105,7 @@ mod tests {
             end_us: 4_520,
             cards: vec![("records".into(), 960), ("bytes".into(), 61_440)],
             error: None,
+            attempts: 1,
         }
     }
 
@@ -119,16 +124,17 @@ mod tests {
             end_us: 4_530,
             cards: vec![],
             error: Some("boom \"quoted\"".into()),
+            attempts: 3,
         };
         let json = spans_to_json(&[sample(), failed]);
         assert_eq!(
             json,
             "{\"spans\":[\
              {\"name\":\"vectorize\",\"wave\":1,\"status\":\"ran\",\
-             \"start_us\":120,\"end_us\":4520,\
+             \"start_us\":120,\"end_us\":4520,\"attempts\":1,\
              \"cards\":{\"records\":960,\"bytes\":61440}},\
              {\"name\":\"cluster\",\"wave\":2,\"status\":\"failed\",\
-             \"start_us\":4520,\"end_us\":4530,\"cards\":{},\
+             \"start_us\":4520,\"end_us\":4530,\"attempts\":3,\"cards\":{},\
              \"error\":\"boom \\\"quoted\\\"\"}\
              ]}"
         );

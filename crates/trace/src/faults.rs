@@ -20,14 +20,22 @@ use std::path::Path;
 
 use crate::record::LogRecord;
 
-/// SplitMix64: a tiny, high-quality, allocation-free generator. We
-/// keep it private so the injector's behaviour is defined by this
-/// module alone, not by whichever `rand` shim the workspace carries.
+/// SplitMix64: a tiny, high-quality, allocation-free generator. It is
+/// the workspace's shared seeded RNG — the fault injector here, and
+/// the engine supervisor's backoff jitter, both draw from it — so
+/// deterministic behaviour is defined by this one implementation, not
+/// by whichever `rand` shim the workspace carries.
 #[derive(Debug, Clone)]
-struct SplitMix64(u64);
+pub struct SplitMix64(u64);
 
 impl SplitMix64 {
-    fn next_u64(&mut self) -> u64 {
+    /// Creates a generator; the seed fully determines the stream.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    /// The next value of the stream.
+    pub fn next_u64(&mut self) -> u64 {
         self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = self.0;
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -36,12 +44,12 @@ impl SplitMix64 {
     }
 
     /// Uniform in `[0, 1)`.
-    fn next_f64(&mut self) -> f64 {
+    pub fn next_f64(&mut self) -> f64 {
         (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
     }
 
     /// Uniform in `0..n` (`n > 0`).
-    fn below(&mut self, n: usize) -> usize {
+    pub fn below(&mut self, n: usize) -> usize {
         (self.next_u64() % n as u64) as usize
     }
 }

@@ -14,14 +14,25 @@ echo "== fault injection (pinned seeds) =="
 # the full pipeline, plus panic containment in its own process.
 cargo test -q -p towerlens-cli --test fault_injection --test panic_isolation
 
-echo "== bench smoke + schema validation =="
-# One tiny workload through the real bench harness, then the schema
-# gate over both the smoke output and the committed baseline.
+echo "== chaos: crash/resume, transient I/O, watchdog =="
+# The supervision contract: kill the process at every checkpoint
+# save and resume bit-identically, ride out injected checkpoint I/O
+# faults under the --retries budget, and degrade (not hang) on a
+# stage that blows its --stage-timeout-ms deadline.
+cargo test -q -p towerlens-cli --test chaos
+
+echo "== bench smoke + schema validation + baseline comparison =="
+# One tiny workload through the real bench harness, the schema gate
+# over both the smoke output and the committed baseline, then the
+# regression gate: the smoke run must introduce no stage the
+# committed baseline has never seen (medians compare only at
+# matching sizes, so the 20-tower smoke checks the stage set).
 bench_tmp="$(mktemp -d)"
 trap 'rm -rf "$bench_tmp"' EXIT
 cargo run --release -q -p towerlens-bench --bin bench -- \
     --sizes 20 --repeats 1 --seed 42 --out "$bench_tmp/BENCH_smoke.json"
-cargo run --release -q -p towerlens-bench --bin bench -- --validate "$bench_tmp/BENCH_smoke.json"
+cargo run --release -q -p towerlens-bench --bin bench -- \
+    --validate "$bench_tmp/BENCH_smoke.json" --baseline BENCH_pipeline.json
 cargo run --release -q -p towerlens-bench --bin bench -- --validate BENCH_pipeline.json
 
 echo "== cargo clippy =="
