@@ -1,7 +1,7 @@
 //! Reproducible pipeline benchmark: emits `BENCH_pipeline.json`.
 //!
 //! ```text
-//! bench [--sizes N,N,...] [--repeats K] [--seed N] [--out FILE]
+//! bench [--sizes N,N,...] [--repeats K] [--seed N] [--threads N] [--out FILE]
 //! bench --validate FILE [--baseline FILE]
 //! ```
 //!
@@ -9,7 +9,10 @@
 //! vectorize → cluster → label/timedomain/frequency → decompose) over
 //! the paper's 4032-bin window, K times; the JSON carries per-stage
 //! median/p95 wall time, end-to-end throughput, the hot-path counter
-//! snapshot, and the git revision. `--validate` checks an existing
+//! snapshot, and the git revision. With `--threads` other than 1, a
+//! single-thread reference pass also runs and the table reports the
+//! speedup; output stays bit-identical either way. `--validate`
+//! checks an existing
 //! file against the schema instead of running anything (this is the
 //! `scripts/check.sh` gate); adding `--baseline` also compares it
 //! against a committed baseline — no stage names the baseline has
@@ -51,6 +54,10 @@ fn main() {
                 Ok(s) => params.seed = s,
                 Err(_) => bail("bad --seed"),
             },
+            "--threads" => match it.next().unwrap_or_default().parse() {
+                Ok(t) => params.threads = t,
+                Err(_) => bail("bad --threads (want an integer ≥ 0; 0 = all cores)"),
+            },
             "--out" => out_file = it.next().unwrap_or_else(|| bail("--out needs a path")),
             "--validate" => {
                 validate = Some(it.next().unwrap_or_else(|| bail("--validate needs a path")));
@@ -60,7 +67,8 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: bench [--sizes N,N,...] [--repeats K] [--seed N] [--out FILE]\n\
+                    "usage: bench [--sizes N,N,...] [--repeats K] [--seed N] [--threads N] \
+                     [--out FILE]\n\
                      \x20      bench --validate FILE [--baseline FILE]"
                 );
                 return;
@@ -111,9 +119,20 @@ fn main() {
         bail("--baseline only makes sense with --validate");
     }
 
+    let available = towerlens_par::resolve_threads(0);
+    if params.threads > available {
+        eprintln!(
+            "warning: --threads {} exceeds the {available} available core(s); \
+             workers will time-share (output is unaffected)",
+            params.threads
+        );
+    }
     eprintln!(
-        "benching sizes {:?} × 4032 bins, {} repeat(s), seed {}…",
-        params.sizes, params.repeats, params.seed
+        "benching sizes {:?} × 4032 bins, {} repeat(s), seed {}, {} thread(s)…",
+        params.sizes,
+        params.repeats,
+        params.seed,
+        towerlens_par::resolve_threads(params.threads)
     );
     let started = std::time::Instant::now();
     let report = match run_bench(&params) {
@@ -123,9 +142,37 @@ fn main() {
             std::process::exit(1);
         }
     };
-    for w in &report.workloads {
+    // With a non-serial thread setting, a single-thread reference pass
+    // turns the table into a speedup report. The reference is never
+    // written out — the emitted JSON describes the requested setting.
+    let serial = (towerlens_par::resolve_threads(params.threads) != 1)
+        .then(|| {
+            let reference = BenchParams {
+                threads: 1,
+                ..params.clone()
+            };
+            match run_bench(&reference) {
+                Ok(r) => Some(r),
+                Err(e) => {
+                    eprintln!("warning: single-thread reference pass failed: {e}");
+                    None
+                }
+            }
+        })
+        .flatten();
+    for (i, w) in report.workloads.iter().enumerate() {
+        let speedup = serial
+            .as_ref()
+            .and_then(|s| s.workloads.get(i))
+            .map(|s| {
+                format!(
+                    ", {:>5.2}x vs 1 thread",
+                    s.total_median_ms / w.total_median_ms
+                )
+            })
+            .unwrap_or_default();
         eprintln!(
-            "  {:>6} towers: median {:>9.1} ms, p95 {:>9.1} ms, {:>12.0} cells/s",
+            "  {:>6} towers: median {:>9.1} ms, p95 {:>9.1} ms, {:>12.0} cells/s{speedup}",
             w.towers, w.total_median_ms, w.total_p95_ms, w.throughput_cells_per_s
         );
     }

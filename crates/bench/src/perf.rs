@@ -26,6 +26,9 @@ pub struct BenchParams {
     pub repeats: usize,
     /// Seed shared by every workload, so reruns are comparable.
     pub seed: u64,
+    /// Worker threads for the parallel stages (0 = all cores). Any
+    /// value produces bit-identical study output; only wall time moves.
+    pub threads: usize,
 }
 
 impl Default for BenchParams {
@@ -36,6 +39,7 @@ impl Default for BenchParams {
             sizes: vec![60, 120, 240],
             repeats: 3,
             seed: 42,
+            threads: 0,
         }
     }
 }
@@ -82,12 +86,16 @@ pub struct BenchReport {
     pub seed: u64,
     /// Repeats per workload.
     pub repeats: usize,
+    /// Worker threads the run was requested with (0 = all cores).
+    pub threads: usize,
     /// Per-size results, in the order requested.
     pub workloads: Vec<WorkloadResult>,
 }
 
-/// Schema tag embedded in (and required from) the JSON.
-pub const BENCH_SCHEMA: &str = "towerlens-bench-pipeline-v1";
+/// Schema tag embedded in (and required from) the JSON. v2 added the
+/// document-level `threads` field recording the `--threads` setting
+/// the report was produced under.
+pub const BENCH_SCHEMA: &str = "towerlens-bench-pipeline-v2";
 
 /// The study configuration for a bench workload: `towers` towers over
 /// the paper's 4032-bin window, geometry scaled down so small tower
@@ -158,8 +166,8 @@ pub fn run_bench(params: &BenchParams) -> Result<BenchReport, CoreError> {
         let mut runs = Vec::with_capacity(params.repeats);
         for _ in 0..params.repeats.max(1) {
             towerlens_obs::global().reset();
-            let (_, report) =
-                Study::new(workload_config(towers, params.seed)).run_instrumented(None)?;
+            let config = workload_config(towers, params.seed).with_threads(params.threads);
+            let (_, report) = Study::new(config).run_instrumented(None)?;
             runs.push(report);
         }
         let bins = TraceWindow::paper().n_bins;
@@ -171,6 +179,7 @@ pub fn run_bench(params: &BenchParams) -> Result<BenchReport, CoreError> {
         git_rev: git_rev(),
         seed: params.seed,
         repeats: params.repeats.max(1),
+        threads: params.threads,
         workloads,
     })
 }
@@ -194,10 +203,11 @@ impl BenchReport {
     pub fn to_json(&self) -> String {
         let mut out = format!(
             "{{\n  \"schema\": \"{BENCH_SCHEMA}\",\n  \"git_rev\": \"{}\",\n  \
-             \"seed\": {},\n  \"repeats\": {},\n  \"workloads\": [",
+             \"seed\": {},\n  \"repeats\": {},\n  \"threads\": {},\n  \"workloads\": [",
             json::escape(&self.git_rev),
             self.seed,
-            self.repeats
+            self.repeats,
+            self.threads
         );
         for (i, w) in self.workloads.iter().enumerate() {
             if i > 0 {
@@ -246,9 +256,9 @@ fn require_number(obj: &Json, key: &str, at: &str) -> Result<f64, String> {
 }
 
 /// Validates a `BENCH_pipeline.json` document: well-formed JSON,
-/// correct schema tag, at least one workload, and per-workload
-/// median/p95 stage timings, positive throughput, and a non-empty
-/// counter snapshot.
+/// correct schema tag, an integral `threads` setting, at least one
+/// workload, and per-workload median/p95 stage timings, positive
+/// throughput, and a non-empty counter snapshot.
 ///
 /// # Errors
 /// A human-readable description of the first violation.
@@ -272,6 +282,10 @@ pub fn validate_bench_json(text: &str) -> Result<(), String> {
     let repeats = require_number(&doc, "repeats", "document")?;
     if repeats < 1.0 {
         return Err("document: `repeats` must be ≥ 1".to_string());
+    }
+    let threads = require_number(&doc, "threads", "document")?;
+    if threads < 0.0 || threads.fract() != 0.0 {
+        return Err("document: `threads` must be a non-negative integer".to_string());
     }
     let workloads = require(&doc, "workloads", "document")?
         .as_array()
@@ -428,6 +442,7 @@ mod tests {
             git_rev: "abc123def456".into(),
             seed: 42,
             repeats: 3,
+            threads: 4,
             workloads: vec![WorkloadResult {
                 towers: 60,
                 bins: 4_032,
@@ -474,6 +489,11 @@ mod tests {
                 good.replace("\"total_p95_ms\": 130.25", "\"total_p95_ms\": 1.0"),
             ),
             ("non-numeric counter", good.replace(": 1770", ": \"many\"")),
+            (
+                "fractional threads",
+                good.replace("\"threads\": 4", "\"threads\": 1.5"),
+            ),
+            ("missing threads", good.replace("\"threads\": 4,", "")),
             ("truncated", good[..good.len() / 2].to_string()),
         ] {
             assert!(validate_bench_json(&breakage).is_err(), "{tag} accepted");
@@ -566,6 +586,7 @@ mod tests {
             sizes: vec![12],
             repeats: 1,
             seed: 7,
+            threads: 2,
         };
         let report = run_bench(&params).unwrap();
         assert_eq!(report.workloads.len(), 1);

@@ -35,6 +35,7 @@ usage:
       parse, clean, vectorize, cluster, and label a dataset directory
 
   towerlens-cli study   [--scale tiny|small|medium|paper] [--seed N]
+                        [--threads N]
                         [--resume DIR] [--retries N] [--stage-timeout-ms MS]
                         [--timings] [--json]
                         [--metrics PATH] [--trace-events PATH]
@@ -65,6 +66,8 @@ supervision:
                          a required one fails the run; default 0 (off)
 
 common flags:
+  --threads N    worker threads for the parallel stages (0 = all cores);
+                 every value produces bit-identical output and counters
   --resume DIR   reuse (and write) stage checkpoints under DIR; a
                  second run reloads the expensive stages bit-identically
                  (damaged checkpoints are detected and recomputed)
@@ -304,6 +307,7 @@ pub fn run(argv: &[String]) -> i32 {
             const DEFS: &[FlagDef] = &[
                 value("scale"),
                 value("seed"),
+                value("threads"),
                 value("resume"),
                 value("retries"),
                 value("stage-timeout-ms"),
@@ -321,8 +325,12 @@ pub fn run(argv: &[String]) -> i32 {
                 Ok(s) => s,
                 Err(e) => return usage_error(&e),
             };
+            let threads = match flags.num("threads", 0) {
+                Ok(t) => t as usize,
+                Err(e) => return usage_error(&e),
+            };
             let config = match study_config(&scale, seed) {
-                Ok(c) => c,
+                Ok(c) => c.with_threads(threads),
                 Err(e) => return usage_error(&e),
             };
             let resume = flags.get("resume").map(PathBuf::from);

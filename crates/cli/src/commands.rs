@@ -403,7 +403,9 @@ impl Stage<CliArtifact> for CliVectorizeStage {
     }
 }
 
-struct CliClusterStage;
+struct CliClusterStage {
+    threads: usize,
+}
 
 impl Stage<CliArtifact> for CliClusterStage {
     fn name(&self) -> &'static str {
@@ -417,7 +419,10 @@ impl Stage<CliArtifact> for CliClusterStage {
         ctx: &StageContext<'_, CliArtifact>,
     ) -> Result<StageOutput<CliArtifact>, EngineError> {
         let normalized = vectors_parts(ctx)?;
-        let identifier = PatternIdentifier::new(IdentifierConfig::default());
+        let identifier = PatternIdentifier::new(IdentifierConfig {
+            threads: self.threads,
+            ..IdentifierConfig::default()
+        });
         let patterns = identifier
             .identify(&normalized.vectors)
             .map_err(|e| ctx.fail(e))?;
@@ -431,7 +436,9 @@ impl Stage<CliArtifact> for CliClusterStage {
     }
 }
 
-struct CliLabelStage;
+struct CliLabelStage {
+    threads: usize,
+}
 
 impl Stage<CliArtifact> for CliLabelStage {
     fn name(&self) -> &'static str {
@@ -467,6 +474,7 @@ impl Stage<CliArtifact> for CliLabelStage {
             &poi_index,
             &patterns.clustering,
             &normalized.kept_ids,
+            self.threads,
         )
         .map_err(|e| ctx.fail(e))?;
         let clusters = geo.labels.len() as u64;
@@ -608,8 +616,12 @@ fn analyze_graph(dir: &Path, options: &AnalyzeOptions) -> Graph<CliArtifact> {
             policy: options.policy(),
             impute: options.impute_config(),
         })
-        .add_stage(CliClusterStage)
-        .add_stage(CliLabelStage)
+        .add_stage(CliClusterStage {
+            threads: options.threads,
+        })
+        .add_stage(CliLabelStage {
+            threads: options.threads,
+        })
         .add_stage(ScoreStage {
             dir: dir.to_path_buf(),
         })
@@ -617,14 +629,17 @@ fn analyze_graph(dir: &Path, options: &AnalyzeOptions) -> Graph<CliArtifact> {
 
 /// The checkpoint fingerprint of an analyze invocation: the options
 /// that shape the numbers plus the sizes of the input files, so an
-/// edited dataset or changed window invalidates the cache.
+/// edited dataset or changed window invalidates the cache. The thread
+/// count is deliberately absent — every parallel path is bit-identical
+/// to serial, so checkpoints written at one `--threads` resume at any
+/// other.
 ///
 /// # Errors
 /// I/O failures reading the input file metadata.
 pub fn analyze_fingerprint(dir: &Path, options: &AnalyzeOptions) -> std::io::Result<u64> {
     let mut s = format!(
-        "analyze v2 days={} threads={} maxbad={} impute={}",
-        options.days, options.threads, options.max_bad_fraction, options.impute
+        "analyze v3 days={} maxbad={} impute={}",
+        options.days, options.max_bad_fraction, options.impute
     );
     for f in ["logs.tsv", "towers.tsv", "pois.tsv"] {
         let len = std::fs::metadata(dir.join(f))?.len();

@@ -6,9 +6,11 @@
 //!
 //! Covered: `--metrics` dumps are byte-identical across identical
 //! seeded runs (the determinism contract — no wall-clock in the
-//! snapshot), and a checkpoint-resumed `analyze` reports the reloaded
-//! stages as `cached` in the `--trace-events` span log while every
-//! recompute counter stays at zero.
+//! snapshot), hot-path counters land on exactly the same values for
+//! any `--threads` setting (the sharded-tally contract), and a
+//! checkpoint-resumed `analyze` reports the reloaded stages as
+//! `cached` in the `--trace-events` span log while every recompute
+//! counter stays at zero.
 
 use std::path::{Path, PathBuf};
 use std::process::Command;
@@ -94,11 +96,58 @@ fn metrics_dump_is_byte_identical_across_identical_seeded_runs() {
         "cluster.distance.evaluations",
         "core.engine.runs",
         "core.engine.stages_ran",
-        "dsp.fft.transforms",
+        "dsp.goertzel.evaluations",
         "pipeline.normalize.towers_kept",
     ] {
         assert!(counter_value(&text, name) > 0, "counter `{name}` is zero");
     }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn hot_path_counters_are_exactly_equal_across_thread_counts() {
+    let dir = temp("thread-counters");
+    let dumps: Vec<String> = ["1", "2", "8"]
+        .iter()
+        .map(|threads| {
+            let path = dir.join(format!("metrics-t{threads}.json"));
+            run_ok(&[
+                "study",
+                "--scale",
+                "tiny",
+                "--seed",
+                "42",
+                "--threads",
+                threads,
+                "--metrics",
+                path.to_str().unwrap(),
+            ]);
+            read(&path)
+        })
+        .collect();
+
+    // Tallies are accumulated in per-worker shards and merged in worker
+    // order, so every counter — not just the stage outputs — must land
+    // on exactly the same value no matter how the work was split.
+    for name in [
+        "cluster.distance.evaluations",
+        "cluster.agglomerative.merges",
+        "dsp.goertzel.evaluations",
+        "dsp.fft.transforms",
+        "pipeline.normalize.towers_kept",
+    ] {
+        let reference = counter_value(&dumps[0], name);
+        for (dump, threads) in dumps.iter().zip(["1", "2", "8"]) {
+            assert_eq!(
+                counter_value(dump, name),
+                reference,
+                "counter `{name}` differs at --threads {threads}"
+            );
+        }
+    }
+    // Stronger still: the whole dump is byte-identical.
+    assert_eq!(dumps[0], dumps[1], "metrics differ between 1 and 2 threads");
+    assert_eq!(dumps[0], dumps[2], "metrics differ between 1 and 8 threads");
     let _ = std::fs::remove_dir_all(&dir);
 }
 

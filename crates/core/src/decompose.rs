@@ -128,17 +128,32 @@ impl Decomposer {
         indices: &[usize],
         features: &[TowerFeatures],
     ) -> Result<Vec<Decomposition>, CoreError> {
-        indices
-            .iter()
-            .map(|&i| {
-                let f = features.get(i).ok_or(CoreError::NotEnoughData {
-                    what: "features",
-                    needed: i + 1,
-                    got: features.len(),
-                })?;
-                self.decompose(i, f)
-            })
-            .collect()
+        self.decompose_all_par(indices, features, 1)
+    }
+
+    /// [`Decomposer::decompose_all`] fanned out over towers via
+    /// [`towerlens_par`] (`threads == 0` = available parallelism).
+    /// Every QP is independent and lands in its own slot, so the rows
+    /// are bit-identical for any thread count.
+    ///
+    /// # Errors
+    /// As for [`Decomposer::decompose`].
+    pub fn decompose_all_par(
+        &self,
+        indices: &[usize],
+        features: &[TowerFeatures],
+        threads: usize,
+    ) -> Result<Vec<Decomposition>, CoreError> {
+        towerlens_par::par_map_indexed(indices, threads, |_, &i| {
+            let f = features.get(i).ok_or(CoreError::NotEnoughData {
+                what: "features",
+                needed: i + 1,
+                got: features.len(),
+            })?;
+            self.decompose(i, f)
+        })
+        .into_iter()
+        .collect()
     }
 }
 

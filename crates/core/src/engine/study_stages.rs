@@ -30,7 +30,8 @@ use towerlens_trace::time::TraceWindow;
 
 use crate::decompose::{Decomposer, Decomposition};
 use crate::freq::{
-    cluster_feature_stats, features_of, representative_towers, ClusterFeatureStats, TowerFeatures,
+    cluster_feature_stats, features_of_goertzel_par, representative_towers, ClusterFeatureStats,
+    TowerFeatures,
 };
 use crate::identifier::{IdentifiedPatterns, IdentifierConfig, PatternIdentifier};
 use crate::labeling::{cluster_of_kind, label_clusters, GeoLabels};
@@ -80,9 +81,16 @@ pub enum StudyArtifact {
 
 /// The checkpoint fingerprint of a study configuration: runs resumed
 /// from a store only reuse artifacts written under an identical
-/// configuration.
+/// configuration. Thread counts steer scheduling, never numbers —
+/// every parallel path is bit-identical to serial — so they are
+/// normalised out: a checkpoint written at any `--threads` resumes at
+/// any other.
 pub fn study_fingerprint(config: &StudyConfig) -> u64 {
-    fnv1a64(format!("{config:?}").as_bytes())
+    let mut normalized = config.clone();
+    normalized.threads = 0;
+    normalized.synth.threads = 0;
+    normalized.identifier.threads = 0;
+    fnv1a64(format!("{normalized:?}").as_bytes())
 }
 
 /// Builds the eight-stage study graph for a configuration.
@@ -99,15 +107,19 @@ pub fn study_graph(config: &StudyConfig) -> Graph<StudyArtifact> {
         .add_stage(ClusterStage {
             config: config.identifier,
         })
-        .add_stage(LabelStage)
+        .add_stage(LabelStage {
+            threads: config.threads,
+        })
         .add_stage(TimeDomainStage {
             window: config.window,
         })
         .add_stage(FrequencyStage {
             window: config.window,
+            threads: config.threads,
         })
         .add_stage(DecomposeStage {
             sample: config.decompose_sample,
+            threads: config.threads,
         })
 }
 
@@ -291,7 +303,9 @@ impl Stage<StudyArtifact> for ClusterStage {
     }
 }
 
-struct LabelStage;
+struct LabelStage {
+    threads: usize,
+}
 
 impl Stage<StudyArtifact> for LabelStage {
     fn name(&self) -> &'static str {
@@ -307,8 +321,13 @@ impl Stage<StudyArtifact> for LabelStage {
         let city = city_of(ctx, "city")?;
         let normalized = vectors_of(ctx, "vectorize")?;
         let patterns = patterns_of(ctx, "cluster")?;
-        let geo = label_clusters(city, &patterns.clustering, &normalized.kept_ids)
-            .map_err(|e| ctx.fail(e))?;
+        let geo = label_clusters(
+            city,
+            &patterns.clustering,
+            &normalized.kept_ids,
+            self.threads,
+        )
+        .map_err(|e| ctx.fail(e))?;
         let (clusters, hotspots) = (geo.labels.len() as u64, geo.hotspots.len() as u64);
         Ok(StageOutput::new(StudyArtifact::Geo(geo))
             .with_card("clusters", clusters)
@@ -363,6 +382,7 @@ impl Stage<StudyArtifact> for TimeDomainStage {
 
 struct FrequencyStage {
     window: TraceWindow,
+    threads: usize,
 }
 
 impl Stage<StudyArtifact> for FrequencyStage {
@@ -378,7 +398,8 @@ impl Stage<StudyArtifact> for FrequencyStage {
     ) -> Result<StageOutput<StudyArtifact>, EngineError> {
         let normalized = vectors_of(ctx, "vectorize")?;
         let patterns = patterns_of(ctx, "cluster")?;
-        let features = features_of(&normalized.vectors, &self.window).map_err(|e| ctx.fail(e))?;
+        let features = features_of_goertzel_par(&normalized.vectors, &self.window, self.threads)
+            .map_err(|e| ctx.fail(e))?;
         let stats =
             cluster_feature_stats(&features, &patterns.clustering).map_err(|e| ctx.fail(e))?;
         let (towers, clusters) = (features.len() as u64, stats.len() as u64);
@@ -395,6 +416,7 @@ impl Stage<StudyArtifact> for FrequencyStage {
 
 struct DecomposeStage {
     sample: usize,
+    threads: usize,
 }
 
 impl Stage<StudyArtifact> for DecomposeStage {
@@ -441,7 +463,7 @@ impl Stage<StudyArtifact> for DecomposeStage {
                     targets.extend(members.iter().step_by(step).take(self.sample));
                 }
                 let rows = decomposer
-                    .decompose_all(&targets, features)
+                    .decompose_all_par(&targets, features, self.threads)
                     .map_err(|e| ctx.fail(e))?;
                 (Some(reps4), rows)
             }
@@ -877,6 +899,18 @@ mod tests {
         assert_eq!(a, study_fingerprint(&StudyConfig::tiny(7)));
         assert_ne!(a, study_fingerprint(&StudyConfig::tiny(8)));
         assert_ne!(a, study_fingerprint(&StudyConfig::small(7)));
+    }
+
+    /// Thread counts only steer scheduling; a checkpoint written at
+    /// one `--threads` must be reusable at any other.
+    #[test]
+    fn fingerprint_ignores_thread_counts() {
+        let serial = study_fingerprint(&StudyConfig::tiny(7).with_threads(1));
+        assert_eq!(serial, study_fingerprint(&StudyConfig::tiny(7)));
+        assert_eq!(
+            serial,
+            study_fingerprint(&StudyConfig::tiny(7).with_threads(8))
+        );
     }
 
     fn temp_store(tag: &str) -> CheckpointStore {

@@ -46,7 +46,9 @@ pub struct GeoLabels {
 /// Labels clusters with urban functional regions.
 ///
 /// `kept_ids[i]` maps vector `i` (and `clustering.labels[i]`) back to
-/// a tower id in `city`.
+/// a tower id in `city`. The per-tower POI scans fan out over up to
+/// `threads` workers (`0` = available parallelism); the result is
+/// bit-identical for every thread count.
 ///
 /// # Errors
 /// [`CoreError::NotEnoughData`] if the clustering is empty or ids are
@@ -55,10 +57,17 @@ pub fn label_clusters(
     city: &City,
     clustering: &Clustering,
     kept_ids: &[usize],
+    threads: usize,
 ) -> Result<GeoLabels, CoreError> {
     let positions: Vec<GeoPoint> = city.towers().iter().map(|t| t.position).collect();
-    let mut labels =
-        label_clusters_parts(&positions, city.bounds(), city.pois(), clustering, kept_ids)?;
+    let mut labels = label_clusters_parts(
+        &positions,
+        city.bounds(),
+        city.pois(),
+        clustering,
+        kept_ids,
+        threads,
+    )?;
     // Ground-truth agreement is only computable against a synthetic
     // city (real deployments have no oracle).
     let mut agree = 0usize;
@@ -83,6 +92,7 @@ pub fn label_clusters_parts(
     pois: &towerlens_city::poi::PoiIndex,
     clustering: &Clustering,
     kept_ids: &[usize],
+    threads: usize,
 ) -> Result<GeoLabels, CoreError> {
     if clustering.labels.len() != kept_ids.len() || kept_ids.is_empty() {
         return Err(CoreError::NotEnoughData {
@@ -94,16 +104,16 @@ pub fn label_clusters_parts(
     let k = clustering.k;
 
     // --- Table 3: min-max normalised POI averaged per cluster -----
-    let raw_counts: Vec<[f64; 4]> = kept_ids
-        .iter()
-        .map(|&id| {
-            let c = positions
-                .get(id)
-                .map(|p| pois.counts_within(p, POI_RADIUS_M))
-                .unwrap_or([0; 4]);
-            [c[0] as f64, c[1] as f64, c[2] as f64, c[3] as f64]
-        })
-        .collect();
+    // The dominant cost here: one radius query per kept tower. Each
+    // query is independent and lands in its own slot, so fanning out
+    // is bit-identical to the serial scan.
+    let raw_counts: Vec<[f64; 4]> = towerlens_par::par_map_indexed(kept_ids, threads, |_, &id| {
+        let c = positions
+            .get(id)
+            .map(|p| pois.counts_within(p, POI_RADIUS_M))
+            .unwrap_or([0; 4]);
+        [c[0] as f64, c[1] as f64, c[2] as f64, c[3] as f64]
+    });
     let mut profiles = vec![[0.0f64; 4]; k];
     let sizes = clustering.sizes();
     for poi in 0..4 {
@@ -260,6 +270,6 @@ mod tests {
         let city = towerlens_city::generate::generate(&towerlens_city::config::CityConfig::tiny(1))
             .unwrap();
         let clustering = Clustering::from_labels(vec![0]).unwrap();
-        assert!(label_clusters(&city, &clustering, &[]).is_err());
+        assert!(label_clusters(&city, &clustering, &[], 1).is_err());
     }
 }

@@ -44,6 +44,13 @@ pub struct StudyConfig {
     pub identifier: IdentifierConfig,
     /// How many comprehensive-cluster towers to decompose in §5.3.
     pub decompose_sample: usize,
+    /// Worker threads for the labelling, frequency, and decomposition
+    /// stages (`0` = available parallelism). Synthesis and clustering
+    /// carry their own knobs ([`SynthConfig::threads`],
+    /// [`IdentifierConfig::threads`]); [`StudyConfig::with_threads`]
+    /// sets all of them at once. Thread counts never change any
+    /// number — every parallel path is bit-identical to serial.
+    pub threads: usize,
 }
 
 impl StudyConfig {
@@ -58,7 +65,18 @@ impl StudyConfig {
             window: TraceWindow::paper(),
             identifier: IdentifierConfig::default(),
             decompose_sample: 32,
+            threads: 0,
         }
+    }
+
+    /// Applies one worker-thread budget across every parallel stage:
+    /// synthesis, clustering, labelling, frequency, decomposition.
+    /// `0` means "use available parallelism".
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self.synth.threads = threads;
+        self.identifier.threads = threads;
+        self
     }
 
     /// Medium scale (repro default): 2,400 towers, 4 weeks. Seconds.
@@ -470,7 +488,7 @@ impl Study {
         use towerlens_pipeline::normalize::normalize_matrix;
 
         use crate::decompose::Decomposer;
-        use crate::freq::{cluster_feature_stats, features_of, representative_towers};
+        use crate::freq::{cluster_feature_stats, features_of_goertzel, representative_towers};
         use crate::identifier::PatternIdentifier;
         use crate::labeling::label_clusters;
         use crate::timedomain::{cluster_series, cluster_time_stats};
@@ -490,7 +508,7 @@ impl Study {
         let identifier = PatternIdentifier::new(cfg.identifier);
         let patterns = identifier.identify(&vectors)?;
         // 5. Geographic labels.
-        let geo = label_clusters(&city, &patterns.clustering, &kept_ids)?;
+        let geo = label_clusters(&city, &patterns.clustering, &kept_ids, 1)?;
         // 6. Time-domain statistics over the kept towers' raw rows.
         let kept_raw: Vec<Vec<f64>> = kept_ids.iter().map(|&id| raw[id].clone()).collect();
         let series = cluster_series(&kept_raw, &patterns.clustering)?;
@@ -498,8 +516,9 @@ impl Study {
             .iter()
             .map(|s| cluster_time_stats(s, &cfg.window))
             .collect::<Result<_, _>>()?;
-        // 7. Frequency features.
-        let features = features_of(&vectors, &cfg.window)?;
+        // 7. Frequency features (Goertzel at the three principal
+        //    bins, the same extractor the staged engine runs).
+        let features = features_of_goertzel(&vectors, &cfg.window)?;
         let feature_stats = cluster_feature_stats(&features, &patterns.clustering)?;
         // 8. Representatives + decomposition.
         let pure_clusters: Option<Vec<usize>> = RegionKind::PURE

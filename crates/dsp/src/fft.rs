@@ -18,6 +18,9 @@
 //! tables so the per-tower transforms in the pipeline don't repeatedly
 //! call `sin`/`cos` 9,600 times over.
 
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
 use towerlens_obs::LazyCounter;
 
 use crate::complex::Complex;
@@ -28,6 +31,33 @@ static TRANSFORMS: LazyCounter = LazyCounter::new("dsp.fft.transforms");
 /// Butterfly-level work: N × (number of factorisation stages) per
 /// transform, added once per call rather than per butterfly.
 static BUTTERFLIES: LazyCounter = LazyCounter::new("dsp.fft.butterflies");
+
+/// Process-wide plan cache, keyed by transform length. A handful of
+/// lengths occur in practice (4032 plus whatever tests exercise) and a
+/// plan is O(N) memory, so entries are never evicted.
+static PLAN_CACHE: OnceLock<Mutex<BTreeMap<usize, Arc<FftPlan>>>> = OnceLock::new();
+
+/// Returns the shared plan for length-`n` transforms, building and
+/// caching it on first use. This is what the one-shot helpers and the
+/// spectrum constructors use, so per-tower callers no longer pay the
+/// O(N) `sin`/`cos` twiddle-table construction on every transform.
+pub fn plan_for(n: usize) -> Arc<FftPlan> {
+    let cache = PLAN_CACHE.get_or_init(|| Mutex::new(BTreeMap::new()));
+    let mut map = cache.lock().expect("fft plan cache poisoned");
+    map.entry(n)
+        .or_insert_with(|| Arc::new(FftPlan::new(n)))
+        .clone()
+}
+
+/// Reusable work buffers for repeated transforms: batch callers hold
+/// one of these so per-signal transforms allocate only their output.
+#[derive(Debug, Default)]
+pub struct FftScratch {
+    /// Complex staging copy of a real input signal.
+    time: Vec<Complex>,
+    /// Ping-pong buffer for the mixed-radix recursion.
+    work: Vec<Complex>,
+}
 
 /// Returns the prime factorisation of `n` in non-decreasing order.
 ///
@@ -100,7 +130,7 @@ impl FftPlan {
     /// fast path only applies when lengths match).
     pub fn forward(&self, x: &[Complex]) -> Vec<Complex> {
         if x.len() != self.n {
-            return FftPlan::new(x.len()).forward(x);
+            return plan_for(x.len()).forward(x);
         }
         if self.n == 0 {
             return Vec::new();
@@ -108,20 +138,40 @@ impl FftPlan {
         TRANSFORMS.inc();
         BUTTERFLIES.add((self.n * self.factors.len().max(1)) as u64);
         let mut out = vec![Complex::ZERO; self.n];
-        self.rec(x, &mut out, 1, &self.factors);
+        let mut work = vec![Complex::ZERO; self.n];
+        self.rec(x, &mut out, &mut work, 1, &self.factors);
         out
     }
 
     /// Forward transform of a real signal.
     pub fn forward_real(&self, x: &[f64]) -> Vec<Complex> {
-        let buf: Vec<Complex> = x.iter().map(|&v| Complex::real(v)).collect();
-        self.forward(&buf)
+        self.forward_real_with(x, &mut FftScratch::default())
+    }
+
+    /// Forward transform of a real signal reusing caller-held scratch
+    /// buffers, so a batch of transforms allocates only its outputs.
+    /// Bit-identical to [`FftPlan::forward_real`].
+    pub fn forward_real_with(&self, x: &[f64], scratch: &mut FftScratch) -> Vec<Complex> {
+        if x.len() != self.n {
+            return plan_for(x.len()).forward_real_with(x, scratch);
+        }
+        if self.n == 0 {
+            return Vec::new();
+        }
+        TRANSFORMS.inc();
+        BUTTERFLIES.add((self.n * self.factors.len().max(1)) as u64);
+        scratch.time.clear();
+        scratch.time.extend(x.iter().map(|&v| Complex::real(v)));
+        scratch.work.resize(self.n, Complex::ZERO);
+        let mut out = vec![Complex::ZERO; self.n];
+        self.rec(&scratch.time, &mut out, &mut scratch.work, 1, &self.factors);
+        out
     }
 
     /// Inverse transform (includes the 1/N factor).
     pub fn inverse(&self, spec: &[Complex]) -> Vec<Complex> {
         if spec.len() != self.n {
-            return FftPlan::new(spec.len()).inverse(spec);
+            return plan_for(spec.len()).inverse(spec);
         }
         if self.n == 0 {
             return Vec::new();
@@ -139,9 +189,23 @@ impl FftPlan {
     /// length `factors.product()` into `out`. `stride` doubles as the
     /// twiddle-table step: the strided sub-signal of stride `s` has
     /// fundamental root `e^{-2πi·s/N}`, which is `twiddles[s]`.
-    fn rec(&self, x: &[Complex], out: &mut [Complex], stride: usize, factors: &[usize]) {
+    ///
+    /// `work` is a ping-pong buffer the same length as `out`: the
+    /// sub-transforms land in `work` (using the matching `out` region
+    /// as *their* ping-pong space) and the combine pass writes every
+    /// `out` slot, so no per-level allocation is needed and the
+    /// arithmetic — hence the output bits — is unchanged.
+    fn rec(
+        &self,
+        x: &[Complex],
+        out: &mut [Complex],
+        work: &mut [Complex],
+        stride: usize,
+        factors: &[usize],
+    ) {
         let n = out.len();
         debug_assert!(x.len() > (n - 1) * stride, "strided view out of bounds");
+        debug_assert_eq!(work.len(), n, "work buffer must match output length");
         match factors {
             [] => {
                 if n == 1 {
@@ -164,21 +228,19 @@ impl FftPlan {
                 let p = *p;
                 let m = n / p;
                 // Sub-transforms: Y_j = DFT_m of x[j·stride + i·p·stride].
-                let mut sub = vec![Complex::ZERO; n];
-                for j in 0..p {
-                    self.rec(
-                        &x[j * stride..],
-                        &mut sub[j * m..(j + 1) * m],
-                        stride * p,
-                        rest,
-                    );
+                for (j, (sub_out, sub_work)) in work
+                    .chunks_exact_mut(m)
+                    .zip(out.chunks_exact_mut(m))
+                    .enumerate()
+                {
+                    self.rec(&x[j * stride..], sub_out, sub_work, stride * p, rest);
                 }
                 // Combine: X[q·m + r] = Σ_j twiddle(j·(q·m+r)·stride) · Y_j[r].
                 for q in 0..p {
                     for r in 0..m {
                         let k = q * m + r;
                         let mut acc = Complex::ZERO;
-                        for (j, chunk) in sub.chunks_exact(m).enumerate() {
+                        for (j, chunk) in work.chunks_exact(m).enumerate() {
                             let idx = (j * k * stride) % self.n;
                             acc += chunk[r] * self.twiddles[idx];
                         }
@@ -192,20 +254,20 @@ impl FftPlan {
 
 /// One-shot forward FFT of a complex signal.
 ///
-/// Builds a throwaway [`FftPlan`]; use a plan directly when transforming
-/// many signals of the same length.
+/// Runs on the shared per-length plan from [`plan_for`], so repeated
+/// one-shot calls at the same length reuse one twiddle table.
 pub fn fft(x: &[Complex]) -> Vec<Complex> {
-    FftPlan::new(x.len()).forward(x)
+    plan_for(x.len()).forward(x)
 }
 
 /// One-shot forward FFT of a real signal.
 pub fn fft_real(x: &[f64]) -> Vec<Complex> {
-    FftPlan::new(x.len()).forward_real(x)
+    plan_for(x.len()).forward_real(x)
 }
 
 /// One-shot inverse FFT (includes the 1/N factor).
 pub fn ifft(spec: &[Complex]) -> Vec<Complex> {
-    FftPlan::new(spec.len()).inverse(spec)
+    plan_for(spec.len()).inverse(spec)
 }
 
 #[cfg(test)]
@@ -337,5 +399,32 @@ mod tests {
     fn zero_length_is_ok() {
         assert!(fft(&[]).is_empty());
         assert!(ifft(&[]).is_empty());
+    }
+
+    #[test]
+    fn cached_plan_and_scratch_paths_are_bit_identical() {
+        let x: Vec<f64> = (0..4032).map(|i| (i as f64 * 0.013).sin() + 2.0).collect();
+        let fresh = FftPlan::new(4032).forward_real(&x);
+        let cached = plan_for(4032).forward_real(&x);
+        let mut scratch = FftScratch::default();
+        let with_scratch = plan_for(4032).forward_real_with(&x, &mut scratch);
+        // Second use of the same scratch must not disturb the result.
+        let with_scratch_again = plan_for(4032).forward_real_with(&x, &mut scratch);
+        for k in 0..4032 {
+            assert_eq!(fresh[k].re.to_bits(), cached[k].re.to_bits(), "bin {k}");
+            assert_eq!(fresh[k].im.to_bits(), cached[k].im.to_bits(), "bin {k}");
+            assert_eq!(
+                fresh[k].re.to_bits(),
+                with_scratch[k].re.to_bits(),
+                "bin {k}"
+            );
+            assert_eq!(
+                with_scratch[k].re.to_bits(),
+                with_scratch_again[k].re.to_bits(),
+                "bin {k}"
+            );
+        }
+        // The cache hands back the same table, not a rebuild.
+        assert!(Arc::ptr_eq(&plan_for(4032), &plan_for(4032)));
     }
 }

@@ -31,6 +31,21 @@ static EVALUATIONS: LazyCounter = LazyCounter::new("dsp.goertzel.evaluations");
 /// * [`DspError::BinOutOfRange`] for `k ≥ N`,
 /// * [`DspError::NonFinite`] for NaN/∞ samples.
 pub fn goertzel(x: &[f64], k: usize) -> Result<Complex, DspError> {
+    let mut tally = 0u64;
+    let out = goertzel_sharded(x, k, &mut tally);
+    EVALUATIONS.add(tally);
+    out
+}
+
+/// As [`goertzel`], but the evaluation count lands in the caller's
+/// `tally` shard instead of the global registry. Data-parallel callers
+/// give each worker its own shard and feed the merged total to
+/// [`record_evaluations`] once, so the counter stays *exactly* equal
+/// across thread counts instead of depending on racy interleavings.
+///
+/// # Errors
+/// As for [`goertzel`].
+pub fn goertzel_sharded(x: &[f64], k: usize, tally: &mut u64) -> Result<Complex, DspError> {
     let n = x.len();
     if n == 0 {
         return Err(DspError::EmptyInput);
@@ -39,7 +54,7 @@ pub fn goertzel(x: &[f64], k: usize) -> Result<Complex, DspError> {
         return Err(DspError::BinOutOfRange { bin: k, len: n });
     }
     check_finite(x)?;
-    EVALUATIONS.inc();
+    *tally += 1;
     let omega = std::f64::consts::TAU * k as f64 / n as f64;
     let coeff = 2.0 * omega.cos();
     let mut s_prev = 0.0f64;
@@ -72,6 +87,27 @@ pub fn goertzel_bins(x: &[f64], bins: &[usize]) -> Result<Vec<Complex>, DspError
 pub fn goertzel_feature(x: &[f64], k: usize) -> Result<(f64, f64), DspError> {
     let c = goertzel(x, k)?;
     Ok((c.abs(), c.arg()))
+}
+
+/// [`goertzel_feature`] with sharded counting — see
+/// [`goertzel_sharded`].
+///
+/// # Errors
+/// As for [`goertzel`].
+pub fn goertzel_feature_sharded(
+    x: &[f64],
+    k: usize,
+    tally: &mut u64,
+) -> Result<(f64, f64), DspError> {
+    let c = goertzel_sharded(x, k, tally)?;
+    Ok((c.abs(), c.arg()))
+}
+
+/// Credits `n` sharded evaluations to the global
+/// `dsp.goertzel.evaluations` counter. Pair with
+/// [`goertzel_sharded`] / [`goertzel_feature_sharded`].
+pub fn record_evaluations(n: u64) {
+    EVALUATIONS.add(n);
 }
 
 #[cfg(test)]

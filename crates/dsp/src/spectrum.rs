@@ -13,7 +13,7 @@
 
 use crate::complex::Complex;
 use crate::error::{check_finite, DspError};
-use crate::fft::FftPlan;
+use crate::fft::{plan_for, FftPlan};
 
 /// The DFT of a real signal, together with the signal it came from.
 #[derive(Debug, Clone)]
@@ -44,7 +44,7 @@ impl Spectrum {
     /// * [`DspError::EmptyInput`] if `signal` is empty.
     /// * [`DspError::NonFinite`] if any sample is NaN/∞.
     pub fn of(signal: &[f64]) -> Result<Self, DspError> {
-        Self::of_with_plan(signal, &FftPlan::new(signal.len()))
+        Self::of_with_plan(signal, &plan_for(signal.len()))
     }
 
     /// Computes the spectrum using a caller-provided plan (the pipeline
@@ -128,7 +128,7 @@ impl Spectrum {
     /// # Errors
     /// [`DspError::BinOutOfRange`] if any bin ≥ `N`.
     pub fn reconstruct_from_bins(&self, keep: &[usize]) -> Result<Vec<f64>, DspError> {
-        self.reconstruct_from_bins_with_plan(keep, &FftPlan::new(self.bins.len()))
+        self.reconstruct_from_bins_with_plan(keep, &plan_for(self.bins.len()))
     }
 
     /// [`Spectrum::reconstruct_from_bins`] with a caller-provided plan,

@@ -113,6 +113,54 @@ pub fn mixture_intensity(mix: &[f64; 4], minute: f64, weekend: bool) -> f64 {
         .sum()
 }
 
+/// Per-bin intensities of the four pure functions over a window,
+/// sampled at the bin midpoints — the tower-independent part of
+/// synthesis, computed once and shared across every tower instead of
+/// re-evaluating ~18 Gaussian bumps per bin per tower.
+#[derive(Debug, Clone)]
+pub struct IntensityTable {
+    /// One `[resident, transport, office, entertainment]` row per bin.
+    values: Vec<[f64; 4]>,
+}
+
+impl IntensityTable {
+    /// Samples the four pure profiles at every bin midpoint of the
+    /// window.
+    pub fn of(window: &TraceWindow) -> Self {
+        let values = (0..window.n_bins)
+            .map(|bin| {
+                let (h, m) = window.time_of_day(bin);
+                let minute = h as f64 * 60.0 + m as f64 + window.bin_secs as f64 / 120.0;
+                let weekend = window.is_weekend_bin(bin);
+                let mut row = [0.0; 4];
+                for &k in PoiKind::ALL.iter() {
+                    row[k.index()] = intensity(k, minute, weekend);
+                }
+                row
+            })
+            .collect();
+        IntensityTable { values }
+    }
+
+    /// Number of bins covered.
+    pub fn n_bins(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Mixture intensity at a bin. Bit-identical to
+    /// [`mixture_intensity`] at the bin midpoint: the per-kind values
+    /// are the same `intensity` evaluations and the weighted sum folds
+    /// in the same `PoiKind::ALL` order.
+    #[inline]
+    pub fn mixture(&self, mix: &[f64; 4], bin: usize) -> f64 {
+        let row = &self.values[bin];
+        PoiKind::ALL
+            .iter()
+            .map(|&k| mix[k.index()] * row[k.index()])
+            .sum()
+    }
+}
+
 /// The canonical noise-free profile vector of a pure function over a
 /// binning window (one intensity sample per bin, taken at the bin
 /// midpoint).
@@ -284,6 +332,24 @@ mod tests {
         // this periodicity).
         for b in 0..1_008 {
             assert!((v[b] - v[1_008 + b]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn intensity_table_matches_direct_evaluation_bitwise() {
+        let w = TraceWindow::days(9); // spans weekdays and a weekend
+        let table = IntensityTable::of(&w);
+        assert_eq!(table.n_bins(), w.n_bins);
+        let mix = [0.1, 0.2, 0.3, 0.4];
+        for bin in 0..w.n_bins {
+            let (h, m) = w.time_of_day(bin);
+            let minute = h as f64 * 60.0 + m as f64 + w.bin_secs as f64 / 120.0;
+            let direct = mixture_intensity(&mix, minute, w.is_weekend_bin(bin));
+            assert_eq!(
+                table.mixture(&mix, bin).to_bits(),
+                direct.to_bits(),
+                "bin {bin}"
+            );
         }
     }
 

@@ -21,7 +21,7 @@ use towerlens_city::city::City;
 use towerlens_trace::time::TraceWindow;
 
 use crate::config::SynthConfig;
-use crate::profiles::mixture_intensity;
+use crate::profiles::IntensityTable;
 
 /// Synthesises one tower's traffic vector.
 ///
@@ -33,6 +33,20 @@ pub fn tower_vector(
     config: &SynthConfig,
     tower_id: usize,
 ) -> Vec<f64> {
+    tower_vector_with(&IntensityTable::of(window), mix, window, config, tower_id)
+}
+
+/// [`tower_vector`] against a precomputed [`IntensityTable`] for the
+/// window, so batch callers pay the profile sampling once per window
+/// instead of once per tower. Bit-identical to [`tower_vector`].
+pub fn tower_vector_with(
+    table: &IntensityTable,
+    mix: &[f64; 4],
+    window: &TraceWindow,
+    config: &SynthConfig,
+    tower_id: usize,
+) -> Vec<f64> {
+    debug_assert_eq!(table.n_bins(), window.n_bins);
     let mut rng = tower_rng(config.seed, tower_id);
     let scale = config.base_bytes_per_bin * lognormal(&mut rng, config.tower_scale_sigma);
     let n_days = window.n_bins * window.bin_secs as usize / 86_400 + 1;
@@ -41,9 +55,7 @@ pub fn tower_vector(
         .collect();
     (0..window.n_bins)
         .map(|bin| {
-            let (h, m) = window.time_of_day(bin);
-            let minute = h as f64 * 60.0 + m as f64 + window.bin_secs as f64 / 120.0;
-            let base = mixture_intensity(mix, minute, window.is_weekend_bin(bin));
+            let base = table.mixture(mix, bin);
             let day = day_factors[window.day_of_bin(bin)];
             let noise = lognormal(&mut rng, config.bin_noise_sigma);
             scale * day * noise * base
@@ -52,46 +64,19 @@ pub fn tower_vector(
 }
 
 /// Synthesises the whole city: one traffic vector per tower, in tower
-/// id order. Parallelised over towers with scoped threads; output is
-/// independent of `config.threads`.
+/// id order. Parallelised over towers via [`towerlens_par`]; each
+/// tower draws from its own seeded stream and lands in its own slot,
+/// so the output is independent of `config.threads`.
 pub fn synthesize_city(city: &City, window: &TraceWindow, config: &SynthConfig) -> Vec<Vec<f64>> {
-    let n = city.towers().len();
     let mixes: Vec<[f64; 4]> = city
         .towers()
         .iter()
         .map(|t| city.function_mix(&t.position))
         .collect();
-
-    let threads = if config.threads == 0 {
-        std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
-    } else {
-        config.threads
-    };
-
-    let mut out: Vec<Vec<f64>> = vec![Vec::new(); n];
-    if threads <= 1 || n < 32 {
-        for (id, slot) in out.iter_mut().enumerate() {
-            *slot = tower_vector(&mixes[id], window, config, id);
-        }
-        return out;
-    }
-
-    // Hand out disjoint chunks of the output to workers.
-    let chunk = n.div_ceil(threads);
-    std::thread::scope(|scope| {
-        for (c, slice) in out.chunks_mut(chunk).enumerate() {
-            let mixes = &mixes;
-            scope.spawn(move || {
-                for (off, slot) in slice.iter_mut().enumerate() {
-                    let id = c * chunk + off;
-                    *slot = tower_vector(&mixes[id], window, config, id);
-                }
-            });
-        }
-    });
-    out
+    let table = IntensityTable::of(window);
+    towerlens_par::par_map_indexed(&mixes, config.threads, |id, mix| {
+        tower_vector_with(&table, mix, window, config, id)
+    })
 }
 
 /// Derives a tower's private RNG from the global seed (SplitMix-style

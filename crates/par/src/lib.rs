@@ -1,0 +1,223 @@
+//! Deterministic data-parallel primitives over scoped std threads.
+//!
+//! Every helper here upholds one contract: **output is byte-identical
+//! for any thread count**, including `1`. That holds because work is
+//! partitioned into contiguous index ranges and each result is written
+//! into a pre-sized slot addressed purely by item index — worker
+//! scheduling can reorder *when* slots are written, never *where* or
+//! *what*. Per-item side effects that must stay exact (hot-path
+//! counters) go through the tally variants: each worker accumulates
+//! into a private shard and the shards are merged in worker order
+//! after the join, so totals are identical across thread counts
+//! instead of depending on racy interleavings.
+//!
+//! No dependencies, no locks on the hot path; `0` means
+//! `available_parallelism`, mirroring the vectorizer's convention.
+
+use std::thread;
+
+/// Resolves a thread-count knob: `0` means available parallelism,
+/// anything else is taken literally (oversubscription is allowed and
+/// useful for determinism tests on small machines).
+#[must_use]
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
+/// Maps `f(index, &item)` over a slice in parallel, returning results
+/// in item order. Byte-identical to the serial map for any `threads`
+/// (0 = available parallelism): each worker owns a contiguous chunk of
+/// pre-sized output slots addressed by item index.
+pub fn par_map_indexed<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map_indexed_tally(items, threads, 0, |i, item, _| f(i, item)).0
+}
+
+/// As [`par_map_indexed`], but each worker also carries a private
+/// tally shard of `tallies` slots; the shards are summed in worker
+/// order after the join and returned alongside the results. Use this
+/// to keep observability counters exact across thread counts: workers
+/// bump their shard, the caller feeds the merged totals to the global
+/// registry once.
+pub fn par_map_indexed_tally<T, R, F>(
+    items: &[T],
+    threads: usize,
+    tallies: usize,
+    f: F,
+) -> (Vec<R>, Vec<u64>)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T, &mut [u64]) -> R + Sync,
+{
+    let workers = resolve_threads(threads).min(items.len().max(1));
+    let mut tally = vec![0u64; tallies];
+    if workers <= 1 {
+        let out = items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item, &mut tally))
+            .collect();
+        return (out, tally);
+    }
+
+    let chunk = items.len().div_ceil(workers);
+    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    let shards = thread::scope(|scope| {
+        let handles: Vec<_> = slots
+            .chunks_mut(chunk)
+            .enumerate()
+            .map(|(c, out)| {
+                let f = &f;
+                scope.spawn(move || {
+                    let base = c * chunk;
+                    let mut shard = vec![0u64; tallies];
+                    for (off, slot) in out.iter_mut().enumerate() {
+                        let i = base + off;
+                        *slot = Some(f(i, &items[i], &mut shard));
+                    }
+                    shard
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("par worker panicked"))
+            .collect::<Vec<_>>()
+    });
+    // Merge shards in worker order: u64 addition is exact and
+    // commutative, but a fixed order keeps the merge principled and
+    // trivially auditable.
+    for shard in shards {
+        for (slot, v) in tally.iter_mut().zip(shard) {
+            *slot += v;
+        }
+    }
+    let out = slots
+        .into_iter()
+        .map(|slot| slot.expect("every slot written"))
+        .collect();
+    (out, tally)
+}
+
+/// Fills a pre-sized buffer in parallel: the buffer is split into
+/// contiguous chunks of `chunk` elements and `f(start, slice)` runs
+/// once per chunk, where `start` is the absolute index of the chunk's
+/// first element. Deterministic for any `threads` because chunk
+/// boundaries depend only on `chunk`, never on scheduling.
+///
+/// `chunk = 0` is treated as "one chunk per worker"
+/// (`out.len().div_ceil(workers)`).
+pub fn par_fill<R, F>(out: &mut [R], threads: usize, chunk: usize, f: F)
+where
+    R: Send,
+    F: Fn(usize, &mut [R]) + Sync,
+{
+    if out.is_empty() {
+        return;
+    }
+    let workers = resolve_threads(threads).min(out.len());
+    let chunk = if chunk == 0 {
+        out.len().div_ceil(workers)
+    } else {
+        chunk
+    };
+    if workers <= 1 {
+        for (c, slice) in out.chunks_mut(chunk).enumerate() {
+            f(c * chunk, slice);
+        }
+        return;
+    }
+    thread::scope(|scope| {
+        // More chunks than workers is fine: spawned tasks are cheap
+        // scoped threads, and small chunk counts dominate in practice.
+        for (c, slice) in out.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move || f(c * chunk, slice));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_threads_passes_nonzero_through() {
+        assert_eq!(resolve_threads(1), 1);
+        assert_eq!(resolve_threads(7), 7);
+        assert!(resolve_threads(0) >= 1);
+    }
+
+    #[test]
+    fn map_matches_serial_for_every_thread_count() {
+        let items: Vec<u64> = (0..257).collect();
+        let serial: Vec<u64> = items
+            .iter()
+            .enumerate()
+            .map(|(i, v)| v * 3 + i as u64)
+            .collect();
+        for threads in [1, 2, 3, 4, 8, 16, 300] {
+            let par = par_map_indexed(&items, threads, |i, v| v * 3 + i as u64);
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn tallies_are_exact_across_thread_counts() {
+        let items: Vec<u64> = (0..1000).collect();
+        let mut reference = None;
+        for threads in [1, 2, 5, 8, 64] {
+            let (_, tally) = par_map_indexed_tally(&items, threads, 2, |i, v, t| {
+                t[0] += 1;
+                t[1] += v;
+                i
+            });
+            assert_eq!(tally[0], 1000);
+            let reference = reference.get_or_insert(tally.clone()).clone();
+            assert_eq!(tally, reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn fill_writes_every_slot_identically() {
+        let serial = {
+            let mut buf = vec![0u64; 1023];
+            par_fill(&mut buf, 1, 0, |start, slice| {
+                for (off, v) in slice.iter_mut().enumerate() {
+                    *v = (start + off) as u64 * 7;
+                }
+            });
+            buf
+        };
+        for threads in [2, 3, 8, 17] {
+            for chunk in [0, 1, 10, 100, 5000] {
+                let mut buf = vec![0u64; 1023];
+                par_fill(&mut buf, threads, chunk, |start, slice| {
+                    for (off, v) in slice.iter_mut().enumerate() {
+                        *v = (start + off) as u64 * 7;
+                    }
+                });
+                assert_eq!(buf, serial, "threads={threads} chunk={chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let out: Vec<u32> = par_map_indexed(&[] as &[u32], 4, |_, v| *v);
+        assert!(out.is_empty());
+        let mut buf: Vec<u32> = Vec::new();
+        par_fill(&mut buf, 4, 0, |_, _| panic!("no chunks expected"));
+    }
+}

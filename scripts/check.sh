@@ -21,18 +21,35 @@ echo "== chaos: crash/resume, transient I/O, watchdog =="
 # stage that blows its --stage-timeout-ms deadline.
 cargo test -q -p towerlens-cli --test chaos
 
+echo "== thread-count determinism: --threads 1 vs --threads 4 =="
+# The parallel-layer contract at the outermost boundary: the same
+# seeded study must print byte-identical stdout no matter how many
+# workers split the stages.
+thr_tmp="$(mktemp -d)"
+trap 'rm -rf "$thr_tmp"' EXIT
+./target/release/towerlens-cli study --scale tiny --seed 42 --threads 1 \
+    > "$thr_tmp/study-t1.out"
+./target/release/towerlens-cli study --scale tiny --seed 42 --threads 4 \
+    > "$thr_tmp/study-t4.out"
+cmp "$thr_tmp/study-t1.out" "$thr_tmp/study-t4.out" \
+    || { echo "study output differs between --threads 1 and --threads 4"; exit 1; }
+echo "bit-identical study output at --threads 1 and --threads 4"
+
 echo "== bench smoke + schema validation + baseline comparison =="
-# One tiny workload through the real bench harness, the schema gate
-# over both the smoke output and the committed baseline, then the
-# regression gate: the smoke run must introduce no stage the
-# committed baseline has never seen (medians compare only at
-# matching sizes, so the 20-tower smoke checks the stage set).
+# One tiny workload through the real bench harness at both thread
+# settings, the schema gate over both smoke outputs and the committed
+# baseline, then the regression gate: neither smoke run may introduce
+# a stage the committed baseline has never seen (medians compare only
+# at matching sizes, so the 20-tower smoke checks the stage set).
 bench_tmp="$(mktemp -d)"
-trap 'rm -rf "$bench_tmp"' EXIT
-cargo run --release -q -p towerlens-bench --bin bench -- \
-    --sizes 20 --repeats 1 --seed 42 --out "$bench_tmp/BENCH_smoke.json"
-cargo run --release -q -p towerlens-bench --bin bench -- \
-    --validate "$bench_tmp/BENCH_smoke.json" --baseline BENCH_pipeline.json
+trap 'rm -rf "$bench_tmp" "$thr_tmp"' EXIT
+for threads in 1 4; do
+    cargo run --release -q -p towerlens-bench --bin bench -- \
+        --sizes 20 --repeats 1 --seed 42 --threads "$threads" \
+        --out "$bench_tmp/BENCH_smoke_t$threads.json"
+    cargo run --release -q -p towerlens-bench --bin bench -- \
+        --validate "$bench_tmp/BENCH_smoke_t$threads.json" --baseline BENCH_pipeline.json
+done
 cargo run --release -q -p towerlens-bench --bin bench -- --validate BENCH_pipeline.json
 
 echo "== cargo clippy =="
