@@ -1,9 +1,17 @@
 //! Reproducible pipeline benchmark: emits `BENCH_pipeline.json`.
 //!
 //! ```text
-//! bench [--sizes N,N,...] [--repeats K] [--seed N] [--threads N] [--out FILE]
+//! bench [--sizes N,N,...] [--paper] [--repeats K] [--seed N] [--threads N] [--out FILE]
 //! bench --validate FILE [--baseline FILE]
 //! ```
+//!
+//! `--paper` appends the paper-scale workload (9,600 towers — the full
+//! Shanghai deployment of the source paper) to the size list. At that
+//! count the study's feature space auto-resolves to spectral, so the
+//! cluster stage runs matrix-free; the emitted counters then include
+//! `cluster.distance.on_demand_evaluations` alongside the materialised
+//! path's `cluster.distance.evaluations`, letting the report quantify
+//! distance work per feature space.
 //!
 //! Each size runs the full staged study pipeline (city → synthesize →
 //! vectorize → cluster → label/timedomain/frequency → decompose) over
@@ -32,6 +40,7 @@ fn main() {
     let mut out_file = "BENCH_pipeline.json".to_string();
     let mut validate: Option<String> = None;
     let mut baseline: Option<String> = None;
+    let mut paper = false;
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -46,6 +55,7 @@ fn main() {
                     bail("--sizes needs at least one positive tower count");
                 }
             }
+            "--paper" => paper = true,
             "--repeats" => match it.next().unwrap_or_default().parse() {
                 Ok(k) if k >= 1 => params.repeats = k,
                 _ => bail("bad --repeats (want an integer ≥ 1)"),
@@ -67,9 +77,11 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: bench [--sizes N,N,...] [--repeats K] [--seed N] [--threads N] \
-                     [--out FILE]\n\
-                     \x20      bench --validate FILE [--baseline FILE]"
+                    "usage: bench [--sizes N,N,...] [--paper] [--repeats K] [--seed N] \
+                     [--threads N] [--out FILE]\n\
+                     \x20      bench --validate FILE [--baseline FILE]\n\
+                     --paper appends the 9,600-tower paper-scale workload \
+                     (spectral feature space)"
                 );
                 return;
             }
@@ -117,6 +129,12 @@ fn main() {
     }
     if baseline.is_some() {
         bail("--baseline only makes sense with --validate");
+    }
+    if paper {
+        const PAPER_TOWERS: usize = 9_600;
+        if !params.sizes.contains(&PAPER_TOWERS) {
+            params.sizes.push(PAPER_TOWERS);
+        }
     }
 
     let available = towerlens_par::resolve_threads(0);

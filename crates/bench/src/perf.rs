@@ -592,6 +592,36 @@ mod tests {
         assert_eq!(report.workloads.len(), 1);
         assert_eq!(report.workloads[0].bins, 4_032);
         assert!(!report.workloads[0].counters.is_empty());
+        // The raw path materialises its distance matrix, so the
+        // counter snapshot carries the build-time evaluation count.
+        assert!(
+            report.workloads[0]
+                .counters
+                .contains_key("cluster.distance.evaluations"),
+            "counters: {:?}",
+            report.workloads[0].counters.keys().collect::<Vec<_>>()
+        );
         validate_bench_json(&report.to_json()).unwrap();
+
+        // Same workload forced into the spectral space: the cluster
+        // stage goes matrix-free and the dump must report the
+        // on-demand evaluation count instead, so a bench can quantify
+        // distance work per feature space. (Sequential with the run
+        // above on purpose — both passes reset the process-global
+        // registry.)
+        towerlens_obs::global().reset();
+        let mut config = workload_config(12, 7).with_threads(2);
+        config.identifier.feature_space = towerlens_pipeline::FeatureSpace::Spectral;
+        Study::new(config).run_instrumented(None).unwrap();
+        let counters = towerlens_obs::global().snapshot().counters;
+        assert!(
+            counters
+                .get("cluster.distance.on_demand_evaluations")
+                .copied()
+                .unwrap_or(0)
+                > 0,
+            "spectral run reported no on-demand evaluations: {:?}",
+            counters.keys().collect::<Vec<_>>()
+        );
     }
 }

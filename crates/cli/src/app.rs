@@ -18,6 +18,17 @@ use crate::commands::{
     AnalyzeOptions, GenOptions,
 };
 use towerlens_core::{RunReport, Supervisor};
+use towerlens_pipeline::FeatureSpace;
+
+/// Parses the shared `--feature-space` flag (default `auto`).
+fn feature_space_from(flags: &Flags) -> Result<FeatureSpace, String> {
+    match flags.get("feature-space") {
+        None => Ok(FeatureSpace::Auto),
+        Some(s) => s
+            .parse::<FeatureSpace>()
+            .map_err(|e| format!("--feature-space: {e}")),
+    }
+}
 
 /// The multi-line usage text (also the `help` subcommand's output).
 pub const USAGE: &str = "\
@@ -29,6 +40,7 @@ usage:
 
   towerlens-cli analyze --dir DIR [--days N] [--threads N]
                         [--max-bad-fraction F] [--impute]
+                        [--feature-space raw|spectral|auto]
                         [--resume DIR] [--retries N] [--stage-timeout-ms MS]
                         [--timings] [--json]
                         [--metrics PATH] [--trace-events PATH]
@@ -36,6 +48,7 @@ usage:
 
   towerlens-cli study   [--scale tiny|small|medium|paper] [--seed N]
                         [--threads N]
+                        [--feature-space raw|spectral|auto]
                         [--resume DIR] [--retries N] [--stage-timeout-ms MS]
                         [--timings] [--json]
                         [--metrics PATH] [--trace-events PATH]
@@ -66,6 +79,11 @@ supervision:
                          a required one fails the run; default 0 (off)
 
 common flags:
+  --feature-space S  representation the cluster stage sees: `raw`
+                 (full traffic vectors, the paper's setting), `spectral`
+                 (6-dim principal frequency components, matrix-free
+                 distances — the paper-scale path), or `auto` (default:
+                 spectral at 2048+ towers, raw below)
   --threads N    worker threads for the parallel stages (0 = all cores);
                  every value produces bit-identical output and counters
   --resume DIR   reuse (and write) stage checkpoints under DIR; a
@@ -233,6 +251,7 @@ pub fn run(argv: &[String]) -> i32 {
                 value("threads"),
                 value("max-bad-fraction"),
                 switch("impute"),
+                value("feature-space"),
                 value("resume"),
                 value("retries"),
                 value("stage-timeout-ms"),
@@ -256,6 +275,7 @@ pub fn run(argv: &[String]) -> i32 {
                         max_bad_fraction: flags
                             .fraction("max-bad-fraction", defaults.max_bad_fraction)?,
                         impute: flags.has("impute"),
+                        feature_space: feature_space_from(&flags)?,
                     },
                 ))
             })();
@@ -308,6 +328,7 @@ pub fn run(argv: &[String]) -> i32 {
                 value("scale"),
                 value("seed"),
                 value("threads"),
+                value("feature-space"),
                 value("resume"),
                 value("retries"),
                 value("stage-timeout-ms"),
@@ -329,10 +350,15 @@ pub fn run(argv: &[String]) -> i32 {
                 Ok(t) => t as usize,
                 Err(e) => return usage_error(&e),
             };
-            let config = match study_config(&scale, seed) {
+            let feature_space = match feature_space_from(&flags) {
+                Ok(s) => s,
+                Err(e) => return usage_error(&e),
+            };
+            let mut config = match study_config(&scale, seed) {
                 Ok(c) => c.with_threads(threads),
                 Err(e) => return usage_error(&e),
             };
+            config.identifier.feature_space = feature_space;
             let resume = flags.get("resume").map(PathBuf::from);
             let supervisor = match supervisor_from(&flags) {
                 Ok(s) => s,

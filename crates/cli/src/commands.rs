@@ -35,6 +35,7 @@ use towerlens_core::identifier::{IdentifiedPatterns, IdentifierConfig, PatternId
 use towerlens_core::labeling::{label_clusters_parts, GeoLabels};
 use towerlens_core::{PartialStudyReport, Study, StudyConfig};
 use towerlens_mobility::agents::{AgentConfig, AgentPopulation};
+use towerlens_pipeline::feature::FeatureSpace;
 use towerlens_pipeline::impute::ImputeConfig;
 use towerlens_pipeline::normalize::NormalizedMatrix;
 use towerlens_pipeline::vectorizer::{Vectorizer, VectorizerOptions};
@@ -134,6 +135,10 @@ pub struct AnalyzeOptions {
     /// Detect per-tower outage windows and impute them from the
     /// paper's daily/weekly periodicity.
     pub impute: bool,
+    /// Representation the cluster stage sees (`--feature-space`):
+    /// raw traffic vectors, 6-dim spectral projections, or auto
+    /// (spectral at large tower counts, raw below).
+    pub feature_space: FeatureSpace,
 }
 
 impl Default for AnalyzeOptions {
@@ -143,6 +148,7 @@ impl Default for AnalyzeOptions {
             threads: 0,
             max_bad_fraction: FaultPolicy::default().max_bad_fraction,
             impute: false,
+            feature_space: FeatureSpace::Auto,
         }
     }
 }
@@ -405,6 +411,10 @@ impl Stage<CliArtifact> for CliVectorizeStage {
 
 struct CliClusterStage {
     threads: usize,
+    /// Reconstructs the binning window — the source of the principal
+    /// bins when the feature space resolves to spectral.
+    days: usize,
+    feature_space: FeatureSpace,
 }
 
 impl Stage<CliArtifact> for CliClusterStage {
@@ -421,10 +431,11 @@ impl Stage<CliArtifact> for CliClusterStage {
         let normalized = vectors_parts(ctx)?;
         let identifier = PatternIdentifier::new(IdentifierConfig {
             threads: self.threads,
+            feature_space: self.feature_space,
             ..IdentifierConfig::default()
         });
         let patterns = identifier
-            .identify(&normalized.vectors)
+            .identify_in(&normalized.vectors, Some(&TraceWindow::days(self.days)))
             .map_err(|e| ctx.fail(e))?;
         let (n, k) = (normalized.vectors.len() as u64, patterns.k as u64);
         Ok(StageOutput::new(CliArtifact::Patterns(patterns))
@@ -618,6 +629,8 @@ fn analyze_graph(dir: &Path, options: &AnalyzeOptions) -> Graph<CliArtifact> {
         })
         .add_stage(CliClusterStage {
             threads: options.threads,
+            days: options.days,
+            feature_space: options.feature_space,
         })
         .add_stage(CliLabelStage {
             threads: options.threads,
@@ -638,8 +651,8 @@ fn analyze_graph(dir: &Path, options: &AnalyzeOptions) -> Graph<CliArtifact> {
 /// I/O failures reading the input file metadata.
 pub fn analyze_fingerprint(dir: &Path, options: &AnalyzeOptions) -> std::io::Result<u64> {
     let mut s = format!(
-        "analyze v3 days={} maxbad={} impute={}",
-        options.days, options.max_bad_fraction, options.impute
+        "analyze v4 days={} maxbad={} impute={} space={}",
+        options.days, options.max_bad_fraction, options.impute, options.feature_space
     );
     for f in ["logs.tsv", "towers.tsv", "pois.tsv"] {
         let len = std::fs::metadata(dir.join(f))?.len();

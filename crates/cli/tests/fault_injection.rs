@@ -45,6 +45,7 @@ fn options(max_bad_fraction: f64, impute: bool) -> AnalyzeOptions {
         threads: 2,
         max_bad_fraction,
         impute,
+        ..AnalyzeOptions::default()
     }
 }
 

@@ -147,6 +147,58 @@ fn analyze_artifacts_are_byte_identical_across_thread_counts() {
 }
 
 #[test]
+fn spectral_study_artifacts_are_byte_identical_across_thread_counts() {
+    // The matrix-free path: `--feature-space spectral` projects every
+    // tower onto its six principal components (parallel, sharded
+    // Goertzel tallies) before clustering through the on-demand
+    // metric. Both the projection and the serial clustering must be
+    // exactly thread-invariant — stdout and every checkpoint byte.
+    let dir = temp("spectral-study");
+    struct Run {
+        stdout: Vec<u8>,
+        ckpt: PathBuf,
+    }
+    let runs: Vec<Run> = ["1", "2", "8"]
+        .iter()
+        .map(|threads| {
+            let ckpt = dir.join(format!("ckpt-t{threads}"));
+            let stdout = run_ok(&[
+                "study",
+                "--scale",
+                "tiny",
+                "--seed",
+                "42",
+                "--feature-space",
+                "spectral",
+                "--threads",
+                threads,
+                "--resume",
+                ckpt.to_str().unwrap(),
+            ]);
+            Run { stdout, ckpt }
+        })
+        .collect();
+    for other in &runs[1..] {
+        assert_eq!(
+            String::from_utf8_lossy(&runs[0].stdout),
+            String::from_utf8_lossy(&other.stdout),
+            "spectral study stdout differs across thread counts"
+        );
+    }
+    let names = ckpt_files(&runs[0].ckpt);
+    assert!(!names.is_empty(), "expected checkpoint files");
+    for other in &runs[1..] {
+        assert_eq!(names, ckpt_files(&other.ckpt), "checkpoint inventories");
+        for name in &names {
+            let a = std::fs::read(runs[0].ckpt.join(name)).expect("read t1 checkpoint");
+            let b = std::fs::read(other.ckpt.join(name)).expect("read checkpoint");
+            assert_eq!(a, b, "checkpoint `{name}` differs across thread counts");
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn study_stdout_is_byte_identical_across_thread_counts() {
     let outputs: Vec<Vec<u8>> = ["1", "2", "8"]
         .iter()

@@ -15,12 +15,19 @@
 //! Both engines share the Lance–Williams cluster-distance update, so
 //! agreement between them is a real cross-check of the bookkeeping,
 //! not of a shared code path for neighbour selection.
+//!
+//! Neither engine knows where distances live: both are generic over
+//! [`DistanceSource`], so the same code runs against the materialised
+//! [`DistanceMatrix`] and the matrix-free
+//! [`OnDemandMetric`](crate::source::OnDemandMetric) — and a golden
+//! test pins the two sources to bit-identical dendrograms.
 
 use towerlens_obs::LazyCounter;
 
 use crate::dendrogram::{Dendrogram, Merge};
 use crate::distance::DistanceMatrix;
-use crate::error::ClusterError;
+use crate::error::{validate_points, ClusterError};
+use crate::source::{DistanceSource, OnDemandMetric};
 
 /// Merge steps performed, across all clustering runs (n−1 per run).
 static MERGES: LazyCounter = LazyCounter::new("cluster.agglomerative.merges");
@@ -81,11 +88,26 @@ pub enum Engine {
 /// # Errors
 /// [`ClusterError::EmptyInput`] for a zero-point matrix.
 pub fn agglomerative(
-    mut dist: DistanceMatrix,
+    dist: DistanceMatrix,
     linkage: Linkage,
     engine: Engine,
 ) -> Result<Dendrogram, ClusterError> {
-    let n = dist.len();
+    agglomerative_source(dist, linkage, engine)
+}
+
+/// Runs agglomerative clustering over any [`DistanceSource`] — the
+/// materialised matrix or a matrix-free metric. The engines perform
+/// the same `get`/`set` sequence either way, so two sources that agree
+/// on leaf distances produce bit-identical dendrograms.
+///
+/// # Errors
+/// [`ClusterError::EmptyInput`] for a zero-point source.
+pub fn agglomerative_source<S: DistanceSource>(
+    mut source: S,
+    linkage: Linkage,
+    engine: Engine,
+) -> Result<Dendrogram, ClusterError> {
+    let n = source.len();
     if n == 0 {
         return Err(ClusterError::EmptyInput);
     }
@@ -93,11 +115,29 @@ pub fn agglomerative(
         return Dendrogram::new(1, Vec::new());
     }
     let merges = match engine {
-        Engine::Naive => naive(&mut dist, linkage),
-        Engine::NnChain => nn_chain(&mut dist, linkage),
+        Engine::Naive => naive(&mut source, linkage),
+        Engine::NnChain => nn_chain(&mut source, linkage),
     };
     MERGES.add(merges.len() as u64);
     Dendrogram::new(n, merges)
+}
+
+/// Matrix-free counterpart of [`agglomerative_points`]: clusters a
+/// point set through an [`OnDemandMetric`], recomputing leaf distances
+/// from the rows instead of materialising the O(n²) condensed matrix.
+/// Bit-identical to the materialised path on the same points. Right
+/// when leaf distances are cheap relative to memory — the 6-dim
+/// spectral feature space at paper scale and beyond.
+///
+/// # Errors
+/// Propagates point-set validation failures; see [`ClusterError`].
+pub fn agglomerative_points_on_demand(
+    points: &[Vec<f64>],
+    linkage: Linkage,
+    engine: Engine,
+) -> Result<Dendrogram, ClusterError> {
+    validate_points(points)?;
+    agglomerative_source(OnDemandMetric::new(points), linkage, engine)
 }
 
 /// Convenience: build the distance matrix (with `threads` workers) and
@@ -150,8 +190,16 @@ impl MergeState {
     }
 
     /// Merges slot `j` into slot `i` at the given linkage distance and
-    /// updates row `i` of the matrix by Lance–Williams.
-    fn merge(&mut self, dist: &mut DistanceMatrix, linkage: Linkage, i: usize, j: usize, d: f64) {
+    /// updates row `i` of the source by Lance–Williams; slot `j` is
+    /// retired so the source can reclaim its storage.
+    fn merge<S: DistanceSource>(
+        &mut self,
+        dist: &mut S,
+        linkage: Linkage,
+        i: usize,
+        j: usize,
+        d: f64,
+    ) {
         let n = dist.len();
         let (ni, nj) = (self.size[i] as f64, self.size[j] as f64);
         for k in 0..n {
@@ -173,11 +221,12 @@ impl MergeState {
         self.active[j] = false;
         self.id[i] = self.next_id;
         self.next_id += 1;
+        dist.retire(j);
     }
 }
 
 /// O(n³) reference: scan all active pairs for the minimum each round.
-fn naive(dist: &mut DistanceMatrix, linkage: Linkage) -> Vec<Merge> {
+fn naive<S: DistanceSource>(dist: &mut S, linkage: Linkage) -> Vec<Merge> {
     let n = dist.len();
     let mut st = MergeState::new(n);
     for _ in 0..n - 1 {
@@ -209,7 +258,7 @@ fn naive(dist: &mut DistanceMatrix, linkage: Linkage) -> Vec<Merge> {
 /// mutual nearest neighbours they are merged immediately. Valid for
 /// reducible linkages (all four here), producing the same tree as the
 /// naive engine up to tie order.
-fn nn_chain(dist: &mut DistanceMatrix, linkage: Linkage) -> Vec<Merge> {
+fn nn_chain<S: DistanceSource>(dist: &mut S, linkage: Linkage) -> Vec<Merge> {
     let n = dist.len();
     let mut st = MergeState::new(n);
     let mut chain: Vec<usize> = Vec::with_capacity(n);
@@ -417,6 +466,65 @@ mod tests {
             let d = tree(&points, Linkage::Average, engine);
             assert_eq!(d.merges()[0].distance, 0.0);
         }
+    }
+
+    #[test]
+    fn matrix_free_engines_are_bit_identical_to_the_materialised_path() {
+        // The golden test the refactor hangs on: both engines, all four
+        // linkages, merge-for-merge equality with distances compared at
+        // the bit level. The on-demand source recomputes every leaf
+        // distance from the rows; any drift from the materialised
+        // matrix (kernel mismatch, stale Lance–Williams row, wrong
+        // fallthrough) shows up here.
+        let points: Vec<Vec<f64>> = (0..48)
+            .map(|i| {
+                let t = i as f64;
+                vec![
+                    (t * 0.7).sin() * 10.0,
+                    (t * 1.3).cos() * 7.0,
+                    (t * 0.29).sin() * 3.0 + (i % 4) as f64,
+                ]
+            })
+            .collect();
+        for linkage in [
+            Linkage::Single,
+            Linkage::Complete,
+            Linkage::Average,
+            Linkage::Ward,
+        ] {
+            for engine in [Engine::Naive, Engine::NnChain] {
+                let built = agglomerative_points(&points, linkage, engine, 1).unwrap();
+                let lazy = agglomerative_points_on_demand(&points, linkage, engine).unwrap();
+                assert_eq!(built.merges().len(), lazy.merges().len());
+                for (step, (x, y)) in built.merges().iter().zip(lazy.merges()).enumerate() {
+                    assert_eq!(x.a, y.a, "{linkage:?}/{engine:?} merge {step}");
+                    assert_eq!(x.b, y.b, "{linkage:?}/{engine:?} merge {step}");
+                    assert_eq!(x.size, y.size, "{linkage:?}/{engine:?} merge {step}");
+                    assert_eq!(
+                        x.distance.to_bits(),
+                        y.distance.to_bits(),
+                        "{linkage:?}/{engine:?} merge {step}: {} vs {}",
+                        x.distance,
+                        y.distance
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn on_demand_rows_are_freed_as_clusters_retire() {
+        // Memory contract: after the final merge a single root cluster
+        // survives, so at most one Lance–Williams row may remain live.
+        let points: Vec<Vec<f64>> = (0..32).map(|i| vec![(i as f64 * 1.37).sin()]).collect();
+        let mut metric = OnDemandMetric::new(&points[..]);
+        let merges = nn_chain(&mut metric, Linkage::Average);
+        assert_eq!(merges.len(), points.len() - 1);
+        assert!(
+            metric.live_rows() <= 1,
+            "{} rows still live after full agglomeration",
+            metric.live_rows()
+        );
     }
 
     #[test]

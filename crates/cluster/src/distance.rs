@@ -180,11 +180,16 @@ impl DistanceMatrix {
     /// with a custom metric.
     ///
     /// # Errors
-    /// [`ClusterError::Internal`] if the buffer length doesn't match
-    /// `n·(n−1)/2`.
+    /// [`ClusterError::CondensedLengthMismatch`] if the buffer length
+    /// doesn't match `n·(n−1)/2`; the error carries both lengths.
     pub fn from_condensed(n: usize, data: Vec<f64>) -> Result<Self, ClusterError> {
-        if data.len() != n * (n - 1) / 2 {
-            return Err(ClusterError::Internal("condensed length mismatch"));
+        let expected = n * n.saturating_sub(1) / 2;
+        if data.len() != expected {
+            return Err(ClusterError::CondensedLengthMismatch {
+                n,
+                expected,
+                actual: data.len(),
+            });
         }
         Ok(DistanceMatrix { n, data })
     }
@@ -326,7 +331,18 @@ mod tests {
     #[test]
     fn from_condensed_checks_length() {
         assert!(DistanceMatrix::from_condensed(3, vec![1.0, 2.0, 3.0]).is_ok());
-        assert!(DistanceMatrix::from_condensed(3, vec![1.0]).is_err());
+        assert_eq!(
+            DistanceMatrix::from_condensed(3, vec![1.0]).unwrap_err(),
+            ClusterError::CondensedLengthMismatch {
+                n: 3,
+                expected: 3,
+                actual: 1,
+            }
+        );
+        let msg = DistanceMatrix::from_condensed(4, vec![0.0; 5])
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("6") && msg.contains("5"), "{msg}");
     }
 
     #[test]

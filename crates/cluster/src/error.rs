@@ -28,6 +28,17 @@ pub enum ClusterError {
     },
     /// `k = 0` requested.
     ZeroClusters,
+    /// A condensed distance buffer had the wrong length for its
+    /// declared point count.
+    CondensedLengthMismatch {
+        /// Declared point count.
+        n: usize,
+        /// `n·(n−1)/2`, the length a condensed buffer over `n` points
+        /// must have.
+        expected: usize,
+        /// Length of the buffer actually supplied.
+        actual: usize,
+    },
     /// An internal invariant failed (a bug; included so library users
     /// get an error, never a panic).
     Internal(&'static str),
@@ -53,6 +64,14 @@ impl std::fmt::Display for ClusterError {
                 available,
             } => write!(f, "requested {requested} clusters from {available} points"),
             ClusterError::ZeroClusters => write!(f, "requested zero clusters"),
+            ClusterError::CondensedLengthMismatch {
+                n,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "condensed distance buffer for {n} points must hold {expected} entries, got {actual}"
+            ),
             ClusterError::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
         }
     }

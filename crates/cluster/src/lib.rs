@@ -35,10 +35,14 @@ pub mod dendrogram;
 pub mod distance;
 pub mod error;
 pub mod kmeans;
+pub mod source;
 pub mod validity;
 
-pub use agglomerative::{agglomerative, Engine, Linkage};
+pub use agglomerative::{
+    agglomerative, agglomerative_points_on_demand, agglomerative_source, Engine, Linkage,
+};
 pub use compare::{adjusted_rand_index, purity, rand_index};
 pub use dendrogram::{Clustering, Dendrogram, Merge};
 pub use distance::DistanceMatrix;
 pub use error::ClusterError;
+pub use source::{DistanceSource, FeatureView, OnDemandMetric};

@@ -1,0 +1,299 @@
+//! Distance sources: where the agglomerative engines read cluster
+//! distances from.
+//!
+//! Both engines in [`crate::agglomerative`] touch distances through
+//! exactly three operations — `len`, `get`, `set` — plus a `retire`
+//! notification when a cluster slot dies. [`DistanceSource`] names
+//! that seam, with two implementations:
+//!
+//! * [`DistanceMatrix`] — the materialised condensed matrix: every
+//!   pair precomputed, O(n²) memory. Right when leaf distances are
+//!   expensive (the raw 4,032-dim traffic vectors) and will be read
+//!   repeatedly.
+//! * [`OnDemandMetric`] — matrix-free: leaf distances are recomputed
+//!   from a row-major [`FeatureView`] on every read, and only the
+//!   Lance–Williams rows of *merged* clusters are stored (allocated on
+//!   first write, freed when the slot retires). No condensed buffer is
+//!   ever materialised, so memory follows the number of live internal
+//!   clusters instead of n²/2 — the enabler for clustering the paper's
+//!   9,600 towers (and beyond) in the 6-dim spectral feature space,
+//!   where a leaf distance costs six subtract-square-adds.
+//!
+//! The two sources are *bit-identical* under the same engine and
+//! metric: leaf reads call the same [`euclidean`] kernel the matrix
+//! builder uses (symmetric at the bit level — the squared differences
+//! erase operand order), and merged-cluster reads return the exact
+//! values the engine stored. A golden test in
+//! [`crate::agglomerative`] pins this.
+
+use towerlens_obs::LazyCounter;
+
+use crate::distance::{euclidean, DistanceMatrix};
+
+/// Leaf-distance evaluations performed by on-demand sources, across
+/// all runs. Batched: one add per clustering run, flushed when the
+/// metric drops, so the count is exact (and thread-invariant — the
+/// engines are serial).
+static ON_DEMAND_EVALUATIONS: LazyCounter =
+    LazyCounter::new("cluster.distance.on_demand_evaluations");
+
+/// What the agglomerative engines need from distance storage.
+///
+/// `get`/`set` address unordered pairs of *slots* (initially one point
+/// per slot); the engines guarantee `i ≠ j` slots are only read while
+/// both are active. `set` is only ever called by the Lance–Williams
+/// update with the surviving merge slot as its first index.
+pub trait DistanceSource {
+    /// Number of slots (points) the source was built over.
+    fn len(&self) -> usize;
+
+    /// `true` when built over zero points.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current distance between the clusters seated at `i` and `j`
+    /// (0 when `i == j`).
+    fn get(&mut self, i: usize, j: usize) -> f64;
+
+    /// Overwrites the distance of a pair (Lance–Williams update; `i`
+    /// is the surviving merge slot).
+    fn set(&mut self, i: usize, j: usize, v: f64);
+
+    /// The cluster seated at `slot` has been merged away; its
+    /// distances will never be read again. Storage may reclaim.
+    fn retire(&mut self, slot: usize) {
+        let _ = slot;
+    }
+}
+
+impl DistanceSource for DistanceMatrix {
+    fn len(&self) -> usize {
+        DistanceMatrix::len(self)
+    }
+    fn get(&mut self, i: usize, j: usize) -> f64 {
+        DistanceMatrix::get(self, i, j)
+    }
+    fn set(&mut self, i: usize, j: usize, v: f64) {
+        DistanceMatrix::set(self, i, j, v);
+    }
+}
+
+/// A row-major view of tower features: anything that can produce the
+/// Euclidean distance between two of its rows on demand.
+///
+/// Implemented for `[Vec<f64>]` (the in-memory feature matrices the
+/// pipeline produces) and, in `towerlens-pipeline`, for the f32
+/// chunked `TowerMatrix` storage.
+pub trait FeatureView {
+    /// Number of rows (towers).
+    fn len(&self) -> usize;
+
+    /// `true` when the view has no rows.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Euclidean distance between rows `i` and `j`.
+    fn distance(&self, i: usize, j: usize) -> f64;
+}
+
+impl FeatureView for [Vec<f64>] {
+    fn len(&self) -> usize {
+        <[Vec<f64>]>::len(self)
+    }
+    fn distance(&self, i: usize, j: usize) -> f64 {
+        euclidean(&self[i], &self[j])
+    }
+}
+
+/// The matrix-free distance source: leaf distances computed on demand
+/// from a [`FeatureView`], Lance–Williams rows stored only for merged
+/// clusters.
+///
+/// Storage model: `rows[slot]`, allocated lazily at a merged slot's
+/// first `set` and freed by `retire`, holds that cluster's current
+/// distance to every other slot (`NaN` marks entries whose value lives
+/// on the *other* endpoint's row, or — for leaf pairs — is recomputed
+/// from the view). Peak memory is `(live internal clusters) × n`
+/// entries; an agglomeration that pairs every point first peaks at
+/// n²/4 — half the condensed matrix — while typical incremental merge
+/// orders stay far below. Either way the O(n²) *leaf* triangle, which
+/// dominates at raw dimensionality, is never stored.
+#[derive(Debug)]
+pub struct OnDemandMetric<'a, V: FeatureView + ?Sized> {
+    view: &'a V,
+    rows: Vec<Option<Box<[f64]>>>,
+    evaluations: u64,
+}
+
+impl<'a, V: FeatureView + ?Sized> OnDemandMetric<'a, V> {
+    /// Wraps a feature view. No distances are computed yet.
+    pub fn new(view: &'a V) -> Self {
+        let n = view.len();
+        OnDemandMetric {
+            view,
+            rows: vec![None; n],
+            evaluations: 0,
+        }
+    }
+
+    /// Leaf-distance evaluations performed so far (each `get` that
+    /// reached the view, including repeats of the same pair).
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+
+    /// Lance–Williams rows currently allocated (live merged clusters).
+    pub fn live_rows(&self) -> usize {
+        self.rows.iter().filter(|r| r.is_some()).count()
+    }
+}
+
+impl<V: FeatureView + ?Sized> DistanceSource for OnDemandMetric<'_, V> {
+    fn len(&self) -> usize {
+        self.view.len()
+    }
+
+    fn get(&mut self, i: usize, j: usize) -> f64 {
+        if i == j {
+            return 0.0;
+        }
+        // A stored value (either endpoint's row) wins over the leaf
+        // metric: once a slot holds a merged cluster, its distances
+        // are defined by the linkage recurrence, not the view.
+        if let Some(row) = self.rows[i].as_deref() {
+            let v = row[j];
+            if !v.is_nan() {
+                return v;
+            }
+        }
+        if let Some(row) = self.rows[j].as_deref() {
+            let v = row[i];
+            if !v.is_nan() {
+                return v;
+            }
+        }
+        self.evaluations += 1;
+        self.view.distance(i, j)
+    }
+
+    fn set(&mut self, i: usize, j: usize, v: f64) {
+        if i == j {
+            return;
+        }
+        debug_assert!(!v.is_nan(), "cluster distances must be numbers");
+        // Keep every live copy coherent; allocate on the first index
+        // (the surviving merge slot) only when no row exists yet.
+        let mut stored = false;
+        if let Some(row) = self.rows[i].as_deref_mut() {
+            row[j] = v;
+            stored = true;
+        }
+        if let Some(row) = self.rows[j].as_deref_mut() {
+            row[i] = v;
+            stored = true;
+        }
+        if !stored {
+            let mut row = vec![f64::NAN; self.rows.len()].into_boxed_slice();
+            row[j] = v;
+            self.rows[i] = Some(row);
+        }
+    }
+
+    fn retire(&mut self, slot: usize) {
+        self.rows[slot] = None;
+    }
+}
+
+impl<V: FeatureView + ?Sized> Drop for OnDemandMetric<'_, V> {
+    fn drop(&mut self) {
+        if self.evaluations > 0 {
+            ON_DEMAND_EVALUATIONS.add(self.evaluations);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::DistanceMatrix;
+
+    fn pts() -> Vec<Vec<f64>> {
+        vec![
+            vec![0.0, 0.0],
+            vec![3.0, 4.0],
+            vec![6.0, 8.0],
+            vec![-3.0, -4.0],
+        ]
+    }
+
+    #[test]
+    fn leaf_reads_match_the_materialised_matrix_bit_for_bit() {
+        let points = pts();
+        let mut built = DistanceMatrix::build(&points, 1).unwrap();
+        let mut lazy = OnDemandMetric::new(&points[..]);
+        for i in 0..points.len() {
+            for j in 0..points.len() {
+                assert_eq!(
+                    DistanceSource::get(&mut lazy, i, j).to_bits(),
+                    DistanceSource::get(&mut built, i, j).to_bits(),
+                    "pair ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn counts_every_evaluation_including_repeats() {
+        let points = pts();
+        let mut lazy = OnDemandMetric::new(&points[..]);
+        let _ = lazy.get(0, 1);
+        let _ = lazy.get(1, 0);
+        let _ = lazy.get(2, 2); // diagonal: no evaluation
+        assert_eq!(lazy.evaluations(), 2);
+    }
+
+    #[test]
+    fn set_values_win_over_the_view_and_retire_frees_rows() {
+        let points = pts();
+        let mut lazy = OnDemandMetric::new(&points[..]);
+        lazy.set(0, 2, 42.0);
+        assert_eq!(lazy.live_rows(), 1);
+        assert_eq!(lazy.get(0, 2), 42.0);
+        assert_eq!(lazy.get(2, 0), 42.0);
+        // An unset pair on the same row still falls back to the view.
+        assert_eq!(lazy.get(0, 1), 5.0);
+        // Updates through the other endpoint stay coherent.
+        lazy.set(2, 0, 7.0);
+        assert_eq!(lazy.live_rows(), 1, "no second row for the same pair");
+        assert_eq!(lazy.get(0, 2), 7.0);
+        lazy.retire(0);
+        assert_eq!(lazy.live_rows(), 0);
+        // With the row gone the pair is a leaf pair again.
+        assert_eq!(lazy.get(0, 2), 10.0);
+    }
+
+    #[test]
+    fn flushes_evaluations_to_the_registry_on_drop() {
+        let read = || {
+            towerlens_obs::global()
+                .snapshot()
+                .counters
+                .get("cluster.distance.on_demand_evaluations")
+                .copied()
+                .unwrap_or(0)
+        };
+        let before = read();
+        let points = pts();
+        {
+            let mut lazy = OnDemandMetric::new(&points[..]);
+            let _ = lazy.get(0, 1);
+            let _ = lazy.get(0, 2);
+            let _ = lazy.get(0, 3);
+        }
+        // ≥: other tests in this binary may run on-demand metrics
+        // concurrently; the flush itself is exact.
+        assert!(read() >= before + 3, "counter did not flush on drop");
+    }
+}

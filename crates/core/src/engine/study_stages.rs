@@ -106,6 +106,7 @@ pub fn study_graph(config: &StudyConfig) -> Graph<StudyArtifact> {
         .add_stage(VectorizeStage)
         .add_stage(ClusterStage {
             config: config.identifier,
+            window: config.window,
         })
         .add_stage(LabelStage {
             threads: config.threads,
@@ -270,6 +271,9 @@ impl Stage<StudyArtifact> for VectorizeStage {
 
 struct ClusterStage {
     config: IdentifierConfig,
+    /// Supplies the principal bins when the feature space resolves to
+    /// spectral.
+    window: TraceWindow,
 }
 
 impl Stage<StudyArtifact> for ClusterStage {
@@ -286,7 +290,7 @@ impl Stage<StudyArtifact> for ClusterStage {
         let normalized = vectors_of(ctx, "vectorize")?;
         let identifier = PatternIdentifier::new(self.config);
         let patterns = identifier
-            .identify(&normalized.vectors)
+            .identify_in(&normalized.vectors, Some(&self.window))
             .map_err(|e| ctx.fail(e))?;
         let (n, k, merges) = (
             normalized.vectors.len() as u64,

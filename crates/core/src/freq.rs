@@ -26,17 +26,14 @@ use crate::error::CoreError;
 /// whole week (the weekly line needs a whole number of weeks to sit
 /// on an integer bin).
 pub fn principal_bins(window: &TraceWindow) -> Result<[usize; 3], CoreError> {
-    let total_secs = window.n_bins as u64 * window.bin_secs;
-    let weeks = total_secs / (7 * 86_400);
-    if weeks == 0 || !total_secs.is_multiple_of(7 * 86_400) {
-        return Err(CoreError::NotEnoughData {
-            what: "whole weeks in window",
-            needed: 1,
-            got: 0,
-        });
-    }
-    let w = weeks as usize;
-    Ok([w, 7 * w, 14 * w])
+    // The bin arithmetic lives in `towerlens_pipeline::feature`, where
+    // the spectral feature-space projection uses it too; this wrapper
+    // only restates "no whole week" as a core error.
+    towerlens_pipeline::principal_bins(window).ok_or(CoreError::NotEnoughData {
+        what: "whole weeks in window",
+        needed: 1,
+        got: 0,
+    })
 }
 
 /// Amplitude/phase of the three principal components for one tower —

@@ -6,10 +6,23 @@
 //! the Davies–Bouldin index over a candidate range of cluster counts.
 //! The selected cut's threshold is reported the way the paper quotes
 //! its 16.33.
+//!
+//! The representation the clustering sees is a [`FeatureSpace`]
+//! choice: the raw 4,032-dim traffic vector (the paper's setting,
+//! materialised distance matrix) or the 6-dim spectral projection at
+//! the window's principal bins (matrix-free on-demand distances — the
+//! path that carries the paper's 9,600 towers and beyond). `Auto`, the
+//! default, keeps small studies on the raw reference path and switches
+//! large ones to spectral. A golden test below pins the two spaces to
+//! agreement by Adjusted Rand Index on separable data.
 
-use towerlens_cluster::agglomerative::{agglomerative_points, Engine, Linkage};
+use towerlens_cluster::agglomerative::{
+    agglomerative_points, agglomerative_points_on_demand, Engine, Linkage,
+};
 use towerlens_cluster::dendrogram::{Clustering, Dendrogram};
 use towerlens_cluster::validity::{best_by_dbi, dbi_sweep, DbiPoint};
+use towerlens_pipeline::feature::{spectral_project, FeatureSpace};
+use towerlens_trace::time::TraceWindow;
 
 use crate::error::CoreError;
 
@@ -24,8 +37,14 @@ pub struct IdentifierConfig {
     pub k_min: usize,
     /// Largest cluster count the metric tuner considers.
     pub k_max: usize,
-    /// Worker threads for the distance matrix (0 = auto).
+    /// Worker threads for the distance matrix / spectral projection
+    /// (0 = auto).
     pub threads: usize,
+    /// Representation towers are clustered in (default
+    /// [`FeatureSpace::Auto`]: raw below
+    /// [`towerlens_pipeline::SPECTRAL_AUTO_MIN`] towers, spectral at
+    /// or above).
+    pub feature_space: FeatureSpace,
 }
 
 impl Default for IdentifierConfig {
@@ -36,6 +55,7 @@ impl Default for IdentifierConfig {
             k_min: 2,
             k_max: 12,
             threads: 0,
+            feature_space: FeatureSpace::Auto,
         }
     }
 }
@@ -80,14 +100,40 @@ impl PatternIdentifier {
         &self.config
     }
 
-    /// Runs clustering + metric tuning over z-scored traffic vectors.
+    /// Runs clustering + metric tuning over z-scored traffic vectors,
+    /// always in the raw feature space's terms: equivalent to
+    /// [`PatternIdentifier::identify_in`] with no window, so a
+    /// configuration that resolves to the spectral space errors here.
+    ///
+    /// # Errors
+    /// As for [`PatternIdentifier::identify_in`].
+    pub fn identify(&self, vectors: &[Vec<f64>]) -> Result<IdentifiedPatterns, CoreError> {
+        self.identify_in(vectors, None)
+    }
+
+    /// Runs clustering + metric tuning over z-scored traffic vectors
+    /// in the configured [`FeatureSpace`].
+    ///
+    /// In the raw space the towers are clustered as-is over a
+    /// materialised distance matrix (bit-identical to the
+    /// pre-feature-space pipeline). In the spectral space each tower
+    /// is first projected onto its six principal-component features
+    /// for `window` — clustering and the DBI sweep then run in that
+    /// 6-dim space, matrix-free — while centroids and member→centroid
+    /// distances are still reported in the traffic-vector space, so
+    /// Fig 6's pattern profiles keep their meaning in either space.
     ///
     /// # Errors
     /// * [`CoreError::NotEnoughData`] if fewer than `k_min + 1`
-    ///   vectors are supplied,
-    /// * wrapped [`towerlens_cluster::ClusterError`] for validation
-    ///   failures.
-    pub fn identify(&self, vectors: &[Vec<f64>]) -> Result<IdentifiedPatterns, CoreError> {
+    ///   vectors are supplied, if the spectral space is selected
+    ///   without a window, or if the window does not span whole weeks,
+    /// * wrapped [`towerlens_cluster::ClusterError`] /
+    ///   [`towerlens_dsp::DspError`] for validation failures.
+    pub fn identify_in(
+        &self,
+        vectors: &[Vec<f64>],
+        window: Option<&TraceWindow>,
+    ) -> Result<IdentifiedPatterns, CoreError> {
         let cfg = &self.config;
         if vectors.len() <= cfg.k_min {
             return Err(CoreError::NotEnoughData {
@@ -96,9 +142,37 @@ impl PatternIdentifier {
                 got: vectors.len(),
             });
         }
-        let dendrogram = agglomerative_points(vectors, cfg.linkage, cfg.engine, cfg.threads)?;
+        // The space the dendrogram and the DBI sweep live in: the
+        // towers themselves, or their 6-dim spectral projections.
+        let projected = match cfg.feature_space.resolve(vectors.len()) {
+            FeatureSpace::Raw => None,
+            FeatureSpace::Spectral => {
+                let window = window.ok_or(CoreError::NotEnoughData {
+                    what: "trace window for spectral feature space",
+                    needed: 1,
+                    got: 0,
+                })?;
+                let bins =
+                    towerlens_pipeline::principal_bins(window).ok_or(CoreError::NotEnoughData {
+                        what: "whole weeks in window",
+                        needed: 1,
+                        got: 0,
+                    })?;
+                Some(spectral_project(vectors, bins, cfg.threads)?)
+            }
+            FeatureSpace::Auto => unreachable!("resolve() never returns Auto"),
+        };
+        let dendrogram = match &projected {
+            // Raw: expensive high-dim leaf distances, computed once
+            // into the materialised matrix.
+            None => agglomerative_points(vectors, cfg.linkage, cfg.engine, cfg.threads)?,
+            // Spectral: 6-dim leaf distances, recomputed on demand —
+            // no O(n²) buffer at paper scale.
+            Some(features) => agglomerative_points_on_demand(features, cfg.linkage, cfg.engine)?,
+        };
+        let space: &[Vec<f64>] = projected.as_deref().unwrap_or(vectors);
         let k_max = cfg.k_max.min(vectors.len());
-        let dbi_curve = dbi_sweep(vectors, &dendrogram, cfg.k_min, k_max)?;
+        let dbi_curve = dbi_sweep(space, &dendrogram, cfg.k_min, k_max)?;
         let best = best_by_dbi(&dbi_curve).ok_or(CoreError::NotEnoughData {
             what: "DBI sweep points",
             needed: 1,
@@ -198,6 +272,80 @@ mod tests {
             id.identify(&vectors),
             Err(CoreError::NotEnoughData { .. })
         ));
+    }
+
+    #[test]
+    fn spectral_space_agrees_with_raw_reference_by_ari() {
+        // The golden test the feature-space refactor hangs on: on
+        // separable data, clustering the 6-dim spectral projections
+        // must recover (essentially) the same partition as the raw
+        // 4,032-dim reference. Pinned by Adjusted Rand Index — 1.0 is
+        // identical partitions, 0 is chance.
+        let window = TraceWindow::days(7);
+        let (vectors, _) = pure_kind_vectors(12, &window);
+        let raw = PatternIdentifier::new(IdentifierConfig {
+            k_max: 8,
+            feature_space: FeatureSpace::Raw,
+            ..IdentifierConfig::default()
+        })
+        .identify_in(&vectors, Some(&window))
+        .unwrap();
+        let spectral = PatternIdentifier::new(IdentifierConfig {
+            k_max: 8,
+            feature_space: FeatureSpace::Spectral,
+            ..IdentifierConfig::default()
+        })
+        .identify_in(&vectors, Some(&window))
+        .unwrap();
+        let ari =
+            towerlens_cluster::adjusted_rand_index(&raw.clustering, &spectral.clustering).unwrap();
+        assert!(
+            ari >= 0.9,
+            "spectral vs raw ARI {ari} (raw k={}, spectral k={})",
+            raw.k,
+            spectral.k
+        );
+    }
+
+    #[test]
+    fn spectral_space_requires_a_window() {
+        let window = TraceWindow::days(7);
+        let (vectors, _) = pure_kind_vectors(2, &window);
+        let id = PatternIdentifier::new(IdentifierConfig {
+            feature_space: FeatureSpace::Spectral,
+            ..IdentifierConfig::default()
+        });
+        assert!(matches!(
+            id.identify(&vectors),
+            Err(CoreError::NotEnoughData {
+                what: "trace window for spectral feature space",
+                ..
+            })
+        ));
+        // A window without whole weeks is just as unusable.
+        assert!(id
+            .identify_in(&vectors, Some(&TraceWindow::days(5)))
+            .is_err());
+    }
+
+    #[test]
+    fn auto_space_is_bit_identical_to_raw_at_small_n() {
+        // The compatibility contract: the default (Auto) resolves to
+        // the raw reference below the switch-over, window or not.
+        let window = TraceWindow::days(7);
+        let (vectors, _) = pure_kind_vectors(6, &window);
+        let auto = PatternIdentifier::default()
+            .identify_in(&vectors, Some(&window))
+            .unwrap();
+        let raw = PatternIdentifier::new(IdentifierConfig {
+            feature_space: FeatureSpace::Raw,
+            ..IdentifierConfig::default()
+        })
+        .identify(&vectors)
+        .unwrap();
+        assert_eq!(auto.k, raw.k);
+        assert_eq!(auto.clustering.labels, raw.clustering.labels);
+        assert_eq!(auto.threshold.to_bits(), raw.threshold.to_bits());
     }
 
     #[test]

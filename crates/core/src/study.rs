@@ -504,9 +504,10 @@ impl Study {
         let normalized = normalize_matrix(&raw)?;
         let kept_ids = normalized.kept_ids.clone();
         let vectors = normalized.vectors;
-        // 4. Identify patterns.
+        // 4. Identify patterns (in the configured feature space; the
+        //    window supplies the spectral bins when that space wins).
         let identifier = PatternIdentifier::new(cfg.identifier);
-        let patterns = identifier.identify(&vectors)?;
+        let patterns = identifier.identify_in(&vectors, Some(&cfg.window))?;
         // 5. Geographic labels.
         let geo = label_clusters(&city, &patterns.clustering, &kept_ids, 1)?;
         // 6. Time-domain statistics over the kept towers' raw rows.

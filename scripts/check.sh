@@ -35,6 +35,19 @@ cmp "$thr_tmp/study-t1.out" "$thr_tmp/study-t4.out" \
     || { echo "study output differs between --threads 1 and --threads 4"; exit 1; }
 echo "bit-identical study output at --threads 1 and --threads 4"
 
+echo "== paper-scale smoke: 9,600 towers in the spectral feature space =="
+# The scale contract: the full Shanghai-size study must complete within
+# a bounded wall-clock when clustering in the 6-dim spectral space
+# (measured ~26s on a dev box; the bound mostly exists to catch a
+# regression back onto the O(n²·4032) materialised raw path).
+timeout 180 ./target/release/towerlens-cli study \
+    --scale paper --seed 42 --feature-space spectral \
+    > "$thr_tmp/study-paper.out" \
+    || { echo "paper-scale spectral study failed or blew the 180s bound"; exit 1; }
+grep -q "9600 towers" "$thr_tmp/study-paper.out" \
+    || { echo "paper-scale study output missing its tower count"; exit 1; }
+echo "paper-scale spectral study completed within bound"
+
 echo "== bench smoke + schema validation + baseline comparison =="
 # One tiny workload through the real bench harness at both thread
 # settings, the schema gate over both smoke outputs and the committed
