@@ -54,8 +54,21 @@ usage:
                         [--metrics PATH] [--trace-events PATH]
       run the full in-process paper study through the stage engine
 
+  towerlens-cli serve   --source FILE --data DIR [--days N] [--shards N]
+                        [--segment-records N] [--queue-cap N] [--retries N]
+                        [--basis CKPT] [--flush-every N] [--progress-every N]
+                        [--metrics PATH]
+      crash-safe streaming ingestion: append every source line to a
+      checksummed WAL under DIR/wal before acknowledging it, maintain
+      per-tower sliding traffic state across supervised shards, snapshot
+      at every segment boundary (DIR/snap), and print the batch-identical
+      drain report; killed runs resume from snapshot + WAL tail with
+      byte-identical final output. --basis classifies live towers against
+      a frozen batch checkpoint (analyze's cluster.ckpt)
+
   towerlens-cli doctor  --dir DIR [--fingerprint HEX]
-      fsck every checkpoint file in DIR and report per-stage health;
+      fsck every checkpoint file in DIR (and DIR/snap) plus any WAL
+      segments under DIR/wal: checksums, seals, and sequence gaps;
       with --fingerprint, also pin each file to that config fingerprint
 
   towerlens-cli help
@@ -404,6 +417,63 @@ pub fn run(argv: &[String]) -> i32 {
                 }
             }
         }
+        "serve" => {
+            const DEFS: &[FlagDef] = &[
+                value("source"),
+                value("data"),
+                value("days"),
+                value("shards"),
+                value("segment-records"),
+                value("queue-cap"),
+                value("retries"),
+                value("basis"),
+                value("flush-every"),
+                value("progress-every"),
+                value("metrics"),
+            ];
+            let flags = match parse_or_exit("serve", rest, DEFS) {
+                Ok(f) => f,
+                Err(code) => return code,
+            };
+            let parsed = (|| -> Result<towerlens_serve::ServeConfig, String> {
+                let defaults = towerlens_serve::ServeConfig::default();
+                let retries = flags.num("retries", u64::from(defaults.retries))?;
+                Ok(towerlens_serve::ServeConfig {
+                    source: PathBuf::from(flags.require("serve", "source")?),
+                    data_dir: PathBuf::from(flags.require("serve", "data")?),
+                    days: flags.num("days", defaults.days as u64)? as usize,
+                    shards: flags.num("shards", defaults.shards as u64)? as usize,
+                    segment_records: flags.num("segment-records", defaults.segment_records)?,
+                    queue_cap: flags.num("queue-cap", defaults.queue_cap as u64)? as usize,
+                    retries: u32::try_from(retries)
+                        .map_err(|_| format!("--retries {retries} is too large"))?,
+                    basis: flags.get("basis").map(PathBuf::from),
+                    flush_every: flags.num("flush-every", defaults.flush_every)?,
+                    progress_every: flags.num("progress-every", defaults.progress_every)?,
+                })
+            })();
+            let config = match parsed {
+                Ok(c) => c,
+                Err(e) => return usage_error(&e),
+            };
+            match towerlens_serve::serve(&config) {
+                Ok(report) => {
+                    print!("{}", report.render());
+                    if let Some(path) = flags.get("metrics") {
+                        let json = towerlens_obs::global().snapshot().to_json();
+                        if let Err(e) = std::fs::write(path, json + "\n") {
+                            eprintln!("failed to write --metrics {path}: {e}");
+                            return 1;
+                        }
+                    }
+                    0
+                }
+                Err(e) => {
+                    eprintln!("serve failed: {e}");
+                    1
+                }
+            }
+        }
         "doctor" => {
             const DEFS: &[FlagDef] = &[value("dir"), value("fingerprint")];
             let flags = match parse_or_exit("doctor", rest, DEFS) {
@@ -435,48 +505,114 @@ pub fn run(argv: &[String]) -> i32 {
                     return 1;
                 }
             };
-            if rows.is_empty() {
-                println!("no checkpoint files (*.ckpt) in {}", dir.display());
-                return 0;
-            }
-            // Per-stage health table: one row per checkpoint file, the
-            // same fixed-width idiom as the `--timings` stage table.
-            let file_w = rows
-                .iter()
-                .map(|(name, _)| name.len())
-                .chain(["file".len()])
-                .max()
-                .unwrap_or(4);
-            println!(
-                "{:<file_w$}  {:<10}  status  {:>16}  {:>5}  {:>5}  detail",
-                "file", "stage", "fingerprint", "cards", "lines"
-            );
-            let mut bad = 0usize;
-            for (name, verdict) in &rows {
-                match verdict {
-                    Ok(info) => println!(
-                        "{name:<file_w$}  {:<10}  ok      {:>16}  {:>5}  {:>5}",
-                        info.stage,
-                        format!("{:016x}", info.fingerprint),
-                        info.cards.len(),
-                        info.body_lines
-                    ),
+            let wal_dir = dir.join(towerlens_serve::WAL_DIR);
+            let wal_rows = if wal_dir.is_dir() {
+                match towerlens_serve::fsck_wal(&wal_dir) {
+                    Ok(rows) => rows,
                     Err(e) => {
-                        bad += 1;
-                        println!(
-                            "{name:<file_w$}  {:<10}  BAD     {:>16}  {:>5}  {:>5}  {e}",
-                            "-", "-", "-", "-"
-                        );
+                        eprintln!("doctor failed: {e}");
+                        return 1;
                     }
                 }
+            } else {
+                Vec::new()
+            };
+            if rows.is_empty() && wal_rows.is_empty() {
+                println!(
+                    "no checkpoint files (*.ckpt) or WAL segments in {}",
+                    dir.display()
+                );
+                return 0;
             }
-            println!(
-                "{} checkpoint(s): {} ok, {} damaged",
-                rows.len(),
-                rows.len() - bad,
-                bad
-            );
-            if bad > 0 {
+            let mut bad = 0usize;
+            if !rows.is_empty() {
+                // Per-stage health table: one row per checkpoint file,
+                // the same fixed-width idiom as the `--timings` stage
+                // table.
+                let file_w = rows
+                    .iter()
+                    .map(|(name, _)| name.len())
+                    .chain(["file".len()])
+                    .max()
+                    .unwrap_or(4);
+                println!(
+                    "{:<file_w$}  {:<10}  status  {:>16}  {:>5}  {:>5}  detail",
+                    "file", "stage", "fingerprint", "cards", "lines"
+                );
+                for (name, verdict) in &rows {
+                    match verdict {
+                        Ok(info) => println!(
+                            "{name:<file_w$}  {:<10}  ok      {:>16}  {:>5}  {:>5}",
+                            info.stage,
+                            format!("{:016x}", info.fingerprint),
+                            info.cards.len(),
+                            info.body_lines
+                        ),
+                        Err(e) => {
+                            bad += 1;
+                            println!(
+                                "{name:<file_w$}  {:<10}  BAD     {:>16}  {:>5}  {:>5}  {e}",
+                                "-", "-", "-", "-"
+                            );
+                        }
+                    }
+                }
+                println!(
+                    "{} checkpoint(s): {} ok, {} damaged",
+                    rows.len(),
+                    rows.len() - bad,
+                    bad
+                );
+            }
+            let mut wal_bad = 0usize;
+            if !wal_rows.is_empty() {
+                // WAL segment health: entry checksums, seal footers,
+                // and cross-segment sequence continuity.
+                let file_w = wal_rows
+                    .iter()
+                    .map(|row| row.file.len())
+                    .chain(["file".len()])
+                    .max()
+                    .unwrap_or(4);
+                println!(
+                    "{:<file_w$}  {:>7}  {:>21}  sealed  status  detail",
+                    "file", "entries", "seqs"
+                );
+                for row in &wal_rows {
+                    let seqs = match (row.first_seq, row.last_seq) {
+                        (Some(a), Some(b)) => format!("{a}..{b}"),
+                        _ => "-".to_string(),
+                    };
+                    let sealed = if row.sealed { "yes" } else { "no" };
+                    match &row.error {
+                        None => {
+                            let note = if row.torn_tail {
+                                "  torn tail dropped"
+                            } else {
+                                ""
+                            };
+                            println!(
+                                "{:<file_w$}  {:>7}  {seqs:>21}  {sealed:<6}  ok    {note}",
+                                row.file, row.entries
+                            );
+                        }
+                        Some(e) => {
+                            wal_bad += 1;
+                            println!(
+                                "{:<file_w$}  {:>7}  {seqs:>21}  {sealed:<6}  BAD     {e}",
+                                row.file, row.entries
+                            );
+                        }
+                    }
+                }
+                println!(
+                    "{} wal segment(s): {} ok, {} damaged",
+                    wal_rows.len(),
+                    wal_rows.len() - wal_bad,
+                    wal_bad
+                );
+            }
+            if bad + wal_bad > 0 {
                 1
             } else {
                 0

@@ -816,23 +816,35 @@ pub fn doctor_checkpoints(
     dir: &Path,
     expected_fingerprint: Option<u64>,
 ) -> Result<Vec<DoctorRow>, std::io::Error> {
-    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)?
-        .filter_map(|entry| {
-            let path = entry.ok()?.path();
-            (path.extension().and_then(|e| e.to_str()) == Some("ckpt")).then_some(path)
-        })
-        .collect();
-    paths.sort();
-    Ok(paths
-        .into_iter()
-        .map(|path| {
-            let name = path
-                .file_name()
-                .map(|n| n.to_string_lossy().into_owned())
-                .unwrap_or_default();
-            (name, fsck_file(&path, expected_fingerprint))
-        })
-        .collect())
+    fn scan(dir: &Path, prefix: &str, fp: Option<u64>) -> Result<Vec<DoctorRow>, std::io::Error> {
+        let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)?
+            .filter_map(|entry| {
+                let path = entry.ok()?.path();
+                (path.extension().and_then(|e| e.to_str()) == Some("ckpt")).then_some(path)
+            })
+            .collect();
+        paths.sort();
+        Ok(paths
+            .into_iter()
+            .map(|path| {
+                let name = path
+                    .file_name()
+                    .map(|n| n.to_string_lossy().into_owned())
+                    .unwrap_or_default();
+                (format!("{prefix}{name}"), fsck_file(&path, fp))
+            })
+            .collect())
+    }
+    let mut rows = scan(dir, "", expected_fingerprint)?;
+    // A serve data directory keeps its snapshots under `snap/`; fsck
+    // them in the same sweep. Snapshot fingerprints hash the serve
+    // window, not the analyze config, so `--fingerprint` pinning stays
+    // scoped to the top-level files.
+    let snap = dir.join(towerlens_serve::SNAP_DIR);
+    if snap.is_dir() {
+        rows.extend(scan(&snap, "snap/", None)?);
+    }
+    Ok(rows)
 }
 
 /// Convenience for tests: generate then analyze in one temp dir.

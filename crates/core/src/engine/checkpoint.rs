@@ -361,14 +361,24 @@ impl CheckpointStore {
     /// fault injector over this store's saves and loads.
     ///
     /// # Errors
-    /// [`CheckpointError::Io`] when the directory cannot be created.
+    /// * [`CheckpointError::Io`] when the directory cannot be created,
+    /// * [`CheckpointError::Corrupt`] when `TOWERLENS_FAULT_IO` is set
+    ///   but malformed — a typo'd failpoint is a permanent
+    ///   configuration error, not something to retry or ignore.
     pub fn open(dir: impl Into<PathBuf>, fingerprint: u64) -> Result<Self, CheckpointError> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir).map_err(|e| io_err(&dir, e))?;
+        let injector = IoFaultInjector::from_env()
+            .map_err(|e| CheckpointError::Corrupt {
+                stage: "TOWERLENS_FAULT_IO".to_string(),
+                line: 0,
+                reason: e.to_string(),
+            })?
+            .map(Arc::new);
         Ok(CheckpointStore {
             dir,
             fingerprint,
-            injector: IoFaultInjector::from_env().map(Arc::new),
+            injector,
         })
     }
 

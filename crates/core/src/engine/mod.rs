@@ -45,8 +45,8 @@ pub use study_stages::{
     study_graph, StudyArtifact,
 };
 pub use supervisor::{
-    backoff_delay, BreakerPolicy, FaultOp, IoFaultInjector, RetryPolicy, Supervisor,
-    TRANSIENT_PREFIX,
+    backoff_delay, BreakerPolicy, FaultOp, FaultSpecError, IoFaultInjector, RetryPolicy,
+    Supervisor, TRANSIENT_PREFIX,
 };
 
 /// Errors surfaced by graph validation and execution.

@@ -203,6 +203,75 @@ enum FaultMode {
     Random(Mutex<SplitMix64>, f64),
 }
 
+/// Typed rejection of a malformed failpoint spec
+/// (`TOWERLENS_FAULT_IO`). A typo'd failpoint used to be warned about
+/// and silently ignored; a chaos run with a misspelt spec would then
+/// *pass* while injecting nothing. Every variant names the field that
+/// was wrong so the spec can be fixed from the error alone.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultSpecError {
+    /// The operation field is not `save`, `load`, or `any`.
+    BadOp {
+        /// What was found instead.
+        found: String,
+    },
+    /// The stage field is absent or empty.
+    MissingStage,
+    /// The third field (burst count or `p<fraction>`) is absent.
+    MissingMode,
+    /// The burst count is not an unsigned integer.
+    BadCount {
+        /// What was found instead.
+        found: String,
+    },
+    /// The `p<fraction>` field does not parse as a float.
+    BadFraction {
+        /// What was found instead.
+        found: String,
+    },
+    /// The fraction parses but lies outside `[0, 1]`.
+    FractionOutOfRange {
+        /// The out-of-range value.
+        value: f64,
+    },
+    /// Probabilistic mode without its seed field.
+    MissingSeed,
+    /// The seed field is not an unsigned integer.
+    BadSeed {
+        /// What was found instead.
+        found: String,
+    },
+    /// Extra `:`-separated fields after a complete spec.
+    TrailingFields,
+}
+
+impl std::fmt::Display for FaultSpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultSpecError::BadOp { found } => {
+                write!(f, "bad op `{found}` (want save|load|any)")
+            }
+            FaultSpecError::MissingStage => write!(f, "missing stage (use `*` for all)"),
+            FaultSpecError::MissingMode => write!(f, "missing count or p<fraction>"),
+            FaultSpecError::BadCount { found } => write!(f, "bad count `{found}`"),
+            FaultSpecError::BadFraction { found } => write!(f, "bad fraction `{found}`"),
+            FaultSpecError::FractionOutOfRange { value } => {
+                write!(f, "fraction {value} outside [0, 1]")
+            }
+            FaultSpecError::MissingSeed => {
+                write!(
+                    f,
+                    "probabilistic mode needs a seed: <op>:<stage>:p<f>:<seed>"
+                )
+            }
+            FaultSpecError::BadSeed { found } => write!(f, "bad seed `{found}`"),
+            FaultSpecError::TrailingFields => write!(f, "trailing fields in spec"),
+        }
+    }
+}
+
+impl std::error::Error for FaultSpecError {}
+
 /// Seeded transient-I/O fault injection behind the checkpoint store.
 ///
 /// Spec grammar (the `TOWERLENS_FAULT_IO` environment variable):
@@ -227,59 +296,61 @@ impl IoFaultInjector {
     /// Parses a failpoint spec (see the type docs for the grammar).
     ///
     /// # Errors
-    /// A rendered reason for a malformed spec.
-    pub fn parse(spec: &str) -> Result<Self, String> {
+    /// A [`FaultSpecError`] naming the malformed field.
+    pub fn parse(spec: &str) -> Result<Self, FaultSpecError> {
         let mut parts = spec.split(':');
         let op = match parts.next() {
             Some("save") => FaultOp::Save,
             Some("load") => FaultOp::Load,
             Some("any") => FaultOp::Any,
             other => {
-                return Err(format!(
-                    "bad op `{}` (want save|load|any)",
-                    other.unwrap_or("")
-                ))
+                return Err(FaultSpecError::BadOp {
+                    found: other.unwrap_or("").to_string(),
+                })
             }
         };
         let stage = parts
             .next()
             .filter(|s| !s.is_empty())
-            .ok_or("missing stage (use `*` for all)")?
+            .ok_or(FaultSpecError::MissingStage)?
             .to_string();
-        let third = parts.next().ok_or("missing count or p<fraction>")?;
+        let third = parts.next().ok_or(FaultSpecError::MissingMode)?;
         let mode = if let Some(frac) = third.strip_prefix('p') {
-            let fraction: f64 = frac.parse().map_err(|_| format!("bad fraction `{frac}`"))?;
+            let fraction: f64 = frac.parse().map_err(|_| FaultSpecError::BadFraction {
+                found: frac.to_string(),
+            })?;
             if !(0.0..=1.0).contains(&fraction) {
-                return Err(format!("fraction {fraction} outside [0, 1]"));
+                return Err(FaultSpecError::FractionOutOfRange { value: fraction });
             }
-            let seed: u64 = parts
-                .next()
-                .ok_or("probabilistic mode needs a seed: <op>:<stage>:p<f>:<seed>")?
-                .parse()
-                .map_err(|_| "bad seed".to_string())?;
+            let seed_field = parts.next().ok_or(FaultSpecError::MissingSeed)?;
+            let seed: u64 = seed_field.parse().map_err(|_| FaultSpecError::BadSeed {
+                found: seed_field.to_string(),
+            })?;
             FaultMode::Random(Mutex::new(SplitMix64::new(seed)), fraction)
         } else {
-            let n: u64 = third.parse().map_err(|_| format!("bad count `{third}`"))?;
+            let n: u64 = third.parse().map_err(|_| FaultSpecError::BadCount {
+                found: third.to_string(),
+            })?;
             FaultMode::Burst(AtomicU64::new(n))
         };
         if parts.next().is_some() {
-            return Err("trailing fields in spec".to_string());
+            return Err(FaultSpecError::TrailingFields);
         }
         Ok(IoFaultInjector { op, stage, mode })
     }
 
     /// Builds an injector from the `TOWERLENS_FAULT_IO` environment
-    /// variable; `None` when unset. A malformed spec is reported on
-    /// stderr and ignored — a typo'd failpoint must not change
-    /// production behaviour.
-    pub fn from_env() -> Option<Self> {
-        let spec = std::env::var("TOWERLENS_FAULT_IO").ok()?;
-        match Self::parse(&spec) {
-            Ok(inj) => Some(inj),
-            Err(e) => {
-                eprintln!("warning: ignoring malformed TOWERLENS_FAULT_IO `{spec}`: {e}");
-                None
-            }
+    /// variable. `Ok(None)` when unset; a malformed spec is a hard
+    /// [`FaultSpecError`] — a typo'd failpoint must fail the run
+    /// loudly rather than silently injecting nothing (a chaos pass
+    /// that tested nothing is worse than no chaos pass).
+    ///
+    /// # Errors
+    /// The [`FaultSpecError`] for a set-but-malformed spec.
+    pub fn from_env() -> Result<Option<Self>, FaultSpecError> {
+        match std::env::var("TOWERLENS_FAULT_IO") {
+            Err(_) => Ok(None),
+            Ok(spec) => Self::parse(&spec).map(Some),
         }
     }
 
@@ -405,18 +476,63 @@ mod tests {
 
     #[test]
     fn malformed_specs_are_rejected() {
-        for bad in [
-            "",
-            "save",
-            "save:",
-            "save:vectorize",
-            "write:vectorize:1",
-            "save:vectorize:x",
-            "save:vectorize:p2.0:1",
-            "save:vectorize:p0.5",
-            "save:vectorize:1:extra",
+        for (bad, want) in [
+            (
+                "",
+                FaultSpecError::BadOp {
+                    found: String::new(),
+                },
+            ),
+            ("save", FaultSpecError::MissingStage),
+            ("save:", FaultSpecError::MissingStage),
+            ("save:vectorize", FaultSpecError::MissingMode),
+            (
+                "write:vectorize:1",
+                FaultSpecError::BadOp {
+                    found: "write".to_string(),
+                },
+            ),
+            (
+                "save:vectorize:x",
+                FaultSpecError::BadCount {
+                    found: "x".to_string(),
+                },
+            ),
+            (
+                "save:vectorize:p2.0:1",
+                FaultSpecError::FractionOutOfRange { value: 2.0 },
+            ),
+            (
+                "save:vectorize:pz:1",
+                FaultSpecError::BadFraction {
+                    found: "z".to_string(),
+                },
+            ),
+            ("save:vectorize:p0.5", FaultSpecError::MissingSeed),
+            (
+                "save:vectorize:p0.5:nope",
+                FaultSpecError::BadSeed {
+                    found: "nope".to_string(),
+                },
+            ),
+            ("save:vectorize:1:extra", FaultSpecError::TrailingFields),
         ] {
-            assert!(IoFaultInjector::parse(bad).is_err(), "`{bad}` accepted");
+            assert_eq!(
+                IoFaultInjector::parse(bad).unwrap_err(),
+                want,
+                "spec `{bad}`"
+            );
         }
+    }
+
+    #[test]
+    fn fault_spec_errors_render_the_offending_field() {
+        let rendered = FaultSpecError::BadOp {
+            found: "write".to_string(),
+        }
+        .to_string();
+        assert!(rendered.contains("write"), "{rendered}");
+        let rendered = FaultSpecError::FractionOutOfRange { value: 2.0 }.to_string();
+        assert!(rendered.contains('2'), "{rendered}");
     }
 }

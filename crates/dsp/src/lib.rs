@@ -15,6 +15,9 @@
 //!   (the paper's k ∈ {0, 4, 28, 56} reconstruction), energy accounting,
 //! * [`normalize`] — z-score and min-max normalisation used by the
 //!   traffic vectorizer and the POI validation,
+//! * [`sliding`] — incrementally-maintained Goertzel bins (in-place
+//!   amendment and sliding-DFT window advance with periodic exact
+//!   rescue) for the streaming ingestion daemon,
 //! * [`stats`] — summary statistics and empirical CDFs,
 //! * [`circular`] — circular statistics for phase angles (Fig 16 needs
 //!   means/standard deviations of phases, which are only meaningful in
@@ -34,6 +37,7 @@ pub mod error;
 pub mod fft;
 pub mod goertzel;
 pub mod normalize;
+pub mod sliding;
 pub mod spectrum;
 pub mod stats;
 
@@ -41,4 +45,5 @@ pub use complex::Complex;
 pub use error::DspError;
 pub use fft::{fft, ifft, FftPlan};
 pub use goertzel::{goertzel, goertzel_bins, goertzel_feature};
+pub use sliding::SlidingGoertzel;
 pub use spectrum::Spectrum;

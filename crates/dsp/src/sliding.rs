@@ -1,0 +1,261 @@
+//! Sliding-window Goertzel: incremental single-bin DFT maintenance.
+//!
+//! The batch pipeline evaluates the three principal spectral lines of
+//! a finished 4,032-bin traffic vector with [`crate::goertzel`]. A
+//! streaming ingester cannot afford an O(N) re-evaluation per arriving
+//! record, so this module maintains the same bins *incrementally*:
+//!
+//! * [`SlidingGoertzel::update`] amends a bin in place when one sample
+//!   of the window changes by `delta` — `X_k += delta·e^{−iω_k m}`,
+//!   O(bins) per touched sample, the dominant operation for a
+//!   fixed-epoch traffic window that fills in as records arrive;
+//! * [`SlidingGoertzel::push`] slides the window one sample (drop the
+//!   oldest, append the newest) using the sliding-DFT recurrence
+//!   `X_k' = e^{iω_k}·(X_k − x_old + x_new)`, valid because
+//!   `e^{−iω_k N} = 1` for integer bins.
+//!
+//! Both are exact in exact arithmetic; in floating point they drift by
+//! one rounding per step. The bank therefore recomputes each bin from
+//! scratch (the same recurrence as [`crate::goertzel`], so the rescue
+//! agrees with the batch kernel) every `rescue_every` operations,
+//! bounding the drift to ≤ 1e-9 relative error — the contract pinned
+//! by the property tests in `tests/sliding_goertzel.rs`.
+
+use crate::complex::Complex;
+use crate::error::DspError;
+use crate::goertzel::goertzel;
+
+/// An incrementally-maintained bank of DFT bins over one fixed-length
+/// real window.
+#[derive(Debug, Clone)]
+pub struct SlidingGoertzel {
+    /// The window samples, index 0 = oldest.
+    window: Vec<f64>,
+    /// The maintained bins, parallel to `phasors`.
+    bins: Vec<usize>,
+    /// Current bin values `X_k`.
+    values: Vec<Complex>,
+    /// `e^{iω_k}` per bin, precomputed.
+    step: Vec<Complex>,
+    /// Operations since the last exact recompute, per the rescue
+    /// schedule.
+    ops: usize,
+    /// Exact-recompute period (operations between rescues).
+    rescue_every: usize,
+}
+
+impl SlidingGoertzel {
+    /// Builds a bank over an initial window, evaluating each bin from
+    /// scratch. The default rescue period is the window length — one
+    /// full slide between exact recomputes.
+    ///
+    /// # Errors
+    /// * [`DspError::EmptyInput`] for an empty window,
+    /// * [`DspError::BinOutOfRange`] for a bin ≥ the window length,
+    /// * [`DspError::NonFinite`] for NaN/∞ samples.
+    pub fn new(window: Vec<f64>, bins: &[usize]) -> Result<Self, DspError> {
+        let n = window.len();
+        if n == 0 {
+            return Err(DspError::EmptyInput);
+        }
+        let mut values = Vec::with_capacity(bins.len());
+        let mut step = Vec::with_capacity(bins.len());
+        for &k in bins {
+            values.push(goertzel(&window, k)?);
+            step.push(Complex::cis(std::f64::consts::TAU * k as f64 / n as f64));
+        }
+        Ok(SlidingGoertzel {
+            window,
+            bins: bins.to_vec(),
+            values,
+            step,
+            ops: 0,
+            rescue_every: n,
+        })
+    }
+
+    /// Overrides the exact-recompute period (`0` disables rescues —
+    /// only the property tests measuring raw drift want that).
+    pub fn with_rescue_every(mut self, period: usize) -> Self {
+        self.rescue_every = period;
+        self
+    }
+
+    /// The window length `N`.
+    pub fn len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Whether the window is empty (never true for a constructed
+    /// bank — [`SlidingGoertzel::new`] rejects empty windows).
+    pub fn is_empty(&self) -> bool {
+        self.window.is_empty()
+    }
+
+    /// The maintained bin indices.
+    pub fn bins(&self) -> &[usize] {
+        &self.bins
+    }
+
+    /// The current window samples (oldest first).
+    pub fn window(&self) -> &[f64] {
+        &self.window
+    }
+
+    /// The current value of the `i`-th maintained bin.
+    pub fn value(&self, i: usize) -> Complex {
+        self.values[i]
+    }
+
+    /// Amplitude of the `i`-th maintained bin, `|X_k|`.
+    pub fn amplitude(&self, i: usize) -> f64 {
+        self.values[i].abs()
+    }
+
+    /// Adds `delta` to the window sample at offset `m` (0 = oldest)
+    /// and amends every maintained bin in place:
+    /// `X_k += delta·e^{−iω_k m}`.
+    ///
+    /// # Errors
+    /// [`DspError::BinOutOfRange`] when `m` is outside the window
+    /// (reported with the window length, the same convention as the
+    /// batch kernel's bin check).
+    pub fn update(&mut self, m: usize, delta: f64) -> Result<(), DspError> {
+        let n = self.window.len();
+        if m >= n {
+            return Err(DspError::BinOutOfRange { bin: m, len: n });
+        }
+        self.window[m] += delta;
+        for (i, &k) in self.bins.iter().enumerate() {
+            let omega = std::f64::consts::TAU * k as f64 / n as f64;
+            self.values[i] += Complex::cis(-omega * m as f64) * delta;
+        }
+        self.bump();
+        Ok(())
+    }
+
+    /// Slides the window one sample: drops the oldest, appends
+    /// `x_new`, and advances every bin with the sliding-DFT
+    /// recurrence `X_k' = e^{iω_k}·(X_k − x_old + x_new)`.
+    pub fn push(&mut self, x_new: f64) {
+        let x_old = self.window[0];
+        self.window.remove(0);
+        self.window.push(x_new);
+        for (i, &step) in self.step.iter().enumerate() {
+            self.values[i] = step * (self.values[i] - Complex::real(x_old) + Complex::real(x_new));
+        }
+        self.bump();
+    }
+
+    /// Recomputes every bin from scratch with the batch kernel,
+    /// zeroing the accumulated floating-point drift. Called
+    /// automatically every `rescue_every` operations; public so
+    /// callers with their own cadence (e.g. a snapshot boundary) can
+    /// force exactness.
+    pub fn rescue(&mut self) {
+        for (i, &k) in self.bins.iter().enumerate() {
+            // The window was validated at construction and only
+            // mutated through finite deltas; a non-finite sample here
+            // means the *caller* fed one in, and the amended value
+            // already carries the NaN, so keeping it is faithful.
+            if let Ok(v) = goertzel(&self.window, k) {
+                self.values[i] = v;
+            }
+        }
+        self.ops = 0;
+    }
+
+    fn bump(&mut self) {
+        if self.rescue_every == 0 {
+            return;
+        }
+        self.ops += 1;
+        if self.ops >= self.rescue_every {
+            self.rescue();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn signal(n: usize, phase: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let t = std::f64::consts::TAU * i as f64 / n as f64;
+                1.5 + (4.0 * t + phase).cos() + 0.4 * (28.0 * t).sin()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn construction_matches_batch_kernel_exactly() {
+        let x = signal(252, 0.3);
+        let bank = SlidingGoertzel::new(x.clone(), &[1, 4, 28]).unwrap();
+        for (i, &k) in [1usize, 4, 28].iter().enumerate() {
+            assert_eq!(bank.value(i), goertzel(&x, k).unwrap());
+        }
+    }
+
+    #[test]
+    fn update_amends_towards_the_batch_value() {
+        let x = signal(144, 0.0);
+        let mut bank = SlidingGoertzel::new(x.clone(), &[4]).unwrap();
+        let mut reference = x;
+        for (m, d) in [(0usize, 3.0), (71, -1.5), (143, 0.25)] {
+            bank.update(m, d).unwrap();
+            reference[m] += d;
+        }
+        let exact = goertzel(&reference, 4).unwrap();
+        assert!((bank.value(0) - exact).abs() < 1e-9 * (exact.abs() + 1.0));
+    }
+
+    #[test]
+    fn push_follows_a_moving_signal() {
+        let n = 96;
+        let stream: Vec<f64> = (0..3 * n)
+            .map(|i| (std::f64::consts::TAU * 7.0 * i as f64 / n as f64).sin() + 0.1 * i as f64)
+            .collect();
+        let mut bank = SlidingGoertzel::new(stream[..n].to_vec(), &[7]).unwrap();
+        for &x in &stream[n..] {
+            bank.push(x);
+        }
+        let tail = &stream[stream.len() - n..];
+        let exact = goertzel(tail, 7).unwrap();
+        assert_eq!(bank.window(), tail);
+        assert!((bank.value(0) - exact).abs() < 1e-9 * (exact.abs() + 1.0));
+    }
+
+    #[test]
+    fn rescue_restores_bitwise_agreement() {
+        let x = signal(100, 1.0);
+        let mut bank = SlidingGoertzel::new(x, &[4, 28])
+            .unwrap()
+            .with_rescue_every(0);
+        for i in 0..50 {
+            bank.update(i, 0.5).unwrap();
+        }
+        bank.rescue();
+        for (i, &k) in [4usize, 28].iter().enumerate() {
+            assert_eq!(bank.value(i), goertzel(bank.window(), k).unwrap());
+        }
+    }
+
+    #[test]
+    fn errors_are_typed() {
+        assert_eq!(
+            SlidingGoertzel::new(vec![], &[0]).unwrap_err(),
+            DspError::EmptyInput
+        );
+        assert_eq!(
+            SlidingGoertzel::new(vec![1.0, 2.0], &[2]).unwrap_err(),
+            DspError::BinOutOfRange { bin: 2, len: 2 }
+        );
+        let mut bank = SlidingGoertzel::new(vec![1.0, 2.0, 3.0], &[1]).unwrap();
+        assert_eq!(
+            bank.update(3, 1.0).unwrap_err(),
+            DspError::BinOutOfRange { bin: 3, len: 3 }
+        );
+    }
+}

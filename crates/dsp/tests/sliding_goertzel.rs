@@ -1,0 +1,174 @@
+//! Property tests pinning the sliding-window Goertzel bank to the
+//! from-scratch batch kernel: after any interleaving of window slides
+//! and in-place amendments, across window sizes and tower counts, the
+//! maintained bins agree with a fresh [`towerlens_dsp::goertzel`]
+//! evaluation of the same window to ≤ 1e-9 relative error.
+
+use proptest::prelude::*;
+use towerlens_dsp::goertzel::goertzel;
+use towerlens_dsp::sliding::SlidingGoertzel;
+
+/// Relative agreement bound between the incremental and batch values.
+const TOL: f64 = 1e-9;
+
+fn assert_close(bank: &SlidingGoertzel, context: &str) {
+    for (i, &k) in bank.bins().to_vec().iter().enumerate() {
+        let exact = goertzel(bank.window(), k).expect("batch kernel");
+        let err = (bank.value(i) - exact).abs();
+        let scale = exact.abs() + 1.0;
+        assert!(
+            err <= TOL * scale,
+            "{context}: bin {k} drifted {err:.3e} (scale {scale:.3e})"
+        );
+    }
+}
+
+/// One operation on the bank, decoded from a random word.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Slide the window by one sample.
+    Push(f64),
+    /// Amend one in-window sample by a delta.
+    Update { m: usize, delta: f64 },
+}
+
+fn decode_op(word: u64, n: usize) -> Op {
+    // Deterministic decode: low bit picks the op, the rest shape it.
+    // Deltas and samples stay in a plausible traffic-bin range.
+    let magnitude = ((word >> 8) % 10_000) as f64 / 10.0;
+    let sign = if word & 2 == 0 { 1.0 } else { -1.0 };
+    if word & 1 == 0 {
+        Op::Push(sign * magnitude)
+    } else {
+        Op::Update {
+            m: ((word >> 3) as usize) % n,
+            delta: sign * magnitude,
+        }
+    }
+}
+
+/// Whole-week-like sizes (the serve path uses 144·days) plus awkward
+/// small ones.
+const WINDOW_SIZES: [usize; 6] = [16, 48, 97, 144, 288, 1_008];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The central contract: any interleaving of slides and
+    /// amendments stays within 1e-9 of the batch kernel, with the
+    /// default rescue schedule running.
+    #[test]
+    fn interleaved_ops_track_batch_kernel(
+        size_i in 0usize..WINDOW_SIZES.len(),
+        seed in 0u64..1_000,
+        words in prop::collection::vec(0u64..u64::MAX, 1..200),
+    ) {
+        let n = WINDOW_SIZES[size_i];
+        let initial: Vec<f64> = (0..n)
+            .map(|i| {
+                let t = std::f64::consts::TAU * i as f64 / n as f64;
+                20.0 + 10.0 * (t + seed as f64).cos()
+            })
+            .collect();
+        // The serve path's principal-line shape: fundamental, 7th and
+        // 14th harmonics (clipped into range for tiny windows).
+        let bins: Vec<usize> = [1usize, 7, 14]
+            .iter()
+            .map(|&k| k % n)
+            .collect();
+        let mut bank = SlidingGoertzel::new(initial, &bins).unwrap();
+        for (step, &w) in words.iter().enumerate() {
+            match decode_op(w, n) {
+                Op::Push(x) => bank.push(x),
+                Op::Update { m, delta } => bank.update(m, delta).unwrap(),
+            }
+            // The bound must hold at *every* step, not just the end —
+            // a consumer classifies from live values mid-stream.
+            if step % 16 == 0 {
+                assert_close(&bank, &format!("n={n} step={step}"));
+            }
+        }
+        assert_close(&bank, &format!("n={n} final"));
+    }
+
+    /// Many towers, one bank each (the serve sharding layout): banks
+    /// are independent — interleaving updates across towers changes
+    /// nothing.
+    #[test]
+    fn per_tower_banks_are_independent(
+        n_towers in 2usize..12,
+        words in prop::collection::vec(0u64..u64::MAX, 1..120),
+    ) {
+        let n = 96usize;
+        let make = |t: usize| {
+            let w: Vec<f64> = (0..n).map(|i| (i * (t + 1)) as f64 % 17.0).collect();
+            SlidingGoertzel::new(w, &[1, 7, 14]).unwrap()
+        };
+        let mut interleaved: Vec<SlidingGoertzel> = (0..n_towers).map(make).collect();
+        let mut sequential: Vec<SlidingGoertzel> = (0..n_towers).map(make).collect();
+        // Interleaved: round-robin across towers in word order.
+        for (i, &w) in words.iter().enumerate() {
+            let t = i % n_towers;
+            match decode_op(w, n) {
+                Op::Push(x) => interleaved[t].push(x),
+                Op::Update { m, delta } => interleaved[t].update(m, delta).unwrap(),
+            }
+        }
+        // Sequential: each tower replays only its own ops, in order.
+        for (t, bank) in sequential.iter_mut().enumerate() {
+            for (i, &w) in words.iter().enumerate() {
+                if i % n_towers != t {
+                    continue;
+                }
+                match decode_op(w, n) {
+                    Op::Push(x) => bank.push(x),
+                    Op::Update { m, delta } => bank.update(m, delta).unwrap(),
+                }
+            }
+        }
+        for (t, (a, b)) in interleaved.iter().zip(&sequential).enumerate() {
+            prop_assert_eq!(a.window(), b.window(), "tower {} window", t);
+            for i in 0..a.bins().len() {
+                prop_assert_eq!(
+                    a.value(i).re.to_bits(),
+                    b.value(i).re.to_bits(),
+                    "tower {} bin {} re",
+                    t,
+                    i
+                );
+                prop_assert_eq!(
+                    a.value(i).im.to_bits(),
+                    b.value(i).im.to_bits(),
+                    "tower {} bin {} im",
+                    t,
+                    i
+                );
+            }
+        }
+    }
+
+    /// A forced rescue lands bit-identically on the batch kernel —
+    /// the drift bound is not just small, it is periodically zero.
+    #[test]
+    fn rescue_is_bit_identical_to_batch(
+        words in prop::collection::vec(0u64..u64::MAX, 1..100),
+    ) {
+        let n = 144usize;
+        let initial = vec![1.0f64; n];
+        let mut bank = SlidingGoertzel::new(initial, &[1, 7, 14])
+            .unwrap()
+            .with_rescue_every(0);
+        for &w in &words {
+            match decode_op(w, n) {
+                Op::Push(x) => bank.push(x),
+                Op::Update { m, delta } => bank.update(m, delta).unwrap(),
+            }
+        }
+        bank.rescue();
+        for (i, &k) in bank.bins().to_vec().iter().enumerate() {
+            let exact = goertzel(bank.window(), k).unwrap();
+            prop_assert_eq!(bank.value(i).re.to_bits(), exact.re.to_bits());
+            prop_assert_eq!(bank.value(i).im.to_bits(), exact.im.to_bits());
+        }
+    }
+}

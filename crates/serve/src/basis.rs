@@ -1,0 +1,146 @@
+//! Online classification against a frozen batch basis.
+//!
+//! The daemon does not re-cluster on every snapshot: the batch study
+//! (or `towerlens-cli analyze`) discovers the city's traffic patterns
+//! once, and `serve` classifies live towers against those **frozen
+//! centroids** by nearest-centroid assignment in z-scored feature
+//! space. The basis file is the analyze graph's `cluster.ckpt`
+//! checkpoint verbatim — same magic, same body codec — so a batch run
+//! and a streaming run literally share the artifact.
+
+use std::path::Path;
+
+use towerlens_core::engine::checkpoint::BodyReader;
+use towerlens_core::engine::{decode_patterns, fsck_file};
+use towerlens_core::identifier::IdentifiedPatterns;
+
+use crate::error::{io_err, ServeError};
+
+/// A frozen classification basis: the batch-study patterns plus the
+/// provenance `doctor` and the report print.
+#[derive(Debug, Clone)]
+pub struct Basis {
+    /// The decoded batch patterns (centroids in z-scored space).
+    pub patterns: IdentifiedPatterns,
+    /// The stage name recorded in the checkpoint header.
+    pub stage: String,
+    /// The configuration fingerprint the basis was written under.
+    pub fingerprint: u64,
+}
+
+impl Basis {
+    /// Feature dimensionality of the centroids (0 when empty).
+    pub fn dims(&self) -> usize {
+        self.patterns.centroids.first().map_or(0, Vec::len)
+    }
+}
+
+/// Loads a basis checkpoint: structural fsck first (checksum, line
+/// count, `end` sentinel), then the patterns decode.
+///
+/// # Errors
+/// [`ServeError::Snapshot`] when the file fails fsck,
+/// [`ServeError::Config`] when the body is not a patterns artifact.
+pub fn load_basis(path: &Path) -> Result<Basis, ServeError> {
+    let info = fsck_file(path, None)?;
+    let text = std::fs::read_to_string(path).map_err(|e| io_err(path, e))?;
+    let mut reader = BodyReader::new(&text, 0);
+    // Skip the verified header: magic, stage, fingerprint, card
+    // count, the card lines, data marker, checksum.
+    for _ in 0..6 + info.cards.len() {
+        reader
+            .line()
+            .map_err(|e| ServeError::Config(format!("basis header: {e}")))?;
+    }
+    let patterns = decode_patterns(&mut reader)
+        .map_err(|e| ServeError::Config(format!("basis {}: {e}", path.display())))?;
+    if patterns.centroids.is_empty() {
+        return Err(ServeError::Config(format!(
+            "basis {}: no centroids",
+            path.display()
+        )));
+    }
+    Ok(Basis {
+        patterns,
+        stage: info.stage,
+        fingerprint: info.fingerprint,
+    })
+}
+
+/// Assigns each z-scored vector to its nearest centroid (squared
+/// Euclidean distance; ties break to the lowest centroid index, so
+/// assignment is deterministic). Returns one label per vector.
+///
+/// # Errors
+/// [`ServeError::Config`] when a vector's dimensionality does not
+/// match the basis.
+pub fn classify(vectors: &[Vec<f64>], basis: &Basis) -> Result<Vec<usize>, ServeError> {
+    let dims = basis.dims();
+    let mut labels = Vec::with_capacity(vectors.len());
+    for v in vectors {
+        if v.len() != dims {
+            return Err(ServeError::Config(format!(
+                "basis dimensionality {} does not match live vectors of length {} \
+                 (was the basis built over a different --days window?)",
+                dims,
+                v.len()
+            )));
+        }
+        let mut best = 0usize;
+        let mut best_d = f64::INFINITY;
+        for (i, c) in basis.patterns.centroids.iter().enumerate() {
+            let d: f64 = v.iter().zip(c).map(|(a, b)| (a - b) * (a - b)).sum();
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        labels.push(best);
+    }
+    Ok(labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use towerlens_core::identifier::PatternIdentifier;
+
+    /// Builds a real [`IdentifiedPatterns`] via the batch identifier,
+    /// then pins the centroids to the given set (the other fields are
+    /// irrelevant to classification).
+    fn basis_of(centroids: Vec<Vec<f64>>) -> Basis {
+        let dims = centroids[0].len();
+        let seed: Vec<Vec<f64>> = (0..4)
+            .map(|i| (0..dims).map(|d| (i * dims + d) as f64).collect())
+            .collect();
+        let mut patterns = PatternIdentifier::default().identify(&seed).unwrap();
+        patterns.centroids = centroids;
+        Basis {
+            patterns,
+            stage: "cluster".into(),
+            fingerprint: 0,
+        }
+    }
+
+    #[test]
+    fn classify_picks_nearest_with_low_index_ties() {
+        let basis = basis_of(vec![vec![0.0, 0.0], vec![2.0, 0.0], vec![0.0, 2.0]]);
+        let labels = classify(
+            &[
+                vec![0.1, 0.1],
+                vec![1.9, -0.1],
+                vec![1.0, 0.0], // exactly between 0 and 1 → lowest index
+            ],
+            &basis,
+        )
+        .unwrap();
+        assert_eq!(labels, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn classify_rejects_dimension_mismatch() {
+        let basis = basis_of(vec![vec![0.0, 0.0]]);
+        let err = classify(&[vec![1.0, 2.0, 3.0]], &basis).unwrap_err();
+        assert!(matches!(err, ServeError::Config(_)));
+    }
+}

@@ -1,0 +1,34 @@
+//! # towerlens-serve
+//!
+//! Crash-safe streaming ingestion for the towerlens pipeline: the
+//! `towerlens serve` daemon tails a source of connection-log lines,
+//! acknowledges each by appending it to a checksummed segment-based
+//! write-ahead log, maintains per-tower sliding traffic state (binned
+//! traffic, incremental z-score moments, sliding-window Goertzel
+//! amplitudes of the three principal spectral lines) across supervised
+//! shard workers, snapshots the durable state at every segment
+//! boundary, and — at end of stream — runs the batch analysis over the
+//! recovered state.
+//!
+//! The headline guarantee is **deterministic kill-and-resume replay**:
+//! kill the daemon at any point, restart it over the same source and
+//! data directory, repeat as often as you like — the final stdout
+//! report is byte-identical to an uninterrupted run, and byte-identical
+//! to [`batch_reference`] over the whole source. See
+//! [`daemon`] for the contract's mechanics and [`wal`] for the ledger
+//! format.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod basis;
+pub mod daemon;
+pub mod error;
+pub mod state;
+pub mod wal;
+
+pub use basis::{classify, load_basis, Basis};
+pub use daemon::{batch_reference, serve, ServeConfig, ServeReport, SNAP_DIR};
+pub use error::ServeError;
+pub use state::{ServeSnapshot, Session, SnapshotCodec, TowerState, SNAPSHOT_STAGE};
+pub use wal::{fsck_wal, replay, ReplayOutcome, WalEntry, WalSegmentFsck, WalWriter, WAL_DIR};

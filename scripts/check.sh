@@ -48,6 +48,37 @@ grep -q "9600 towers" "$thr_tmp/study-paper.out" \
     || { echo "paper-scale study output missing its tower count"; exit 1; }
 echo "paper-scale spectral study completed within bound"
 
+echo "== serve smoke: streaming replay vs batch, kill-and-restart chaos =="
+# The streaming contract, end to end through the real binary: a
+# recorded stream drained by `serve` must render stdout byte-identical
+# to a rerun over the same durable state (WAL + snapshots), and a
+# daemon killed at every WAL segment boundary must converge to the
+# same bytes with zero record loss. The serve test suite additionally
+# asserts serve == batch_reference at the library level.
+serve_tmp="$(mktemp -d)"
+trap 'rm -rf "$serve_tmp" "$thr_tmp"' EXIT
+./target/release/towerlens-cli gen --out "$serve_tmp/ds" \
+    --seed 7 --towers 20 --agents 60 --days 7 > /dev/null
+head -2500 "$serve_tmp/ds/logs.tsv" > "$serve_tmp/stream.tsv"
+serve_flags=(--source "$serve_tmp/stream.tsv" --days 7 --segment-records 500 --shards 3)
+./target/release/towerlens-cli serve "${serve_flags[@]}" \
+    --data "$serve_tmp/clean" > "$serve_tmp/serve-clean.out" 2> /dev/null
+# Kill at every segment boundary (abort before each snapshot), then
+# restart, until a run reaches the drain.
+for attempt in $(seq 1 12); do
+    if TOWERLENS_SERVE_KILL=pre:1 ./target/release/towerlens-cli serve \
+        "${serve_flags[@]}" --data "$serve_tmp/chaos" \
+        > "$serve_tmp/serve-chaos.out" 2> /dev/null; then
+        break
+    fi
+    [ "$attempt" -lt 12 ] || { echo "serve chaos loop never drained"; exit 1; }
+done
+cmp "$serve_tmp/serve-clean.out" "$serve_tmp/serve-chaos.out" \
+    || { echo "serve kill-and-resume stdout differs from uninterrupted run"; exit 1; }
+./target/release/towerlens-cli doctor --dir "$serve_tmp/chaos" > /dev/null \
+    || { echo "doctor found damage in the chaos data dir"; exit 1; }
+echo "serve chaos replay bit-identical; WAL and snapshots fsck clean"
+
 echo "== bench smoke + schema validation + baseline comparison =="
 # One tiny workload through the real bench harness at both thread
 # settings, the schema gate over both smoke outputs and the committed
@@ -55,7 +86,7 @@ echo "== bench smoke + schema validation + baseline comparison =="
 # a stage the committed baseline has never seen (medians compare only
 # at matching sizes, so the 20-tower smoke checks the stage set).
 bench_tmp="$(mktemp -d)"
-trap 'rm -rf "$bench_tmp" "$thr_tmp"' EXIT
+trap 'rm -rf "$bench_tmp" "$serve_tmp" "$thr_tmp"' EXIT
 for threads in 1 4; do
     cargo run --release -q -p towerlens-bench --bin bench -- \
         --sizes 20 --repeats 1 --seed 42 --threads "$threads" \
