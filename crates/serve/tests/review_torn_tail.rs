@@ -1,0 +1,39 @@
+//! Review scratch test: torn tail followed by a new segment.
+
+use towerlens_serve::wal::segment_path;
+use towerlens_serve::{replay, WalWriter};
+
+#[test]
+fn torn_tail_then_new_segment_breaks_replay() {
+    let dir = std::env::temp_dir().join("towerlens-review-torn");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Run 1: two acked entries, then a crash tears the third line.
+    let mut w = WalWriter::open(&dir).unwrap();
+    w.append(0, "a").unwrap();
+    w.append(1, "b").unwrap();
+    w.sync().unwrap();
+    drop(w);
+    let path = segment_path(&dir, 0);
+    let mut text = std::fs::read_to_string(&path).unwrap();
+    text.push_str("r 2 00ff"); // interrupted mid-write
+    std::fs::write(&path, text).unwrap();
+
+    // Restart 1: replay tolerates the torn tail...
+    let out = replay(&dir).unwrap();
+    assert_eq!(out.next_seq, 2);
+    assert_eq!(out.torn_tails, 1);
+
+    // ...and the restarted process re-acks the lost line into a new segment.
+    let mut w2 = WalWriter::open(&dir).unwrap();
+    assert_eq!(w2.segment_index(), 1);
+    w2.append(2, "c").unwrap();
+    w2.sync().unwrap();
+    drop(w2);
+
+    // Restart 2: segment 0 is no longer last, so its torn line is fatal.
+    let second = replay(&dir);
+    eprintln!("second replay: {second:?}");
+    assert!(second.is_ok(), "second restart fails: {second:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
