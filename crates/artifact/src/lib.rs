@@ -1,0 +1,43 @@
+//! # towerlens-artifact
+//!
+//! The versioned study-artifact store and the memory-resident query
+//! index over it — the read path of the paper's operator workflow.
+//!
+//! A batch study's engine checkpoints are resume blobs: text, keyed
+//! to the stage graph, and only meaningful to the engine that wrote
+//! them. This crate promotes the study's *results* to a typed,
+//! versioned, independently loadable artifact:
+//!
+//! * [`format`] — a compact binary snapshot (magic + version +
+//!   section table + FNV-1a section checksums) holding per-tower
+//!   pattern labels, convex-combination decompositions, the frozen
+//!   primary-component basis, the 6-dim spectral feature vectors,
+//!   and per-tower expected day profiles. Any single flipped byte is
+//!   caught by a checksum with a typed [`ArtifactError`] — decode
+//!   never panics and never returns a silently wrong answer.
+//! * [`query`] — [`QueryIndex`], the memory-resident index behind
+//!   `towerlens query`: `pattern`, `decompose`, `topk` (matrix-free
+//!   nearest-neighbour scan in spectral feature space), and `screen`
+//!   (z-score anomaly screening of a fresh day), with a batch engine
+//!   that fans requests over `towerlens-par` workers and renders
+//!   input-order, thread-count-invariant output plus exact `query.*`
+//!   counters.
+//!
+//! The byte layout and compatibility policy are specified in
+//! DESIGN.md §14.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod format;
+pub mod query;
+
+pub use format::{
+    fnv1a64, fsck_artifact, read_snapshot, sniff_magic, write_snapshot, ArtifactError,
+    ArtifactFsck, BasisSection, DayProfile, DecompRow, Meta, SectionFsck, SectionStatus, Snapshot,
+    MAGIC, VERSION,
+};
+pub use query::{
+    parse_request, read_day_file, render_decompose, render_pattern, render_screen, render_topk,
+    run_batch, run_one, BatchTally, QueryIndex, Request, ScreenVerdict,
+};

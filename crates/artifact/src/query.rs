@@ -1,0 +1,654 @@
+//! The memory-resident query index and its batch engine.
+//!
+//! [`QueryIndex`] wraps a decoded [`Snapshot`] with an id→index map
+//! and answers four request kinds:
+//!
+//! * `pattern <tower>` — the tower's cluster and region kind;
+//! * `decompose <tower>` — its convex combination over the four pure
+//!   patterns (stored rows are served verbatim; other towers are
+//!   solved live against the frozen basis with the *same* active-set
+//!   solver and options the batch study used, so the answers are
+//!   bit-identical either way);
+//! * `topk <tower> <k>` — the k nearest towers in the 6-dim spectral
+//!   feature space, via the matrix-free [`top_k_nearest`] scan;
+//! * `screen <tower> <day-file>` — z-score anomaly screening of a
+//!   fresh day of traffic against the tower's stored expected
+//!   profile.
+//!
+//! [`run_batch`] fans request lines across `towerlens-par` workers in
+//! contiguous index chunks, so output order equals input order and
+//! the bytes are identical for any `--threads`. Per-worker tallies
+//! are merged in worker order and published to the `query.*` counters
+//! exactly once, so counter values are also thread-count invariant.
+
+use std::collections::HashMap;
+use std::path::Path;
+
+use towerlens_cluster::source::{top_k_nearest, FeatureView};
+use towerlens_obs::LazyCounter;
+use towerlens_opt::{simplex_least_squares, SimplexLsOptions, Solver};
+use towerlens_par::par_map_indexed_tally;
+
+use crate::format::Snapshot;
+
+static QUERY_REQUESTS: LazyCounter = LazyCounter::new("query.requests");
+static QUERY_PATTERN: LazyCounter = LazyCounter::new("query.pattern");
+static QUERY_DECOMPOSE: LazyCounter = LazyCounter::new("query.decompose");
+static QUERY_TOPK: LazyCounter = LazyCounter::new("query.topk");
+static QUERY_SCREEN: LazyCounter = LazyCounter::new("query.screen");
+static QUERY_ERRORS: LazyCounter = LazyCounter::new("query.errors");
+
+/// Per-bin |z| above this marks an exceedance; any exceedance marks
+/// the day anomalous (the classic 3σ rule).
+pub const SCREEN_Z_THRESHOLD: f64 = 3.0;
+/// Floor on the profile σ so a perfectly flat historical bin cannot
+/// divide by zero.
+const SIGMA_FLOOR: f64 = 1e-9;
+
+/// The spectral feature rows as a [`FeatureView`]: Euclidean distance
+/// over the 6-dim vectors, computed on demand — no matrix.
+struct FeatureRows<'a>(&'a [[f64; 6]]);
+
+impl FeatureView for FeatureRows<'_> {
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    fn distance(&self, i: usize, j: usize) -> f64 {
+        towerlens_cluster::distance::euclidean(&self.0[i], &self.0[j])
+    }
+}
+
+/// The verdict of screening one day of traffic against a tower's
+/// expected profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScreenVerdict {
+    /// Bins in the screened day.
+    pub bins: usize,
+    /// Largest per-bin |z|.
+    pub max_z: f64,
+    /// Mean per-bin |z|.
+    pub mean_z: f64,
+    /// Bins with |z| above [`SCREEN_Z_THRESHOLD`].
+    pub exceedances: usize,
+    /// True when any bin exceeds the threshold.
+    pub anomalous: bool,
+}
+
+/// A parsed query request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// `pattern <tower>`
+    Pattern(u64),
+    /// `decompose <tower>`
+    Decompose(u64),
+    /// `topk <tower> <k>`
+    Topk(u64, usize),
+    /// `screen <tower> <day-file>`
+    Screen(u64, String),
+}
+
+/// Parses one request line.
+///
+/// # Errors
+/// A human-readable message naming what was malformed.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let mut words = line.split_whitespace();
+    let verb = words.next().ok_or_else(|| "empty request".to_string())?;
+    let id = |w: Option<&str>| -> Result<u64, String> {
+        let w = w.ok_or_else(|| format!("`{verb}` needs a tower id"))?;
+        w.parse().map_err(|_| format!("bad tower id `{w}`"))
+    };
+    let req = match verb {
+        "pattern" => Request::Pattern(id(words.next())?),
+        "decompose" => Request::Decompose(id(words.next())?),
+        "topk" => {
+            let tower = id(words.next())?;
+            let kw = words
+                .next()
+                .ok_or_else(|| "`topk` needs a count".to_string())?;
+            let k: usize = kw.parse().map_err(|_| format!("bad topk count `{kw}`"))?;
+            Request::Topk(tower, k)
+        }
+        "screen" => {
+            let tower = id(words.next())?;
+            let file = words
+                .next()
+                .ok_or_else(|| "`screen` needs a day file".to_string())?;
+            Request::Screen(tower, file.to_string())
+        }
+        other => return Err(format!("unknown request `{other}`")),
+    };
+    if let Some(extra) = words.next() {
+        return Err(format!("trailing argument `{extra}`"));
+    }
+    Ok(req)
+}
+
+/// The memory-resident index over one snapshot.
+#[derive(Debug)]
+pub struct QueryIndex {
+    snapshot: Snapshot,
+    by_id: HashMap<u64, usize>,
+    decomp_by_index: HashMap<usize, usize>,
+}
+
+impl QueryIndex {
+    /// Builds the index. Cost is one pass over the tower table.
+    #[must_use]
+    pub fn new(snapshot: Snapshot) -> QueryIndex {
+        let by_id = snapshot
+            .tower_ids
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, i))
+            .collect();
+        let decomp_by_index = snapshot
+            .decompositions
+            .iter()
+            .enumerate()
+            .map(|(row, d)| (d.vector_index, row))
+            .collect();
+        QueryIndex {
+            snapshot,
+            by_id,
+            decomp_by_index,
+        }
+    }
+
+    /// The underlying snapshot.
+    #[must_use]
+    pub fn snapshot(&self) -> &Snapshot {
+        &self.snapshot
+    }
+
+    /// Number of towers served.
+    #[must_use]
+    pub fn n_towers(&self) -> usize {
+        self.snapshot.n_towers()
+    }
+
+    /// True when the snapshot holds no towers.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n_towers() == 0
+    }
+
+    fn resolve(&self, id: u64) -> Result<usize, String> {
+        self.by_id
+            .get(&id)
+            .copied()
+            .ok_or_else(|| format!("unknown tower {id}"))
+    }
+
+    /// The tower's cluster label and (when the study labelled
+    /// clusters) its region kind.
+    ///
+    /// # Errors
+    /// Unknown tower id.
+    pub fn pattern(&self, id: u64) -> Result<(u32, Option<&str>), String> {
+        let idx = self.resolve(id)?;
+        let label = self.snapshot.labels[idx];
+        let kind = self
+            .snapshot
+            .kinds
+            .as_ref()
+            .and_then(|k| k.get(label as usize))
+            .map(String::as_str);
+        Ok((label, kind))
+    }
+
+    /// The tower's convex-combination decomposition over the four
+    /// pure patterns: stored study rows verbatim, otherwise a live
+    /// active-set solve against the frozen basis (same solver, same
+    /// options, same inputs as the batch path — bit-identical).
+    ///
+    /// # Errors
+    /// Unknown tower, a snapshot without a basis, or a solver
+    /// failure.
+    pub fn decompose(&self, id: u64) -> Result<([f64; 4], f64), String> {
+        let idx = self.resolve(id)?;
+        if let Some(&row) = self.decomp_by_index.get(&idx) {
+            let d = &self.snapshot.decompositions[row];
+            return Ok((d.coefficients, d.residual_sqr));
+        }
+        let basis = self
+            .snapshot
+            .basis
+            .as_ref()
+            .ok_or_else(|| "snapshot has no primary-component basis".to_string())?;
+        let vertices: Vec<Vec<f64>> = basis.vertices.iter().map(|v| v.to_vec()).collect();
+        let f = &self.snapshot.features[idx];
+        // f6 order is [amp_week, phase_week, amp_day, phase_day,
+        // amp_half, phase_half]; the decomposition space is f3 =
+        // [amp_day, phase_day, amp_half].
+        let target = [f[2], f[3], f[4]];
+        let solution = simplex_least_squares(
+            &vertices,
+            &target,
+            SimplexLsOptions {
+                solver: Solver::ActiveSet,
+                ..SimplexLsOptions::default()
+            },
+        )
+        .map_err(|e| format!("decompose solve failed: {e}"))?;
+        let mut coefficients = [0.0f64; 4];
+        coefficients.copy_from_slice(&solution.coefficients);
+        Ok((coefficients, solution.residual_sqr))
+    }
+
+    /// The `k` nearest towers in spectral feature space, as
+    /// `(tower id, distance)` ascending by `(distance, index)`.
+    ///
+    /// # Errors
+    /// Unknown tower id.
+    pub fn topk(&self, id: u64, k: usize) -> Result<Vec<(u64, f64)>, String> {
+        let idx = self.resolve(id)?;
+        let view = FeatureRows(&self.snapshot.features);
+        Ok(top_k_nearest(&view, idx, k)
+            .into_iter()
+            .map(|(j, d)| (self.snapshot.tower_ids[j], d))
+            .collect())
+    }
+
+    /// Screens one day of raw traffic against the tower's expected
+    /// profile: the day is z-scored by its own mean/σ (matching how
+    /// the study normalised traffic), then each bin is compared to
+    /// the stored per-bin mean/σ.
+    ///
+    /// # Errors
+    /// Unknown tower, a bin-count mismatch against the profile, or a
+    /// flat (zero-variance) day that cannot be z-scored.
+    pub fn screen(&self, id: u64, day: &[f64]) -> Result<ScreenVerdict, String> {
+        let idx = self.resolve(id)?;
+        let bins = self.snapshot.profile.bins_per_day;
+        if bins == 0 {
+            return Err("snapshot profile has no bins".to_string());
+        }
+        if day.len() != bins {
+            return Err(format!(
+                "day has {} values, profile expects {bins}",
+                day.len()
+            ));
+        }
+        let mean = day.iter().sum::<f64>() / bins as f64;
+        let var = day.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / bins as f64;
+        let sd = var.sqrt();
+        if sd <= 0.0 {
+            return Err("day has zero variance, cannot z-score".to_string());
+        }
+        let prof_mean = &self.snapshot.profile.mean[idx];
+        let prof_std = &self.snapshot.profile.std[idx];
+        let mut max_z = 0.0f64;
+        let mut sum_z = 0.0f64;
+        let mut exceedances = 0usize;
+        for b in 0..bins {
+            let day_z = (day[b] - mean) / sd;
+            let z = ((day_z - prof_mean[b]) / prof_std[b].max(SIGMA_FLOOR)).abs();
+            max_z = max_z.max(z);
+            sum_z += z;
+            if z > SCREEN_Z_THRESHOLD {
+                exceedances += 1;
+            }
+        }
+        Ok(ScreenVerdict {
+            bins,
+            max_z,
+            mean_z: sum_z / bins as f64,
+            exceedances,
+            anomalous: exceedances > 0,
+        })
+    }
+}
+
+// ------------------------------------------------------------ rendering
+
+/// Renders a `pattern` answer. Shared with the golden tests so the
+/// CLI and the reference derive the byte-identical line from the same
+/// code.
+#[must_use]
+pub fn render_pattern(id: u64, cluster: u32, kind: Option<&str>) -> String {
+    format!(
+        "pattern {id} cluster={cluster} kind={}",
+        kind.unwrap_or("-")
+    )
+}
+
+/// Renders a `decompose` answer (coefficients in pure-pattern order).
+#[must_use]
+pub fn render_decompose(id: u64, coefficients: &[f64; 4], residual_sqr: f64) -> String {
+    format!(
+        "decompose {id} resident={:.6} transport={:.6} office={:.6} \
+         entertainment={:.6} residual={residual_sqr:.6}",
+        coefficients[0], coefficients[1], coefficients[2], coefficients[3]
+    )
+}
+
+/// Renders a `topk` answer (`-` when no neighbours exist).
+#[must_use]
+pub fn render_topk(id: u64, neighbours: &[(u64, f64)]) -> String {
+    let mut out = format!("topk {id}");
+    if neighbours.is_empty() {
+        out.push_str(" -");
+        return out;
+    }
+    for (nid, d) in neighbours {
+        out.push_str(&format!(" {nid}:{d:.6}"));
+    }
+    out
+}
+
+/// Renders a `screen` answer.
+#[must_use]
+pub fn render_screen(id: u64, verdict: &ScreenVerdict) -> String {
+    format!(
+        "screen {id} bins={} max_z={:.3} mean_z={:.3} exceed={} verdict={}",
+        verdict.bins,
+        verdict.max_z,
+        verdict.mean_z,
+        verdict.exceedances,
+        if verdict.anomalous {
+            "anomalous"
+        } else {
+            "normal"
+        }
+    )
+}
+
+// --------------------------------------------------------- batch engine
+
+/// Exact per-kind request counts from one [`run_batch`] call, merged
+/// across workers in worker order (thread-count invariant).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchTally {
+    /// All requests, well-formed or not.
+    pub requests: u64,
+    /// Answered `pattern` requests.
+    pub pattern: u64,
+    /// Answered `decompose` requests.
+    pub decompose: u64,
+    /// Answered `topk` requests.
+    pub topk: u64,
+    /// Answered `screen` requests.
+    pub screen: u64,
+    /// Requests that produced an `error:` line.
+    pub errors: u64,
+}
+
+const SLOT_REQUESTS: usize = 0;
+const SLOT_PATTERN: usize = 1;
+const SLOT_DECOMPOSE: usize = 2;
+const SLOT_TOPK: usize = 3;
+const SLOT_SCREEN: usize = 4;
+const SLOT_ERRORS: usize = 5;
+const SLOTS: usize = 6;
+
+fn answer(index: &QueryIndex, request: &Request) -> Result<String, String> {
+    match request {
+        Request::Pattern(id) => {
+            let (cluster, kind) = index.pattern(*id)?;
+            Ok(render_pattern(*id, cluster, kind))
+        }
+        Request::Decompose(id) => {
+            let (coefficients, residual_sqr) = index.decompose(*id)?;
+            Ok(render_decompose(*id, &coefficients, residual_sqr))
+        }
+        Request::Topk(id, k) => Ok(render_topk(*id, &index.topk(*id, *k)?)),
+        Request::Screen(id, file) => {
+            let day = read_day_file(Path::new(file))?;
+            Ok(render_screen(*id, &index.screen(*id, &day)?))
+        }
+    }
+}
+
+/// Reads a whitespace/newline-separated day-of-traffic file.
+///
+/// # Errors
+/// I/O failure or a value that does not parse as a float.
+pub fn read_day_file(path: &Path) -> Result<Vec<f64>, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("day file {}: {e}", path.display()))?;
+    text.split_whitespace()
+        .map(|w| {
+            w.parse::<f64>()
+                .map_err(|_| format!("day file {}: bad value `{w}`", path.display()))
+        })
+        .collect()
+}
+
+fn answer_counted(index: &QueryIndex, line: &str, tally: &mut [u64]) -> Result<String, String> {
+    tally[SLOT_REQUESTS] += 1;
+    let outcome = parse_request(line).and_then(|request| {
+        let slot = match request {
+            Request::Pattern(_) => SLOT_PATTERN,
+            Request::Decompose(_) => SLOT_DECOMPOSE,
+            Request::Topk(..) => SLOT_TOPK,
+            Request::Screen(..) => SLOT_SCREEN,
+        };
+        let line = answer(index, &request)?;
+        tally[slot] += 1;
+        Ok(line)
+    });
+    if outcome.is_err() {
+        tally[SLOT_ERRORS] += 1;
+    }
+    outcome
+}
+
+fn publish(tally: &BatchTally) {
+    QUERY_REQUESTS.add(tally.requests);
+    QUERY_PATTERN.add(tally.pattern);
+    QUERY_DECOMPOSE.add(tally.decompose);
+    QUERY_TOPK.add(tally.topk);
+    QUERY_SCREEN.add(tally.screen);
+    QUERY_ERRORS.add(tally.errors);
+}
+
+/// Answers one request, publishing its `query.*` counters. Used by
+/// the CLI's one-shot mode.
+///
+/// # Errors
+/// The request's error message (also counted under `query.errors`).
+pub fn run_one(index: &QueryIndex, line: &str) -> Result<String, String> {
+    let mut slots = [0u64; SLOTS];
+    let outcome = answer_counted(index, line, &mut slots);
+    publish(&tally_of(&slots));
+    outcome
+}
+
+fn tally_of(slots: &[u64]) -> BatchTally {
+    BatchTally {
+        requests: slots[SLOT_REQUESTS],
+        pattern: slots[SLOT_PATTERN],
+        decompose: slots[SLOT_DECOMPOSE],
+        topk: slots[SLOT_TOPK],
+        screen: slots[SLOT_SCREEN],
+        errors: slots[SLOT_ERRORS],
+    }
+}
+
+/// Answers a batch of request lines across `threads` workers
+/// (`0` = all available cores). Output `lines[i]` answers input
+/// `lines[i]` — failed requests yield `error: <message>` lines in
+/// place — and the bytes are identical for any thread count. The
+/// merged tally is published to the `query.*` counters exactly once.
+#[must_use]
+pub fn run_batch(
+    index: &QueryIndex,
+    lines: &[String],
+    threads: usize,
+) -> (Vec<String>, BatchTally) {
+    let (out, slots) =
+        par_map_indexed_tally(
+            lines,
+            threads,
+            SLOTS,
+            |_, line, tally| match answer_counted(index, line, tally) {
+                Ok(answer) => answer,
+                Err(message) => format!("error: {message}"),
+            },
+        );
+    let tally = tally_of(&slots);
+    publish(&tally);
+    (out, tally)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::{BasisSection, DayProfile, DecompRow, Meta, Snapshot};
+
+    fn snapshot(n: usize) -> Snapshot {
+        let bins = 4;
+        let vectors: Vec<Vec<f64>> = (0..n)
+            .map(|t| {
+                (0..bins * 2)
+                    .map(|b| ((t * 7 + b) as f64 * 0.61).sin())
+                    .collect()
+            })
+            .collect();
+        Snapshot {
+            meta: Meta {
+                fingerprint: 7,
+                window_start_s: 0,
+                bin_secs: 600,
+                n_bins: bins * 2,
+                k: 2,
+                threshold: 1.0,
+                feature_space: "spectral".into(),
+            },
+            tower_ids: (0..n as u64).map(|i| i * 10).collect(),
+            labels: (0..n).map(|i| (i % 2) as u32).collect(),
+            features: (0..n)
+                .map(|t| {
+                    let mut row = [0.0; 6];
+                    for (j, slot) in row.iter_mut().enumerate() {
+                        *slot = ((t * 6 + j) as f64 * 0.43).cos();
+                    }
+                    row
+                })
+                .collect(),
+            centroids: vec![vec![0.0; bins * 2], vec![1.0; bins * 2]],
+            kinds: Some(vec!["Resident".into(), "Office".into()]),
+            basis: Some(BasisSection {
+                representatives: [0, 1, 2 % n.max(1), 3 % n.max(1)],
+                vertices: [
+                    [1.0, 0.0, 0.0],
+                    [0.0, 1.0, 0.0],
+                    [0.0, 0.0, 1.0],
+                    [0.5, 0.5, 0.5],
+                ],
+            }),
+            decompositions: vec![DecompRow {
+                vector_index: 0,
+                coefficients: [0.7, 0.1, 0.1, 0.1],
+                residual_sqr: 0.01,
+                ntf_idf: [0.7, 0.1, 0.1, 0.1],
+            }],
+            profile: DayProfile::from_vectors(&vectors, bins),
+        }
+    }
+
+    #[test]
+    fn pattern_and_stored_decompose_answer_from_the_snapshot() {
+        let index = QueryIndex::new(snapshot(6));
+        assert_eq!(
+            run_one(&index, "pattern 30").unwrap(),
+            "pattern 30 cluster=1 kind=Office"
+        );
+        assert_eq!(
+            run_one(&index, "decompose 0").unwrap(),
+            render_decompose(0, &[0.7, 0.1, 0.1, 0.1], 0.01)
+        );
+    }
+
+    #[test]
+    fn live_decompose_matches_a_direct_solver_call() {
+        let index = QueryIndex::new(snapshot(6));
+        let (coefficients, residual) = index.decompose(10).unwrap();
+        let basis = index.snapshot().basis.as_ref().unwrap();
+        let vertices: Vec<Vec<f64>> = basis.vertices.iter().map(|v| v.to_vec()).collect();
+        let f = &index.snapshot().features[1];
+        let expect = simplex_least_squares(
+            &vertices,
+            &[f[2], f[3], f[4]],
+            SimplexLsOptions {
+                solver: Solver::ActiveSet,
+                ..SimplexLsOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(coefficients.to_vec(), expect.coefficients);
+        assert_eq!(residual.to_bits(), expect.residual_sqr.to_bits());
+    }
+
+    #[test]
+    fn unknown_tower_and_bad_verbs_are_errors_not_panics() {
+        let index = QueryIndex::new(snapshot(3));
+        assert!(run_one(&index, "pattern 5")
+            .unwrap_err()
+            .contains("unknown tower"));
+        assert!(run_one(&index, "warp 0")
+            .unwrap_err()
+            .contains("unknown request"));
+        assert!(run_one(&index, "topk 0")
+            .unwrap_err()
+            .contains("needs a count"));
+        assert!(run_one(&index, "").unwrap_err().contains("empty"));
+    }
+
+    #[test]
+    fn batch_is_input_ordered_and_thread_invariant() {
+        let index = QueryIndex::new(snapshot(8));
+        let lines: Vec<String> = (0..64)
+            .map(|i| match i % 3 {
+                0 => format!("pattern {}", (i % 8) * 10),
+                1 => format!("topk {} 3", (i % 8) * 10),
+                _ => format!("decompose {}", (i % 8) * 10),
+            })
+            .collect();
+        let (seq, seq_tally) = run_batch(&index, &lines, 1);
+        for threads in [2, 3, 8] {
+            let (par, par_tally) = run_batch(&index, &lines, threads);
+            assert_eq!(seq, par, "threads={threads}");
+            assert_eq!(seq_tally, par_tally, "threads={threads}");
+        }
+        assert_eq!(seq_tally.requests, 64);
+        assert_eq!(seq_tally.errors, 0);
+    }
+
+    #[test]
+    fn batch_turns_failures_into_error_lines_in_place() {
+        let index = QueryIndex::new(snapshot(3));
+        let lines = vec!["pattern 0".to_string(), "pattern 999".to_string()];
+        let (out, tally) = run_batch(&index, &lines, 1);
+        assert!(out[0].starts_with("pattern 0 "));
+        assert!(out[1].starts_with("error: unknown tower 999"));
+        assert_eq!(tally.errors, 1);
+        assert_eq!(tally.requests, 2);
+    }
+
+    #[test]
+    fn screen_flags_a_shifted_day_and_accepts_a_typical_one() {
+        let n = 4;
+        let bins = 4;
+        let index = QueryIndex::new(snapshot(n));
+        // A typical day: the tower's own profile mean re-scaled.
+        let profile_mean = index.snapshot().profile.mean[0].clone();
+        let typical: Vec<f64> = profile_mean.iter().map(|v| v * 5.0 + 100.0).collect();
+        let verdict = index.screen(0, &typical);
+        if let Ok(v) = verdict {
+            assert_eq!(v.bins, bins);
+        }
+        // A day with one wild bin must raise max_z well above the
+        // typical day's.
+        let mut wild = typical.clone();
+        wild[2] += 1e6;
+        let wild_v = index.screen(0, &wild).unwrap();
+        assert!(wild_v.max_z > 0.0);
+        // Bin-count mismatch is a typed error.
+        assert!(index
+            .screen(0, &[1.0])
+            .unwrap_err()
+            .contains("profile expects"));
+    }
+}

@@ -27,7 +27,10 @@
 //! never seen, and per-stage medians within the regression budget at
 //! matching workload sizes.
 
-use towerlens_bench::perf::{compare_bench_json, run_bench, validate_bench_json, BenchParams};
+use towerlens_bench::perf::{
+    compare_bench_json, run_bench, run_query_bench, validate_bench_json, BenchParams,
+    QueryBenchParams,
+};
 
 fn bail(msg: &str) -> ! {
     eprintln!("{msg}");
@@ -41,6 +44,8 @@ fn main() {
     let mut validate: Option<String> = None;
     let mut baseline: Option<String> = None;
     let mut paper = false;
+    let mut query = false;
+    let mut query_params = QueryBenchParams::default();
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -56,6 +61,15 @@ fn main() {
                 }
             }
             "--paper" => paper = true,
+            "--query" => query = true,
+            "--query-towers" => match it.next().unwrap_or_default().parse() {
+                Ok(t) if t >= 1 => query_params.towers = t,
+                _ => bail("bad --query-towers (want an integer ≥ 1)"),
+            },
+            "--query-requests" => match it.next().unwrap_or_default().parse() {
+                Ok(r) if r >= 1 => query_params.requests = r,
+                _ => bail("bad --query-requests (want an integer ≥ 1)"),
+            },
             "--repeats" => match it.next().unwrap_or_default().parse() {
                 Ok(k) if k >= 1 => params.repeats = k,
                 _ => bail("bad --repeats (want an integer ≥ 1)"),
@@ -79,9 +93,13 @@ fn main() {
                 println!(
                     "usage: bench [--sizes N,N,...] [--paper] [--repeats K] [--seed N] \
                      [--threads N] [--out FILE]\n\
+                     \x20      bench [--query] [--query-towers N] [--query-requests N] ...\n\
                      \x20      bench --validate FILE [--baseline FILE]\n\
                      --paper appends the 9,600-tower paper-scale workload \
-                     (spectral feature space)"
+                     (spectral feature space)\n\
+                     --query also times a deterministic mixed batch (default 10,000 \
+                     requests) against the\n\
+                     \x20       memory-resident query artifact of a 9,600-tower spectral study"
                 );
                 return;
             }
@@ -153,13 +171,34 @@ fn main() {
         towerlens_par::resolve_threads(params.threads)
     );
     let started = std::time::Instant::now();
-    let report = match run_bench(&params) {
+    let mut report = match run_bench(&params) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("bench failed: {e}");
             std::process::exit(1);
         }
     };
+    if query {
+        query_params.seed = params.seed;
+        query_params.threads = params.threads;
+        eprintln!(
+            "query workload: building a {}-tower snapshot, then {} mixed requests…",
+            query_params.towers, query_params.requests
+        );
+        match run_query_bench(&query_params) {
+            Ok(q) => {
+                eprintln!(
+                    "  query: {} requests over {} towers in {:.1} ms — {:.0} requests/s",
+                    q.requests, q.towers, q.total_ms, q.throughput_qps
+                );
+                report.query = Some(q);
+            }
+            Err(e) => {
+                eprintln!("query bench failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     // With a non-serial thread setting, a single-thread reference pass
     // turns the table into a speedup report. The reference is never
     // written out — the emitted JSON describes the requested setting.

@@ -76,6 +76,53 @@ pub struct WorkloadResult {
     pub counters: BTreeMap<String, u64>,
 }
 
+/// Parameters for the query-throughput workload (`bench --query`):
+/// a study at `towers` towers builds the versioned artifact, then a
+/// deterministic stream of `requests` mixed lookups runs through the
+/// memory-resident [`towerlens_artifact::QueryIndex`].
+#[derive(Debug, Clone)]
+pub struct QueryBenchParams {
+    /// Tower count of the snapshot-building study.
+    pub towers: usize,
+    /// Number of query requests in the batch.
+    pub requests: usize,
+    /// Seed of the snapshot-building study.
+    pub seed: u64,
+    /// Worker threads for the query batch (0 = all cores).
+    pub threads: usize,
+}
+
+impl Default for QueryBenchParams {
+    /// The paper-scale snapshot (9,600 towers — the full deployment
+    /// of the source paper) under a 10,000-request mixed batch.
+    fn default() -> Self {
+        QueryBenchParams {
+            towers: 9_600,
+            requests: 10_000,
+            seed: 42,
+            threads: 0,
+        }
+    }
+}
+
+/// The query-throughput workload's results.
+#[derive(Debug, Clone)]
+pub struct QueryBenchResult {
+    /// Towers held by the memory-resident snapshot.
+    pub towers: usize,
+    /// Requests answered.
+    pub requests: usize,
+    /// Worker threads the batch ran with (0 = all cores).
+    pub threads: usize,
+    /// End-to-end wall time of the batch in milliseconds (excludes
+    /// building and loading the snapshot).
+    pub total_ms: f64,
+    /// Requests answered per second of batch wall time.
+    pub throughput_qps: f64,
+    /// The `query.*` counter totals for the batch.
+    pub counters: BTreeMap<String, u64>,
+}
+
 /// A full bench run, ready to serialize.
 #[derive(Debug, Clone)]
 pub struct BenchReport {
@@ -90,12 +137,15 @@ pub struct BenchReport {
     pub threads: usize,
     /// Per-size results, in the order requested.
     pub workloads: Vec<WorkloadResult>,
+    /// The query-throughput workload, when `--query` ran.
+    pub query: Option<QueryBenchResult>,
 }
 
 /// Schema tag embedded in (and required from) the JSON. v2 added the
 /// document-level `threads` field recording the `--threads` setting
-/// the report was produced under.
-pub const BENCH_SCHEMA: &str = "towerlens-bench-pipeline-v2";
+/// the report was produced under; v3 added the optional `query`
+/// object recording the artifact-store query-throughput workload.
+pub const BENCH_SCHEMA: &str = "towerlens-bench-pipeline-v3";
 
 /// The study configuration for a bench workload: `towers` towers over
 /// the paper's 4032-bin window, geometry scaled down so small tower
@@ -181,6 +231,65 @@ pub fn run_bench(params: &BenchParams) -> Result<BenchReport, CoreError> {
         repeats: params.repeats.max(1),
         threads: params.threads,
         workloads,
+        query: None,
+    })
+}
+
+/// Runs the query-throughput workload: a spectral study at
+/// `params.towers` towers over the paper window builds the versioned
+/// artifact, a [`towerlens_artifact::QueryIndex`] holds it
+/// memory-resident, and a deterministic stream of mixed
+/// pattern/decompose/topk requests is answered through the batch
+/// path. Only the batch is timed — the studied claim is lookup
+/// throughput, not study wall time. The request stream (and therefore
+/// every answer byte) is identical at any thread count.
+///
+/// # Errors
+/// The snapshot-building study's [`CoreError`].
+pub fn run_query_bench(params: &QueryBenchParams) -> Result<QueryBenchResult, CoreError> {
+    let mut config = workload_config(params.towers, params.seed).with_threads(params.threads);
+    config.identifier.feature_space = towerlens_pipeline::FeatureSpace::Spectral;
+    let study = Study::new(config);
+    let fingerprint = study.checkpoint_fingerprint();
+    let (report, _) = study.run_instrumented(None)?;
+    let snapshot = report.to_snapshot(fingerprint, towerlens_pipeline::FeatureSpace::Spectral)?;
+    let index = towerlens_artifact::QueryIndex::new(snapshot);
+
+    // Deterministic mixed stream cycling over the kept towers: half
+    // pattern lookups, a quarter decompositions (when the snapshot
+    // froze a basis — otherwise more patterns), a quarter top-k
+    // neighbour scans.
+    let ids = index.snapshot().tower_ids.clone();
+    let has_basis = index.snapshot().basis.is_some();
+    let lines: Vec<String> = (0..params.requests)
+        .map(|i| {
+            let id = ids[i % ids.len()];
+            match i % 8 {
+                4 | 5 if has_basis => format!("decompose {id}"),
+                6 | 7 => format!("topk {id} 8"),
+                _ => format!("pattern {id}"),
+            }
+        })
+        .collect();
+
+    towerlens_obs::global().reset();
+    let started = std::time::Instant::now();
+    let (answers, _) = towerlens_artifact::run_batch(&index, &lines, params.threads);
+    let total_ms = ms(started.elapsed());
+    debug_assert_eq!(answers.len(), lines.len());
+    let counters: BTreeMap<String, u64> = towerlens_obs::global()
+        .snapshot()
+        .counters
+        .into_iter()
+        .filter(|(name, _)| name.starts_with("query."))
+        .collect();
+    Ok(QueryBenchResult {
+        towers: index.n_towers(),
+        requests: params.requests,
+        threads: params.threads,
+        total_ms,
+        throughput_qps: params.requests as f64 / (total_ms / 1e3),
+        counters,
     })
 }
 
@@ -239,7 +348,23 @@ impl BenchReport {
             }
             out.push_str("\n      }\n    }");
         }
-        out.push_str("\n  ]\n}\n");
+        out.push_str("\n  ]");
+        if let Some(q) = &self.query {
+            out.push_str(&format!(
+                ",\n  \"query\": {{\n    \"towers\": {},\n    \"requests\": {},\n    \
+                 \"threads\": {},\n    \"total_ms\": {:.3},\n    \
+                 \"throughput_qps\": {:.1},\n    \"counters\": {{",
+                q.towers, q.requests, q.threads, q.total_ms, q.throughput_qps
+            ));
+            for (j, (name, value)) in q.counters.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\n      \"{}\": {}", json::escape(name), value));
+            }
+            out.push_str("\n    }\n  }");
+        }
+        out.push_str("\n}\n");
         out
     }
 }
@@ -340,6 +465,47 @@ pub fn validate_bench_json(text: &str) -> Result<(), String> {
             if value.as_number().is_none_or(|v| v < 0.0) {
                 return Err(format!("{at}: counter `{name}` is not a count"));
             }
+        }
+    }
+    // The query workload is optional (v3): when present it must be a
+    // complete, plausible record.
+    if let Some(q) = doc.get("query") {
+        let at = "query";
+        let towers = require_number(q, "towers", at)?;
+        let requests = require_number(q, "requests", at)?;
+        if towers < 1.0 || requests < 1.0 {
+            return Err(format!("{at}: towers/requests must be positive"));
+        }
+        let threads = require_number(q, "threads", at)?;
+        if threads < 0.0 || threads.fract() != 0.0 {
+            return Err(format!("{at}: `threads` must be a non-negative integer"));
+        }
+        let total = require_number(q, "total_ms", at)?;
+        if !total.is_finite() || total <= 0.0 {
+            return Err(format!("{at}: implausible total ({total} ms)"));
+        }
+        if require_number(q, "throughput_qps", at)? <= 0.0 {
+            return Err(format!("{at}: throughput must be positive"));
+        }
+        let counters = q
+            .get("counters")
+            .and_then(Json::as_object)
+            .ok_or_else(|| format!("{at}: `counters` is not an object"))?;
+        if counters.is_empty() {
+            return Err(format!("{at}: `counters` is empty"));
+        }
+        // The batch's own bookkeeping must agree with the declared
+        // request count — a mismatch means dropped or double-counted
+        // work.
+        let answered = counters
+            .get("query.requests")
+            .and_then(Json::as_number)
+            .ok_or_else(|| format!("{at}: counters lack `query.requests`"))?;
+        if answered != requests {
+            return Err(format!(
+                "{at}: `query.requests` counter ({answered}) disagrees with \
+                 `requests` ({requests})"
+            ));
         }
     }
     Ok(())
@@ -466,6 +632,23 @@ mod tests {
                     ("core.engine.runs".to_string(), 1),
                 ]),
             }],
+            query: None,
+        }
+    }
+
+    fn sample_query() -> QueryBenchResult {
+        QueryBenchResult {
+            towers: 9_600,
+            requests: 10_000,
+            threads: 4,
+            total_ms: 250.0,
+            throughput_qps: 40_000.0,
+            counters: BTreeMap::from([
+                ("query.requests".to_string(), 10_000u64),
+                ("query.pattern".to_string(), 6_000),
+                ("query.topk".to_string(), 2_500),
+                ("query.decompose".to_string(), 1_500),
+            ]),
         }
     }
 
@@ -473,6 +656,73 @@ mod tests {
     fn emitted_json_passes_validation() {
         let json = sample_report().to_json();
         validate_bench_json(&json).unwrap();
+    }
+
+    #[test]
+    fn query_section_validates_and_is_gated() {
+        let mut report = sample_report();
+        report.query = Some(sample_query());
+        let good = report.to_json();
+        validate_bench_json(&good).unwrap();
+        // The comparison gate ignores the query section (throughput
+        // baselines live in EXPERIMENTS.md, not the stage-median gate).
+        compare_bench_json(&good, &sample_report().to_json()).unwrap();
+        for (tag, breakage) in [
+            (
+                "zero throughput",
+                good.replace("\"throughput_qps\": 40000.0", "\"throughput_qps\": 0"),
+            ),
+            (
+                "counter/request disagreement",
+                good.replace("\"query.requests\": 10000", "\"query.requests\": 9999"),
+            ),
+            (
+                "missing request counter",
+                good.replace("\"query.requests\"", "\"query.other\""),
+            ),
+            (
+                "fractional threads",
+                good.replace(
+                    "\"threads\": 4,\n    \"total_ms\"",
+                    "\"threads\": 1.5,\n    \"total_ms\"",
+                ),
+            ),
+        ] {
+            assert!(validate_bench_json(&breakage).is_err(), "{tag} accepted");
+        }
+    }
+
+    #[test]
+    fn query_bench_smoke_counts_every_request() {
+        let params = QueryBenchParams {
+            towers: 12,
+            requests: 200,
+            seed: 7,
+            threads: 2,
+        };
+        let q = run_query_bench(&params).unwrap();
+        assert_eq!(q.requests, 200);
+        assert!(q.towers >= 1 && q.towers <= 12);
+        assert_eq!(q.counters.get("query.requests"), Some(&200));
+        // No screen requests in the stream, and every request lands
+        // in exactly one verb bucket.
+        assert_eq!(q.counters.get("query.screen").copied().unwrap_or(0), 0);
+        let verbs: u64 = ["query.pattern", "query.decompose", "query.topk"]
+            .iter()
+            .filter_map(|k| q.counters.get(*k))
+            .sum();
+        assert_eq!(verbs, 200);
+        assert!(q.throughput_qps > 0.0);
+        // The whole report (with the query section) passes the gate.
+        let mut report = run_bench(&BenchParams {
+            sizes: vec![12],
+            repeats: 1,
+            seed: 7,
+            threads: 2,
+        })
+        .unwrap();
+        report.query = Some(q);
+        validate_bench_json(&report.to_json()).unwrap();
     }
 
     #[test]

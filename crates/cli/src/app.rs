@@ -12,12 +12,15 @@
 use std::path::PathBuf;
 use std::time::Duration;
 
-use crate::args::{self, switch, value, FlagDef, Flags, Parsed};
+use crate::args::{self, switch, value, FlagDef, Flags, Parsed, ParsedMixed};
 use crate::commands::{
-    analyze_instrumented_with, doctor_checkpoints, generate_dataset, run_study_with, study_config,
-    AnalyzeOptions, GenOptions,
+    analyze_instrumented_with, artifact_health, checkpoint_health, doctor_artifacts,
+    doctor_checkpoints, doctor_exit, generate_dataset, run_study_with, study_config, wal_health,
+    AnalyzeOptions, GenOptions, Health,
 };
-use towerlens_core::{RunReport, Supervisor};
+use towerlens_artifact::{QueryIndex, SectionStatus};
+use towerlens_core::engine::CheckpointError;
+use towerlens_core::{RunReport, Study, Supervisor};
 use towerlens_pipeline::FeatureSpace;
 
 /// Parses the shared `--feature-space` flag (default `auto`).
@@ -41,6 +44,7 @@ usage:
   towerlens-cli analyze --dir DIR [--days N] [--threads N]
                         [--max-bad-fraction F] [--impute]
                         [--feature-space raw|spectral|auto]
+                        [--snapshot PATH]
                         [--resume DIR] [--retries N] [--stage-timeout-ms MS]
                         [--timings] [--json]
                         [--metrics PATH] [--trace-events PATH]
@@ -49,10 +53,27 @@ usage:
   towerlens-cli study   [--scale tiny|small|medium|paper] [--seed N]
                         [--threads N]
                         [--feature-space raw|spectral|auto]
+                        [--snapshot PATH]
                         [--resume DIR] [--retries N] [--stage-timeout-ms MS]
                         [--timings] [--json]
                         [--metrics PATH] [--trace-events PATH]
       run the full in-process paper study through the stage engine
+
+  towerlens-cli query   --snapshot PATH [--stdin] [--threads N]
+                        [--metrics PATH] [REQUEST...]
+      answer lookups from a versioned study artifact (written by
+      `analyze --snapshot` / `study --snapshot`), held memory-resident:
+        pattern <tower>            cluster id and canonical kind
+        decompose <tower>          convex share of the four primary
+                                   components (stored row, or solved
+                                   live against the frozen basis)
+        topk <tower> <k>           k nearest towers in the 6-dim
+                                   spectral feature space
+        screen <tower> <day-file>  z-score a one-day series against
+                                   the tower's stored daily profile
+      one-shot: the request is the positional arguments; --stdin reads
+      one request per line and answers in input order (bit-identical
+      at any --threads), errors reported in place
 
   towerlens-cli serve   --source FILE --data DIR [--days N] [--shards N]
                         [--segment-records N] [--queue-cap N] [--retries N]
@@ -64,12 +85,17 @@ usage:
       at every segment boundary (DIR/snap), and print the batch-identical
       drain report; killed runs resume from snapshot + WAL tail with
       byte-identical final output. --basis classifies live towers against
-      a frozen batch checkpoint (analyze's cluster.ckpt)
+      a frozen batch basis: either a versioned query artifact (from
+      `--snapshot`) or a legacy cluster.ckpt checkpoint
 
   towerlens-cli doctor  --dir DIR [--fingerprint HEX]
-      fsck every checkpoint file in DIR (and DIR/snap) plus any WAL
-      segments under DIR/wal: checksums, seals, and sequence gaps;
-      with --fingerprint, also pin each file to that config fingerprint
+      fsck every checkpoint file in DIR (and DIR/snap), any WAL
+      segments under DIR/wal, and every *.artifact snapshot in DIR:
+      checksums, seals, sequence gaps, and section tables; with
+      --fingerprint, also pin each checkpoint to that config
+      fingerprint. Degraded-but-readable states (stale checkpoints,
+      torn WAL tails, unknown artifact sections) warn but exit 0;
+      corruption exits 1
 
   towerlens-cli help
       print this message
@@ -265,6 +291,7 @@ pub fn run(argv: &[String]) -> i32 {
                 value("max-bad-fraction"),
                 switch("impute"),
                 value("feature-space"),
+                value("snapshot"),
                 value("resume"),
                 value("retries"),
                 value("stage-timeout-ms"),
@@ -289,6 +316,7 @@ pub fn run(argv: &[String]) -> i32 {
                             .fraction("max-bad-fraction", defaults.max_bad_fraction)?,
                         impute: flags.has("impute"),
                         feature_space: feature_space_from(&flags)?,
+                        snapshot: flags.get("snapshot").map(PathBuf::from),
                     },
                 ))
             })();
@@ -324,6 +352,9 @@ pub fn run(argv: &[String]) -> i32 {
                         if let Some(ari) = s.ari_vs_truth {
                             println!("adjusted Rand index vs truth.tsv: {ari:.3}");
                         }
+                        if let Some(path) = &options.snapshot {
+                            println!("wrote query artifact to {}", path.display());
+                        }
                     }
                     if let Some(code) = emit_observability(&flags, &report) {
                         return code;
@@ -342,6 +373,7 @@ pub fn run(argv: &[String]) -> i32 {
                 value("seed"),
                 value("threads"),
                 value("feature-space"),
+                value("snapshot"),
                 value("resume"),
                 value("retries"),
                 value("stage-timeout-ms"),
@@ -377,6 +409,11 @@ pub fn run(argv: &[String]) -> i32 {
                 Ok(s) => s,
                 Err(e) => return usage_error(&e),
             };
+            // The artifact's fingerprint is the checkpoint fingerprint
+            // of this configuration, so `doctor --fingerprint` and
+            // `serve --basis` pin queries to the run that wrote them.
+            let fingerprint = Study::new(config.clone()).checkpoint_fingerprint();
+            let snapshot_path = flags.get("snapshot").map(PathBuf::from);
             match run_study_with(config, resume.as_deref(), &supervisor) {
                 Ok((report, run_report)) => {
                     if !flags.has("json") {
@@ -401,6 +438,26 @@ pub fn run(argv: &[String]) -> i32 {
                             None => println!("  (geographic labelling unavailable)"),
                         }
                     }
+                    if let Some(path) = &snapshot_path {
+                        let written = report
+                            .to_snapshot(fingerprint, feature_space)
+                            .map_err(|e| e.to_string())
+                            .and_then(|snap| {
+                                towerlens_artifact::write_snapshot(path, &snap)
+                                    .map_err(|e| e.to_string())
+                            });
+                        match written {
+                            Ok(()) => {
+                                if !flags.has("json") {
+                                    println!("wrote query artifact to {}", path.display());
+                                }
+                            }
+                            Err(e) => {
+                                eprintln!("study --snapshot failed: {e}");
+                                return 1;
+                            }
+                        }
+                    }
                     if let Some(code) = emit_observability(&flags, &run_report) {
                         return code;
                     }
@@ -414,6 +471,89 @@ pub fn run(argv: &[String]) -> i32 {
                 Err(e) => {
                     eprintln!("study failed: {e}");
                     1
+                }
+            }
+        }
+        "query" => {
+            const DEFS: &[FlagDef] = &[
+                value("snapshot"),
+                switch("stdin"),
+                value("threads"),
+                value("metrics"),
+            ];
+            let (flags, positionals) = match args::parse_mixed("query", rest, DEFS) {
+                Ok(ParsedMixed::Flags(flags, positionals)) => (flags, positionals),
+                Ok(ParsedMixed::Help) => {
+                    println!("{USAGE}");
+                    return 0;
+                }
+                Err(e) => return usage_error(&e),
+            };
+            let snapshot_path = match flags.require("query", "snapshot") {
+                Ok(p) => PathBuf::from(p),
+                Err(e) => return usage_error(&e),
+            };
+            let threads = match flags.num("threads", 0) {
+                Ok(t) => t as usize,
+                Err(e) => return usage_error(&e),
+            };
+            let stdin_mode = flags.has("stdin");
+            if stdin_mode && !positionals.is_empty() {
+                return usage_error("`query --stdin` takes no positional request");
+            }
+            if !stdin_mode && positionals.is_empty() {
+                return usage_error(
+                    "`query` needs a request (pattern|decompose|topk|screen) or --stdin",
+                );
+            }
+            // The snapshot is loaded once and held memory-resident;
+            // every lookup after this line is pure in-memory work.
+            let index = match towerlens_artifact::read_snapshot(&snapshot_path) {
+                Ok(snap) => QueryIndex::new(snap),
+                Err(e) => {
+                    eprintln!("query failed: {e}");
+                    return 1;
+                }
+            };
+            let dump_metrics = |flags: &Flags| -> Option<i32> {
+                let path = flags.get("metrics")?;
+                let json = towerlens_obs::global().snapshot().to_json();
+                if let Err(e) = std::fs::write(path, json + "\n") {
+                    eprintln!("failed to write --metrics {path}: {e}");
+                    return Some(1);
+                }
+                None
+            };
+            if stdin_mode {
+                use std::io::BufRead;
+                let lines: Vec<String> = match std::io::stdin().lock().lines().collect() {
+                    Ok(lines) => lines,
+                    Err(e) => {
+                        eprintln!("query failed reading stdin: {e}");
+                        return 1;
+                    }
+                };
+                let (answers, _tally) = towerlens_artifact::run_batch(&index, &lines, threads);
+                let mut out = String::with_capacity(answers.iter().map(|a| a.len() + 1).sum());
+                for answer in &answers {
+                    out.push_str(answer);
+                    out.push('\n');
+                }
+                print!("{out}");
+                // Batch mode reports per-line errors in place and exits
+                // 0 — a screening pipeline keeps flowing.
+                dump_metrics(&flags).unwrap_or(0)
+            } else {
+                let line = positionals.join(" ");
+                match towerlens_artifact::run_one(&index, &line) {
+                    Ok(answer) => {
+                        println!("{answer}");
+                        dump_metrics(&flags).unwrap_or(0)
+                    }
+                    Err(e) => {
+                        eprintln!("query failed: {e}");
+                        dump_metrics(&flags).unwrap_or(1)
+                    }
                 }
             }
         }
@@ -517,14 +657,24 @@ pub fn run(argv: &[String]) -> i32 {
             } else {
                 Vec::new()
             };
-            if rows.is_empty() && wal_rows.is_empty() {
+            let artifact_rows = match doctor_artifacts(&dir) {
+                Ok(rows) => rows,
+                Err(e) => {
+                    eprintln!("doctor failed: {e}");
+                    return 1;
+                }
+            };
+            if rows.is_empty() && wal_rows.is_empty() && artifact_rows.is_empty() {
                 println!(
-                    "no checkpoint files (*.ckpt) or WAL segments in {}",
+                    "no checkpoint files (*.ckpt), WAL segments, or artifacts in {}",
                     dir.display()
                 );
                 return 0;
             }
-            let mut bad = 0usize;
+            // Every inspected file contributes one three-way verdict;
+            // the exit code is 1 iff anything is corrupt (degraded
+            // states — stale, torn tail, unknown sections — warn only).
+            let mut healths: Vec<Health> = Vec::new();
             if !rows.is_empty() {
                 // Per-stage health table: one row per checkpoint file,
                 // the same fixed-width idiom as the `--timings` stage
@@ -539,15 +689,32 @@ pub fn run(argv: &[String]) -> i32 {
                     "{:<file_w$}  {:<10}  status  {:>16}  {:>5}  {:>5}  detail",
                     "file", "stage", "fingerprint", "cards", "lines"
                 );
+                let (mut ok, mut stale, mut bad) = (0usize, 0usize, 0usize);
                 for (name, verdict) in &rows {
+                    healths.push(checkpoint_health(verdict));
                     match verdict {
-                        Ok(info) => println!(
-                            "{name:<file_w$}  {:<10}  ok      {:>16}  {:>5}  {:>5}",
-                            info.stage,
-                            format!("{:016x}", info.fingerprint),
-                            info.cards.len(),
-                            info.body_lines
-                        ),
+                        Ok(info) => {
+                            ok += 1;
+                            println!(
+                                "{name:<file_w$}  {:<10}  ok      {:>16}  {:>5}  {:>5}",
+                                info.stage,
+                                format!("{:016x}", info.fingerprint),
+                                info.cards.len(),
+                                info.body_lines
+                            );
+                        }
+                        // Stale ≠ damaged: the file is internally
+                        // consistent but belongs to another config.
+                        Err(e @ CheckpointError::FingerprintMismatch { stage, found, .. }) => {
+                            stale += 1;
+                            println!(
+                                "{name:<file_w$}  {:<10}  STALE   {:>16}  {:>5}  {:>5}  {e}",
+                                stage,
+                                format!("{found:016x}"),
+                                "-",
+                                "-"
+                            );
+                        }
                         Err(e) => {
                             bad += 1;
                             println!(
@@ -558,10 +725,8 @@ pub fn run(argv: &[String]) -> i32 {
                     }
                 }
                 println!(
-                    "{} checkpoint(s): {} ok, {} damaged",
-                    rows.len(),
-                    rows.len() - bad,
-                    bad
+                    "{} checkpoint(s): {ok} ok, {stale} stale, {bad} damaged",
+                    rows.len()
                 );
             }
             let mut wal_bad = 0usize;
@@ -579,6 +744,7 @@ pub fn run(argv: &[String]) -> i32 {
                     "file", "entries", "seqs"
                 );
                 for row in &wal_rows {
+                    healths.push(wal_health(row));
                     let seqs = match (row.first_seq, row.last_seq) {
                         (Some(a), Some(b)) => format!("{a}..{b}"),
                         _ => "-".to_string(),
@@ -612,11 +778,82 @@ pub fn run(argv: &[String]) -> i32 {
                     wal_bad
                 );
             }
-            if bad + wal_bad > 0 {
-                1
-            } else {
-                0
+            if !artifact_rows.is_empty() {
+                // Artifact health: the section table, per-section
+                // checksums, and (when those pass) a full semantic
+                // decode.
+                let file_w = artifact_rows
+                    .iter()
+                    .map(|(name, _)| name.len())
+                    .chain(["file".len()])
+                    .max()
+                    .unwrap_or(4);
+                println!(
+                    "{:<file_w$}  {:>3}  {:>6}  {:>8}  status  detail",
+                    "file", "ver", "towers", "sections"
+                );
+                let (mut ok, mut warn, mut bad) = (0usize, 0usize, 0usize);
+                for (name, verdict) in &artifact_rows {
+                    let health = artifact_health(verdict);
+                    healths.push(health);
+                    match verdict {
+                        Ok(fsck) => {
+                            let detail = if !fsck.healthy() {
+                                let mut parts: Vec<String> = fsck
+                                    .sections
+                                    .iter()
+                                    .filter_map(|s| match &s.status {
+                                        SectionStatus::ChecksumMismatch { .. } => {
+                                            Some(format!("section `{}` checksum", s.tag))
+                                        }
+                                        _ => None,
+                                    })
+                                    .collect();
+                                if let Some(semantic) = &fsck.semantic {
+                                    parts.push(semantic.clone());
+                                }
+                                parts.join("; ")
+                            } else if fsck.has_unknown_sections() {
+                                "unknown section(s) tolerated".to_string()
+                            } else {
+                                String::new()
+                            };
+                            let status = match health {
+                                Health::Healthy => {
+                                    ok += 1;
+                                    "ok    "
+                                }
+                                Health::Degraded => {
+                                    warn += 1;
+                                    "warn  "
+                                }
+                                Health::Corrupt => {
+                                    bad += 1;
+                                    "BAD   "
+                                }
+                            };
+                            println!(
+                                "{name:<file_w$}  {:>3}  {:>6}  {:>8}  {status}  {detail}",
+                                fsck.version,
+                                fsck.towers,
+                                fsck.sections.len()
+                            );
+                        }
+                        Err(e) => {
+                            bad += 1;
+                            println!(
+                                "{name:<file_w$}  {:>3}  {:>6}  {:>8}  BAD     {e}",
+                                "-", "-", "-"
+                            );
+                        }
+                    }
+                }
+                println!(
+                    "{} artifact(s): {ok} ok, {warn} degraded, {bad} damaged",
+                    artifact_rows.len()
+                );
             }
+            doctor_exit(&healths)
         }
         "help" | "--help" | "-h" => {
             println!("{USAGE}");

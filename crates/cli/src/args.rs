@@ -144,6 +144,59 @@ pub enum Parsed {
     Help,
 }
 
+/// Outcome of [`parse_mixed`]: flags plus positional words, or a help
+/// request.
+#[derive(Debug)]
+pub enum ParsedMixed {
+    /// Flags and the positional arguments, in input order.
+    Flags(Flags, Vec<String>),
+    /// The user asked for `--help`.
+    Help,
+}
+
+/// As [`parse`], but positional (non-`--`) arguments are collected in
+/// input order instead of being rejected — for subcommands like
+/// `query` whose one-shot request is spelled as bare words
+/// (`query --snapshot S pattern 17`).
+///
+/// # Errors
+/// As [`parse`], minus the stray-positional case.
+pub fn parse_mixed(
+    command: &str,
+    args: &[String],
+    defs: &[FlagDef],
+) -> Result<ParsedMixed, String> {
+    let mut flags = Flags::default();
+    let mut positionals = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--help" || arg == "-h" {
+            return Ok(ParsedMixed::Help);
+        }
+        let Some(name) = arg.strip_prefix("--") else {
+            positionals.push(arg.clone());
+            continue;
+        };
+        let Some(def) = defs.iter().find(|d| d.name == name) else {
+            return Err(format!("unknown flag `--{name}` for `{command}`"));
+        };
+        match def.kind {
+            FlagKind::Switch => {
+                flags.switches.insert(def.name);
+            }
+            FlagKind::Value => {
+                let Some(value) = it.next() else {
+                    return Err(format!("flag --{name} needs a value"));
+                };
+                if flags.values.insert(def.name, value.clone()).is_some() {
+                    return Err(format!("flag --{name} given twice"));
+                }
+            }
+        }
+    }
+    Ok(ParsedMixed::Flags(flags, positionals))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -219,6 +272,28 @@ mod tests {
                 format!("--seed expects a fraction in [0, 1], got `{}`", bad[1])
             );
         }
+    }
+
+    #[test]
+    fn mixed_parse_collects_positionals_in_order() {
+        let ParsedMixed::Flags(f, pos) = parse_mixed(
+            "test",
+            &args(&["pattern", "--seed", "7", "17", "--timings", "3"]),
+            DEFS,
+        )
+        .unwrap() else {
+            panic!("unexpected help");
+        };
+        assert_eq!(f.num("seed", 42).unwrap(), 7);
+        assert!(f.has("timings"));
+        assert_eq!(pos, vec!["pattern", "17", "3"]);
+        // Flags are still validated.
+        let e = parse_mixed("test", &args(&["x", "--bogus", "1"]), DEFS).unwrap_err();
+        assert_eq!(e, "unknown flag `--bogus` for `test`");
+        assert!(matches!(
+            parse_mixed("test", &args(&["-h"]), DEFS).unwrap(),
+            ParsedMixed::Help
+        ));
     }
 
     #[test]

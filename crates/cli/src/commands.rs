@@ -18,6 +18,7 @@
 use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
 
+use towerlens_artifact::{ArtifactError, ArtifactFsck};
 use towerlens_city::config::CityConfig;
 use towerlens_city::generate::generate;
 use towerlens_city::geo::{BoundingBox, GeoPoint};
@@ -31,8 +32,10 @@ use towerlens_core::engine::{
     CheckpointError, CheckpointStore, EngineError, FsckInfo, Graph, RunReport, Stage, StageCodec,
     StageContext, StageOutput, Supervisor,
 };
+use towerlens_core::freq::{features_of_goertzel_par, representative_towers};
 use towerlens_core::identifier::{IdentifiedPatterns, IdentifierConfig, PatternIdentifier};
-use towerlens_core::labeling::{label_clusters_parts, GeoLabels};
+use towerlens_core::labeling::{cluster_of_kind, label_clusters_parts, GeoLabels};
+use towerlens_core::study::snapshot_from_parts;
 use towerlens_core::{PartialStudyReport, Study, StudyConfig};
 use towerlens_mobility::agents::{AgentConfig, AgentPopulation};
 use towerlens_pipeline::feature::FeatureSpace;
@@ -139,6 +142,10 @@ pub struct AnalyzeOptions {
     /// raw traffic vectors, 6-dim spectral projections, or auto
     /// (spectral at large tower counts, raw below).
     pub feature_space: FeatureSpace,
+    /// Write the versioned query artifact here after a successful
+    /// run (`--snapshot`). Not part of the checkpoint fingerprint —
+    /// it does not shape any number.
+    pub snapshot: Option<PathBuf>,
 }
 
 impl Default for AnalyzeOptions {
@@ -149,6 +156,7 @@ impl Default for AnalyzeOptions {
             max_bad_fraction: FaultPolicy::default().max_bad_fraction,
             impute: false,
             feature_space: FeatureSpace::Auto,
+            snapshot: None,
         }
     }
 }
@@ -709,7 +717,9 @@ pub fn analyze_instrumented_with(
     };
     let mut outcome = analyze_graph(dir, options).run_with(store.as_ref(), supervisor)?;
     let CliArtifact::Vectors {
-        parsed, cleaned, ..
+        normalized,
+        parsed,
+        cleaned,
     } = outcome.take("vectorize")?
     else {
         return Err("artifact `vectorize` has unexpected type".into());
@@ -730,6 +740,17 @@ pub fn analyze_instrumented_with(
         Ok(_) => return Err("artifact `score` has unexpected type".into()),
         Err(_) => None,
     };
+    if let Some(path) = &options.snapshot {
+        let fingerprint = analyze_fingerprint(dir, options)?;
+        let snapshot = analyze_snapshot(
+            &normalized,
+            &patterns,
+            labels.as_deref(),
+            options,
+            fingerprint,
+        )?;
+        towerlens_artifact::write_snapshot(path, &snapshot)?;
+    }
     Ok((
         AnalyzeSummary {
             records: parsed,
@@ -741,6 +762,51 @@ pub fn analyze_instrumented_with(
         },
         outcome.report,
     ))
+}
+
+/// Assembles the versioned query artifact from an analyze run's
+/// working set: frequency features are recomputed with the same
+/// Goertzel extractor the study uses (bit-identical at any thread
+/// count), and the primary-component basis is frozen only when the
+/// geographic labels cover all four pure kinds. `analyze` has no
+/// decomposer (it lacks the city ground truth), so the decomposition
+/// section is empty and `query decompose` solves live against the
+/// frozen basis.
+fn analyze_snapshot(
+    normalized: &NormalizedMatrix,
+    patterns: &IdentifiedPatterns,
+    labels: Option<&[RegionKind]>,
+    options: &AnalyzeOptions,
+    fingerprint: u64,
+) -> Result<towerlens_artifact::Snapshot, Box<dyn std::error::Error>> {
+    let window = TraceWindow::days(options.days);
+    let features = features_of_goertzel_par(&normalized.vectors, &window, options.threads)?;
+    let representatives = labels.and_then(|labels| {
+        let pure: Option<Vec<usize>> = RegionKind::PURE
+            .iter()
+            .map(|&k| cluster_of_kind(labels, k))
+            .collect();
+        match pure {
+            Some(pure) if pure.len() == 4 => {
+                representative_towers(&features, &patterns.clustering, &pure)
+                    .ok()
+                    .map(|reps| [reps[0], reps[1], reps[2], reps[3]])
+            }
+            _ => None,
+        }
+    });
+    Ok(snapshot_from_parts(
+        &window,
+        &normalized.kept_ids,
+        &normalized.vectors,
+        patterns,
+        labels,
+        &features,
+        representatives,
+        &[],
+        fingerprint,
+        options.feature_space,
+    )?)
 }
 
 /// Parses a scale name (`tiny` / `small` / `medium` / `paper`) into a
@@ -845,6 +911,100 @@ pub fn doctor_checkpoints(
         rows.extend(scan(&snap, "snap/", None)?);
     }
     Ok(rows)
+}
+
+/// One `doctor` artifact verdict: the artifact's file name and its
+/// fsck outcome.
+pub type ArtifactRow = (String, Result<ArtifactFsck, ArtifactError>);
+
+/// Fscks every `*.artifact` file in a directory, in name order.
+///
+/// As with [`doctor_checkpoints`], a damaged artifact is a per-file
+/// verdict, never a hard error. A missing directory is an I/O error;
+/// a directory with no artifacts is an empty (healthy) report.
+///
+/// # Errors
+/// Only directory-level I/O failures.
+pub fn doctor_artifacts(dir: &Path) -> Result<Vec<ArtifactRow>, std::io::Error> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|entry| {
+            let path = entry.ok()?.path();
+            (path.extension().and_then(|e| e.to_str()) == Some("artifact")).then_some(path)
+        })
+        .collect();
+    paths.sort();
+    Ok(paths
+        .into_iter()
+        .map(|path| {
+            let name = path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            (name, towerlens_artifact::fsck_artifact(&path))
+        })
+        .collect())
+}
+
+/// `doctor`'s three-way verdict for one inspected file.
+///
+/// The exit-code contract hangs off this: *degraded but readable*
+/// states (a stale checkpoint from an older configuration, a WAL
+/// segment with a tolerated torn tail, an artifact carrying only
+/// unknown extra sections) warn but exit 0 — they are expected
+/// operational states, not damage. Only [`Health::Corrupt`] (checksum
+/// or structural failure) makes `doctor` exit 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Health {
+    /// Fully intact.
+    Healthy,
+    /// Readable, but in a state the operator should know about.
+    Degraded,
+    /// Damaged: checksum mismatch, truncation, or structural rot.
+    Corrupt,
+}
+
+/// Classifies a checkpoint fsck verdict. A fingerprint mismatch means
+/// the file is *stale* — internally consistent, written by another
+/// configuration — which is degraded, not corrupt. Everything else
+/// that errors is damage.
+pub fn checkpoint_health(verdict: &Result<FsckInfo, CheckpointError>) -> Health {
+    match verdict {
+        Ok(_) => Health::Healthy,
+        Err(CheckpointError::FingerprintMismatch { .. }) => Health::Degraded,
+        Err(_) => Health::Corrupt,
+    }
+}
+
+/// Classifies a WAL segment fsck row. A torn tail on an unsealed
+/// segment is the documented crash signature the replayer tolerates —
+/// degraded. A structural error is corruption.
+pub fn wal_health(row: &towerlens_serve::WalSegmentFsck) -> Health {
+    if row.error.is_some() {
+        Health::Corrupt
+    } else if row.torn_tail {
+        Health::Degraded
+    } else {
+        Health::Healthy
+    }
+}
+
+/// Classifies an artifact fsck verdict. Header-level failures and any
+/// section checksum mismatch (or a semantic decode failure) are
+/// corruption; an artifact whose only oddity is unknown extra
+/// sections — the forward-compatibility path — is degraded.
+pub fn artifact_health(verdict: &Result<ArtifactFsck, ArtifactError>) -> Health {
+    match verdict {
+        Err(_) => Health::Corrupt,
+        Ok(fsck) if !fsck.healthy() => Health::Corrupt,
+        Ok(fsck) if fsck.has_unknown_sections() => Health::Degraded,
+        Ok(_) => Health::Healthy,
+    }
+}
+
+/// The `doctor` exit code over every inspected file: 1 iff anything
+/// is [`Health::Corrupt`]; degraded states warn but exit 0.
+pub fn doctor_exit(healths: &[Health]) -> i32 {
+    i32::from(healths.contains(&Health::Corrupt))
 }
 
 /// Convenience for tests: generate then analyze in one temp dir.
@@ -957,5 +1117,72 @@ mod tests {
         assert!(study_config("paper", 7).is_ok());
         let e = study_config("huge", 7).unwrap_err();
         assert!(e.contains("unknown scale `huge`"), "{e}");
+    }
+
+    /// The `doctor` exit-code matrix: degraded-but-readable states
+    /// (stale checkpoints, torn WAL tails, unknown artifact sections)
+    /// warn but exit 0; only corruption exits 1.
+    #[test]
+    fn doctor_exit_code_matrix() {
+        use towerlens_serve::WalSegmentFsck;
+
+        // Checkpoints: stale (wrong fingerprint) is degraded, damage
+        // is corrupt.
+        let stale = Err(CheckpointError::FingerprintMismatch {
+            stage: "cluster".into(),
+            expected: 1,
+            found: 2,
+        });
+        let torn = Err(CheckpointError::Truncated {
+            stage: "cluster".into(),
+        });
+        assert_eq!(checkpoint_health(&stale), Health::Degraded);
+        assert_eq!(checkpoint_health(&torn), Health::Corrupt);
+
+        // WAL segments: a tolerated torn tail is degraded; a
+        // structural error is corrupt.
+        let wal = |torn_tail: bool, error: Option<&str>| WalSegmentFsck {
+            file: "wal-000001.log".into(),
+            segment: 1,
+            entries: 3,
+            first_seq: Some(1),
+            last_seq: Some(3),
+            sealed: false,
+            torn_tail,
+            error: error.map(str::to_string),
+        };
+        assert_eq!(wal_health(&wal(false, None)), Health::Healthy);
+        assert_eq!(wal_health(&wal(true, None)), Health::Degraded);
+        assert_eq!(
+            wal_health(&wal(false, Some("bad checksum"))),
+            Health::Corrupt
+        );
+        // A structural error outranks a torn tail.
+        assert_eq!(wal_health(&wal(true, Some("bad length"))), Health::Corrupt);
+
+        // Artifacts: exercised through real files so the fsck verdicts
+        // are the ones `doctor` actually sees.
+        let dir = std::env::temp_dir().join("towerlens-doctor-matrix");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap = towerlens_artifact::format::sample_snapshot();
+        let good = dir.join("good.artifact");
+        towerlens_artifact::write_snapshot(&good, &snap).unwrap();
+        let bad = dir.join("zz-bad.artifact");
+        let mut bytes = snap.encode();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        std::fs::write(&bad, &bytes).unwrap();
+        let rows = doctor_artifacts(&dir).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0, "good.artifact");
+        assert_eq!(artifact_health(&rows[0].1), Health::Healthy);
+        assert_eq!(artifact_health(&rows[1].1), Health::Corrupt);
+
+        // The exit code: 1 iff anything is corrupt.
+        assert_eq!(doctor_exit(&[]), 0);
+        assert_eq!(doctor_exit(&[Health::Healthy, Health::Degraded]), 0);
+        assert_eq!(doctor_exit(&[Health::Degraded, Health::Corrupt]), 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

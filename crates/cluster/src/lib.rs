@@ -45,4 +45,4 @@ pub use compare::{adjusted_rand_index, purity, rand_index};
 pub use dendrogram::{Clustering, Dendrogram, Merge};
 pub use distance::DistanceMatrix;
 pub use error::ClusterError;
-pub use source::{DistanceSource, FeatureView, OnDemandMetric};
+pub use source::{top_k_nearest, DistanceSource, FeatureView, OnDemandMetric};

@@ -107,6 +107,45 @@ impl FeatureView for [Vec<f64>] {
     }
 }
 
+/// The `k` nearest neighbours of `query` in a [`FeatureView`],
+/// computed by a single linear scan — no distance matrix is ever
+/// materialised, so memory stays O(k) regardless of `view.len()`.
+///
+/// Returns `(index, distance)` pairs sorted ascending by
+/// `(distance, index)`; ties therefore break to the lower index and
+/// the result is fully deterministic. `query` itself is excluded.
+/// Fewer than `k` pairs come back when the view is small.
+pub fn top_k_nearest<V: FeatureView + ?Sized>(
+    view: &V,
+    query: usize,
+    k: usize,
+) -> Vec<(usize, f64)> {
+    let n = view.len();
+    if k == 0 || query >= n {
+        return Vec::new();
+    }
+    // Bounded insertion into a sorted buffer: cheaper than a heap for
+    // the small k this serves (topk queries), and ordering falls out
+    // for free.
+    let mut best: Vec<(usize, f64)> = Vec::with_capacity(k + 1);
+    for j in 0..n {
+        if j == query {
+            continue;
+        }
+        let d = view.distance(query, j);
+        if best.len() == k {
+            let &(wj, wd) = best.last().expect("non-empty at capacity");
+            if wd < d || (wd == d && wj < j) {
+                continue;
+            }
+        }
+        let pos = best.partition_point(|&(bj, bd)| bd < d || (bd == d && bj < j));
+        best.insert(pos, (j, d));
+        best.truncate(k);
+    }
+    best
+}
+
 /// The matrix-free distance source: leaf distances computed on demand
 /// from a [`FeatureView`], Lance–Williams rows stored only for merged
 /// clusters.
@@ -272,6 +311,47 @@ mod tests {
         assert_eq!(lazy.live_rows(), 0);
         // With the row gone the pair is a leaf pair again.
         assert_eq!(lazy.get(0, 2), 10.0);
+    }
+
+    #[test]
+    fn top_k_matches_brute_force_reference() {
+        // Deterministic pseudo-random points, then pin the scan
+        // against the O(n²) sort-everything reference.
+        let n = 37;
+        let points: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                (0..6)
+                    .map(|d| (((i * 6 + d) as f64) * 0.7315).sin() * 3.0)
+                    .collect()
+            })
+            .collect();
+        let view = &points[..];
+        for query in 0..n {
+            for k in [0, 1, 3, n - 1, n + 5] {
+                let fast = top_k_nearest(view, query, k);
+                let mut brute: Vec<(usize, f64)> = (0..n)
+                    .filter(|&j| j != query)
+                    .map(|j| (j, view.distance(query, j)))
+                    .collect();
+                brute.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+                brute.truncate(k);
+                assert_eq!(fast, brute, "query {query} k {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_breaks_distance_ties_to_the_lower_index() {
+        // Four points equidistant from the origin point.
+        let points = [
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![-1.0, 0.0],
+            vec![0.0, -1.0],
+        ];
+        let got = top_k_nearest(&points[..], 0, 2);
+        assert_eq!(got, vec![(1, 1.0), (2, 1.0)]);
     }
 
     #[test]

@@ -18,6 +18,7 @@ use towerlens_city::city::City;
 use towerlens_city::config::CityConfig;
 use towerlens_city::zone::RegionKind;
 use towerlens_mobility::config::SynthConfig;
+use towerlens_pipeline::feature::FeatureSpace;
 use towerlens_trace::time::TraceWindow;
 
 use crate::decompose::Decomposition;
@@ -629,6 +630,169 @@ impl PartialStudyReport {
             representatives,
             decompositions,
         })
+    }
+}
+
+/// Builds the versioned query artifact from study results — the
+/// checkpoint → artifact handoff. The snapshot is self-contained:
+/// labels, spectral features, the frozen basis, stored
+/// decompositions, classification centroids, and per-tower expected
+/// day profiles for screening.
+///
+/// `feature_space` is the configured space (resolved against the
+/// kept-tower count before being recorded); `fingerprint` is the
+/// study's checkpoint fingerprint, carried for provenance.
+///
+/// This is the shared assembly point: [`StudyReport::to_snapshot`],
+/// [`PartialStudyReport::to_snapshot`], and the CLI's analyze path
+/// all feed it, so every writer freezes the basis the same way
+/// (`Decomposer::new`'s construction — the representatives' `f3`
+/// features in pure-pattern order).
+///
+/// # Errors
+/// [`CoreError::NotEnoughData`] when the feature rows do not cover
+/// the kept vectors.
+#[allow(clippy::too_many_arguments)]
+pub fn snapshot_from_parts(
+    window: &TraceWindow,
+    kept_ids: &[usize],
+    vectors: &[Vec<f64>],
+    patterns: &IdentifiedPatterns,
+    kinds: Option<&[RegionKind]>,
+    features: &[TowerFeatures],
+    representatives: Option<[usize; 4]>,
+    decompositions: &[Decomposition],
+    fingerprint: u64,
+    feature_space: FeatureSpace,
+) -> Result<towerlens_artifact::Snapshot, CoreError> {
+    if features.len() != vectors.len() {
+        return Err(CoreError::NotEnoughData {
+            what: "frequency features for snapshot",
+            needed: vectors.len(),
+            got: features.len(),
+        });
+    }
+    // A window whose bin width does not tile a day still snapshots —
+    // the profile section is just empty and `screen` reports that at
+    // query time.
+    let bins_per_day = if window.bin_secs > 0 && 86_400 % window.bin_secs == 0 {
+        (86_400 / window.bin_secs) as usize
+    } else {
+        0
+    };
+    let basis = representatives.map(|reps| towerlens_artifact::BasisSection {
+        representatives: reps,
+        // Same construction as `Decomposer::new`: the representative
+        // towers' f3 features, pure-pattern order — so live query
+        // decompositions solve the exact system the study solved.
+        vertices: [
+            features[reps[0]].f3(),
+            features[reps[1]].f3(),
+            features[reps[2]].f3(),
+            features[reps[3]].f3(),
+        ],
+    });
+    Ok(towerlens_artifact::Snapshot {
+        meta: towerlens_artifact::Meta {
+            fingerprint,
+            window_start_s: window.start_s,
+            bin_secs: window.bin_secs,
+            n_bins: window.n_bins,
+            k: patterns.k,
+            threshold: patterns.threshold,
+            feature_space: match feature_space.resolve(vectors.len()) {
+                FeatureSpace::Raw => "raw".to_string(),
+                _ => "spectral".to_string(),
+            },
+        },
+        tower_ids: kept_ids.iter().map(|&id| id as u64).collect(),
+        labels: patterns
+            .clustering
+            .labels
+            .iter()
+            .map(|&label| label as u32)
+            .collect(),
+        features: features.iter().map(TowerFeatures::f6).collect(),
+        centroids: patterns.centroids.clone(),
+        kinds: kinds.map(|ks| ks.iter().map(|k| k.label().to_string()).collect()),
+        basis,
+        decompositions: decompositions
+            .iter()
+            .map(|d| towerlens_artifact::DecompRow {
+                vector_index: d.vector_index,
+                coefficients: d.coefficients,
+                residual_sqr: d.residual_sqr,
+                ntf_idf: d.ntf_idf,
+            })
+            .collect(),
+        profile: towerlens_artifact::DayProfile::from_vectors(vectors, bins_per_day),
+    })
+}
+
+impl StudyReport {
+    /// Builds the versioned query artifact ([`towerlens_artifact::Snapshot`])
+    /// from a complete study.
+    ///
+    /// # Errors
+    /// [`CoreError::NotEnoughData`] when the feature rows do not
+    /// cover the kept vectors.
+    pub fn to_snapshot(
+        &self,
+        fingerprint: u64,
+        feature_space: FeatureSpace,
+    ) -> Result<towerlens_artifact::Snapshot, CoreError> {
+        snapshot_from_parts(
+            &self.window,
+            &self.kept_ids,
+            &self.vectors,
+            &self.patterns,
+            Some(&self.geo.labels),
+            &self.features,
+            self.representatives,
+            &self.decompositions,
+            fingerprint,
+            feature_space,
+        )
+    }
+}
+
+impl PartialStudyReport {
+    /// Builds the versioned query artifact from a possibly degraded
+    /// study. The frequency stage is required (the snapshot *is* the
+    /// feature index); geo labels, the basis, and stored
+    /// decompositions are included when their stages completed.
+    ///
+    /// # Errors
+    /// [`CoreError::NotEnoughData`] when the frequency stage did not
+    /// complete.
+    pub fn to_snapshot(
+        &self,
+        fingerprint: u64,
+        feature_space: FeatureSpace,
+    ) -> Result<towerlens_artifact::Snapshot, CoreError> {
+        let Some((features, _)) = &self.frequency else {
+            return Err(CoreError::NotEnoughData {
+                what: "frequency features for snapshot",
+                needed: self.vectors.len(),
+                got: 0,
+            });
+        };
+        let (representatives, decompositions) = match &self.decomposition {
+            Some((reps, rows)) => (*reps, rows.as_slice()),
+            None => (None, &[] as &[Decomposition]),
+        };
+        snapshot_from_parts(
+            &self.window,
+            &self.kept_ids,
+            &self.vectors,
+            &self.patterns,
+            self.geo.as_ref().map(|g| g.labels.as_slice()),
+            features,
+            representatives,
+            decompositions,
+            fingerprint,
+            feature_space,
+        )
     }
 }
 

@@ -4,25 +4,31 @@
 //! (or `towerlens-cli analyze`) discovers the city's traffic patterns
 //! once, and `serve` classifies live towers against those **frozen
 //! centroids** by nearest-centroid assignment in z-scored feature
-//! space. The basis file is the analyze graph's `cluster.ckpt`
-//! checkpoint verbatim — same magic, same body codec — so a batch run
-//! and a streaming run literally share the artifact.
+//! space. Two basis formats are accepted, sniffed by magic bytes:
+//! the versioned query artifact (`analyze --snapshot` /
+//! `study --snapshot` — the preferred, checksummed form) and the
+//! legacy `cluster.ckpt` checkpoint the analyze graph writes, so a
+//! batch run and a streaming run literally share the artifact.
 
 use std::path::Path;
 
 use towerlens_core::engine::checkpoint::BodyReader;
 use towerlens_core::engine::{decode_patterns, fsck_file};
-use towerlens_core::identifier::IdentifiedPatterns;
 
 use crate::error::{io_err, ServeError};
 
-/// A frozen classification basis: the batch-study patterns plus the
+/// A frozen classification basis: the batch centroids plus the
 /// provenance `doctor` and the report print.
 #[derive(Debug, Clone)]
 pub struct Basis {
-    /// The decoded batch patterns (centroids in z-scored space).
-    pub patterns: IdentifiedPatterns,
-    /// The stage name recorded in the checkpoint header.
+    /// The frozen batch centroids (in z-scored space).
+    pub centroids: Vec<Vec<f64>>,
+    /// The number of patterns the batch run settled on.
+    pub k: usize,
+    /// The dendrogram cut threshold the batch run used.
+    pub threshold: f64,
+    /// Provenance: the checkpoint's stage name, or `artifact` for a
+    /// versioned query artifact.
     pub stage: String,
     /// The configuration fingerprint the basis was written under.
     pub fingerprint: u64,
@@ -31,40 +37,60 @@ pub struct Basis {
 impl Basis {
     /// Feature dimensionality of the centroids (0 when empty).
     pub fn dims(&self) -> usize {
-        self.patterns.centroids.first().map_or(0, Vec::len)
+        self.centroids.first().map_or(0, Vec::len)
     }
 }
 
-/// Loads a basis checkpoint: structural fsck first (checksum, line
-/// count, `end` sentinel), then the patterns decode.
+/// Loads a basis file, sniffing the format from its magic bytes: a
+/// versioned query artifact decodes through the checksummed section
+/// codec; anything else takes the legacy checkpoint path (structural
+/// fsck, then the patterns decode).
 ///
 /// # Errors
-/// [`ServeError::Snapshot`] when the file fails fsck,
-/// [`ServeError::Config`] when the body is not a patterns artifact.
+/// [`ServeError::Snapshot`] when a checkpoint fails fsck,
+/// [`ServeError::Config`] when the body does not decode or carries no
+/// centroids.
 pub fn load_basis(path: &Path) -> Result<Basis, ServeError> {
-    let info = fsck_file(path, None)?;
-    let text = std::fs::read_to_string(path).map_err(|e| io_err(path, e))?;
-    let mut reader = BodyReader::new(&text, 0);
-    // Skip the verified header: magic, stage, fingerprint, card
-    // count, the card lines, data marker, checksum.
-    for _ in 0..6 + info.cards.len() {
-        reader
-            .line()
-            .map_err(|e| ServeError::Config(format!("basis header: {e}")))?;
-    }
-    let patterns = decode_patterns(&mut reader)
-        .map_err(|e| ServeError::Config(format!("basis {}: {e}", path.display())))?;
-    if patterns.centroids.is_empty() {
+    let bytes = std::fs::read(path).map_err(|e| io_err(path, e))?;
+    let basis = if towerlens_artifact::sniff_magic(&bytes) {
+        let snap = towerlens_artifact::Snapshot::decode(&bytes)
+            .map_err(|e| ServeError::Config(format!("basis {}: {e}", path.display())))?;
+        Basis {
+            centroids: snap.centroids,
+            k: snap.meta.k,
+            threshold: snap.meta.threshold,
+            stage: "artifact".to_string(),
+            fingerprint: snap.meta.fingerprint,
+        }
+    } else {
+        let info = fsck_file(path, None)?;
+        let text = String::from_utf8(bytes)
+            .map_err(|e| ServeError::Config(format!("basis {}: {e}", path.display())))?;
+        let mut reader = BodyReader::new(&text, 0);
+        // Skip the verified header: magic, stage, fingerprint, card
+        // count, the card lines, data marker, checksum.
+        for _ in 0..6 + info.cards.len() {
+            reader
+                .line()
+                .map_err(|e| ServeError::Config(format!("basis header: {e}")))?;
+        }
+        let patterns = decode_patterns(&mut reader)
+            .map_err(|e| ServeError::Config(format!("basis {}: {e}", path.display())))?;
+        Basis {
+            centroids: patterns.centroids,
+            k: patterns.k,
+            threshold: patterns.threshold,
+            stage: info.stage,
+            fingerprint: info.fingerprint,
+        }
+    };
+    if basis.centroids.is_empty() {
         return Err(ServeError::Config(format!(
             "basis {}: no centroids",
             path.display()
         )));
     }
-    Ok(Basis {
-        patterns,
-        stage: info.stage,
-        fingerprint: info.fingerprint,
-    })
+    Ok(basis)
 }
 
 /// Assigns each z-scored vector to its nearest centroid (squared
@@ -88,7 +114,7 @@ pub fn classify(vectors: &[Vec<f64>], basis: &Basis) -> Result<Vec<usize>, Serve
         }
         let mut best = 0usize;
         let mut best_d = f64::INFINITY;
-        for (i, c) in basis.patterns.centroids.iter().enumerate() {
+        for (i, c) in basis.centroids.iter().enumerate() {
             let d: f64 = v.iter().zip(c).map(|(a, b)| (a - b) * (a - b)).sum();
             if d < best_d {
                 best_d = d;
@@ -103,20 +129,12 @@ pub fn classify(vectors: &[Vec<f64>], basis: &Basis) -> Result<Vec<usize>, Serve
 #[cfg(test)]
 mod tests {
     use super::*;
-    use towerlens_core::identifier::PatternIdentifier;
 
-    /// Builds a real [`IdentifiedPatterns`] via the batch identifier,
-    /// then pins the centroids to the given set (the other fields are
-    /// irrelevant to classification).
     fn basis_of(centroids: Vec<Vec<f64>>) -> Basis {
-        let dims = centroids[0].len();
-        let seed: Vec<Vec<f64>> = (0..4)
-            .map(|i| (0..dims).map(|d| (i * dims + d) as f64).collect())
-            .collect();
-        let mut patterns = PatternIdentifier::default().identify(&seed).unwrap();
-        patterns.centroids = centroids;
         Basis {
-            patterns,
+            k: centroids.len(),
+            centroids,
+            threshold: 0.0,
             stage: "cluster".into(),
             fingerprint: 0,
         }
@@ -142,5 +160,34 @@ mod tests {
         let basis = basis_of(vec![vec![0.0, 0.0]]);
         let err = classify(&[vec![1.0, 2.0, 3.0]], &basis).unwrap_err();
         assert!(matches!(err, ServeError::Config(_)));
+    }
+
+    #[test]
+    fn load_basis_sniffs_the_artifact_format() {
+        let dir = std::env::temp_dir().join("towerlens-basis-artifact");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap = towerlens_artifact::format::sample_snapshot();
+        let path = dir.join("study.artifact");
+        towerlens_artifact::write_snapshot(&path, &snap).unwrap();
+        let basis = load_basis(&path).unwrap();
+        assert_eq!(basis.stage, "artifact");
+        assert_eq!(basis.fingerprint, snap.meta.fingerprint);
+        assert_eq!(basis.k, snap.meta.k);
+        assert_eq!(basis.centroids, snap.centroids);
+        assert_eq!(basis.dims(), 8);
+
+        // A corrupted artifact is rejected with a typed error, not
+        // classified against silently.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        let bad = dir.join("bad.artifact");
+        std::fs::write(&bad, &bytes).unwrap();
+        assert!(matches!(
+            load_basis(&bad).unwrap_err(),
+            ServeError::Config(_)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

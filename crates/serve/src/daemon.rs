@@ -445,7 +445,7 @@ fn run_shard(
 /// mismatches are skipped (the drain report surfaces the latter as a
 /// hard error).
 fn online_class_counts(towers: &BTreeMap<u32, TowerState>, basis: &Basis) -> Vec<u64> {
-    let mut counts = vec![0u64; basis.patterns.centroids.len()];
+    let mut counts = vec![0u64; basis.centroids.len()];
     for tower in towers.values() {
         let (mean, std) = tower.zscore_moments();
         let traffic = tower.traffic();
@@ -859,11 +859,8 @@ fn analyze(
     if records.is_empty() {
         report.pattern_note = Some("no records".to_string());
         if let Some(b) = basis {
-            report.basis_classes = Some((
-                b.stage.clone(),
-                b.fingerprint,
-                vec![0; b.patterns.centroids.len()],
-            ));
+            report.basis_classes =
+                Some((b.stage.clone(), b.fingerprint, vec![0; b.centroids.len()]));
         }
         return Ok(report);
     }
@@ -904,7 +901,7 @@ fn analyze(
 
     if let Some(b) = basis {
         let labels = classify(&vect.normalized.vectors, b)?;
-        let mut classes = vec![0usize; b.patterns.centroids.len()];
+        let mut classes = vec![0usize; b.centroids.len()];
         for l in labels {
             classes[l] += 1;
         }

@@ -79,6 +79,77 @@ fn segment_indices(wal_dir: &Path) -> Result<Vec<u64>, ServeError> {
     Ok(indices)
 }
 
+/// True when a body line is a well-formed entry or seal on its own:
+/// an `r` entry whose checksum verifies, or a structurally complete
+/// seal footer. Anything else on a segment's final line is the torn
+/// remnant of a crash-interrupted write. (A seal's hash is *not*
+/// verified here — a complete seal with a wrong hash is corruption,
+/// which repair must leave for replay to report.)
+fn line_is_wellformed(raw: &str) -> bool {
+    if let Some(rest) = raw.strip_prefix("r ") {
+        let mut parts = rest.splitn(3, ' ');
+        let parsed = (|| {
+            let seq = parts.next()?.parse::<u64>().ok()?;
+            let checksum = u64::from_str_radix(parts.next()?, 16).ok()?;
+            let line = parts.next()?;
+            Some(entry_checksum(seq, line) == checksum)
+        })();
+        return parsed.unwrap_or(false);
+    }
+    if let Some(rest) = raw.strip_prefix("seal ") {
+        let mut fields = rest.split(' ');
+        let declared = fields.next().and_then(|s| s.parse::<u64>().ok());
+        let hash = fields.next().and_then(|s| u64::from_str_radix(s, 16).ok());
+        return matches!((declared, hash, fields.next()), (Some(_), Some(_), None));
+    }
+    false
+}
+
+/// Truncates the torn final write of segment `index`, if there is
+/// one: a trailing line that is neither a checksum-valid entry nor a
+/// complete seal footer is dropped (it was never acknowledged), and a
+/// file torn before its header ever landed is removed outright so the
+/// index is reused. Damage this cannot explain — a bad line that is
+/// not the final one, a seal-hash mismatch — is left untouched for
+/// replay to report. The rewrite goes through the temp + fsync +
+/// rename discipline.
+fn repair_torn_tail(wal_dir: &Path, index: u64) -> Result<(), ServeError> {
+    let path = segment_path(wal_dir, index);
+    let text = std::fs::read_to_string(&path).map_err(|e| io_err(&path, e))?;
+    let lines: Vec<&str> = text.split('\n').collect();
+    let lines: &[&str] = match lines.split_last() {
+        Some((&"", rest)) => rest,
+        _ => &lines,
+    };
+    let header_ok = lines
+        .first()
+        .is_some_and(|h| *h == format!("{WAL_MAGIC} {index}"));
+    if !header_ok {
+        // A torn header can only be the crash-interrupted first
+        // write; with any body present this is real corruption.
+        if lines.len() <= 1 {
+            std::fs::remove_file(&path).map_err(|e| io_err(&path, e))?;
+        }
+        return Ok(());
+    }
+    let torn = lines.len() > 1 && !line_is_wellformed(lines[lines.len() - 1]);
+    if !torn {
+        return Ok(());
+    }
+    let mut kept = lines[..lines.len() - 1].join("\n");
+    kept.push('\n');
+    let tmp = wal_dir.join(format!("seg-{index:08}.repair"));
+    std::fs::write(&tmp, &kept).map_err(|e| io_err(&tmp, e))?;
+    std::fs::File::open(&tmp)
+        .and_then(|f| f.sync_all())
+        .map_err(|e| io_err(&tmp, e))?;
+    std::fs::rename(&tmp, &path).map_err(|e| io_err(&path, e))?;
+    if let Ok(d) = std::fs::File::open(wal_dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
 /// The appending side of the WAL.
 ///
 /// Writes are buffered; [`WalWriter::sync`] flushes and fsyncs, and
@@ -103,6 +174,16 @@ impl WalWriter {
     /// [`ServeError::Io`] on directory failures.
     pub fn open(wal_dir: &Path) -> Result<Self, ServeError> {
         std::fs::create_dir_all(wal_dir).map_err(|e| io_err(wal_dir, e))?;
+        let indices = segment_indices(wal_dir)?;
+        // Replay tolerates a torn final write only while its segment
+        // is the *last* one. This writer is about to start a newer
+        // segment, so the tear must be repaired now — truncating it is
+        // safe by the ack contract (a torn line was never
+        // acknowledged), and leaving it would make every later replay
+        // reject the directory.
+        if let Some(&last) = indices.last() {
+            repair_torn_tail(wal_dir, last)?;
+        }
         let next = segment_indices(wal_dir)?
             .last()
             .map(|&i| i + 1)

@@ -79,6 +79,46 @@ cmp "$serve_tmp/serve-clean.out" "$serve_tmp/serve-chaos.out" \
     || { echo "doctor found damage in the chaos data dir"; exit 1; }
 echo "serve chaos replay bit-identical; WAL and snapshots fsck clean"
 
+echo "== query smoke: artifact snapshot, t1-vs-t4 batch, corruption fsck =="
+# The query contract, end to end through the real binary: a seeded
+# study writes the versioned artifact, a 500-request mixed batch
+# (including deliberately bad lines) renders byte-identical stdout at
+# --threads 1 and 4, and after one byte of the artifact is flipped
+# the doctor must notice and exit nonzero.
+query_tmp="$(mktemp -d)"
+trap 'rm -rf "$query_tmp" "$serve_tmp" "$thr_tmp"' EXIT
+./target/release/towerlens-cli study --scale tiny --seed 42 \
+    --snapshot "$query_tmp/study.artifact" > /dev/null
+awk 'BEGIN {
+    for (i = 0; i < 500; i++) {
+        id = i % 120; m = i % 5;
+        if (m <= 1)      print "pattern", id;
+        else if (m == 2) print "topk", id, 5;
+        else if (m == 3) print "decompose", id;
+        else             print "pattern", 99999;
+    }
+}' > "$query_tmp/requests.txt"
+for threads in 1 4; do
+    ./target/release/towerlens-cli query --snapshot "$query_tmp/study.artifact" \
+        --stdin --threads "$threads" \
+        < "$query_tmp/requests.txt" > "$query_tmp/answers-t$threads.out"
+done
+cmp "$query_tmp/answers-t1.out" "$query_tmp/answers-t4.out" \
+    || { echo "query batch differs between --threads 1 and --threads 4"; exit 1; }
+[ "$(wc -l < "$query_tmp/answers-t1.out")" -eq 500 ] \
+    || { echo "query batch did not answer all 500 requests"; exit 1; }
+./target/release/towerlens-cli doctor --dir "$query_tmp" > /dev/null \
+    || { echo "doctor rejected an intact artifact"; exit 1; }
+last=$(( $(wc -c < "$query_tmp/study.artifact") - 1 ))
+orig=$(dd if="$query_tmp/study.artifact" bs=1 skip="$last" count=1 2> /dev/null \
+    | od -An -tu1 | tr -d ' ')
+printf "\\$(printf '%03o' $(( (orig + 1) % 256 )))" \
+    | dd of="$query_tmp/study.artifact" bs=1 seek="$last" conv=notrunc 2> /dev/null
+if ./target/release/towerlens-cli doctor --dir "$query_tmp" > /dev/null; then
+    echo "doctor missed a flipped artifact byte"; exit 1
+fi
+echo "query batch bit-identical at --threads 1 and 4; corruption caught"
+
 echo "== bench smoke + schema validation + baseline comparison =="
 # One tiny workload through the real bench harness at both thread
 # settings, the schema gate over both smoke outputs and the committed
@@ -86,7 +126,7 @@ echo "== bench smoke + schema validation + baseline comparison =="
 # a stage the committed baseline has never seen (medians compare only
 # at matching sizes, so the 20-tower smoke checks the stage set).
 bench_tmp="$(mktemp -d)"
-trap 'rm -rf "$bench_tmp" "$serve_tmp" "$thr_tmp"' EXIT
+trap 'rm -rf "$bench_tmp" "$query_tmp" "$serve_tmp" "$thr_tmp"' EXIT
 for threads in 1 4; do
     cargo run --release -q -p towerlens-bench --bin bench -- \
         --sizes 20 --repeats 1 --seed 42 --threads "$threads" \
