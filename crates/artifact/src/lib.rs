@@ -22,15 +22,22 @@
 //!   that fans requests over `towerlens-par` workers and renders
 //!   input-order, thread-count-invariant output plus exact `query.*`
 //!   counters.
+//! * [`store`] — the generation store behind hot reload: `serve`
+//!   publishes immutable `gen-N.artifact` files plus an atomic
+//!   `CURRENT` pointer, and `query --watch` follows the pointer with
+//!   a last-good fallback, never serving bytes that fail their
+//!   checksums.
 //!
 //! The byte layout and compatibility policy are specified in
-//! DESIGN.md §14.
+//! DESIGN.md §14; the overload and degraded-mode policy (admission
+//! budgets, virtual-cost deadlines, generation publishing) in §15.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod format;
 pub mod query;
+pub mod store;
 
 pub use format::{
     fnv1a64, fsck_artifact, read_snapshot, sniff_magic, write_snapshot, ArtifactError,
@@ -39,5 +46,10 @@ pub use format::{
 };
 pub use query::{
     parse_request, read_day_file, render_decompose, render_pattern, render_screen, render_topk,
-    run_batch, run_one, BatchTally, QueryIndex, Request, ScreenVerdict,
+    request_cost, run_batch, run_batch_with, run_one, run_one_with, BatchTally, QueryFault,
+    QueryIndex, QueryPolicy, Request, ScreenVerdict, DECOMPOSE_SOLVE_UNITS,
+};
+pub use store::{
+    generation_name, list_generations, parse_generation_name, read_current, resolve_latest,
+    PublishKill, PublishStage, Publisher, Resolved, Watcher, CURRENT_POINTER,
 };

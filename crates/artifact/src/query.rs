@@ -23,11 +23,13 @@
 
 use std::collections::HashMap;
 use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
 
 use towerlens_cluster::source::{top_k_nearest, FeatureView};
 use towerlens_obs::LazyCounter;
 use towerlens_opt::{simplex_least_squares, SimplexLsOptions, Solver};
-use towerlens_par::par_map_indexed_tally;
+use towerlens_par::{par_map_indexed_tally, resolve_threads};
 
 use crate::format::Snapshot;
 
@@ -37,6 +39,9 @@ static QUERY_DECOMPOSE: LazyCounter = LazyCounter::new("query.decompose");
 static QUERY_TOPK: LazyCounter = LazyCounter::new("query.topk");
 static QUERY_SCREEN: LazyCounter = LazyCounter::new("query.screen");
 static QUERY_ERRORS: LazyCounter = LazyCounter::new("query.errors");
+static QUERY_SHED: LazyCounter = LazyCounter::new("query.shed_total");
+static QUERY_DEADLINE: LazyCounter = LazyCounter::new("query.deadline_exceeded_total");
+static QUERY_FAULT_RETRIES: LazyCounter = LazyCounter::new("query.fault_retries_total");
 
 /// Per-bin |z| above this marks an exceedance; any exceedance marks
 /// the day anomalous (the classic 3σ rule).
@@ -122,6 +127,160 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         return Err(format!("trailing argument `{extra}`"));
     }
     Ok(req)
+}
+
+// ---------------------------------------------------- virtual-cost model
+
+/// Virtual-cost units charged for a live `decompose` solve: one unit
+/// of lookup plus the 2⁴−1 = 15 candidate supports the active-set
+/// solver enumerates over the four basis vertices. A constant because
+/// [`simplex_least_squares`] enumerates every support unconditionally
+/// — the solve's work does not depend on the input.
+pub const DECOMPOSE_SOLVE_UNITS: u64 = 16;
+
+/// The estimated virtual cost of one request, in deterministic work
+/// units (towers scanned, profile bins compared, solver support
+/// enumerations). The unit is *not* wall-clock time: the same request
+/// against the same snapshot always costs the same number of units,
+/// so admission and deadline decisions are byte-identical at any
+/// `--threads`.
+///
+/// * `pattern` — 1 (one hash lookup);
+/// * `decompose` — 1 for a stored study row, [`DECOMPOSE_SOLVE_UNITS`]
+///   for a live solve;
+/// * `topk` — one unit per tower scanned (the matrix-free scan always
+///   visits every tower);
+/// * `screen` — one unit per profile bin compared.
+///
+/// Malformed or unknown-tower requests are charged the flat lookup
+/// cost of 1 so they surface as ordinary errors, never as shed.
+#[must_use]
+pub fn request_cost(index: &QueryIndex, request: &Request) -> u64 {
+    match request {
+        Request::Pattern(_) => 1,
+        Request::Decompose(id) => {
+            let stored = index
+                .by_id
+                .get(id)
+                .is_some_and(|idx| index.decomp_by_index.contains_key(idx));
+            if stored {
+                1
+            } else {
+                DECOMPOSE_SOLVE_UNITS
+            }
+        }
+        Request::Topk(..) => index.n_towers().max(1) as u64,
+        Request::Screen(..) => index.snapshot.profile.bins_per_day.max(1) as u64,
+    }
+}
+
+/// A seeded fault plan for the query path, parsed from the
+/// [`QueryFault::ENV`] environment variable. Grammar:
+/// `cost*<k>` multiplies every request's *consumed* cost (driving the
+/// deadline clock without changing the admission estimate);
+/// `transient:<n>` makes the first `n` requests of every worker chunk
+/// fail transiently once, to be retried under the caller's
+/// [`QueryPolicy::retries`]. Parts combine with `;`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryFault {
+    /// Consumed-cost multiplier (`cost*<k>`, `1` = off).
+    pub cost_multiplier: u64,
+    /// Injected transient failures at the head of every worker chunk
+    /// (`transient:<n>`, `0` = off).
+    pub transient_per_chunk: u64,
+}
+
+impl Default for QueryFault {
+    fn default() -> QueryFault {
+        QueryFault {
+            cost_multiplier: 1,
+            transient_per_chunk: 0,
+        }
+    }
+}
+
+impl QueryFault {
+    /// The environment variable the CLI reads the fault spec from.
+    pub const ENV: &'static str = "TOWERLENS_FAULT_QUERY";
+
+    /// Parses a fault spec such as `cost*20`, `transient:2`, or
+    /// `cost*20;transient:2`.
+    ///
+    /// # Errors
+    /// A message naming [`QueryFault::ENV`] and the malformed part.
+    pub fn parse(spec: &str) -> Result<QueryFault, String> {
+        let mut fault = QueryFault::default();
+        for part in spec.split(';').map(str::trim).filter(|p| !p.is_empty()) {
+            if let Some(k) = part.strip_prefix("cost*") {
+                fault.cost_multiplier = k.parse().ok().filter(|&m| m >= 1).ok_or_else(|| {
+                    format!("{}: bad cost multiplier `{k}` in `{spec}`", Self::ENV)
+                })?;
+            } else if let Some(n) = part.strip_prefix("transient:") {
+                fault.transient_per_chunk = n
+                    .parse()
+                    .map_err(|_| format!("{}: bad transient count `{n}` in `{spec}`", Self::ENV))?;
+            } else {
+                return Err(format!(
+                    "{}: unknown fault `{part}` in `{spec}` \
+                     (expected `cost*<k>` or `transient:<n>`, `;`-separated)",
+                    Self::ENV
+                ));
+            }
+        }
+        Ok(fault)
+    }
+
+    /// Reads and parses [`QueryFault::ENV`]; `Ok(None)` when unset.
+    ///
+    /// # Errors
+    /// The parse error for a set-but-malformed spec.
+    pub fn from_env() -> Result<Option<QueryFault>, String> {
+        match std::env::var(Self::ENV) {
+            Ok(spec) => QueryFault::parse(&spec).map(Some),
+            Err(_) => Ok(None),
+        }
+    }
+}
+
+/// How a batch runs under pressure: worker count, admission budget,
+/// deadline clock, and the seeded fault plan with its retry budget.
+/// [`QueryPolicy::default`] is the fair-weather configuration every
+/// pre-existing entry point keeps: no budget, no deadline, no faults.
+#[derive(Clone, Default)]
+pub struct QueryPolicy {
+    /// Worker threads (`0` = all available cores).
+    pub threads: usize,
+    /// Admission cap: a request whose *estimated* cost exceeds this
+    /// is shed with a typed `overloaded` error line before any work
+    /// is done (`None` = admit everything). A request whose cost
+    /// exactly equals the budget is admitted.
+    pub request_budget: Option<u64>,
+    /// Deadline clock: a request whose *consumed* cost (estimate ×
+    /// fault cost-multiplier) exceeds this is answered with a typed
+    /// `deadline` error line (`None` = no deadline). Without a fault
+    /// plan consumed equals estimated, so a budget-admitted request
+    /// can only miss its deadline under injected cost inflation.
+    pub deadline_units: Option<u64>,
+    /// Transient-fault retries per request before giving up.
+    pub retries: u32,
+    /// Seeded fault plan (normally [`QueryFault::from_env`]).
+    pub fault: Option<QueryFault>,
+    /// Backoff between fault retries — the CLI wires the engine
+    /// `RetryPolicy` delay schedule here; `None` retries immediately.
+    pub delay: Option<Arc<dyn Fn(u32) -> Duration + Send + Sync>>,
+}
+
+impl std::fmt::Debug for QueryPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryPolicy")
+            .field("threads", &self.threads)
+            .field("request_budget", &self.request_budget)
+            .field("deadline_units", &self.deadline_units)
+            .field("retries", &self.retries)
+            .field("fault", &self.fault)
+            .field("delay", &self.delay.as_ref().map(|_| "<fn>"))
+            .finish()
+    }
 }
 
 /// The memory-resident index over one snapshot.
@@ -370,8 +529,20 @@ pub struct BatchTally {
     pub topk: u64,
     /// Answered `screen` requests.
     pub screen: u64,
-    /// Requests that produced an `error:` line.
+    /// Requests that produced an `error:` line (parse failures,
+    /// unknown towers, solver/IO failures, exhausted fault retries —
+    /// *not* shed or deadline-exceeded requests, which have their own
+    /// fields so `requests = pattern + decompose + topk + screen +
+    /// errors + shed + deadline_exceeded` always holds).
     pub errors: u64,
+    /// Requests shed by the admission budget (`overloaded` lines).
+    pub shed: u64,
+    /// Requests past the virtual-cost deadline (`deadline` lines).
+    pub deadline_exceeded: u64,
+    /// Injected transient faults ridden through via retry. Unlike
+    /// every other field this one depends on worker-chunk geometry,
+    /// so it is the only tally that may differ across `--threads`.
+    pub fault_retries: u64,
 }
 
 const SLOT_REQUESTS: usize = 0;
@@ -380,7 +551,10 @@ const SLOT_DECOMPOSE: usize = 2;
 const SLOT_TOPK: usize = 3;
 const SLOT_SCREEN: usize = 4;
 const SLOT_ERRORS: usize = 5;
-const SLOTS: usize = 6;
+const SLOT_SHED: usize = 6;
+const SLOT_DEADLINE: usize = 7;
+const SLOT_FAULT_RETRIES: usize = 8;
+const SLOTS: usize = 9;
 
 fn answer(index: &QueryIndex, request: &Request) -> Result<String, String> {
     match request {
@@ -415,23 +589,73 @@ pub fn read_day_file(path: &Path) -> Result<Vec<f64>, String> {
         .collect()
 }
 
-fn answer_counted(index: &QueryIndex, line: &str, tally: &mut [u64]) -> Result<String, String> {
+/// The full admission → deadline → fault → answer path for one
+/// request. `chunk_pos` is the request's position inside its worker's
+/// contiguous chunk — only the transient-fault injector looks at it,
+/// so every *decision* (shed, deadline, answer bytes) is independent
+/// of chunking and therefore of the thread count.
+fn answer_counted(
+    index: &QueryIndex,
+    chunk_pos: usize,
+    line: &str,
+    policy: &QueryPolicy,
+    tally: &mut [u64],
+) -> Result<String, String> {
     tally[SLOT_REQUESTS] += 1;
-    let outcome = parse_request(line).and_then(|request| {
-        let slot = match request {
-            Request::Pattern(_) => SLOT_PATTERN,
-            Request::Decompose(_) => SLOT_DECOMPOSE,
-            Request::Topk(..) => SLOT_TOPK,
-            Request::Screen(..) => SLOT_SCREEN,
-        };
-        let line = answer(index, &request)?;
-        tally[slot] += 1;
-        Ok(line)
-    });
-    if outcome.is_err() {
-        tally[SLOT_ERRORS] += 1;
+    let request = match parse_request(line) {
+        Ok(request) => request,
+        Err(message) => {
+            tally[SLOT_ERRORS] += 1;
+            return Err(message);
+        }
+    };
+    let fault = policy.fault.unwrap_or_default();
+    let cost = request_cost(index, &request);
+    if let Some(budget) = policy.request_budget {
+        if cost > budget {
+            tally[SLOT_SHED] += 1;
+            return Err(format!(
+                "overloaded: request cost {cost} exceeds budget {budget}"
+            ));
+        }
     }
-    outcome
+    let consumed = cost.saturating_mul(fault.cost_multiplier.max(1));
+    if let Some(deadline) = policy.deadline_units {
+        if consumed > deadline {
+            tally[SLOT_DEADLINE] += 1;
+            return Err(format!(
+                "deadline: request consumed {consumed} units, deadline is {deadline}"
+            ));
+        }
+    }
+    if (chunk_pos as u64) < fault.transient_per_chunk {
+        // One injected transient failure; the first retry rides
+        // through, so the answer bytes match the fault-free run.
+        if policy.retries == 0 {
+            tally[SLOT_ERRORS] += 1;
+            return Err("transient query fault injected (no retries left)".to_string());
+        }
+        tally[SLOT_FAULT_RETRIES] += 1;
+        if let Some(delay) = &policy.delay {
+            std::thread::sleep(delay(1));
+        }
+    }
+    let slot = match request {
+        Request::Pattern(_) => SLOT_PATTERN,
+        Request::Decompose(_) => SLOT_DECOMPOSE,
+        Request::Topk(..) => SLOT_TOPK,
+        Request::Screen(..) => SLOT_SCREEN,
+    };
+    match answer(index, &request) {
+        Ok(text) => {
+            tally[slot] += 1;
+            Ok(text)
+        }
+        Err(message) => {
+            tally[SLOT_ERRORS] += 1;
+            Err(message)
+        }
+    }
 }
 
 fn publish(tally: &BatchTally) {
@@ -441,16 +665,33 @@ fn publish(tally: &BatchTally) {
     QUERY_TOPK.add(tally.topk);
     QUERY_SCREEN.add(tally.screen);
     QUERY_ERRORS.add(tally.errors);
+    QUERY_SHED.add(tally.shed);
+    QUERY_DEADLINE.add(tally.deadline_exceeded);
+    QUERY_FAULT_RETRIES.add(tally.fault_retries);
 }
 
-/// Answers one request, publishing its `query.*` counters. Used by
-/// the CLI's one-shot mode.
+/// Answers one request with the default (fair-weather) policy,
+/// publishing its `query.*` counters. Used by the CLI's one-shot
+/// mode.
 ///
 /// # Errors
 /// The request's error message (also counted under `query.errors`).
 pub fn run_one(index: &QueryIndex, line: &str) -> Result<String, String> {
+    run_one_with(index, line, &QueryPolicy::default())
+}
+
+/// [`run_one`] under an explicit [`QueryPolicy`]. The request is
+/// treated as the head of a single-item chunk for fault injection.
+///
+/// # Errors
+/// The request's error, shed, or deadline message.
+pub fn run_one_with(
+    index: &QueryIndex,
+    line: &str,
+    policy: &QueryPolicy,
+) -> Result<String, String> {
     let mut slots = [0u64; SLOTS];
-    let outcome = answer_counted(index, line, &mut slots);
+    let outcome = answer_counted(index, 0, line, policy, &mut slots);
     publish(&tally_of(&slots));
     outcome
 }
@@ -463,26 +704,59 @@ fn tally_of(slots: &[u64]) -> BatchTally {
         topk: slots[SLOT_TOPK],
         screen: slots[SLOT_SCREEN],
         errors: slots[SLOT_ERRORS],
+        shed: slots[SLOT_SHED],
+        deadline_exceeded: slots[SLOT_DEADLINE],
+        fault_retries: slots[SLOT_FAULT_RETRIES],
     }
 }
 
-/// Answers a batch of request lines across `threads` workers
-/// (`0` = all available cores). Output `lines[i]` answers input
-/// `lines[i]` — failed requests yield `error: <message>` lines in
-/// place — and the bytes are identical for any thread count. The
-/// merged tally is published to the `query.*` counters exactly once.
+/// Answers a batch of request lines across `threads` workers with the
+/// default (fair-weather) policy (`0` = all available cores). Output
+/// `lines[i]` answers input `lines[i]` — failed requests yield
+/// `error: <message>` lines in place — and the bytes are identical
+/// for any thread count. The merged tally is published to the
+/// `query.*` counters exactly once.
 #[must_use]
 pub fn run_batch(
     index: &QueryIndex,
     lines: &[String],
     threads: usize,
 ) -> (Vec<String>, BatchTally) {
+    run_batch_with(
+        index,
+        lines,
+        &QueryPolicy {
+            threads,
+            ..QueryPolicy::default()
+        },
+    )
+}
+
+/// [`run_batch`] under an explicit [`QueryPolicy`]: admission budget,
+/// virtual-cost deadline, and the seeded fault plan. Shed and
+/// deadline decisions depend only on each request's cost against the
+/// snapshot — never on chunking — so stdout and every tally except
+/// `fault_retries` are byte-identical at any thread count.
+#[must_use]
+pub fn run_batch_with(
+    index: &QueryIndex,
+    lines: &[String],
+    policy: &QueryPolicy,
+) -> (Vec<String>, BatchTally) {
+    // Mirror par_map_indexed_tally's chunk geometry so the fault
+    // injector can tell where each worker's chunk starts.
+    let workers = resolve_threads(policy.threads).min(lines.len().max(1));
+    let chunk = if workers <= 1 {
+        lines.len().max(1)
+    } else {
+        lines.len().div_ceil(workers)
+    };
     let (out, slots) =
         par_map_indexed_tally(
             lines,
-            threads,
+            policy.threads,
             SLOTS,
-            |_, line, tally| match answer_counted(index, line, tally) {
+            |i, line, tally| match answer_counted(index, i % chunk, line, policy, tally) {
                 Ok(answer) => answer,
                 Err(message) => format!("error: {message}"),
             },
@@ -625,6 +899,154 @@ mod tests {
         assert!(out[1].starts_with("error: unknown tower 999"));
         assert_eq!(tally.errors, 1);
         assert_eq!(tally.requests, 2);
+    }
+
+    #[test]
+    fn request_costs_follow_the_virtual_cost_model() {
+        let index = QueryIndex::new(snapshot(6));
+        assert_eq!(request_cost(&index, &Request::Pattern(0)), 1);
+        // Tower 0 has a stored decomposition row; tower 10 solves live.
+        assert_eq!(request_cost(&index, &Request::Decompose(0)), 1);
+        assert_eq!(
+            request_cost(&index, &Request::Decompose(10)),
+            DECOMPOSE_SOLVE_UNITS
+        );
+        // topk scans every tower; screen compares every profile bin.
+        assert_eq!(request_cost(&index, &Request::Topk(0, 3)), 6);
+        assert_eq!(
+            request_cost(&index, &Request::Screen(0, "day.txt".into())),
+            4
+        );
+    }
+
+    #[test]
+    fn budget_equal_to_cost_admits_and_one_below_sheds() {
+        let index = QueryIndex::new(snapshot(6));
+        let admit = QueryPolicy {
+            request_budget: Some(6),
+            ..QueryPolicy::default()
+        };
+        assert!(run_one_with(&index, "topk 0 2", &admit)
+            .unwrap()
+            .starts_with("topk 0 "));
+        let shed = QueryPolicy {
+            request_budget: Some(5),
+            ..QueryPolicy::default()
+        };
+        let err = run_one_with(&index, "topk 0 2", &shed).unwrap_err();
+        assert_eq!(err, "overloaded: request cost 6 exceeds budget 5");
+    }
+
+    #[test]
+    fn shed_lines_stay_in_input_order_and_tallies_are_thread_invariant() {
+        let index = QueryIndex::new(snapshot(8));
+        let lines: Vec<String> = (0..64)
+            .map(|i| match i % 4 {
+                0 => format!("topk {} 3", (i % 8) * 10),
+                1 => format!("decompose {}", if i % 8 == 5 { 10 } else { 0 }),
+                _ => format!("pattern {}", (i % 8) * 10),
+            })
+            .collect();
+        // Budget 3 sheds topk (cost 8) and live decompose (cost 16)
+        // but admits pattern (1) and the stored row for tower 0 (1).
+        let policy = |threads| QueryPolicy {
+            threads,
+            request_budget: Some(3),
+            ..QueryPolicy::default()
+        };
+        let (seq, seq_tally) = run_batch_with(&index, &lines, &policy(1));
+        for (i, line) in seq.iter().enumerate() {
+            match i % 4 {
+                0 => assert!(line.starts_with("error: overloaded: "), "line {i}: {line}"),
+                1 if lines[i].ends_with(" 10") => {
+                    assert!(line.starts_with("error: overloaded: "), "line {i}: {line}");
+                }
+                1 => assert!(line.starts_with("decompose 0 "), "line {i}: {line}"),
+                _ => assert!(line.starts_with("pattern "), "line {i}: {line}"),
+            }
+        }
+        // 16 topk + 8 live decompose shed; 8 stored decompose admitted.
+        assert_eq!(seq_tally.shed, 24);
+        assert_eq!(seq_tally.errors, 0);
+        assert_eq!(
+            seq_tally.requests,
+            seq_tally.pattern
+                + seq_tally.decompose
+                + seq_tally.topk
+                + seq_tally.screen
+                + seq_tally.errors
+                + seq_tally.shed
+                + seq_tally.deadline_exceeded
+        );
+        for threads in [2, 3, 8] {
+            let (par, par_tally) = run_batch_with(&index, &lines, &policy(threads));
+            assert_eq!(seq, par, "threads={threads}");
+            assert_eq!(seq_tally, par_tally, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn cost_inflation_trips_the_deadline_but_not_admission() {
+        let index = QueryIndex::new(snapshot(6));
+        // topk costs 6: admitted under budget 10, but a 20× fault
+        // multiplier drives consumed cost to 120, past deadline 100.
+        let policy = QueryPolicy {
+            request_budget: Some(10),
+            deadline_units: Some(100),
+            fault: Some(QueryFault::parse("cost*20").unwrap()),
+            ..QueryPolicy::default()
+        };
+        let err = run_one_with(&index, "topk 0 2", &policy).unwrap_err();
+        assert_eq!(err, "deadline: request consumed 120 units, deadline is 100");
+        // pattern consumes 20 units: under the deadline, answered.
+        assert!(run_one_with(&index, "pattern 0", &policy)
+            .unwrap()
+            .starts_with("pattern 0 "));
+    }
+
+    #[test]
+    fn transient_faults_ride_through_on_retry_and_fail_typed_without() {
+        let index = QueryIndex::new(snapshot(8));
+        let lines: Vec<String> = (0..32)
+            .map(|i| format!("pattern {}", (i % 8) * 10))
+            .collect();
+        let (clean, _) = run_batch(&index, &lines, 2);
+        let faulted = QueryPolicy {
+            threads: 2,
+            retries: 2,
+            fault: Some(QueryFault::parse("transient:2").unwrap()),
+            ..QueryPolicy::default()
+        };
+        let (got, tally) = run_batch_with(&index, &lines, &faulted);
+        assert_eq!(clean, got);
+        assert!(tally.fault_retries > 0);
+        assert_eq!(tally.errors, 0);
+        // Without retries the injected fault surfaces as a typed error.
+        let hopeless = QueryPolicy {
+            retries: 0,
+            fault: Some(QueryFault::parse("transient:1").unwrap()),
+            ..QueryPolicy::default()
+        };
+        let err = run_one_with(&index, "pattern 0", &hopeless).unwrap_err();
+        assert!(err.contains("transient query fault injected"));
+    }
+
+    #[test]
+    fn fault_spec_grammar_parses_and_rejects() {
+        assert_eq!(
+            QueryFault::parse("cost*20;transient:3").unwrap(),
+            QueryFault {
+                cost_multiplier: 20,
+                transient_per_chunk: 3
+            }
+        );
+        assert_eq!(QueryFault::parse("").unwrap(), QueryFault::default());
+        assert!(QueryFault::parse("cost*0")
+            .unwrap_err()
+            .contains("TOWERLENS_FAULT_QUERY"));
+        assert!(QueryFault::parse("latency:5")
+            .unwrap_err()
+            .contains("unknown fault"));
     }
 
     #[test]

@@ -70,6 +70,10 @@ fn main() {
                 Ok(r) if r >= 1 => query_params.requests = r,
                 _ => bail("bad --query-requests (want an integer ≥ 1)"),
             },
+            "--query-budget" => match it.next().unwrap_or_default().parse() {
+                Ok(b) if b >= 1 => query_params.request_budget = b,
+                _ => bail("bad --query-budget (want a cost budget ≥ 1)"),
+            },
             "--repeats" => match it.next().unwrap_or_default().parse() {
                 Ok(k) if k >= 1 => params.repeats = k,
                 _ => bail("bad --repeats (want an integer ≥ 1)"),
@@ -93,13 +97,17 @@ fn main() {
                 println!(
                     "usage: bench [--sizes N,N,...] [--paper] [--repeats K] [--seed N] \
                      [--threads N] [--out FILE]\n\
-                     \x20      bench [--query] [--query-towers N] [--query-requests N] ...\n\
+                     \x20      bench [--query] [--query-towers N] [--query-requests N] \
+                     [--query-budget N] ...\n\
                      \x20      bench --validate FILE [--baseline FILE]\n\
                      --paper appends the 9,600-tower paper-scale workload \
                      (spectral feature space)\n\
                      --query also times a deterministic mixed batch (default 10,000 \
                      requests) against the\n\
-                     \x20       memory-resident query artifact of a 9,600-tower spectral study"
+                     \x20       memory-resident query artifact of a 9,600-tower spectral \
+                     study, plus an overload\n\
+                     \x20       variant under an admission budget (default 100 cost units) \
+                     that sheds every topk scan"
                 );
                 return;
             }
@@ -186,12 +194,21 @@ fn main() {
             query_params.towers, query_params.requests
         );
         match run_query_bench(&query_params) {
-            Ok(q) => {
+            Ok((q, over)) => {
                 eprintln!(
                     "  query: {} requests over {} towers in {:.1} ms — {:.0} requests/s",
                     q.requests, q.towers, q.total_ms, q.throughput_qps
                 );
+                eprintln!(
+                    "  overload (budget {}): shed {} of {} in {:.1} ms — {:.0} requests/s",
+                    over.request_budget,
+                    over.shed,
+                    over.requests,
+                    over.total_ms,
+                    over.throughput_qps
+                );
                 report.query = Some(q);
+                report.query_overload = Some(over);
             }
             Err(e) => {
                 eprintln!("query bench failed: {e}");

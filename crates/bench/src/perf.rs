@@ -90,17 +90,26 @@ pub struct QueryBenchParams {
     pub seed: u64,
     /// Worker threads for the query batch (0 = all cores).
     pub threads: usize,
+    /// Admission budget (in virtual cost units) of the overload
+    /// variant: the same index is re-run under a pattern/topk stream
+    /// where every topk scan out-costs this budget, so the batch sheds
+    /// a fixed 20% of its requests. Must be below the tower count and
+    /// at least 1.
+    pub request_budget: u64,
 }
 
 impl Default for QueryBenchParams {
     /// The paper-scale snapshot (9,600 towers — the full deployment
-    /// of the source paper) under a 10,000-request mixed batch.
+    /// of the source paper) under a 10,000-request mixed batch; the
+    /// overload variant admits 100 cost units per request, far below
+    /// the 9,600-unit topk scan.
     fn default() -> Self {
         QueryBenchParams {
             towers: 9_600,
             requests: 10_000,
             seed: 42,
             threads: 0,
+            request_budget: 100,
         }
     }
 }
@@ -123,6 +132,30 @@ pub struct QueryBenchResult {
     pub counters: BTreeMap<String, u64>,
 }
 
+/// The overload variant's results: the same memory-resident index
+/// under an admission budget that sheds every topk scan — 20% of the
+/// stream — while the cheap lookups keep answering at full speed.
+#[derive(Debug, Clone)]
+pub struct QueryOverloadResult {
+    /// Towers held by the memory-resident snapshot.
+    pub towers: usize,
+    /// Requests in the batch (admitted + shed).
+    pub requests: usize,
+    /// Worker threads the batch ran with (0 = all cores).
+    pub threads: usize,
+    /// The admission budget in virtual cost units.
+    pub request_budget: u64,
+    /// Requests shed by admission control (`overloaded` lines).
+    pub shed: u64,
+    /// End-to-end wall time of the batch in milliseconds.
+    pub total_ms: f64,
+    /// Requests (including shed ones — they still get a typed answer
+    /// line) per second of batch wall time.
+    pub throughput_qps: f64,
+    /// The `query.*` counter totals for the batch.
+    pub counters: BTreeMap<String, u64>,
+}
+
 /// A full bench run, ready to serialize.
 #[derive(Debug, Clone)]
 pub struct BenchReport {
@@ -139,13 +172,19 @@ pub struct BenchReport {
     pub workloads: Vec<WorkloadResult>,
     /// The query-throughput workload, when `--query` ran.
     pub query: Option<QueryBenchResult>,
+    /// The overload variant of the query workload (same `--query`
+    /// run): a budget-limited batch shedding 20% of its requests.
+    pub query_overload: Option<QueryOverloadResult>,
 }
 
 /// Schema tag embedded in (and required from) the JSON. v2 added the
 /// document-level `threads` field recording the `--threads` setting
 /// the report was produced under; v3 added the optional `query`
-/// object recording the artifact-store query-throughput workload.
-pub const BENCH_SCHEMA: &str = "towerlens-bench-pipeline-v3";
+/// object recording the artifact-store query-throughput workload; v4
+/// added the optional `query_overload` object recording the same
+/// index under an admission budget that sheds the expensive fifth of
+/// the stream.
+pub const BENCH_SCHEMA: &str = "towerlens-bench-pipeline-v4";
 
 /// The study configuration for a bench workload: `towers` towers over
 /// the paper's 4032-bin window, geometry scaled down so small tower
@@ -232,6 +271,7 @@ pub fn run_bench(params: &BenchParams) -> Result<BenchReport, CoreError> {
         threads: params.threads,
         workloads,
         query: None,
+        query_overload: None,
     })
 }
 
@@ -244,9 +284,17 @@ pub fn run_bench(params: &BenchParams) -> Result<BenchReport, CoreError> {
 /// throughput, not study wall time. The request stream (and therefore
 /// every answer byte) is identical at any thread count.
 ///
+/// The same index is then re-run as the overload variant: an 80/20
+/// pattern/topk stream under `params.request_budget`, chosen so every
+/// topk scan (cost = tower count) is shed with a typed `overloaded`
+/// line while every pattern lookup (cost 1) is admitted — exactly 20%
+/// of the batch sheds, deterministically at any thread count.
+///
 /// # Errors
 /// The snapshot-building study's [`CoreError`].
-pub fn run_query_bench(params: &QueryBenchParams) -> Result<QueryBenchResult, CoreError> {
+pub fn run_query_bench(
+    params: &QueryBenchParams,
+) -> Result<(QueryBenchResult, QueryOverloadResult), CoreError> {
     let mut config = workload_config(params.towers, params.seed).with_threads(params.threads);
     config.identifier.feature_space = towerlens_pipeline::FeatureSpace::Spectral;
     let study = Study::new(config);
@@ -283,14 +331,57 @@ pub fn run_query_bench(params: &QueryBenchParams) -> Result<QueryBenchResult, Co
         .into_iter()
         .filter(|(name, _)| name.starts_with("query."))
         .collect();
-    Ok(QueryBenchResult {
+    let plain = QueryBenchResult {
         towers: index.n_towers(),
         requests: params.requests,
         threads: params.threads,
         total_ms,
         throughput_qps: params.requests as f64 / (total_ms / 1e3),
         counters,
-    })
+    };
+
+    // Overload variant: every fifth request is a topk scan whose cost
+    // (the tower count) exceeds the admission budget; the rest are
+    // unit-cost pattern lookups. Shed answers are still answers —
+    // typed `overloaded` lines in input order — so the batch length
+    // is unchanged.
+    let overload_lines: Vec<String> = (0..params.requests)
+        .map(|i| {
+            let id = ids[i % ids.len()];
+            if i % 5 == 4 {
+                format!("topk {id} 8")
+            } else {
+                format!("pattern {id}")
+            }
+        })
+        .collect();
+    let policy = towerlens_artifact::QueryPolicy {
+        threads: params.threads,
+        request_budget: Some(params.request_budget),
+        ..Default::default()
+    };
+    towerlens_obs::global().reset();
+    let started = std::time::Instant::now();
+    let (answers, tally) = towerlens_artifact::run_batch_with(&index, &overload_lines, &policy);
+    let total_ms = ms(started.elapsed());
+    debug_assert_eq!(answers.len(), overload_lines.len());
+    let counters: BTreeMap<String, u64> = towerlens_obs::global()
+        .snapshot()
+        .counters
+        .into_iter()
+        .filter(|(name, _)| name.starts_with("query."))
+        .collect();
+    let overload = QueryOverloadResult {
+        towers: index.n_towers(),
+        requests: params.requests,
+        threads: params.threads,
+        request_budget: params.request_budget,
+        shed: tally.shed,
+        total_ms,
+        throughput_qps: params.requests as f64 / (total_ms / 1e3),
+        counters,
+    };
+    Ok((plain, overload))
 }
 
 /// The current git revision, or `unknown` when git is unavailable.
@@ -355,6 +446,27 @@ impl BenchReport {
                  \"threads\": {},\n    \"total_ms\": {:.3},\n    \
                  \"throughput_qps\": {:.1},\n    \"counters\": {{",
                 q.towers, q.requests, q.threads, q.total_ms, q.throughput_qps
+            ));
+            for (j, (name, value)) in q.counters.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\n      \"{}\": {}", json::escape(name), value));
+            }
+            out.push_str("\n    }\n  }");
+        }
+        if let Some(q) = &self.query_overload {
+            out.push_str(&format!(
+                ",\n  \"query_overload\": {{\n    \"towers\": {},\n    \"requests\": {},\n    \
+                 \"threads\": {},\n    \"request_budget\": {},\n    \"shed\": {},\n    \
+                 \"total_ms\": {:.3},\n    \"throughput_qps\": {:.1},\n    \"counters\": {{",
+                q.towers,
+                q.requests,
+                q.threads,
+                q.request_budget,
+                q.shed,
+                q.total_ms,
+                q.throughput_qps
             ));
             for (j, (name, value)) in q.counters.iter().enumerate() {
                 if j > 0 {
@@ -508,6 +620,62 @@ pub fn validate_bench_json(text: &str) -> Result<(), String> {
             ));
         }
     }
+    // The overload variant (v4): when present, the budget must be a
+    // positive integer and the batch must have actually shed work —
+    // some but never all of its requests.
+    if let Some(q) = doc.get("query_overload") {
+        let at = "query_overload";
+        let towers = require_number(q, "towers", at)?;
+        let requests = require_number(q, "requests", at)?;
+        if towers < 1.0 || requests < 1.0 {
+            return Err(format!("{at}: towers/requests must be positive"));
+        }
+        let threads = require_number(q, "threads", at)?;
+        if threads < 0.0 || threads.fract() != 0.0 {
+            return Err(format!("{at}: `threads` must be a non-negative integer"));
+        }
+        let budget = require_number(q, "request_budget", at)?;
+        if budget < 1.0 || budget.fract() != 0.0 {
+            return Err(format!("{at}: `request_budget` must be a positive integer"));
+        }
+        let total = require_number(q, "total_ms", at)?;
+        if !total.is_finite() || total <= 0.0 {
+            return Err(format!("{at}: implausible total ({total} ms)"));
+        }
+        if require_number(q, "throughput_qps", at)? <= 0.0 {
+            return Err(format!("{at}: throughput must be positive"));
+        }
+        let shed = require_number(q, "shed", at)?;
+        let counters = q
+            .get("counters")
+            .and_then(Json::as_object)
+            .ok_or_else(|| format!("{at}: `counters` is not an object"))?;
+        let counted = counters
+            .get("query.shed_total")
+            .and_then(Json::as_number)
+            .ok_or_else(|| format!("{at}: counters lack `query.shed_total`"))?;
+        if counted != shed {
+            return Err(format!(
+                "{at}: `query.shed_total` counter ({counted}) disagrees with `shed` ({shed})"
+            ));
+        }
+        if shed < 1.0 || shed >= requests {
+            return Err(format!(
+                "{at}: an overload batch must shed some but not all requests \
+                 (shed {shed} of {requests})"
+            ));
+        }
+        let answered = counters
+            .get("query.requests")
+            .and_then(Json::as_number)
+            .ok_or_else(|| format!("{at}: counters lack `query.requests`"))?;
+        if answered != requests {
+            return Err(format!(
+                "{at}: `query.requests` counter ({answered}) disagrees with \
+                 `requests` ({requests})"
+            ));
+        }
+    }
     Ok(())
 }
 
@@ -633,6 +801,7 @@ mod tests {
                 ]),
             }],
             query: None,
+            query_overload: None,
         }
     }
 
@@ -652,10 +821,65 @@ mod tests {
         }
     }
 
+    fn sample_overload() -> QueryOverloadResult {
+        QueryOverloadResult {
+            towers: 9_600,
+            requests: 10_000,
+            threads: 4,
+            request_budget: 100,
+            shed: 2_000,
+            total_ms: 50.0,
+            throughput_qps: 200_000.0,
+            counters: BTreeMap::from([
+                ("query.requests".to_string(), 10_000u64),
+                ("query.pattern".to_string(), 8_000),
+                ("query.topk".to_string(), 0),
+                ("query.shed_total".to_string(), 2_000),
+            ]),
+        }
+    }
+
     #[test]
     fn emitted_json_passes_validation() {
         let json = sample_report().to_json();
         validate_bench_json(&json).unwrap();
+    }
+
+    #[test]
+    fn overload_section_validates_and_demands_real_shedding() {
+        let mut report = sample_report();
+        report.query = Some(sample_query());
+        report.query_overload = Some(sample_overload());
+        let good = report.to_json();
+        validate_bench_json(&good).unwrap();
+        // The stage-median gate ignores both query sections.
+        compare_bench_json(&good, &sample_report().to_json()).unwrap();
+        for (tag, breakage) in [
+            (
+                "zero budget",
+                good.replace("\"request_budget\": 100", "\"request_budget\": 0"),
+            ),
+            (
+                "nothing shed",
+                good.replace("\"shed\": 2000", "\"shed\": 0")
+                    .replace("\"query.shed_total\": 2000", "\"query.shed_total\": 0"),
+            ),
+            (
+                "everything shed",
+                good.replace("\"shed\": 2000", "\"shed\": 10000")
+                    .replace("\"query.shed_total\": 2000", "\"query.shed_total\": 10000"),
+            ),
+            (
+                "shed counter disagreement",
+                good.replace("\"query.shed_total\": 2000", "\"query.shed_total\": 1999"),
+            ),
+            (
+                "missing shed counter",
+                good.replace("\"query.shed_total\"", "\"query.other_total\""),
+            ),
+        ] {
+            assert!(validate_bench_json(&breakage).is_err(), "{tag} accepted");
+        }
     }
 
     #[test]
@@ -699,8 +923,9 @@ mod tests {
             requests: 200,
             seed: 7,
             threads: 2,
+            request_budget: 2,
         };
-        let q = run_query_bench(&params).unwrap();
+        let (q, over) = run_query_bench(&params).unwrap();
         assert_eq!(q.requests, 200);
         assert!(q.towers >= 1 && q.towers <= 12);
         assert_eq!(q.counters.get("query.requests"), Some(&200));
@@ -713,7 +938,18 @@ mod tests {
             .sum();
         assert_eq!(verbs, 200);
         assert!(q.throughput_qps > 0.0);
-        // The whole report (with the query section) passes the gate.
+
+        // The overload variant sheds exactly the topk fifth of the
+        // stream: every scan out-costs the 2-unit budget, every
+        // pattern lookup is admitted.
+        assert_eq!(over.request_budget, 2);
+        assert_eq!(over.shed, 40, "every fifth request sheds");
+        assert_eq!(over.counters.get("query.shed_total"), Some(&40));
+        assert_eq!(over.counters.get("query.requests"), Some(&200));
+        assert_eq!(over.counters.get("query.pattern"), Some(&160));
+        assert_eq!(over.counters.get("query.topk").copied().unwrap_or(0), 0);
+
+        // The whole report (with both query sections) passes the gate.
         let mut report = run_bench(&BenchParams {
             sizes: vec![12],
             repeats: 1,
@@ -722,6 +958,7 @@ mod tests {
         })
         .unwrap();
         report.query = Some(q);
+        report.query_overload = Some(over);
         validate_bench_json(&report.to_json()).unwrap();
     }
 

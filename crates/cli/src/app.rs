@@ -14,9 +14,10 @@ use std::time::Duration;
 
 use crate::args::{self, switch, value, FlagDef, Flags, Parsed, ParsedMixed};
 use crate::commands::{
-    analyze_instrumented_with, artifact_health, checkpoint_health, doctor_artifacts,
-    doctor_checkpoints, doctor_exit, generate_dataset, run_study_with, study_config, wal_health,
-    AnalyzeOptions, GenOptions, Health,
+    analyze_instrumented_with, artifact_detail, artifact_health, checkpoint_detail,
+    checkpoint_health, doctor_artifacts, doctor_checkpoints, doctor_exit, doctor_json,
+    doctor_pointer, doctor_summary, generate_dataset, run_study_with, study_config, wal_detail,
+    wal_health, AnalyzeOptions, DoctorVerdict, GenOptions, Health,
 };
 use towerlens_artifact::{QueryIndex, SectionStatus};
 use towerlens_core::engine::CheckpointError;
@@ -59,8 +60,9 @@ usage:
                         [--metrics PATH] [--trace-events PATH]
       run the full in-process paper study through the stage engine
 
-  towerlens-cli query   --snapshot PATH [--stdin] [--threads N]
-                        [--metrics PATH] [REQUEST...]
+  towerlens-cli query   --snapshot PATH [--stdin] [--watch] [--threads N]
+                        [--request-budget N] [--deadline-units N]
+                        [--retries N] [--metrics PATH] [REQUEST...]
       answer lookups from a versioned study artifact (written by
       `analyze --snapshot` / `study --snapshot`), held memory-resident:
         pattern <tower>            cluster id and canonical kind
@@ -73,12 +75,21 @@ usage:
                                    the tower's stored daily profile
       one-shot: the request is the positional arguments; --stdin reads
       one request per line and answers in input order (bit-identical
-      at any --threads), errors reported in place
+      at any --threads), errors reported in place.
+      --request-budget sheds requests whose virtual cost exceeds N
+      with a typed `overloaded` line; --deadline-units answers
+      requests whose consumed cost exceeds N with a typed `deadline`
+      line (cost is counted in towers scanned / bins compared /
+      solver support enumerations — deterministic, never wall-clock).
+      --watch treats --snapshot as a generation-store directory
+      (written by `serve --publish`): CURRENT is resolved with a
+      last-good fallback and the control lines `reload` / `health`
+      swap to fsck-clean new generations and report degraded state
 
   towerlens-cli serve   --source FILE --data DIR [--days N] [--shards N]
                         [--segment-records N] [--queue-cap N] [--retries N]
                         [--basis CKPT] [--flush-every N] [--progress-every N]
-                        [--metrics PATH]
+                        [--publish DIR] [--metrics PATH]
       crash-safe streaming ingestion: append every source line to a
       checksummed WAL under DIR/wal before acknowledging it, maintain
       per-tower sliding traffic state across supervised shards, snapshot
@@ -86,16 +97,22 @@ usage:
       drain report; killed runs resume from snapshot + WAL tail with
       byte-identical final output. --basis classifies live towers against
       a frozen batch basis: either a versioned query artifact (from
-      `--snapshot`) or a legacy cluster.ckpt checkpoint
+      `--snapshot`) or a legacy cluster.ckpt checkpoint. --publish
+      additionally publishes a query artifact at every snapshot
+      boundary as DIR/gen-N.artifact plus an atomic CURRENT pointer,
+      for `query --watch` hot reload
 
-  towerlens-cli doctor  --dir DIR [--fingerprint HEX]
+  towerlens-cli doctor  --dir DIR [--fingerprint HEX] [--json]
       fsck every checkpoint file in DIR (and DIR/snap), any WAL
-      segments under DIR/wal, and every *.artifact snapshot in DIR:
-      checksums, seals, sequence gaps, and section tables; with
-      --fingerprint, also pin each checkpoint to that config
-      fingerprint. Degraded-but-readable states (stale checkpoints,
-      torn WAL tails, unknown artifact sections) warn but exit 0;
-      corruption exits 1
+      segments under DIR/wal, every *.artifact snapshot in DIR, and
+      the CURRENT generation pointer if present: checksums, seals,
+      sequence gaps, and section tables; with --fingerprint, also pin
+      each checkpoint to that config fingerprint. Ends with a
+      one-line `doctor: N healthy, N degraded, N corrupt` summary;
+      --json dumps the verdict table as JSON instead of the tables.
+      Degraded-but-readable states (stale checkpoints, torn WAL
+      tails, unknown artifact sections) warn but exit 0; corruption
+      exits 1
 
   towerlens-cli help
       print this message
@@ -227,6 +244,34 @@ fn emit_observability(flags: &Flags, report: &RunReport) -> Option<i32> {
         }
     }
     None
+}
+
+/// Answers the buffered data segment through the batch engine and
+/// appends the answers, clearing the segment. Watch mode splits the
+/// input at `reload`/`health` control lines, so output stays 1:1
+/// with input and thread-count invariant within each segment.
+fn flush_segment(
+    index: &towerlens_artifact::QueryIndex,
+    policy: &towerlens_artifact::QueryPolicy,
+    segment: &mut Vec<String>,
+    answers: &mut Vec<String>,
+) {
+    if segment.is_empty() {
+        return;
+    }
+    let (batch, _tally) = towerlens_artifact::run_batch_with(index, segment, policy);
+    answers.extend(batch);
+    segment.clear();
+}
+
+/// Prints answer lines as one stdout write.
+fn print_lines(lines: &[String]) {
+    let mut out = String::with_capacity(lines.iter().map(|l| l.len() + 1).sum());
+    for line in lines {
+        out.push_str(line);
+        out.push('\n');
+    }
+    print!("{out}");
 }
 
 /// Runs the CLI against already-split arguments (no program name) and
@@ -478,7 +523,11 @@ pub fn run(argv: &[String]) -> i32 {
             const DEFS: &[FlagDef] = &[
                 value("snapshot"),
                 switch("stdin"),
+                switch("watch"),
                 value("threads"),
+                value("request-budget"),
+                value("deadline-units"),
+                value("retries"),
                 value("metrics"),
             ];
             let (flags, positionals) = match args::parse_mixed("query", rest, DEFS) {
@@ -497,6 +546,52 @@ pub fn run(argv: &[String]) -> i32 {
                 Ok(t) => t as usize,
                 Err(e) => return usage_error(&e),
             };
+            // Budget/deadline are cost caps: 0 would shed everything,
+            // so it is rejected at flag parse like every other
+            // degenerate knob.
+            let limit_flag = |name: &str| -> Result<Option<u64>, String> {
+                let Some(raw) = flags.get(name) else {
+                    return Ok(None);
+                };
+                let v: u64 = raw
+                    .parse()
+                    .map_err(|_| format!("--{name} expects a number, got `{raw}`"))?;
+                if v == 0 {
+                    return Err(format!("--{name} must be at least 1 cost unit"));
+                }
+                Ok(Some(v))
+            };
+            let request_budget = match limit_flag("request-budget") {
+                Ok(v) => v,
+                Err(e) => return usage_error(&e),
+            };
+            let deadline_units = match limit_flag("deadline-units") {
+                Ok(v) => v,
+                Err(e) => return usage_error(&e),
+            };
+            let retries = match flags.num("retries", 0) {
+                Ok(r) => r as u32,
+                Err(e) => return usage_error(&e),
+            };
+            let fault = match towerlens_artifact::QueryFault::from_env() {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("query failed: {e}");
+                    return 1;
+                }
+            };
+            let retry_policy = towerlens_core::engine::RetryPolicy::new(retries);
+            let policy = towerlens_artifact::QueryPolicy {
+                threads,
+                request_budget,
+                deadline_units,
+                retries,
+                fault,
+                delay: Some(std::sync::Arc::new(move |attempt| {
+                    retry_policy.delay("query-batch", attempt)
+                })),
+            };
+            let watch = flags.has("watch");
             let stdin_mode = flags.has("stdin");
             if stdin_mode && !positionals.is_empty() {
                 return usage_error("`query --stdin` takes no positional request");
@@ -506,15 +601,6 @@ pub fn run(argv: &[String]) -> i32 {
                     "`query` needs a request (pattern|decompose|topk|screen) or --stdin",
                 );
             }
-            // The snapshot is loaded once and held memory-resident;
-            // every lookup after this line is pure in-memory work.
-            let index = match towerlens_artifact::read_snapshot(&snapshot_path) {
-                Ok(snap) => QueryIndex::new(snap),
-                Err(e) => {
-                    eprintln!("query failed: {e}");
-                    return 1;
-                }
-            };
             let dump_metrics = |flags: &Flags| -> Option<i32> {
                 let path = flags.get("metrics")?;
                 let json = towerlens_obs::global().snapshot().to_json();
@@ -524,35 +610,104 @@ pub fn run(argv: &[String]) -> i32 {
                 }
                 None
             };
-            if stdin_mode {
+            let read_stdin = || -> Result<Vec<String>, i32> {
                 use std::io::BufRead;
-                let lines: Vec<String> = match std::io::stdin().lock().lines().collect() {
-                    Ok(lines) => lines,
-                    Err(e) => {
+                std::io::stdin()
+                    .lock()
+                    .lines()
+                    .collect::<Result<_, _>>()
+                    .map_err(|e| {
                         eprintln!("query failed reading stdin: {e}");
+                        1
+                    })
+            };
+            if watch {
+                // --snapshot names a generation store directory; the
+                // watcher resolves CURRENT with last-good fallback and
+                // handles `reload`/`health` control lines in stream
+                // order between data batches.
+                let mut watcher = match towerlens_artifact::Watcher::open(&snapshot_path) {
+                    Ok(w) => w,
+                    Err(e) => {
+                        eprintln!("query failed: {e}");
                         return 1;
                     }
                 };
-                let (answers, _tally) = towerlens_artifact::run_batch(&index, &lines, threads);
-                let mut out = String::with_capacity(answers.iter().map(|a| a.len() + 1).sum());
-                for answer in &answers {
-                    out.push_str(answer);
-                    out.push('\n');
-                }
-                print!("{out}");
-                // Batch mode reports per-line errors in place and exits
-                // 0 — a screening pipeline keeps flowing.
-                dump_metrics(&flags).unwrap_or(0)
-            } else {
-                let line = positionals.join(" ");
-                match towerlens_artifact::run_one(&index, &line) {
-                    Ok(answer) => {
-                        println!("{answer}");
-                        dump_metrics(&flags).unwrap_or(0)
+                if stdin_mode {
+                    let lines = match read_stdin() {
+                        Ok(lines) => lines,
+                        Err(code) => return code,
+                    };
+                    let mut answers: Vec<String> = Vec::with_capacity(lines.len());
+                    let mut segment: Vec<String> = Vec::new();
+                    for line in &lines {
+                        match line.trim() {
+                            "reload" => {
+                                flush_segment(watcher.index(), &policy, &mut segment, &mut answers);
+                                let report = watcher.reload();
+                                answers.push(report);
+                            }
+                            "health" => {
+                                flush_segment(watcher.index(), &policy, &mut segment, &mut answers);
+                                answers.push(watcher.health());
+                            }
+                            _ => segment.push(line.clone()),
+                        }
                     }
+                    flush_segment(watcher.index(), &policy, &mut segment, &mut answers);
+                    print_lines(&answers);
+                    dump_metrics(&flags).unwrap_or(0)
+                } else {
+                    let line = positionals.join(" ");
+                    let outcome = match line.as_str() {
+                        "health" => Ok(watcher.health()),
+                        "reload" => Ok(watcher.reload()),
+                        _ => towerlens_artifact::run_one_with(watcher.index(), &line, &policy),
+                    };
+                    match outcome {
+                        Ok(answer) => {
+                            println!("{answer}");
+                            dump_metrics(&flags).unwrap_or(0)
+                        }
+                        Err(e) => {
+                            eprintln!("query failed: {e}");
+                            dump_metrics(&flags).unwrap_or(1)
+                        }
+                    }
+                }
+            } else {
+                // The snapshot is loaded once and held memory-resident;
+                // every lookup after this line is pure in-memory work.
+                let index = match towerlens_artifact::read_snapshot(&snapshot_path) {
+                    Ok(snap) => QueryIndex::new(snap),
                     Err(e) => {
                         eprintln!("query failed: {e}");
-                        dump_metrics(&flags).unwrap_or(1)
+                        return 1;
+                    }
+                };
+                if stdin_mode {
+                    let lines = match read_stdin() {
+                        Ok(lines) => lines,
+                        Err(code) => return code,
+                    };
+                    let (answers, _tally) =
+                        towerlens_artifact::run_batch_with(&index, &lines, &policy);
+                    print_lines(&answers);
+                    // Batch mode reports per-line errors (including shed
+                    // and deadline lines) in place and exits 0 — a
+                    // screening pipeline keeps flowing.
+                    dump_metrics(&flags).unwrap_or(0)
+                } else {
+                    let line = positionals.join(" ");
+                    match towerlens_artifact::run_one_with(&index, &line, &policy) {
+                        Ok(answer) => {
+                            println!("{answer}");
+                            dump_metrics(&flags).unwrap_or(0)
+                        }
+                        Err(e) => {
+                            eprintln!("query failed: {e}");
+                            dump_metrics(&flags).unwrap_or(1)
+                        }
                     }
                 }
             }
@@ -569,6 +724,7 @@ pub fn run(argv: &[String]) -> i32 {
                 value("basis"),
                 value("flush-every"),
                 value("progress-every"),
+                value("publish"),
                 value("metrics"),
             ];
             let flags = match parse_or_exit("serve", rest, DEFS) {
@@ -590,6 +746,7 @@ pub fn run(argv: &[String]) -> i32 {
                     basis: flags.get("basis").map(PathBuf::from),
                     flush_every: flags.num("flush-every", defaults.flush_every)?,
                     progress_every: flags.num("progress-every", defaults.progress_every)?,
+                    publish: flags.get("publish").map(PathBuf::from),
                 })
             })();
             let config = match parsed {
@@ -615,7 +772,7 @@ pub fn run(argv: &[String]) -> i32 {
             }
         }
         "doctor" => {
-            const DEFS: &[FlagDef] = &[value("dir"), value("fingerprint")];
+            const DEFS: &[FlagDef] = &[value("dir"), value("fingerprint"), switch("json")];
             let flags = match parse_or_exit("doctor", rest, DEFS) {
                 Ok(f) => f,
                 Err(code) => return code,
@@ -664,17 +821,48 @@ pub fn run(argv: &[String]) -> i32 {
                     return 1;
                 }
             };
+            let json = flags.has("json");
+            let pointer = doctor_pointer(&dir, &artifact_rows);
             if rows.is_empty() && wal_rows.is_empty() && artifact_rows.is_empty() {
-                println!(
-                    "no checkpoint files (*.ckpt), WAL segments, or artifacts in {}",
-                    dir.display()
-                );
+                if json {
+                    println!("{}", doctor_json(&dir, &[]));
+                } else {
+                    println!(
+                        "no checkpoint files (*.ckpt), WAL segments, or artifacts in {}",
+                        dir.display()
+                    );
+                }
                 return 0;
             }
             // Every inspected file contributes one three-way verdict;
             // the exit code is 1 iff anything is corrupt (degraded
             // states — stale, torn tail, unknown sections — warn only).
-            let mut healths: Vec<Health> = Vec::new();
+            let mut verdicts: Vec<DoctorVerdict> = Vec::new();
+            for (name, verdict) in &rows {
+                verdicts.push((
+                    "checkpoint",
+                    name.clone(),
+                    checkpoint_health(verdict),
+                    checkpoint_detail(verdict),
+                ));
+            }
+            for row in &wal_rows {
+                verdicts.push(("wal", row.file.clone(), wal_health(row), wal_detail(row)));
+            }
+            for (name, verdict) in &artifact_rows {
+                verdicts.push((
+                    "artifact",
+                    name.clone(),
+                    artifact_health(verdict),
+                    artifact_detail(verdict),
+                ));
+            }
+            verdicts.extend(pointer);
+            let healths: Vec<Health> = verdicts.iter().map(|v| v.2).collect();
+            if json {
+                println!("{}", doctor_json(&dir, &verdicts));
+                return doctor_exit(&healths);
+            }
             if !rows.is_empty() {
                 // Per-stage health table: one row per checkpoint file,
                 // the same fixed-width idiom as the `--timings` stage
@@ -691,7 +879,6 @@ pub fn run(argv: &[String]) -> i32 {
                 );
                 let (mut ok, mut stale, mut bad) = (0usize, 0usize, 0usize);
                 for (name, verdict) in &rows {
-                    healths.push(checkpoint_health(verdict));
                     match verdict {
                         Ok(info) => {
                             ok += 1;
@@ -744,7 +931,6 @@ pub fn run(argv: &[String]) -> i32 {
                     "file", "entries", "seqs"
                 );
                 for row in &wal_rows {
-                    healths.push(wal_health(row));
                     let seqs = match (row.first_seq, row.last_seq) {
                         (Some(a), Some(b)) => format!("{a}..{b}"),
                         _ => "-".to_string(),
@@ -795,7 +981,6 @@ pub fn run(argv: &[String]) -> i32 {
                 let (mut ok, mut warn, mut bad) = (0usize, 0usize, 0usize);
                 for (name, verdict) in &artifact_rows {
                     let health = artifact_health(verdict);
-                    healths.push(health);
                     match verdict {
                         Ok(fsck) => {
                             let detail = if !fsck.healthy() {
@@ -853,6 +1038,10 @@ pub fn run(argv: &[String]) -> i32 {
                     artifact_rows.len()
                 );
             }
+            if let Some((_, file, health, detail)) = verdicts.iter().find(|v| v.0 == "pointer") {
+                println!("{file}: {} {detail}", health.label());
+            }
+            println!("{}", doctor_summary(&healths));
             doctor_exit(&healths)
         }
         "help" | "--help" | "-h" => {

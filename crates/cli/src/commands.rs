@@ -18,6 +18,7 @@
 use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
 
+use towerlens_artifact::fnv1a64;
 use towerlens_artifact::{ArtifactError, ArtifactFsck};
 use towerlens_city::config::CityConfig;
 use towerlens_city::generate::generate;
@@ -26,7 +27,7 @@ use towerlens_city::poi::{Poi, PoiIndex};
 use towerlens_city::zone::RegionKind;
 use towerlens_cluster::compare::adjusted_rand_index;
 use towerlens_cluster::dendrogram::Clustering;
-use towerlens_core::engine::checkpoint::{decode_usize, fnv1a64, BodyReader};
+use towerlens_core::engine::checkpoint::{decode_usize, BodyReader};
 use towerlens_core::engine::{
     decode_normalized, decode_patterns, encode_normalized, encode_patterns, fsck_file,
     CheckpointError, CheckpointStore, EngineError, FsckInfo, Graph, RunReport, Stage, StageCodec,
@@ -1005,6 +1006,166 @@ pub fn artifact_health(verdict: &Result<ArtifactFsck, ArtifactError>) -> Health 
 /// is [`Health::Corrupt`]; degraded states warn but exit 0.
 pub fn doctor_exit(healths: &[Health]) -> i32 {
     i32::from(healths.contains(&Health::Corrupt))
+}
+
+impl Health {
+    /// The stable lower-case label used by `doctor --json` and the
+    /// summary line.
+    pub fn label(self) -> &'static str {
+        match self {
+            Health::Healthy => "healthy",
+            Health::Degraded => "degraded",
+            Health::Corrupt => "corrupt",
+        }
+    }
+}
+
+/// One row of `doctor`'s flat verdict table: target kind
+/// (`checkpoint` / `wal` / `artifact` / `pointer`), file name,
+/// three-way health, and a human-readable detail (empty when
+/// healthy).
+pub type DoctorVerdict = (&'static str, String, Health, String);
+
+/// The detail string for a checkpoint verdict.
+pub fn checkpoint_detail(verdict: &Result<FsckInfo, CheckpointError>) -> String {
+    match verdict {
+        Ok(_) => String::new(),
+        Err(e) => e.to_string(),
+    }
+}
+
+/// The detail string for a WAL segment fsck row.
+pub fn wal_detail(row: &towerlens_serve::WalSegmentFsck) -> String {
+    match &row.error {
+        Some(e) => e.clone(),
+        None if row.torn_tail => "torn tail dropped".to_string(),
+        None => String::new(),
+    }
+}
+
+/// The detail string for an artifact verdict: damaged sections and
+/// the semantic error when unhealthy, the unknown-section note when
+/// merely degraded, empty when healthy.
+pub fn artifact_detail(verdict: &Result<ArtifactFsck, ArtifactError>) -> String {
+    match verdict {
+        Err(e) => e.to_string(),
+        Ok(fsck) if !fsck.healthy() => {
+            let mut parts: Vec<String> = fsck
+                .sections
+                .iter()
+                .filter_map(|s| match &s.status {
+                    towerlens_artifact::SectionStatus::ChecksumMismatch { .. } => {
+                        Some(format!("section `{}` checksum", s.tag))
+                    }
+                    _ => None,
+                })
+                .collect();
+            if let Some(semantic) = &fsck.semantic {
+                parts.push(semantic.clone());
+            }
+            parts.join("; ")
+        }
+        Ok(fsck) if fsck.has_unknown_sections() => "unknown section(s) tolerated".to_string(),
+        Ok(_) => String::new(),
+    }
+}
+
+/// The verdict for the generation store's `CURRENT` pointer, when the
+/// directory has one: `None` when absent, otherwise the pointer's
+/// health against the already-fsck'd artifact rows. A pointer naming
+/// a missing file is corrupt; one naming an artifact that fails its
+/// own fsck is degraded — the file is intact and `query --watch`
+/// falls back to the last good generation, which is exactly the
+/// degraded-mode contract.
+pub fn doctor_pointer(dir: &Path, artifacts: &[ArtifactRow]) -> Option<DoctorVerdict> {
+    let target = match towerlens_artifact::read_current(dir) {
+        Ok(Some(target)) => target,
+        Ok(None) => return None,
+        Err(e) => {
+            return Some((
+                "pointer",
+                towerlens_artifact::CURRENT_POINTER.to_string(),
+                Health::Corrupt,
+                e.to_string(),
+            ))
+        }
+    };
+    let (health, detail) = match artifacts.iter().find(|(name, _)| *name == target) {
+        None => (
+            Health::Corrupt,
+            format!("names missing generation `{target}`"),
+        ),
+        Some((_, verdict)) => match artifact_health(verdict) {
+            Health::Corrupt => (
+                Health::Degraded,
+                format!("names `{target}` which fails fsck; query --watch serves last good"),
+            ),
+            _ => (Health::Healthy, format!("-> {target}")),
+        },
+    };
+    Some((
+        "pointer",
+        towerlens_artifact::CURRENT_POINTER.to_string(),
+        health,
+        detail,
+    ))
+}
+
+/// The final `doctor:` one-line summary over every inspected target.
+pub fn doctor_summary(healths: &[Health]) -> String {
+    let count = |h: Health| healths.iter().filter(|&&x| x == h).count();
+    format!(
+        "doctor: {} healthy, {} degraded, {} corrupt",
+        count(Health::Healthy),
+        count(Health::Degraded),
+        count(Health::Corrupt)
+    )
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the verdict table as a stable JSON document for scripting:
+/// `{"dir": ..., "targets": [...], "summary": {...}}`, targets in
+/// inspection order.
+pub fn doctor_json(dir: &Path, verdicts: &[DoctorVerdict]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"dir\":\"{}\",\"targets\":[",
+        json_escape(&dir.display().to_string())
+    ));
+    for (i, (kind, file, health, detail)) in verdicts.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"kind\":\"{kind}\",\"file\":\"{}\",\"status\":\"{}\",\"detail\":\"{}\"}}",
+            json_escape(file),
+            health.label(),
+            json_escape(detail)
+        ));
+    }
+    let healths: Vec<Health> = verdicts.iter().map(|v| v.2).collect();
+    let count = |h: Health| healths.iter().filter(|&&x| x == h).count();
+    out.push_str(&format!(
+        "],\"summary\":{{\"healthy\":{},\"degraded\":{},\"corrupt\":{}}}}}",
+        count(Health::Healthy),
+        count(Health::Degraded),
+        count(Health::Corrupt)
+    ));
+    out
 }
 
 /// Convenience for tests: generate then analyze in one temp dir.

@@ -140,15 +140,11 @@ fn io_err(path: &Path, e: std::io::Error) -> CheckpointError {
 }
 
 /// FNV-1a over a byte slice — the engine's configuration fingerprint
-/// (and the study report's content hash).
-pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
+/// (and the study report's content hash). Re-exported from the
+/// artifact crate's canonical definition, so WAL segments, engine
+/// checkpoints, and artifact sections can never drift onto different
+/// checksums.
+pub use towerlens_artifact::fnv1a64;
 
 /// Renders an `f64` as its IEEE-754 bit pattern in hex — the
 /// round-trip-exact wire form used throughout checkpoint bodies.

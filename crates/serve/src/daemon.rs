@@ -53,14 +53,16 @@ use std::path::PathBuf;
 use std::sync::mpsc;
 use std::sync::Arc;
 
-use towerlens_core::engine::checkpoint::fnv1a64;
+use towerlens_artifact::{fnv1a64, PublishKill, Publisher};
 use towerlens_core::engine::{BreakerPolicy, CheckpointError, CheckpointStore, RetryPolicy};
 use towerlens_core::error::CoreError;
+use towerlens_core::freq::features_of_goertzel;
 use towerlens_core::identifier::PatternIdentifier;
+use towerlens_core::study::snapshot_from_parts;
 use towerlens_dsp::goertzel;
 use towerlens_obs::LazyCounter;
-use towerlens_pipeline::principal_bins;
 use towerlens_pipeline::vectorizer::{Vectorizer, VectorizerOptions};
+use towerlens_pipeline::{principal_bins, FeatureSpace};
 use towerlens_trace::clean::clean_records;
 use towerlens_trace::record::LogRecord;
 use towerlens_trace::time::TraceWindow;
@@ -83,6 +85,7 @@ static SHED_TOTAL: LazyCounter = LazyCounter::new("serve.shed_total");
 static SHARD_RESTARTS: LazyCounter = LazyCounter::new("serve.shard_restarts");
 static BACKPRESSURE_WAITS: LazyCounter = LazyCounter::new("serve.backpressure_waits");
 static SHARDS_QUARANTINED: LazyCounter = LazyCounter::new("serve.shards_quarantined");
+static GENERATIONS_PUBLISHED: LazyCounter = LazyCounter::new("serve.generations_published");
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -108,6 +111,11 @@ pub struct ServeConfig {
     /// Progress line to stderr every this many records (0 = only at
     /// segment boundaries).
     pub progress_every: u64,
+    /// Generation-store directory to publish query artifacts into
+    /// (`gen-N.artifact` + atomic `CURRENT` pointer) at every
+    /// snapshot boundary, for `towerlens query --watch` hot reload.
+    /// `None` = don't publish.
+    pub publish: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -123,6 +131,7 @@ impl Default for ServeConfig {
             basis: None,
             flush_every: 64,
             progress_every: 0,
+            publish: None,
         }
     }
 }
@@ -576,6 +585,15 @@ pub fn serve(config: &ServeConfig) -> Result<ServeReport, ServeError> {
     config.validate()?;
     let kill = kill_plan()?;
     let fault = shard_fault()?;
+    let publish_kill = PublishKill::from_env().map_err(ServeError::Config)?;
+    let mut publisher = match &config.publish {
+        Some(dir) => Some(
+            Publisher::open(dir, publish_kill)
+                .map_err(|e| ServeError::Analysis(format!("artifact publish: {e}")))?,
+        ),
+        None => None,
+    };
+    let fingerprint = config.fingerprint();
     let window = config.window();
     let gbins = config.goertzel_bins();
     let basis = match &config.basis {
@@ -713,6 +731,7 @@ pub fn serve(config: &ServeConfig) -> Result<ServeReport, ServeError> {
             save_snapshot(&store, &snap, &retry)?;
             SNAPSHOTS.inc();
             snaps += 1;
+            publish_generation(publisher.as_mut(), &snap, &window, fingerprint)?;
             progress_line(&snap, &views);
             if kill == KillPoint::AfterSnapshot(snaps) {
                 eprintln!("serve: TOWERLENS_SERVE_KILL {snaps} — aborting after snapshot");
@@ -743,6 +762,11 @@ pub fn serve(config: &ServeConfig) -> Result<ServeReport, ServeError> {
             std::process::abort();
         }
     }
+    // Publish unconditionally at end of stream: even when a resumed
+    // run had nothing new to snapshot, the generation store must
+    // converge to pointing at the full-stream artifact (the publish
+    // itself is an idempotent no-op once it does).
+    publish_generation(publisher.as_mut(), &snap, &window, fingerprint)?;
     progress_line(&snap, &views);
     drop(senders);
     for h in handles {
@@ -789,13 +813,29 @@ fn drain(
     window: &TraceWindow,
     basis: Option<&Basis>,
 ) -> Result<ServeReport, ServeError> {
+    let records = state_records(snap);
+    let counts = Counts {
+        next_seq: snap.next_seq,
+        records: snap.records,
+        malformed: snap.malformed,
+        duplicates: snap.duplicates,
+        conflicts: snap.conflicts,
+    };
+    analyze(&records, &counts, window, basis)
+}
+
+/// Rebuilds the cleaned record list from durable state: sessions
+/// sorted by `first_seq` reconstruct the batch cleaner's first-seen
+/// output order exactly. Shared by [`drain`] and the generation
+/// publisher so both analyse the same stream.
+fn state_records(snap: &ServeSnapshot) -> Vec<LogRecord> {
     let mut sessions: Vec<(u32, &Session)> = snap
         .towers
         .iter()
         .flat_map(|(cell, s)| s.iter().map(move |s| (*cell, s)))
         .collect();
     sessions.sort_by_key(|(_, s)| s.first_seq);
-    let records: Vec<LogRecord> = sessions
+    sessions
         .iter()
         .map(|(cell, s)| LogRecord {
             user_id: s.user_id,
@@ -805,15 +845,88 @@ fn drain(
             address: String::new(),
             bytes: s.bytes,
         })
-        .collect();
-    let counts = Counts {
-        next_seq: snap.next_seq,
-        records: snap.records,
-        malformed: snap.malformed,
-        duplicates: snap.duplicates,
-        conflicts: snap.conflicts,
+        .collect()
+}
+
+/// Assembles the versioned query artifact for the current durable
+/// state: the same record rebuild as [`drain`], a one-thread
+/// vectorize (bit-reproducible), spectral feature extraction, and
+/// pattern identification, fed through the study's shared
+/// [`snapshot_from_parts`] assembly point. `Ok(None)` when the state
+/// holds too little data to identify patterns — a young stream has
+/// nothing to publish yet, which is not an error.
+fn query_snapshot_of(
+    snap: &ServeSnapshot,
+    window: &TraceWindow,
+    fingerprint: u64,
+) -> Result<Option<towerlens_artifact::Snapshot>, ServeError> {
+    let records = state_records(snap);
+    if records.is_empty() {
+        return Ok(None);
+    }
+    let n_towers = records.iter().map(|r| r.cell_id).max().unwrap_or(0) as usize + 1;
+    let vect = Vectorizer::new(*window, 1)
+        .run_with(&records, n_towers, &VectorizerOptions::default())
+        .map_err(|e| ServeError::Analysis(e.to_string()))?;
+    let vectors = &vect.normalized.vectors;
+    if vectors.is_empty() {
+        return Ok(None);
+    }
+    let patterns = match PatternIdentifier::default().identify_in(vectors, Some(window)) {
+        Ok(p) => p,
+        Err(CoreError::NotEnoughData { .. }) => return Ok(None),
+        Err(e) => return Err(ServeError::Analysis(e.to_string())),
     };
-    analyze(&records, &counts, window, basis)
+    let features =
+        features_of_goertzel(vectors, window).map_err(|e| ServeError::Analysis(e.to_string()))?;
+    snapshot_from_parts(
+        window,
+        &vect.normalized.kept_ids,
+        vectors,
+        &patterns,
+        None,
+        &features,
+        None,
+        &[],
+        fingerprint,
+        FeatureSpace::Auto,
+    )
+    .map(Some)
+    .map_err(|e| ServeError::Analysis(e.to_string()))
+}
+
+/// Publishes the current state to the generation store, when one is
+/// configured. Counts `serve.generations_published` only for real
+/// publishes — [`Publisher::publish`] is an idempotent no-op when
+/// `CURRENT` already names these exact bytes, which is what lets a
+/// crashed-and-restarted publisher converge.
+fn publish_generation(
+    publisher: Option<&mut Publisher>,
+    snap: &ServeSnapshot,
+    window: &TraceWindow,
+    fingerprint: u64,
+) -> Result<(), ServeError> {
+    let Some(publisher) = publisher else {
+        return Ok(());
+    };
+    match query_snapshot_of(snap, window, fingerprint)? {
+        Some(artifact) => {
+            let before = publisher.published();
+            let generation = publisher
+                .publish(&artifact)
+                .map_err(|e| ServeError::Analysis(format!("artifact publish: {e}")))?;
+            if publisher.published() > before {
+                GENERATIONS_PUBLISHED.inc();
+                eprintln!(
+                    "serve: published generation {generation} ({} towers) to {}",
+                    artifact.n_towers(),
+                    publisher.dir().display()
+                );
+            }
+        }
+        None => eprintln!("serve: nothing to publish yet (not enough data)"),
+    }
+    Ok(())
 }
 
 /// The batch analysis over cleaned records — shared verbatim by the

@@ -33,7 +33,7 @@
 use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
 
-use towerlens_core::engine::fnv1a64;
+use towerlens_artifact::fnv1a64;
 
 use crate::error::{io_err, ServeError};
 

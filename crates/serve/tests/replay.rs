@@ -82,6 +82,7 @@ fn config(source: PathBuf, data_dir: PathBuf) -> ServeConfig {
         basis: None,
         flush_every: 16,
         progress_every: 0,
+        publish: None,
     }
 }
 

@@ -119,6 +119,70 @@ if ./target/release/towerlens-cli doctor --dir "$query_tmp" > /dev/null; then
 fi
 echo "query batch bit-identical at --threads 1 and 4; corruption caught"
 
+echo "== serving-path fault matrix: publish kills, corrupt generation, shed determinism =="
+# The overload/degraded-mode contract (DESIGN.md §15), end to end:
+# kill the daemon inside the snapshot publish at each protocol point
+# with an escalating ordinal until a run drains, then demand the
+# converged store's CURRENT generation be byte-identical to the clean
+# run's; corrupt that generation and demand `query --watch` stays on
+# the last good one with degraded health; and shed a fixed slice of a
+# batch under --request-budget at two thread counts, demanding
+# byte-identical answers.
+press_tmp="$(mktemp -d)"
+trap 'rm -rf "$press_tmp" "$query_tmp" "$serve_tmp" "$thr_tmp"' EXIT
+press_flags=(--source "$serve_tmp/stream.tsv" --days 7 --segment-records 500 --shards 3)
+./target/release/towerlens-cli serve "${press_flags[@]}" \
+    --data "$press_tmp/clean" --publish "$press_tmp/clean-store" > /dev/null 2>&1
+clean_gen="$press_tmp/clean-store/$(cat "$press_tmp/clean-store/CURRENT")"
+for stage in tmp gen cur; do
+    converged=0
+    for nth in $(seq 1 12); do
+        if TOWERLENS_FAULT_PUBLISH="$stage:$nth" ./target/release/towerlens-cli serve \
+            "${press_flags[@]}" --data "$press_tmp/$stage" \
+            --publish "$press_tmp/$stage-store" > /dev/null 2>&1; then
+            converged=1; break
+        fi
+    done
+    [ "$converged" -eq 1 ] || { echo "publish chaos ($stage) never drained"; exit 1; }
+    chaos_gen="$press_tmp/$stage-store/$(cat "$press_tmp/$stage-store/CURRENT")"
+    cmp "$clean_gen" "$chaos_gen" \
+        || { echo "publish chaos ($stage): converged generation differs"; exit 1; }
+done
+./target/release/towerlens-cli query --snapshot "$press_tmp/clean-store" --watch health \
+    | grep -q "degraded=no" || { echo "clean store reports degraded health"; exit 1; }
+# One flipped byte in the pointed-to generation: the watcher must fall
+# back to the last good generation, report degraded health, and doctor
+# must fail the store.
+glast=$(( $(wc -c < "$clean_gen") - 1 ))
+gorig=$(dd if="$clean_gen" bs=1 skip="$glast" count=1 2> /dev/null \
+    | od -An -tu1 | tr -d ' ')
+printf "\\$(printf '%03o' $(( (gorig + 1) % 256 )))" \
+    | dd of="$clean_gen" bs=1 seek="$glast" conv=notrunc 2> /dev/null
+./target/release/towerlens-cli query --snapshot "$press_tmp/clean-store" --watch health \
+    | grep -q "degraded=yes" \
+    || { echo "watcher served a generation that fails fsck"; exit 1; }
+if ./target/release/towerlens-cli doctor --dir "$press_tmp/clean-store" > /dev/null; then
+    echo "doctor missed the corrupt generation"; exit 1
+fi
+# Shed determinism: the same budget-limited batch must produce
+# byte-identical answers (sheds included, in input order) at 1 and 4
+# threads. topk costs one unit per tower, so budget 5 sheds every scan.
+# (The query smoke above corrupted its artifact on purpose — build a
+# fresh one.)
+./target/release/towerlens-cli study --scale tiny --seed 42 \
+    --snapshot "$press_tmp/study.artifact" > /dev/null
+for threads in 1 4; do
+    ./target/release/towerlens-cli query --snapshot "$press_tmp/study.artifact" \
+        --stdin --threads "$threads" --request-budget 5 --deadline-units 500 \
+        < "$query_tmp/requests.txt" > "$press_tmp/shed-t$threads.out" 2> /dev/null \
+        || { echo "budget-limited query batch failed at --threads $threads"; exit 1; }
+done
+cmp "$press_tmp/shed-t1.out" "$press_tmp/shed-t4.out" \
+    || { echo "shed decisions differ between --threads 1 and --threads 4"; exit 1; }
+grep -q "error: overloaded:" "$press_tmp/shed-t1.out" \
+    || { echo "budget 5 shed nothing — admission control inert"; exit 1; }
+echo "publish kill matrix converged byte-identically; corrupt generation quarantined; shedding deterministic"
+
 echo "== bench smoke + schema validation + baseline comparison =="
 # One tiny workload through the real bench harness at both thread
 # settings, the schema gate over both smoke outputs and the committed
@@ -126,7 +190,7 @@ echo "== bench smoke + schema validation + baseline comparison =="
 # a stage the committed baseline has never seen (medians compare only
 # at matching sizes, so the 20-tower smoke checks the stage set).
 bench_tmp="$(mktemp -d)"
-trap 'rm -rf "$bench_tmp" "$query_tmp" "$serve_tmp" "$thr_tmp"' EXIT
+trap 'rm -rf "$bench_tmp" "$press_tmp" "$query_tmp" "$serve_tmp" "$thr_tmp"' EXIT
 for threads in 1 4; do
     cargo run --release -q -p towerlens-bench --bin bench -- \
         --sizes 20 --repeats 1 --seed 42 --threads "$threads" \
@@ -137,7 +201,7 @@ done
 cargo run --release -q -p towerlens-bench --bin bench -- --validate BENCH_pipeline.json
 
 echo "== cargo clippy =="
-cargo clippy --workspace --all-targets -- -D warnings
+cargo clippy -q --workspace --all-targets -- -D warnings
 
 echo "== cargo fmt --check =="
 cargo fmt --all -- --check
