@@ -10,7 +10,9 @@
 //!   solver and options the batch study used, so the answers are
 //!   bit-identical either way);
 //! * `topk <tower> <k>` — the k nearest towers in the 6-dim spectral
-//!   feature space, via the matrix-free [`top_k_nearest`] scan;
+//!   feature space, answered by a pruned descent of the exact-pruning
+//!   [`SpatialIndex`] built at snapshot load (bit-identical to the
+//!   matrix-free linear scan, which the tests keep as the oracle);
 //! * `screen <tower> <day-file>` — z-score anomaly screening of a
 //!   fresh day of traffic against the tower's stored expected
 //!   profile.
@@ -26,10 +28,11 @@ use std::path::Path;
 use std::sync::Arc;
 use std::time::Duration;
 
-use towerlens_cluster::source::{top_k_nearest, FeatureView};
+use towerlens_cluster::index::{SearchStats, SpatialIndex};
+use towerlens_cluster::source::TopK;
 use towerlens_obs::LazyCounter;
 use towerlens_opt::{simplex_least_squares, SimplexLsOptions, Solver};
-use towerlens_par::{par_map_indexed_tally, resolve_threads};
+use towerlens_par::{par_map_indexed_scratch, resolve_threads};
 
 use crate::format::Snapshot;
 
@@ -42,6 +45,7 @@ static QUERY_ERRORS: LazyCounter = LazyCounter::new("query.errors");
 static QUERY_SHED: LazyCounter = LazyCounter::new("query.shed_total");
 static QUERY_DEADLINE: LazyCounter = LazyCounter::new("query.deadline_exceeded_total");
 static QUERY_FAULT_RETRIES: LazyCounter = LazyCounter::new("query.fault_retries_total");
+static QUERY_TOPK_PRUNED: LazyCounter = LazyCounter::new("query.topk_pruned_total");
 
 /// Per-bin |z| above this marks an exceedance; any exceedance marks
 /// the day anomalous (the classic 3σ rule).
@@ -50,17 +54,19 @@ pub const SCREEN_Z_THRESHOLD: f64 = 3.0;
 /// divide by zero.
 const SIGMA_FLOOR: f64 = 1e-9;
 
-/// The spectral feature rows as a [`FeatureView`]: Euclidean distance
-/// over the 6-dim vectors, computed on demand — no matrix.
-struct FeatureRows<'a>(&'a [[f64; 6]]);
+/// A borrowed `topk` answer: the rendered `(tower id, distance)`
+/// neighbour slice plus the number of subtrees the descent pruned.
+pub type TopkAnswer<'s> = (&'s [(u64, f64)], u64);
 
-impl FeatureView for FeatureRows<'_> {
-    fn len(&self) -> usize {
-        self.0.len()
-    }
-    fn distance(&self, i: usize, j: usize) -> f64 {
-        towerlens_cluster::distance::euclidean(&self.0[i], &self.0[j])
-    }
+/// Per-worker scratch reused across a batch's requests: the top-k
+/// accumulator and its staging buffers survive between requests, so
+/// steady-state `topk` answering performs no per-request heap
+/// allocation beyond the rendered answer string.
+#[derive(Debug, Default)]
+pub struct QueryScratch {
+    top: TopK,
+    sorted: Vec<(usize, f64)>,
+    neighbours: Vec<(u64, f64)>,
 }
 
 /// The verdict of screening one day of traffic against a tower's
@@ -148,8 +154,12 @@ pub const DECOMPOSE_SOLVE_UNITS: u64 = 16;
 /// * `pattern` — 1 (one hash lookup);
 /// * `decompose` — 1 for a stored study row, [`DECOMPOSE_SOLVE_UNITS`]
 ///   for a live solve;
-/// * `topk` — one unit per tower scanned (the matrix-free scan always
-///   visits every tower);
+/// * `topk` — one unit per tower in the snapshot. This is a
+///   deterministic *upper bound*: the pruned index descent usually
+///   touches far fewer towers, but admission and deadline decisions
+///   must not depend on data layout or query locality, so the charge
+///   stays at the worst case (and existing shed behaviour is
+///   unchanged);
 /// * `screen` — one unit per profile bin compared.
 ///
 /// Malformed or unknown-tower requests are charged the flat lookup
@@ -289,10 +299,19 @@ pub struct QueryIndex {
     snapshot: Snapshot,
     by_id: HashMap<u64, usize>,
     decomp_by_index: HashMap<usize, usize>,
+    /// Exact-pruning spatial index over the 6-dim feature rows, built
+    /// once per snapshot load — the `--watch` reloader constructs a
+    /// fresh `QueryIndex` per generation, so the tree rebuilds on
+    /// reload for free.
+    tree: SpatialIndex,
+    /// Basis vertices lifted to the solver's row format once, instead
+    /// of re-collected on every live `decompose` solve.
+    basis_vertices: Option<Vec<Vec<f64>>>,
 }
 
 impl QueryIndex {
-    /// Builds the index. Cost is one pass over the tower table.
+    /// Builds the index: the id maps (one pass over the tower table)
+    /// plus the spatial tree over the feature rows (O(n log n)).
     #[must_use]
     pub fn new(snapshot: Snapshot) -> QueryIndex {
         let by_id = snapshot
@@ -307,10 +326,17 @@ impl QueryIndex {
             .enumerate()
             .map(|(row, d)| (d.vector_index, row))
             .collect();
+        let tree = SpatialIndex::build(&snapshot.features[..]);
+        let basis_vertices = snapshot
+            .basis
+            .as_ref()
+            .map(|b| b.vertices.iter().map(|v| v.to_vec()).collect());
         QueryIndex {
             snapshot,
             by_id,
             decomp_by_index,
+            tree,
+            basis_vertices,
         }
     }
 
@@ -370,19 +396,17 @@ impl QueryIndex {
             let d = &self.snapshot.decompositions[row];
             return Ok((d.coefficients, d.residual_sqr));
         }
-        let basis = self
-            .snapshot
-            .basis
+        let vertices = self
+            .basis_vertices
             .as_ref()
             .ok_or_else(|| "snapshot has no primary-component basis".to_string())?;
-        let vertices: Vec<Vec<f64>> = basis.vertices.iter().map(|v| v.to_vec()).collect();
         let f = &self.snapshot.features[idx];
         // f6 order is [amp_week, phase_week, amp_day, phase_day,
         // amp_half, phase_half]; the decomposition space is f3 =
         // [amp_day, phase_day, amp_half].
         let target = [f[2], f[3], f[4]];
         let solution = simplex_least_squares(
-            &vertices,
+            vertices,
             &target,
             SimplexLsOptions {
                 solver: Solver::ActiveSet,
@@ -396,17 +420,50 @@ impl QueryIndex {
     }
 
     /// The `k` nearest towers in spectral feature space, as
-    /// `(tower id, distance)` ascending by `(distance, index)`.
+    /// `(tower id, distance)` ascending by `(distance, index)` — a
+    /// pruned descent of the spatial tree, bit-identical to the linear
+    /// scan over the same kernel.
     ///
     /// # Errors
     /// Unknown tower id.
     pub fn topk(&self, id: u64, k: usize) -> Result<Vec<(u64, f64)>, String> {
+        let mut scratch = QueryScratch::default();
+        self.topk_scratch(id, k, &mut scratch)
+            .map(|(neighbours, _)| neighbours.to_vec())
+    }
+
+    /// [`QueryIndex::topk`] through caller-owned scratch buffers (the
+    /// batch engine reuses one [`QueryScratch`] per worker, so
+    /// steady-state requests allocate nothing). Returns the rendered
+    /// neighbour slice and the number of subtrees the descent pruned.
+    ///
+    /// # Errors
+    /// Unknown tower id.
+    pub fn topk_scratch<'s>(
+        &self,
+        id: u64,
+        k: usize,
+        scratch: &'s mut QueryScratch,
+    ) -> Result<TopkAnswer<'s>, String> {
         let idx = self.resolve(id)?;
-        let view = FeatureRows(&self.snapshot.features);
-        Ok(top_k_nearest(&view, idx, k)
-            .into_iter()
-            .map(|(j, d)| (self.snapshot.tower_ids[j], d))
-            .collect())
+        scratch.top.reset(k);
+        scratch.sorted.clear();
+        scratch.neighbours.clear();
+        let mut stats = SearchStats::default();
+        self.tree.top_k_into(
+            &self.snapshot.features[idx],
+            idx,
+            &mut stats,
+            &mut scratch.top,
+        );
+        scratch.top.sorted_into(&mut scratch.sorted);
+        scratch.neighbours.extend(
+            scratch
+                .sorted
+                .iter()
+                .map(|&(j, d)| (self.snapshot.tower_ids[j], d)),
+        );
+        Ok((&scratch.neighbours, stats.pruned_subtrees))
     }
 
     /// Screens one day of raw traffic against the tower's expected
@@ -543,6 +600,11 @@ pub struct BatchTally {
     /// every other field this one depends on worker-chunk geometry,
     /// so it is the only tally that may differ across `--threads`.
     pub fault_retries: u64,
+    /// Subtrees the spatial index pruned while answering `topk`
+    /// requests. Pruning is a pure function of each request against
+    /// the snapshot, so — like every field except `fault_retries` —
+    /// this is thread-count invariant.
+    pub topk_pruned: u64,
 }
 
 const SLOT_REQUESTS: usize = 0;
@@ -554,22 +616,32 @@ const SLOT_ERRORS: usize = 5;
 const SLOT_SHED: usize = 6;
 const SLOT_DEADLINE: usize = 7;
 const SLOT_FAULT_RETRIES: usize = 8;
-const SLOTS: usize = 9;
+const SLOT_TOPK_PRUNED: usize = 9;
+const SLOTS: usize = 10;
 
-fn answer(index: &QueryIndex, request: &Request) -> Result<String, String> {
+/// Answers one parsed request, returning the rendered line and the
+/// subtree count the spatial index pruned (nonzero only for `topk`).
+fn answer(
+    index: &QueryIndex,
+    request: &Request,
+    scratch: &mut QueryScratch,
+) -> Result<(String, u64), String> {
     match request {
         Request::Pattern(id) => {
             let (cluster, kind) = index.pattern(*id)?;
-            Ok(render_pattern(*id, cluster, kind))
+            Ok((render_pattern(*id, cluster, kind), 0))
         }
         Request::Decompose(id) => {
             let (coefficients, residual_sqr) = index.decompose(*id)?;
-            Ok(render_decompose(*id, &coefficients, residual_sqr))
+            Ok((render_decompose(*id, &coefficients, residual_sqr), 0))
         }
-        Request::Topk(id, k) => Ok(render_topk(*id, &index.topk(*id, *k)?)),
+        Request::Topk(id, k) => {
+            let (neighbours, pruned) = index.topk_scratch(*id, *k, scratch)?;
+            Ok((render_topk(*id, neighbours), pruned))
+        }
         Request::Screen(id, file) => {
             let day = read_day_file(Path::new(file))?;
-            Ok(render_screen(*id, &index.screen(*id, &day)?))
+            Ok((render_screen(*id, &index.screen(*id, &day)?), 0))
         }
     }
 }
@@ -596,6 +668,7 @@ pub fn read_day_file(path: &Path) -> Result<Vec<f64>, String> {
 /// of chunking and therefore of the thread count.
 fn answer_counted(
     index: &QueryIndex,
+    scratch: &mut QueryScratch,
     chunk_pos: usize,
     line: &str,
     policy: &QueryPolicy,
@@ -646,9 +719,10 @@ fn answer_counted(
         Request::Topk(..) => SLOT_TOPK,
         Request::Screen(..) => SLOT_SCREEN,
     };
-    match answer(index, &request) {
-        Ok(text) => {
+    match answer(index, &request, scratch) {
+        Ok((text, pruned)) => {
             tally[slot] += 1;
+            tally[SLOT_TOPK_PRUNED] += pruned;
             Ok(text)
         }
         Err(message) => {
@@ -668,6 +742,7 @@ fn publish(tally: &BatchTally) {
     QUERY_SHED.add(tally.shed);
     QUERY_DEADLINE.add(tally.deadline_exceeded);
     QUERY_FAULT_RETRIES.add(tally.fault_retries);
+    QUERY_TOPK_PRUNED.add(tally.topk_pruned);
 }
 
 /// Answers one request with the default (fair-weather) policy,
@@ -691,7 +766,8 @@ pub fn run_one_with(
     policy: &QueryPolicy,
 ) -> Result<String, String> {
     let mut slots = [0u64; SLOTS];
-    let outcome = answer_counted(index, 0, line, policy, &mut slots);
+    let mut scratch = QueryScratch::default();
+    let outcome = answer_counted(index, &mut scratch, 0, line, policy, &mut slots);
     publish(&tally_of(&slots));
     outcome
 }
@@ -707,6 +783,7 @@ fn tally_of(slots: &[u64]) -> BatchTally {
         shed: slots[SLOT_SHED],
         deadline_exceeded: slots[SLOT_DEADLINE],
         fault_retries: slots[SLOT_FAULT_RETRIES],
+        topk_pruned: slots[SLOT_TOPK_PRUNED],
     }
 }
 
@@ -751,16 +828,25 @@ pub fn run_batch_with(
     } else {
         lines.len().div_ceil(workers)
     };
-    let (out, slots) =
-        par_map_indexed_tally(
-            lines,
-            policy.threads,
-            SLOTS,
-            |i, line, tally| match answer_counted(index, i % chunk, line, policy, tally) {
-                Ok(answer) => answer,
-                Err(message) => format!("error: {message}"),
-            },
-        );
+    // Each worker owns one QueryScratch for its whole chunk, so
+    // steady-state topk answering is allocation-free per request.
+    let (out, slots) = par_map_indexed_scratch(
+        lines,
+        policy.threads,
+        SLOTS,
+        QueryScratch::default,
+        |scratch, i, line, tally| match answer_counted(
+            index,
+            scratch,
+            i % chunk,
+            line,
+            policy,
+            tally,
+        ) {
+            Ok(answer) => answer,
+            Err(message) => format!("error: {message}"),
+        },
+    );
     let tally = tally_of(&slots);
     publish(&tally);
     (out, tally)

@@ -1,0 +1,54 @@
+//! Heap-allocation counting hooks for the `bench` binary.
+//!
+//! The library forbids `unsafe`, so the counting [`GlobalAlloc`]
+//! wrapper itself lives in `bin/bench.rs` (a separate crate that may
+//! use `unsafe`); it reports every allocation call here through
+//! [`record`]. Library code reads the running total with [`calls`]
+//! and differences it around a timed region — when the counting
+//! allocator is not installed (unit tests, the `repro` binary) the
+//! total stays `0` and every delta is `0`, which reports honestly as
+//! "not measured" rather than a fake count.
+//!
+//! Only allocation-side calls (`alloc`, `alloc_zeroed`, `realloc`)
+//! are counted; frees are not, so the delta over a region is the
+//! number of fresh heap acquisitions the region performed. That is
+//! the quantity the per-worker scratch reuse in the query batch path
+//! is meant to drive toward zero.
+//!
+//! [`GlobalAlloc`]: std::alloc::GlobalAlloc
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static CALLS: AtomicU64 = AtomicU64::new(0);
+
+/// Records one allocation call. Called from the bench binary's global
+/// allocator on every `alloc`/`alloc_zeroed`/`realloc`; must never
+/// allocate itself (a relaxed atomic increment does not).
+#[inline]
+pub fn record() {
+    CALLS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// The process-lifetime allocation-call total. `0` forever unless the
+/// counting allocator is installed. Difference two reads to count the
+/// allocations of a region.
+#[inline]
+#[must_use]
+pub fn calls() -> u64 {
+    CALLS.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_advances_the_total() {
+        // The counting allocator is not installed under `cargo test`,
+        // so the counter only moves when we move it.
+        let before = calls();
+        record();
+        record();
+        assert_eq!(calls() - before, 2);
+    }
+}

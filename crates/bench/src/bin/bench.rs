@@ -2,16 +2,26 @@
 //!
 //! ```text
 //! bench [--sizes N,N,...] [--paper] [--repeats K] [--seed N] [--threads N] [--out FILE]
+//! bench [--query] [--cluster-100k] ...
 //! bench --validate FILE [--baseline FILE]
 //! ```
 //!
 //! `--paper` appends the paper-scale workload (9,600 towers — the full
 //! Shanghai deployment of the source paper) to the size list. At that
 //! count the study's feature space auto-resolves to spectral, so the
-//! cluster stage runs matrix-free; the emitted counters then include
-//! `cluster.distance.on_demand_evaluations` alongside the materialised
-//! path's `cluster.distance.evaluations`, letting the report quantify
-//! distance work per feature space.
+//! cluster stage runs matrix-free over the exact-pruning spatial
+//! index; the emitted counters then include
+//! `cluster.index.leaf_evaluations` (and the tree-traversal counters)
+//! alongside the materialised path's `cluster.distance.evaluations`,
+//! letting the report quantify distance work per feature space.
+//! `--cluster-100k` adds a pure clustering workload an order of
+//! magnitude past the paper: a complete average-linkage dendrogram
+//! over 100,000 synthetic 6-dim feature vectors through the index.
+//!
+//! This binary installs a counting global allocator (the library
+//! can't — it forbids `unsafe`); the query workload reports the heap
+//! acquisitions of its timed batch, making the per-worker scratch
+//! reuse of the batch path measurable rather than asserted.
 //!
 //! Each size runs the full staged study pipeline (city → synthesize →
 //! vectorize → cluster → label/timedomain/frequency → decompose) over
@@ -27,10 +37,46 @@
 //! never seen, and per-stage medians within the regression budget at
 //! matching workload sizes.
 
+use std::alloc::{GlobalAlloc, Layout, System};
+
 use towerlens_bench::perf::{
-    compare_bench_json, run_bench, run_query_bench, validate_bench_json, BenchParams,
-    QueryBenchParams,
+    compare_bench_json, run_bench, run_cluster_bench, run_query_bench, validate_bench_json,
+    BenchParams, ClusterBenchParams, QueryBenchParams,
 };
+
+/// Counts heap-allocation calls through the library's safe hooks
+/// (`towerlens_bench::alloc`). Installed only in this binary, so the
+/// library keeps its `#![forbid(unsafe_code)]`; lib code reading the
+/// counter outside this binary just sees a flat `0`.
+struct CountingAlloc;
+
+// SAFETY: every method delegates verbatim to `System`, which upholds
+// the `GlobalAlloc` contract; the extra work is one relaxed atomic
+// increment, which cannot allocate, unwind, or touch the layout.
+#[allow(unsafe_code)]
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        towerlens_bench::alloc::record();
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        towerlens_bench::alloc::record();
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        towerlens_bench::alloc::record();
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 fn bail(msg: &str) -> ! {
     eprintln!("{msg}");
@@ -46,6 +92,8 @@ fn main() {
     let mut paper = false;
     let mut query = false;
     let mut query_params = QueryBenchParams::default();
+    let mut cluster = false;
+    let mut cluster_params = ClusterBenchParams::default();
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -74,6 +122,14 @@ fn main() {
                 Ok(b) if b >= 1 => query_params.request_budget = b,
                 _ => bail("bad --query-budget (want a cost budget ≥ 1)"),
             },
+            "--cluster-100k" => cluster = true,
+            "--cluster-points" => match it.next().unwrap_or_default().parse() {
+                Ok(p) if p >= 2 => {
+                    cluster = true;
+                    cluster_params.points = p;
+                }
+                _ => bail("bad --cluster-points (want an integer ≥ 2)"),
+            },
             "--repeats" => match it.next().unwrap_or_default().parse() {
                 Ok(k) if k >= 1 => params.repeats = k,
                 _ => bail("bad --repeats (want an integer ≥ 1)"),
@@ -99,6 +155,7 @@ fn main() {
                      [--threads N] [--out FILE]\n\
                      \x20      bench [--query] [--query-towers N] [--query-requests N] \
                      [--query-budget N] ...\n\
+                     \x20      bench [--cluster-100k] [--cluster-points N] ...\n\
                      \x20      bench --validate FILE [--baseline FILE]\n\
                      --paper appends the 9,600-tower paper-scale workload \
                      (spectral feature space)\n\
@@ -107,7 +164,11 @@ fn main() {
                      \x20       memory-resident query artifact of a 9,600-tower spectral \
                      study, plus an overload\n\
                      \x20       variant under an admission budget (default 100 cost units) \
-                     that sheds every topk scan"
+                     that sheds every topk scan\n\
+                     --cluster-100k also clusters 100,000 synthetic 6-dim feature vectors \
+                     end-to-end over the\n\
+                     \x20       exact-pruning spatial index (nn-chain, average linkage); \
+                     --cluster-points overrides the count"
                 );
                 return;
             }
@@ -200,6 +261,13 @@ fn main() {
                     q.requests, q.towers, q.total_ms, q.throughput_qps
                 );
                 eprintln!(
+                    "  allocations: {} heap acquisitions during the batch ({:.2} per \
+                     request; per-worker scratch keeps request staging allocation-free, \
+                     so the residue is answer strings)",
+                    q.allocations,
+                    q.allocations as f64 / q.requests.max(1) as f64
+                );
+                eprintln!(
                     "  overload (budget {}): shed {} of {} in {:.1} ms — {:.0} requests/s",
                     over.request_budget,
                     over.shed,
@@ -212,6 +280,27 @@ fn main() {
             }
             Err(e) => {
                 eprintln!("query bench failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if cluster {
+        cluster_params.seed = params.seed;
+        eprintln!(
+            "cluster-index workload: full dendrogram over {} 6-dim points…",
+            cluster_params.points
+        );
+        match run_cluster_bench(&cluster_params) {
+            Ok(c) => {
+                eprintln!(
+                    "  cluster-index: {} points in {:.1} ms — {} kernel evaluations, \
+                     {} nodes visited, {} subtrees pruned",
+                    c.points, c.wall_ms, c.leaf_evaluations, c.nodes_visited, c.pruned_subtrees
+                );
+                report.cluster_index = Some(c);
+            }
+            Err(e) => {
+                eprintln!("cluster-index bench failed: {e}");
                 std::process::exit(1);
             }
         }

@@ -13,6 +13,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod alloc;
 pub mod experiments;
 pub mod json;
 pub mod perf;

@@ -12,6 +12,7 @@
 use std::collections::BTreeMap;
 use std::time::Duration;
 
+use towerlens_cluster::{agglomerative_points_indexed, Engine, Linkage};
 use towerlens_core::{CoreError, RunReport, Study, StudyConfig};
 use towerlens_trace::time::TraceWindow;
 
@@ -100,13 +101,16 @@ pub struct QueryBenchParams {
 
 impl Default for QueryBenchParams {
     /// The paper-scale snapshot (9,600 towers — the full deployment
-    /// of the source paper) under a 10,000-request mixed batch; the
-    /// overload variant admits 100 cost units per request, far below
-    /// the 9,600-unit topk scan.
+    /// of the source paper) under a 40,000-request mixed batch —
+    /// scaled 4× over the pre-index workload now that each topk
+    /// request is a pruned descent instead of a full scan, so the
+    /// batch exercises 10,000 topk requests. The overload variant
+    /// admits 100 cost units per request, far below the 9,600-unit
+    /// topk scan.
     fn default() -> Self {
         QueryBenchParams {
             towers: 9_600,
-            requests: 10_000,
+            requests: 40_000,
             seed: 42,
             threads: 0,
             request_budget: 100,
@@ -128,8 +132,62 @@ pub struct QueryBenchResult {
     pub total_ms: f64,
     /// Requests answered per second of batch wall time.
     pub throughput_qps: f64,
+    /// Heap-allocation calls during the timed batch (the delta of
+    /// [`crate::alloc::calls`] around it). `0` when the counting
+    /// allocator is not installed — i.e. anywhere but the `bench`
+    /// binary — which reads as "not measured".
+    pub allocations: u64,
     /// The `query.*` counter totals for the batch.
     pub counters: BTreeMap<String, u64>,
+}
+
+/// Parameters for the spatial-index clustering workload
+/// (`bench --cluster-100k`): `points` synthetic 6-dimensional
+/// spectral-style feature vectors (a deterministic 8-blob mixture)
+/// are clustered end-to-end — average linkage, nn-chain engine — over
+/// the exact-pruning spatial index.
+#[derive(Debug, Clone)]
+pub struct ClusterBenchParams {
+    /// Feature vectors to cluster.
+    pub points: usize,
+    /// Seed of the synthetic mixture.
+    pub seed: u64,
+}
+
+impl Default for ClusterBenchParams {
+    /// 100,000 points — an order of magnitude past the paper's 9,600
+    /// towers, demonstrating the index holds at city-region scale.
+    fn default() -> Self {
+        ClusterBenchParams {
+            points: 100_000,
+            seed: 42,
+        }
+    }
+}
+
+/// The spatial-index clustering workload's results. The evaluation
+/// and traversal counts are deterministic for a fixed seed, so they
+/// double as regression gates (see [`compare_bench_json`]); only
+/// `wall_ms` is machine-dependent.
+#[derive(Debug, Clone)]
+pub struct ClusterIndexResult {
+    /// Points clustered.
+    pub points: usize,
+    /// Feature dimensionality (6: amplitude and phase of the top
+    /// three harmonics, as in the paper's spectral space).
+    pub dims: usize,
+    /// End-to-end wall time of the dendrogram build in milliseconds.
+    pub wall_ms: f64,
+    /// Merges performed (`points - 1` for a complete dendrogram).
+    pub merges: u64,
+    /// Distance-kernel evaluations (`cluster.index.leaf_evaluations`).
+    pub leaf_evaluations: u64,
+    /// k-d tree nodes visited across all neighbour searches
+    /// (`cluster.index.nodes_visited`).
+    pub nodes_visited: u64,
+    /// Subtrees skipped by the box lower bound
+    /// (`cluster.index.pruned_subtrees`).
+    pub pruned_subtrees: u64,
 }
 
 /// The overload variant's results: the same memory-resident index
@@ -175,6 +233,9 @@ pub struct BenchReport {
     /// The overload variant of the query workload (same `--query`
     /// run): a budget-limited batch shedding 20% of its requests.
     pub query_overload: Option<QueryOverloadResult>,
+    /// The spatial-index clustering workload, when `--cluster-100k`
+    /// ran.
+    pub cluster_index: Option<ClusterIndexResult>,
 }
 
 /// Schema tag embedded in (and required from) the JSON. v2 added the
@@ -183,8 +244,12 @@ pub struct BenchReport {
 /// object recording the artifact-store query-throughput workload; v4
 /// added the optional `query_overload` object recording the same
 /// index under an admission budget that sheds the expensive fifth of
-/// the stream.
-pub const BENCH_SCHEMA: &str = "towerlens-bench-pipeline-v4";
+/// the stream; v5 added the optional `cluster_index` object (the
+/// `--cluster-100k` spatial-index clustering workload) and the
+/// `allocations` field of the query section (heap-allocation calls
+/// during the timed batch, `0` when the counting allocator is not
+/// installed).
+pub const BENCH_SCHEMA: &str = "towerlens-bench-pipeline-v5";
 
 /// The study configuration for a bench workload: `towers` towers over
 /// the paper's 4032-bin window, geometry scaled down so small tower
@@ -272,6 +337,7 @@ pub fn run_bench(params: &BenchParams) -> Result<BenchReport, CoreError> {
         workloads,
         query: None,
         query_overload: None,
+        cluster_index: None,
     })
 }
 
@@ -321,9 +387,11 @@ pub fn run_query_bench(
         .collect();
 
     towerlens_obs::global().reset();
+    let alloc_before = crate::alloc::calls();
     let started = std::time::Instant::now();
     let (answers, _) = towerlens_artifact::run_batch(&index, &lines, params.threads);
     let total_ms = ms(started.elapsed());
+    let allocations = crate::alloc::calls().saturating_sub(alloc_before);
     debug_assert_eq!(answers.len(), lines.len());
     let counters: BTreeMap<String, u64> = towerlens_obs::global()
         .snapshot()
@@ -337,6 +405,7 @@ pub fn run_query_bench(
         threads: params.threads,
         total_ms,
         throughput_qps: params.requests as f64 / (total_ms / 1e3),
+        allocations,
         counters,
     };
 
@@ -382,6 +451,59 @@ pub fn run_query_bench(
         counters,
     };
     Ok((plain, overload))
+}
+
+/// A deterministic 8-blob mixture of 6-dimensional points, shaped
+/// like the spectral feature space (amplitude/phase of three
+/// harmonics): well-separated centres with per-point jitter, so the
+/// spatial index has real structure to prune against. Plain xorshift
+/// keeps the workload identical across platforms and reruns.
+fn mixture_points(n: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut state = seed | 1;
+    let mut unit = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    (0..n)
+        .map(|i| {
+            let blob = (i % 8) as f64;
+            (0..6)
+                .map(|d| blob * 3.0 + (d as f64) * 0.25 + unit() * 0.5)
+                .collect()
+        })
+        .collect()
+}
+
+/// Runs the spatial-index clustering workload: a complete average-
+/// linkage dendrogram over `params.points` synthetic 6-dim feature
+/// vectors via the nn-chain engine and the exact-pruning spatial
+/// index. The process-wide metrics registry is reset first, so the
+/// reported counters describe exactly this build.
+///
+/// # Errors
+/// The clustering error as a string (empty input cannot happen for
+/// `points ≥ 1`; this surfaces only internal invariant violations).
+pub fn run_cluster_bench(params: &ClusterBenchParams) -> Result<ClusterIndexResult, String> {
+    let points = mixture_points(params.points, params.seed);
+    towerlens_obs::global().reset();
+    let started = std::time::Instant::now();
+    let tree = agglomerative_points_indexed(&points, Linkage::Average, Engine::NnChain)
+        .map_err(|e| format!("cluster bench failed: {e:?}"))?;
+    let wall_ms = ms(started.elapsed());
+    debug_assert_eq!(tree.merges().len(), params.points.saturating_sub(1));
+    let counters = towerlens_obs::global().snapshot().counters;
+    let read = |name: &str| counters.get(name).copied().unwrap_or(0);
+    Ok(ClusterIndexResult {
+        points: params.points,
+        dims: 6,
+        wall_ms,
+        merges: read("cluster.agglomerative.merges"),
+        leaf_evaluations: read("cluster.index.leaf_evaluations"),
+        nodes_visited: read("cluster.index.nodes_visited"),
+        pruned_subtrees: read("cluster.index.pruned_subtrees"),
+    })
 }
 
 /// The current git revision, or `unknown` when git is unavailable.
@@ -444,8 +566,8 @@ impl BenchReport {
             out.push_str(&format!(
                 ",\n  \"query\": {{\n    \"towers\": {},\n    \"requests\": {},\n    \
                  \"threads\": {},\n    \"total_ms\": {:.3},\n    \
-                 \"throughput_qps\": {:.1},\n    \"counters\": {{",
-                q.towers, q.requests, q.threads, q.total_ms, q.throughput_qps
+                 \"throughput_qps\": {:.1},\n    \"allocations\": {},\n    \"counters\": {{",
+                q.towers, q.requests, q.threads, q.total_ms, q.throughput_qps, q.allocations
             ));
             for (j, (name, value)) in q.counters.iter().enumerate() {
                 if j > 0 {
@@ -475,6 +597,21 @@ impl BenchReport {
                 out.push_str(&format!("\n      \"{}\": {}", json::escape(name), value));
             }
             out.push_str("\n    }\n  }");
+        }
+        if let Some(c) = &self.cluster_index {
+            out.push_str(&format!(
+                ",\n  \"cluster_index\": {{\n    \"points\": {},\n    \"dims\": {},\n    \
+                 \"wall_ms\": {:.3},\n    \"merges\": {},\n    \
+                 \"leaf_evaluations\": {},\n    \"nodes_visited\": {},\n    \
+                 \"pruned_subtrees\": {}\n  }}",
+                c.points,
+                c.dims,
+                c.wall_ms,
+                c.merges,
+                c.leaf_evaluations,
+                c.nodes_visited,
+                c.pruned_subtrees
+            ));
         }
         out.push_str("\n}\n");
         out
@@ -599,6 +736,12 @@ pub fn validate_bench_json(text: &str) -> Result<(), String> {
         if require_number(q, "throughput_qps", at)? <= 0.0 {
             return Err(format!("{at}: throughput must be positive"));
         }
+        let allocations = require_number(q, "allocations", at)?;
+        if allocations < 0.0 || allocations.fract() != 0.0 {
+            return Err(format!(
+                "{at}: `allocations` must be a non-negative integer"
+            ));
+        }
         let counters = q
             .get("counters")
             .and_then(Json::as_object)
@@ -676,6 +819,40 @@ pub fn validate_bench_json(text: &str) -> Result<(), String> {
             ));
         }
     }
+    // The spatial-index clustering workload (v5): when present, the
+    // dendrogram must be complete (merges = points − 1) and the build
+    // must have actually evaluated distances and walked the tree.
+    if let Some(c) = doc.get("cluster_index") {
+        let at = "cluster_index";
+        let points = require_number(c, "points", at)?;
+        if points < 2.0 || require_number(c, "dims", at)? < 1.0 {
+            return Err(format!("{at}: needs ≥ 2 points of ≥ 1 dims"));
+        }
+        let wall = require_number(c, "wall_ms", at)?;
+        if !wall.is_finite() || wall <= 0.0 {
+            return Err(format!("{at}: implausible wall ({wall} ms)"));
+        }
+        let merges = require_number(c, "merges", at)?;
+        if merges != points - 1.0 {
+            return Err(format!(
+                "{at}: `merges` ({merges}) is not points − 1 ({})",
+                points - 1.0
+            ));
+        }
+        for key in ["leaf_evaluations", "nodes_visited", "pruned_subtrees"] {
+            let v = require_number(c, key, at)?;
+            if v < 0.0 || v.fract() != 0.0 {
+                return Err(format!("{at}: `{key}` is not a count"));
+            }
+        }
+        if require_number(c, "leaf_evaluations", at)? < 1.0
+            || require_number(c, "nodes_visited", at)? < 1.0
+        {
+            return Err(format!(
+                "{at}: a real build evaluates distances and visits nodes"
+            ));
+        }
+    }
     Ok(())
 }
 
@@ -688,10 +865,20 @@ pub const MEDIAN_REGRESSION_BUDGET: f64 = 0.10;
 /// median — cannot fail the gate on jitter alone.
 pub const MEDIAN_EPSILON_MS: f64 = 0.5;
 
+/// Deterministic distance-evaluation counters. For a fixed seed their
+/// values do not depend on thread count or timing, so a candidate
+/// whose total exceeds the baseline's at a matching workload size has
+/// genuinely regressed the pruning or caching structure — the gate
+/// compares the *sum* so that moving work between the materialised,
+/// on-demand, and indexed paths cannot hide a regression.
+pub const EVAL_COUNTERS: [&str; 3] = [
+    "cluster.distance.evaluations",
+    "cluster.distance.on_demand_evaluations",
+    "cluster.index.leaf_evaluations",
+];
+
 /// Per-workload stage medians, keyed by tower count.
-fn stage_medians(text: &str, role: &str) -> Result<BTreeMap<u64, BTreeMap<String, f64>>, String> {
-    validate_bench_json(text).map_err(|e| format!("{role}: {e}"))?;
-    let doc = json::parse(text).map_err(|e| format!("{role}: {e}"))?;
+fn stage_medians(doc: &Json, role: &str) -> Result<BTreeMap<u64, BTreeMap<String, f64>>, String> {
     let mut out = BTreeMap::new();
     for w in doc.get("workloads").and_then(Json::as_array).unwrap_or(&[]) {
         let towers = require_number(w, "towers", role)? as u64;
@@ -708,6 +895,31 @@ fn stage_medians(text: &str, role: &str) -> Result<BTreeMap<u64, BTreeMap<String
     Ok(out)
 }
 
+/// Per-workload totals of the [`EVAL_COUNTERS`], keyed by tower count.
+fn eval_totals(doc: &Json, role: &str) -> Result<BTreeMap<u64, u64>, String> {
+    let mut out = BTreeMap::new();
+    for w in doc.get("workloads").and_then(Json::as_array).unwrap_or(&[]) {
+        let towers = require_number(w, "towers", role)? as u64;
+        let mut total = 0u64;
+        if let Some(counters) = w.get("counters").and_then(Json::as_object) {
+            for name in EVAL_COUNTERS {
+                total += counters.get(name).and_then(Json::as_number).unwrap_or(0.0) as u64;
+            }
+        }
+        out.insert(towers, total);
+    }
+    Ok(out)
+}
+
+/// A query section's `query.topk_pruned_total` counter (0 if absent).
+fn topk_pruned(q: &Json) -> f64 {
+    q.get("counters")
+        .and_then(Json::as_object)
+        .and_then(|cs| cs.get("query.topk_pruned_total"))
+        .and_then(Json::as_number)
+        .unwrap_or(0.0)
+}
+
 /// Compares a candidate bench report against a committed baseline:
 /// the candidate must introduce **no stage name** the baseline has
 /// never seen (a supervision layer that quietly adds pipeline work
@@ -718,12 +930,24 @@ fn stage_medians(text: &str, role: &str) -> Result<BTreeMap<u64, BTreeMap<String
 /// median check and are reported in the returned notes, so a smoke
 /// run at an off-baseline size still gates the stage set.
 ///
+/// Three deterministic gates ride along (exact — no jitter budget,
+/// because the compared counters cannot jitter for a fixed seed):
+/// at matching workload sizes the summed [`EVAL_COUNTERS`] may not
+/// exceed the baseline's; at a matching `cluster_index` point count
+/// the `leaf_evaluations` may not exceed the baseline's; and at a
+/// matching `query` workload shape the `query.topk_pruned_total`
+/// counter may not drop below the baseline's (pruning power lost).
+///
 /// # Errors
 /// A human-readable description of the first violation, including
 /// structural invalidity of either document.
 pub fn compare_bench_json(candidate: &str, baseline: &str) -> Result<Vec<String>, String> {
-    let cand = stage_medians(candidate, "candidate")?;
-    let base = stage_medians(baseline, "baseline")?;
+    validate_bench_json(candidate).map_err(|e| format!("candidate: {e}"))?;
+    validate_bench_json(baseline).map_err(|e| format!("baseline: {e}"))?;
+    let cand_doc = json::parse(candidate).map_err(|e| format!("candidate: {e}"))?;
+    let base_doc = json::parse(baseline).map_err(|e| format!("baseline: {e}"))?;
+    let cand = stage_medians(&cand_doc, "candidate")?;
+    let base = stage_medians(&base_doc, "baseline")?;
     let known: std::collections::BTreeSet<&str> = base
         .values()
         .flat_map(|stages| stages.keys().map(String::as_str))
@@ -764,6 +988,74 @@ pub fn compare_bench_json(candidate: &str, baseline: &str) -> Result<Vec<String>
             }
         }
     }
+    // Eval-count gate: at matching sizes the summed distance-work
+    // counters are deterministic, so "no worse than baseline" is exact.
+    let cand_evals = eval_totals(&cand_doc, "candidate")?;
+    let base_evals = eval_totals(&base_doc, "baseline")?;
+    for (towers, &evals) in &cand_evals {
+        let Some(&reference) = base_evals.get(towers) else {
+            continue;
+        };
+        if evals > reference {
+            return Err(format!(
+                "{towers} towers: {evals} distance evaluations exceed the baseline's \
+                 {reference} (the eval-count gate is exact: these counters are \
+                 deterministic for a fixed seed)"
+            ));
+        }
+        notes.push(format!(
+            "{towers} towers: {evals} distance evaluations (baseline {reference})"
+        ));
+    }
+    // Spatial-index clustering gate: same point count ⇒ the candidate
+    // may not evaluate more leaf distances than the baseline.
+    if let (Some(c), Some(b)) = (cand_doc.get("cluster_index"), base_doc.get("cluster_index")) {
+        let points = require_number(c, "points", "candidate")?;
+        if points == require_number(b, "points", "baseline")? {
+            let evals = require_number(c, "leaf_evaluations", "candidate")?;
+            let reference = require_number(b, "leaf_evaluations", "baseline")?;
+            if evals > reference {
+                return Err(format!(
+                    "cluster_index: {evals} leaf evaluations at {points} points \
+                     exceed the baseline's {reference}"
+                ));
+            }
+            notes.push(format!(
+                "cluster_index: {evals} leaf evaluations at {points} points \
+                 (baseline {reference})"
+            ));
+        } else {
+            notes.push(
+                "cluster_index: point count differs from baseline; evaluations not compared"
+                    .to_string(),
+            );
+        }
+    }
+    // Pruned-topk gate: same snapshot size and stream length ⇒ the
+    // candidate may not prune fewer subtrees than the baseline.
+    if let (Some(c), Some(b)) = (cand_doc.get("query"), base_doc.get("query")) {
+        let same = require_number(c, "towers", "candidate")?
+            == require_number(b, "towers", "baseline")?
+            && require_number(c, "requests", "candidate")?
+                == require_number(b, "requests", "baseline")?;
+        if same {
+            let pruned = topk_pruned(c);
+            let reference = topk_pruned(b);
+            if pruned < reference {
+                return Err(format!(
+                    "query: {pruned} topk subtrees pruned, below the baseline's \
+                     {reference} — the index descent lost pruning power"
+                ));
+            }
+            notes.push(format!(
+                "query: {pruned} topk subtrees pruned (baseline {reference})"
+            ));
+        } else {
+            notes.push(
+                "query: workload shape differs from baseline; pruning not compared".to_string(),
+            );
+        }
+    }
     Ok(notes)
 }
 
@@ -802,6 +1094,7 @@ mod tests {
             }],
             query: None,
             query_overload: None,
+            cluster_index: None,
         }
     }
 
@@ -812,12 +1105,26 @@ mod tests {
             threads: 4,
             total_ms: 250.0,
             throughput_qps: 40_000.0,
+            allocations: 12_345,
             counters: BTreeMap::from([
                 ("query.requests".to_string(), 10_000u64),
                 ("query.pattern".to_string(), 6_000),
                 ("query.topk".to_string(), 2_500),
                 ("query.decompose".to_string(), 1_500),
+                ("query.topk_pruned_total".to_string(), 40_000),
             ]),
+        }
+    }
+
+    fn sample_cluster_index() -> ClusterIndexResult {
+        ClusterIndexResult {
+            points: 100_000,
+            dims: 6,
+            wall_ms: 52_000.0,
+            merges: 99_999,
+            leaf_evaluations: 5_000_000_000,
+            nodes_visited: 9_000_000,
+            pruned_subtrees: 4_000_000,
         }
     }
 
@@ -963,6 +1270,137 @@ mod tests {
     }
 
     #[test]
+    fn cluster_index_section_validates_and_is_gated() {
+        let mut report = sample_report();
+        report.cluster_index = Some(sample_cluster_index());
+        let good = report.to_json();
+        validate_bench_json(&good).unwrap();
+        compare_bench_json(&good, &good).unwrap();
+        // More leaf evaluations at the same point count is a hard
+        // regression — the counter is deterministic, so no slack.
+        let mut worse = sample_report();
+        worse.cluster_index = Some(ClusterIndexResult {
+            leaf_evaluations: 5_000_000_001,
+            ..sample_cluster_index()
+        });
+        let err = compare_bench_json(&worse.to_json(), &good).unwrap_err();
+        assert!(err.contains("leaf evaluations"), "{err}");
+        // A different point count skips the gate with a note.
+        let mut other = sample_report();
+        other.cluster_index = Some(ClusterIndexResult {
+            points: 50_000,
+            merges: 49_999,
+            leaf_evaluations: 9_000_000_000,
+            ..sample_cluster_index()
+        });
+        let notes = compare_bench_json(&other.to_json(), &good).unwrap();
+        assert!(
+            notes.iter().any(|n| n.contains("not compared")),
+            "{notes:?}"
+        );
+        for (tag, breakage) in [
+            (
+                "incomplete dendrogram",
+                good.replace("\"merges\": 99999", "\"merges\": 99998"),
+            ),
+            (
+                "zero wall",
+                good.replace("\"wall_ms\": 52000.000", "\"wall_ms\": 0.000"),
+            ),
+            (
+                "no evaluations",
+                good.replace(
+                    "\"leaf_evaluations\": 5000000000",
+                    "\"leaf_evaluations\": 0",
+                ),
+            ),
+            (
+                "fractional count",
+                good.replace("\"pruned_subtrees\": 4000000", "\"pruned_subtrees\": 0.5"),
+            ),
+        ] {
+            assert!(validate_bench_json(&breakage).is_err(), "{tag} accepted");
+        }
+    }
+
+    #[test]
+    fn comparison_rejects_an_eval_count_regression() {
+        let baseline = sample_report().to_json();
+        let mut report = sample_report();
+        report.workloads[0]
+            .counters
+            .insert("cluster.distance.evaluations".to_string(), 1_771);
+        let err = compare_bench_json(&report.to_json(), &baseline).unwrap_err();
+        assert!(err.contains("distance evaluations"), "{err}");
+        // Moving the same work to a sibling eval counter is no
+        // escape: the gate compares the family's sum.
+        let mut report = sample_report();
+        report.workloads[0]
+            .counters
+            .insert("cluster.distance.evaluations".to_string(), 0);
+        report.workloads[0]
+            .counters
+            .insert("cluster.index.leaf_evaluations".to_string(), 1_771);
+        let err = compare_bench_json(&report.to_json(), &baseline).unwrap_err();
+        assert!(err.contains("distance evaluations"), "{err}");
+        // Fewer evaluations — a better pruner — passes with a note.
+        let mut report = sample_report();
+        report.workloads[0]
+            .counters
+            .insert("cluster.distance.evaluations".to_string(), 1_000);
+        let notes = compare_bench_json(&report.to_json(), &baseline).unwrap();
+        assert!(
+            notes.iter().any(|n| n.contains("distance evaluations")),
+            "{notes:?}"
+        );
+    }
+
+    #[test]
+    fn comparison_rejects_lost_topk_pruning() {
+        let mut base = sample_report();
+        base.query = Some(sample_query());
+        let baseline = base.to_json();
+        compare_bench_json(&baseline, &baseline).unwrap();
+        // Fewer pruned subtrees over the identical workload shape
+        // means the index descent lost power.
+        let mut report = sample_report();
+        let mut q = sample_query();
+        q.counters
+            .insert("query.topk_pruned_total".to_string(), 39_999);
+        report.query = Some(q);
+        let err = compare_bench_json(&report.to_json(), &baseline).unwrap_err();
+        assert!(err.contains("pruned"), "{err}");
+        // A different stream length skips the gate with a note.
+        let mut report = sample_report();
+        let mut q = sample_query();
+        q.requests = 500;
+        q.counters.insert("query.requests".to_string(), 500);
+        q.counters.insert("query.topk_pruned_total".to_string(), 0);
+        report.query = Some(q);
+        let notes = compare_bench_json(&report.to_json(), &baseline).unwrap();
+        assert!(
+            notes.iter().any(|n| n.contains("not compared")),
+            "{notes:?}"
+        );
+    }
+
+    #[test]
+    fn cluster_bench_smoke_builds_a_complete_dendrogram() {
+        let params = ClusterBenchParams {
+            points: 600,
+            seed: 7,
+        };
+        let r = run_cluster_bench(&params).unwrap();
+        assert_eq!(r.points, 600);
+        assert_eq!(r.merges, 599);
+        assert!(r.leaf_evaluations > 0 && r.nodes_visited > 0);
+        assert!(r.pruned_subtrees > 0, "8 separated blobs must prune");
+        let mut report = sample_report();
+        report.cluster_index = Some(r);
+        validate_bench_json(&report.to_json()).unwrap();
+    }
+
+    #[test]
     fn validation_rejects_structural_damage() {
         let good = sample_report().to_json();
         for (tag, breakage) in [
@@ -1091,11 +1529,12 @@ mod tests {
         validate_bench_json(&report.to_json()).unwrap();
 
         // Same workload forced into the spectral space: the cluster
-        // stage goes matrix-free and the dump must report the
-        // on-demand evaluation count instead, so a bench can quantify
-        // distance work per feature space. (Sequential with the run
-        // above on purpose — both passes reset the process-global
-        // registry.)
+        // stage goes matrix-free over the exact-pruning spatial index,
+        // so the dump must report the index's kernel-evaluation count
+        // — and none of the unindexed on-demand fallback's — letting a
+        // bench quantify distance work per feature space. (Sequential
+        // with the run above on purpose — both passes reset the
+        // process-global registry.)
         towerlens_obs::global().reset();
         let mut config = workload_config(12, 7).with_threads(2);
         config.identifier.feature_space = towerlens_pipeline::FeatureSpace::Spectral;
@@ -1103,12 +1542,20 @@ mod tests {
         let counters = towerlens_obs::global().snapshot().counters;
         assert!(
             counters
-                .get("cluster.distance.on_demand_evaluations")
+                .get("cluster.index.leaf_evaluations")
                 .copied()
                 .unwrap_or(0)
                 > 0,
-            "spectral run reported no on-demand evaluations: {:?}",
+            "spectral run reported no indexed evaluations: {:?}",
             counters.keys().collect::<Vec<_>>()
+        );
+        assert_eq!(
+            counters
+                .get("cluster.distance.on_demand_evaluations")
+                .copied()
+                .unwrap_or(0),
+            0,
+            "the indexed spectral path must not fall back to the on-demand metric"
         );
     }
 }

@@ -110,6 +110,96 @@ pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
     sq_euclidean(a, b).sqrt()
 }
 
+/// Candidates per [`sq_euclidean6_batch`] call — one AVX register of
+/// f64 lanes.
+pub const BATCH6: usize = 4;
+
+/// Squared Euclidean distances between one 6-dim query and up to
+/// [`BATCH6`] candidates stored in *transposed* (dimension-major)
+/// lanes: `lanes[d * width + c]` is dimension `d` of candidate `c`,
+/// and candidates `offset..offset + take` are evaluated.
+///
+/// At length 6 the canonical [`sq_euclidean`] reduction is a pure
+/// sequential tail sum (no 8-lane chunk fires), so each output lane
+/// here — scalar or AVX, where the four candidates ride the four
+/// register lanes and every vector op is lanewise IEEE — reproduces
+/// `sq_euclidean(q, candidate)` bit for bit. The transposed layout is
+/// what makes the AVX loads contiguous; the spatial index stores its
+/// leaf buckets this way.
+#[inline]
+pub fn sq_euclidean6_batch(
+    q: &[f64; 6],
+    lanes: &[f64],
+    width: usize,
+    offset: usize,
+    take: usize,
+) -> [f64; BATCH6] {
+    debug_assert!(take <= BATCH6 && offset + take <= width);
+    debug_assert_eq!(lanes.len(), 6 * width);
+    #[cfg(target_arch = "x86_64")]
+    {
+        if take == BATCH6 && std::arch::is_x86_feature_detected!("avx") {
+            // SAFETY: AVX availability was just checked, and the
+            // debug-asserted preconditions make every strided load
+            // in-bounds (`offset + 4 <= width` per dimension row).
+            #[allow(unsafe_code)]
+            return unsafe { sq_euclidean6_batch_avx(q, lanes, width, offset) };
+        }
+    }
+    sq_euclidean6_batch_scalar(q, lanes, width, offset, take)
+}
+
+/// Portable reference for the batched 6-dim kernel: each lane is the
+/// sequential left-to-right sum `sq_euclidean` produces at length 6.
+fn sq_euclidean6_batch_scalar(
+    q: &[f64; 6],
+    lanes: &[f64],
+    width: usize,
+    offset: usize,
+    take: usize,
+) -> [f64; BATCH6] {
+    let mut out = [0.0f64; BATCH6];
+    for (c, acc) in out.iter_mut().enumerate().take(take) {
+        let mut tail = 0.0f64;
+        for (d, &qd) in q.iter().enumerate() {
+            let diff = qd - lanes[d * width + offset + c];
+            tail += diff * diff;
+        }
+        *acc = tail;
+    }
+    out
+}
+
+/// Four candidates across the four f64 lanes of one 256-bit register;
+/// the six accumulating adds stay sequential per lane, so each lane is
+/// bit-identical to the scalar reference (no FMA).
+///
+/// # Safety
+/// Requires AVX; callers must check `is_x86_feature_detected!("avx")`
+/// and guarantee `offset + 4 <= width` with `lanes.len() == 6 * width`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+#[allow(unsafe_code)]
+unsafe fn sq_euclidean6_batch_avx(
+    q: &[f64; 6],
+    lanes: &[f64],
+    width: usize,
+    offset: usize,
+) -> [f64; BATCH6] {
+    use std::arch::x86_64::*;
+    let mut acc = _mm256_setzero_pd();
+    for (d, &qd) in q.iter().enumerate() {
+        let diff = _mm256_sub_pd(
+            _mm256_set1_pd(qd),
+            _mm256_loadu_pd(lanes.as_ptr().add(d * width + offset)),
+        );
+        acc = _mm256_add_pd(acc, _mm256_mul_pd(diff, diff));
+    }
+    let mut out = [0.0f64; BATCH6];
+    _mm256_storeu_pd(out.as_mut_ptr(), acc);
+    out
+}
+
 /// Rows per build tile. 16 rows × 4,032 dims × 8 bytes ≈ 512 KiB of
 /// resident tile data — small enough for L2, large enough that the
 /// streamed column vector amortises over many rows.
@@ -265,6 +355,41 @@ mod tests {
                 sq_euclidean_scalar(&a, &b).to_bits(),
                 "len={len}"
             );
+        }
+    }
+
+    #[test]
+    fn batched_6dim_kernel_is_bit_identical_per_lane() {
+        // Awkward widths/offsets exercise both the AVX full-batch path
+        // and the scalar remainder; every lane must reproduce the
+        // general kernel on the untransposed pair, bit for bit.
+        for width in [1usize, 3, 4, 5, 8, 11] {
+            let rows: Vec<[f64; 6]> = (0..width)
+                .map(|c| std::array::from_fn(|d| ((c * 6 + d) as f64 * 0.61).sin() * 4.0))
+                .collect();
+            let mut lanes = vec![0.0f64; 6 * width];
+            for (c, row) in rows.iter().enumerate() {
+                for (d, &v) in row.iter().enumerate() {
+                    lanes[d * width + c] = v;
+                }
+            }
+            let q: [f64; 6] = std::array::from_fn(|d| (d as f64 * 0.83).cos() * 3.0);
+            let mut offset = 0;
+            while offset < width {
+                let take = (width - offset).min(BATCH6);
+                let got = sq_euclidean6_batch(&q, &lanes, width, offset, take);
+                let scalar = sq_euclidean6_batch_scalar(&q, &lanes, width, offset, take);
+                for c in 0..take {
+                    let want = sq_euclidean(&q, &rows[offset + c]);
+                    assert_eq!(
+                        got[c].to_bits(),
+                        want.to_bits(),
+                        "width={width} offset={offset} lane={c}"
+                    );
+                    assert_eq!(got[c].to_bits(), scalar[c].to_bits());
+                }
+                offset += take;
+            }
         }
     }
 

@@ -19,6 +19,11 @@
 //!   bit-identical to its scalar reference) and a cache-tiled parallel
 //!   pairwise-distance matrix builder (std scoped threads; no runtime
 //!   dependency).
+//! * [`index`] — an exact-pruning spatial index over low-dimensional
+//!   feature spaces: a static bounding-box k-d tree whose
+//!   nearest-neighbour and top-k answers are bit-identical to the
+//!   linear scan, plus [`IndexedMetric`], the indexed
+//!   [`DistanceSource`] the nn-chain engine runs over at scale.
 //!
 //! All APIs are fallible ([`ClusterError`]) rather than panicking, and
 //! deterministic given their inputs (k-means takes an explicit seed).
@@ -34,15 +39,18 @@ pub mod compare;
 pub mod dendrogram;
 pub mod distance;
 pub mod error;
+pub mod index;
 pub mod kmeans;
 pub mod source;
 pub mod validity;
 
 pub use agglomerative::{
-    agglomerative, agglomerative_points_on_demand, agglomerative_source, Engine, Linkage,
+    agglomerative, agglomerative_points_indexed, agglomerative_points_on_demand,
+    agglomerative_source, Engine, Linkage,
 };
 pub use compare::{adjusted_rand_index, purity, rand_index};
 pub use dendrogram::{Clustering, Dendrogram, Merge};
 pub use distance::DistanceMatrix;
 pub use error::ClusterError;
-pub use source::{top_k_nearest, DistanceSource, FeatureView, OnDemandMetric};
+pub use index::{IndexedMetric, PointSet, SearchStats, SpatialIndex};
+pub use source::{top_k_nearest, DistanceSource, FeatureView, OnDemandMetric, TopK};

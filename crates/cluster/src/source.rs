@@ -65,6 +65,45 @@ pub trait DistanceSource {
     fn retire(&mut self, slot: usize) {
         let _ = slot;
     }
+
+    /// Notification that `survivor` absorbed `absorbed` in a merge:
+    /// `survivor` now seats an internal cluster. Called after the
+    /// Lance–Williams updates and before `retire(absorbed)`. Sources
+    /// with spatial acceleration structures use this to maintain
+    /// cluster extents; the default does nothing.
+    fn promote(&mut self, survivor: usize, absorbed: usize) {
+        let _ = (survivor, absorbed);
+    }
+
+    /// The nearest active neighbour of `top` as `(slot, distance)`,
+    /// or `None` when no other slot is active. On exact distance ties
+    /// the result must prefer `prev` if it participates in the tie,
+    /// and the lowest slot index otherwise — the contract the nn-chain
+    /// engine's termination proof and deterministic output rest on.
+    ///
+    /// The default is the reference linear scan; indexed sources
+    /// override it with a pruned search that returns the identical
+    /// answer.
+    fn nearest_active(
+        &mut self,
+        top: usize,
+        active: &[bool],
+        prev: Option<usize>,
+    ) -> Option<(usize, f64)> {
+        let mut nearest = usize::MAX;
+        let mut best = f64::INFINITY;
+        for (k, &alive) in active.iter().enumerate().take(self.len()) {
+            if k == top || !alive {
+                continue;
+            }
+            let d = self.get(top, k);
+            if d < best || (d == best && Some(k) == prev) {
+                best = d;
+                nearest = k;
+            }
+        }
+        (nearest != usize::MAX).then_some((nearest, best))
+    }
 }
 
 impl DistanceSource for DistanceMatrix {
@@ -124,106 +163,196 @@ pub fn top_k_nearest<V: FeatureView + ?Sized>(
     if k == 0 || query >= n {
         return Vec::new();
     }
-    // Bounded insertion into a sorted buffer: cheaper than a heap for
-    // the small k this serves (topk queries), and ordering falls out
-    // for free.
-    let mut best: Vec<(usize, f64)> = Vec::with_capacity(k + 1);
+    let mut top = TopK::new(k);
     for j in 0..n {
         if j == query {
             continue;
         }
-        let d = view.distance(query, j);
-        if best.len() == k {
-            let &(wj, wd) = best.last().expect("non-empty at capacity");
-            if wd < d || (wd == d && wj < j) {
-                continue;
+        top.offer(j, view.distance(query, j));
+    }
+    top.into_sorted()
+}
+
+/// A bounded max-heap keeping the `k` smallest `(distance, index)`
+/// candidates seen so far, ordered lexicographically by
+/// `(distance, index)` so ties are fully deterministic.
+///
+/// Replacing a full heap's root is O(log k) against the O(k) shift of
+/// sorted insertion, and [`TopK::worst`] gives the pruning threshold
+/// the spatial index's top-k descent needs in O(1). Offering every
+/// candidate of a linear scan yields exactly the `k` smallest by
+/// `(distance, index)` — the same set, in the same order, as the
+/// sorted-buffer implementation this replaced.
+#[derive(Debug, Clone, Default)]
+pub struct TopK {
+    k: usize,
+    /// Max-heap: `heap[0]` is the worst (largest) retained candidate.
+    heap: Vec<(f64, usize)>,
+}
+
+impl TopK {
+    /// An empty accumulator retaining at most `k` candidates.
+    #[must_use]
+    pub fn new(k: usize) -> TopK {
+        TopK {
+            k,
+            heap: Vec::with_capacity(k.min(1 << 12)),
+        }
+    }
+
+    /// `true` once `k` candidates are retained (the threshold in
+    /// [`TopK::worst`] is now meaningful for pruning).
+    #[must_use]
+    pub fn full(&self) -> bool {
+        self.heap.len() == self.k
+    }
+
+    /// The retention bound `k`.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.k
+    }
+
+    /// The worst retained candidate as `(distance, index)`, only once
+    /// the accumulator is full — a candidate set that isn't full yet
+    /// admits everything, so there is no threshold to prune against.
+    #[must_use]
+    pub fn worst(&self) -> Option<(f64, usize)> {
+        (self.k > 0 && self.full()).then(|| self.heap[0])
+    }
+
+    /// Offers a candidate; it is retained iff it is among the `k`
+    /// smallest by `(distance, index)` seen so far.
+    pub fn offer(&mut self, index: usize, distance: f64) {
+        if self.k == 0 {
+            return;
+        }
+        let entry = (distance, index);
+        if self.heap.len() < self.k {
+            self.heap.push(entry);
+            self.sift_up(self.heap.len() - 1);
+        } else if lex_less(entry, self.heap[0]) {
+            self.heap[0] = entry;
+            self.sift_down(0);
+        }
+    }
+
+    /// Consumes the accumulator, returning `(index, distance)`
+    /// ascending by `(distance, index)`.
+    #[must_use]
+    pub fn into_sorted(mut self) -> Vec<(usize, f64)> {
+        let mut out = Vec::with_capacity(self.heap.len());
+        self.sorted_into(&mut out);
+        out
+    }
+
+    /// Empties the accumulator into `out` (appended, ascending by
+    /// `(distance, index)`) and re-arms it for `reset`/reuse — the
+    /// allocation-free counterpart of [`TopK::into_sorted`] for
+    /// callers that keep scratch buffers across queries.
+    pub fn sorted_into(&mut self, out: &mut Vec<(usize, f64)>) {
+        self.heap
+            .sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        out.extend(self.heap.drain(..).map(|(d, i)| (i, d)));
+    }
+
+    /// Clears retained candidates and sets a new retention bound,
+    /// keeping the heap's allocation for reuse.
+    pub fn reset(&mut self, k: usize) {
+        self.k = k;
+        self.heap.clear();
+    }
+
+    fn sift_up(&mut self, mut at: usize) {
+        while at > 0 {
+            let parent = (at - 1) / 2;
+            if lex_less(self.heap[parent], self.heap[at]) {
+                self.heap.swap(parent, at);
+                at = parent;
+            } else {
+                break;
             }
         }
-        let pos = best.partition_point(|&(bj, bd)| bd < d || (bd == d && bj < j));
-        best.insert(pos, (j, d));
-        best.truncate(k);
     }
-    best
+
+    fn sift_down(&mut self, mut at: usize) {
+        let n = self.heap.len();
+        loop {
+            let (l, r) = (2 * at + 1, 2 * at + 2);
+            let mut largest = at;
+            if l < n && lex_less(self.heap[largest], self.heap[l]) {
+                largest = l;
+            }
+            if r < n && lex_less(self.heap[largest], self.heap[r]) {
+                largest = r;
+            }
+            if largest == at {
+                break;
+            }
+            self.heap.swap(at, largest);
+            at = largest;
+        }
+    }
 }
 
-/// The matrix-free distance source: leaf distances computed on demand
-/// from a [`FeatureView`], Lance–Williams rows stored only for merged
-/// clusters.
-///
-/// Storage model: `rows[slot]`, allocated lazily at a merged slot's
-/// first `set` and freed by `retire`, holds that cluster's current
-/// distance to every other slot (`NaN` marks entries whose value lives
-/// on the *other* endpoint's row, or — for leaf pairs — is recomputed
-/// from the view). Peak memory is `(live internal clusters) × n`
-/// entries; an agglomeration that pairs every point first peaks at
-/// n²/4 — half the condensed matrix — while typical incremental merge
-/// orders stay far below. Either way the O(n²) *leaf* triangle, which
-/// dominates at raw dimensionality, is never stored.
+/// Strict lexicographic `(distance, index)` order (total: distances
+/// compare via `total_cmp`, though the kernels never produce NaN).
+#[inline]
+fn lex_less(a: (f64, usize), b: (f64, usize)) -> bool {
+    a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).is_lt()
+}
+
+/// The Lance–Williams row store shared by the matrix-free sources:
+/// rows are allocated lazily at a merged slot's first `set` and freed
+/// by `retire`; `NaN` marks entries whose value lives on the *other*
+/// endpoint's row, or — for leaf pairs — is recomputed from the
+/// metric. Peak memory is `(live internal clusters) × n` entries; an
+/// agglomeration that pairs every point first peaks at n²/4 — half the
+/// condensed matrix — while typical incremental merge orders stay far
+/// below. Either way the O(n²) *leaf* triangle, which dominates at raw
+/// dimensionality, is never stored.
 #[derive(Debug)]
-pub struct OnDemandMetric<'a, V: FeatureView + ?Sized> {
-    view: &'a V,
+pub(crate) struct LwRows {
     rows: Vec<Option<Box<[f64]>>>,
-    evaluations: u64,
 }
 
-impl<'a, V: FeatureView + ?Sized> OnDemandMetric<'a, V> {
-    /// Wraps a feature view. No distances are computed yet.
-    pub fn new(view: &'a V) -> Self {
-        let n = view.len();
-        OnDemandMetric {
-            view,
+impl LwRows {
+    /// An empty store over `n` slots; no rows are allocated yet.
+    pub(crate) fn new(n: usize) -> LwRows {
+        LwRows {
             rows: vec![None; n],
-            evaluations: 0,
         }
     }
 
-    /// Leaf-distance evaluations performed so far (each `get` that
-    /// reached the view, including repeats of the same pair).
-    pub fn evaluations(&self) -> u64 {
-        self.evaluations
-    }
-
-    /// Lance–Williams rows currently allocated (live merged clusters).
-    pub fn live_rows(&self) -> usize {
-        self.rows.iter().filter(|r| r.is_some()).count()
-    }
-}
-
-impl<V: FeatureView + ?Sized> DistanceSource for OnDemandMetric<'_, V> {
-    fn len(&self) -> usize {
-        self.view.len()
-    }
-
-    fn get(&mut self, i: usize, j: usize) -> f64 {
-        if i == j {
-            return 0.0;
-        }
-        // A stored value (either endpoint's row) wins over the leaf
-        // metric: once a slot holds a merged cluster, its distances
-        // are defined by the linkage recurrence, not the view.
+    /// The stored cluster distance of the pair, if either endpoint's
+    /// row holds one. A stored value wins over any leaf metric: once a
+    /// slot holds a merged cluster, its distances are defined by the
+    /// linkage recurrence, not the underlying points.
+    #[inline]
+    pub(crate) fn read(&self, i: usize, j: usize) -> Option<f64> {
         if let Some(row) = self.rows[i].as_deref() {
             let v = row[j];
             if !v.is_nan() {
-                return v;
+                return Some(v);
             }
         }
         if let Some(row) = self.rows[j].as_deref() {
             let v = row[i];
             if !v.is_nan() {
-                return v;
+                return Some(v);
             }
         }
-        self.evaluations += 1;
-        self.view.distance(i, j)
+        None
     }
 
-    fn set(&mut self, i: usize, j: usize, v: f64) {
+    /// Stores a pair's distance, keeping every live copy coherent and
+    /// allocating on the first index (the surviving merge slot) only
+    /// when no row exists yet.
+    pub(crate) fn set(&mut self, i: usize, j: usize, v: f64) {
         if i == j {
             return;
         }
         debug_assert!(!v.is_nan(), "cluster distances must be numbers");
-        // Keep every live copy coherent; allocate on the first index
-        // (the surviving merge slot) only when no row exists yet.
         let mut stored = false;
         if let Some(row) = self.rows[i].as_deref_mut() {
             row[j] = v;
@@ -240,8 +369,72 @@ impl<V: FeatureView + ?Sized> DistanceSource for OnDemandMetric<'_, V> {
         }
     }
 
-    fn retire(&mut self, slot: usize) {
+    /// Frees a retired slot's row.
+    pub(crate) fn retire(&mut self, slot: usize) {
         self.rows[slot] = None;
+    }
+
+    /// Rows currently allocated (live merged clusters).
+    pub(crate) fn live(&self) -> usize {
+        self.rows.iter().filter(|r| r.is_some()).count()
+    }
+}
+
+/// The matrix-free distance source: leaf distances computed on demand
+/// from a [`FeatureView`], Lance–Williams rows ([`LwRows`]) stored
+/// only for merged clusters.
+#[derive(Debug)]
+pub struct OnDemandMetric<'a, V: FeatureView + ?Sized> {
+    view: &'a V,
+    rows: LwRows,
+    evaluations: u64,
+}
+
+impl<'a, V: FeatureView + ?Sized> OnDemandMetric<'a, V> {
+    /// Wraps a feature view. No distances are computed yet.
+    pub fn new(view: &'a V) -> Self {
+        let n = view.len();
+        OnDemandMetric {
+            view,
+            rows: LwRows::new(n),
+            evaluations: 0,
+        }
+    }
+
+    /// Leaf-distance evaluations performed so far (each `get` that
+    /// reached the view, including repeats of the same pair).
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+
+    /// Lance–Williams rows currently allocated (live merged clusters).
+    pub fn live_rows(&self) -> usize {
+        self.rows.live()
+    }
+}
+
+impl<V: FeatureView + ?Sized> DistanceSource for OnDemandMetric<'_, V> {
+    fn len(&self) -> usize {
+        self.view.len()
+    }
+
+    fn get(&mut self, i: usize, j: usize) -> f64 {
+        if i == j {
+            return 0.0;
+        }
+        if let Some(v) = self.rows.read(i, j) {
+            return v;
+        }
+        self.evaluations += 1;
+        self.view.distance(i, j)
+    }
+
+    fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.rows.set(i, j, v);
+    }
+
+    fn retire(&mut self, slot: usize) {
+        self.rows.retire(slot);
     }
 }
 

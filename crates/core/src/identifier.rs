@@ -17,7 +17,8 @@
 //! agreement by Adjusted Rand Index on separable data.
 
 use towerlens_cluster::agglomerative::{
-    agglomerative_points, agglomerative_points_on_demand, Engine, Linkage,
+    agglomerative_points, agglomerative_points_indexed, agglomerative_points_on_demand, Engine,
+    Linkage,
 };
 use towerlens_cluster::dendrogram::{Clustering, Dendrogram};
 use towerlens_cluster::validity::{best_by_dbi, dbi_sweep, DbiPoint};
@@ -166,8 +167,15 @@ impl PatternIdentifier {
             // Raw: expensive high-dim leaf distances, computed once
             // into the materialised matrix.
             None => agglomerative_points(vectors, cfg.linkage, cfg.engine, cfg.threads)?,
-            // Spectral: 6-dim leaf distances, recomputed on demand —
-            // no O(n²) buffer at paper scale.
+            // Spectral: 6-dim leaf distances, recomputed on demand
+            // through the exact-pruning spatial index — no O(n²)
+            // buffer, and nearest-neighbour scans collapse to pruned
+            // descents. Bit-identical to the plain on-demand path
+            // (`TOWERLENS_CLUSTER_INDEX=off` forces it, as an escape
+            // hatch and for the A/B smoke in scripts/check.sh).
+            Some(features) if cluster_index_enabled() => {
+                agglomerative_points_indexed(features, cfg.linkage, cfg.engine)?
+            }
             Some(features) => agglomerative_points_on_demand(features, cfg.linkage, cfg.engine)?,
         };
         let space: &[Vec<f64>] = projected.as_deref().unwrap_or(vectors);
@@ -191,6 +199,15 @@ impl PatternIdentifier {
             dendrogram,
         })
     }
+}
+
+/// Whether the spectral clustering stage routes nearest-neighbour
+/// queries through the exact-pruning spatial index (the default).
+/// `TOWERLENS_CLUSTER_INDEX=off` selects the plain on-demand scan;
+/// both paths produce bit-identical dendrograms, so this is purely a
+/// diagnostics/escape hatch.
+fn cluster_index_enabled() -> bool {
+    std::env::var("TOWERLENS_CLUSTER_INDEX").map_or(true, |v| v != "off")
 }
 
 #[cfg(test)]

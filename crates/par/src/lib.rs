@@ -60,13 +60,43 @@ where
     R: Send,
     F: Fn(usize, &T, &mut [u64]) -> R + Sync,
 {
+    par_map_indexed_scratch(
+        items,
+        threads,
+        tallies,
+        || (),
+        |(), i, item, tally| f(i, item, tally),
+    )
+}
+
+/// As [`par_map_indexed_tally`], but each worker also owns a scratch
+/// value built by `init`, handed to `f` for every item of that
+/// worker's contiguous chunk. Use it to reuse buffers across a chunk's
+/// items (e.g. a query server's per-request staging vectors) without
+/// per-item allocation — determinism is unaffected as long as `f`'s
+/// *output* does not depend on leftover scratch state, which reusable
+/// buffers cleared per item satisfy by construction.
+pub fn par_map_indexed_scratch<T, R, S, I, F>(
+    items: &[T],
+    threads: usize,
+    tallies: usize,
+    init: I,
+    f: F,
+) -> (Vec<R>, Vec<u64>)
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T, &mut [u64]) -> R + Sync,
+{
     let workers = resolve_threads(threads).min(items.len().max(1));
     let mut tally = vec![0u64; tallies];
     if workers <= 1 {
+        let mut scratch = init();
         let out = items
             .iter()
             .enumerate()
-            .map(|(i, item)| f(i, item, &mut tally))
+            .map(|(i, item)| f(&mut scratch, i, item, &mut tally))
             .collect();
         return (out, tally);
     }
@@ -79,12 +109,14 @@ where
             .enumerate()
             .map(|(c, out)| {
                 let f = &f;
+                let init = &init;
                 scope.spawn(move || {
                     let base = c * chunk;
                     let mut shard = vec![0u64; tallies];
+                    let mut scratch = init();
                     for (off, slot) in out.iter_mut().enumerate() {
                         let i = base + off;
-                        *slot = Some(f(i, &items[i], &mut shard));
+                        *slot = Some(f(&mut scratch, i, &items[i], &mut shard));
                     }
                     shard
                 })
@@ -186,6 +218,34 @@ mod tests {
             assert_eq!(tally[0], 1000);
             let reference = reference.get_or_insert(tally.clone()).clone();
             assert_eq!(tally, reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn scratch_workers_reuse_buffers_without_changing_output() {
+        // Each worker's scratch Vec persists across its chunk (observable
+        // through capacity growth) while the mapped output stays
+        // byte-identical to the serial run at every thread count.
+        let items: Vec<u64> = (0..311).collect();
+        let run = |threads| {
+            par_map_indexed_scratch(
+                &items,
+                threads,
+                1,
+                Vec::<u64>::new,
+                |scratch, i, v, tally| {
+                    scratch.clear();
+                    scratch.extend((0..(v % 7)).map(|x| x * v));
+                    tally[0] += scratch.len() as u64;
+                    scratch.iter().sum::<u64>() + i as u64
+                },
+            )
+        };
+        let (serial, serial_tally) = run(1);
+        for threads in [2, 3, 8, 64] {
+            let (par, tally) = run(threads);
+            assert_eq!(par, serial, "threads={threads}");
+            assert_eq!(tally, serial_tally, "threads={threads}");
         }
     }
 

@@ -48,6 +48,19 @@ grep -q "9600 towers" "$thr_tmp/study-paper.out" \
     || { echo "paper-scale study output missing its tower count"; exit 1; }
 echo "paper-scale spectral study completed within bound"
 
+echo "== cluster-index smoke: the spatial index is byte-invisible =="
+# The exactness contract: the spatial index behind the spectral
+# cluster stage is a pure accelerator, so the same tiny study with
+# TOWERLENS_CLUSTER_INDEX=off (the unindexed on-demand fallback) must
+# print byte-identical stdout.
+./target/release/towerlens-cli study --scale tiny --seed 42 \
+    --feature-space spectral --threads 4 > "$thr_tmp/study-idx-on.out"
+TOWERLENS_CLUSTER_INDEX=off ./target/release/towerlens-cli study --scale tiny --seed 42 \
+    --feature-space spectral --threads 4 > "$thr_tmp/study-idx-off.out"
+cmp "$thr_tmp/study-idx-on.out" "$thr_tmp/study-idx-off.out" \
+    || { echo "spectral study output changes when the cluster index is disabled"; exit 1; }
+echo "index on/off study output byte-identical"
+
 echo "== serve smoke: streaming replay vs batch, kill-and-restart chaos =="
 # The streaming contract, end to end through the real binary: a
 # recorded stream drained by `serve` must render stdout byte-identical
@@ -199,6 +212,21 @@ for threads in 1 4; do
         --validate "$bench_tmp/BENCH_smoke_t$threads.json" --baseline BENCH_pipeline.json
 done
 cargo run --release -q -p towerlens-bench --bin bench -- --validate BENCH_pipeline.json
+
+echo "== indexed bench workloads: 100k cluster + pruned topk, baseline-gated =="
+# The two spatial-index workloads through the real harness at their
+# baseline shapes, so the exact (deterministic-counter) gates engage:
+# the 100,000-point cluster-index build may not evaluate more leaf
+# distances than the committed baseline, and the 9,600-tower query
+# workload may not prune fewer topk subtrees. The wall-clock bound
+# covers the snapshot-building study plus both workloads; blowing it
+# means the index regressed to scan-like behaviour.
+timeout 540 cargo run --release -q -p towerlens-bench --bin bench -- \
+    --sizes 20 --repeats 1 --seed 42 --threads 1 --query --cluster-100k \
+    --out "$bench_tmp/BENCH_index_smoke.json" \
+    || { echo "indexed bench workloads failed or blew the 540s bound"; exit 1; }
+cargo run --release -q -p towerlens-bench --bin bench -- \
+    --validate "$bench_tmp/BENCH_index_smoke.json" --baseline BENCH_pipeline.json
 
 echo "== cargo clippy =="
 cargo clippy -q --workspace --all-targets -- -D warnings
